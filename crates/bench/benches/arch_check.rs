@@ -1,0 +1,47 @@
+//! Experiment E4 — architecture-check use-case: locate each backend's
+//! numeric limits by sweeping generated programs, and expose silent
+//! runtime capacity truncation by exercising the control plane.
+
+use netdebug::usecases::architecture::{probe_limits, probe_table_capacity};
+use netdebug_bench::banner;
+use netdebug_hw::{Backend, BugSpec};
+
+fn main() {
+    banner("E4: architecture limits per backend");
+    for backend in [Backend::reference(), Backend::sdnet_2018()] {
+        let report = probe_limits(&backend);
+        println!("{report}");
+    }
+
+    banner("E4b: declared vs effective table capacity");
+    println!(
+        "{:<18} {:>10} {:>10} {:>8}",
+        "backend", "declared", "effective", "silent?"
+    );
+    let rows = [
+        ("reference", Backend::reference(), 256u64),
+        ("sdnet-2018", Backend::sdnet_2018(), 256),
+        (
+            "sdnet+cap-bug",
+            Backend::sdnet_with_bugs(
+                "cap",
+                vec![BugSpec::TableCapacityTruncated { factor: 4 }],
+            ),
+            256,
+        ),
+    ];
+    for (name, backend, declared) in rows {
+        let (d, e) = probe_table_capacity(&backend, declared);
+        println!(
+            "{:<18} {:>10} {:>10} {:>8}",
+            name,
+            d,
+            e,
+            if e < d { "YES" } else { "no" }
+        );
+    }
+
+    println!("\nshape check (paper): the reference has no limits; sdnet-2018");
+    println!("caps parser states (32), stages (16) and key width (64 bits)");
+    println!("with diagnostics; the capacity bug appears ONLY at runtime.");
+}

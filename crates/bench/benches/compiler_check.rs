@@ -1,0 +1,50 @@
+//! Experiment E3 — compiler-check use-case: the conformance matrix of the
+//! program corpus across backends, distinguishing diagnosed limitations
+//! from silent mis-compilations found by differential testing.
+
+use netdebug::usecases::compiler_check::{check_corpus, Conformance};
+use netdebug_bench::banner;
+use netdebug_hw::Backend;
+use netdebug_p4::corpus;
+
+fn main() {
+    banner("E3: compiler conformance matrix (corpus x backends)");
+    let backends = [
+        Backend::reference(),
+        Backend::sdnet_2018(),
+        Backend::sdnet_fixed(),
+    ];
+    let start = std::time::Instant::now();
+    let report = check_corpus(&corpus::corpus(), &backends);
+    println!("{report}");
+
+    let silent = report.silent_bugs();
+    println!("silent mis-compilations: {}", silent.len());
+    for row in &silent {
+        if let Conformance::SilentDivergence { first, .. } = &row.conformance {
+            println!("  {} @ {}: {}", row.program, row.backend, first);
+        }
+    }
+    let diagnosed = report
+        .rows
+        .iter()
+        .filter(|r| matches!(r.conformance, Conformance::Diagnosed(_)))
+        .count();
+    println!("diagnosed limitations: {diagnosed}");
+    println!("matrix computed in {:.2?}", start.elapsed());
+
+    println!("\nshape check (paper): reference passes all; sdnet-2018 hides");
+    println!("silent reject-path bugs behind clean compiles; sdnet-fixed");
+    println!("keeps the diagnosed limits but clears the silent bugs.");
+    assert!(report
+        .rows
+        .iter()
+        .filter(|r| r.backend == "reference")
+        .all(|r| r.conformance == Conformance::Pass));
+    assert!(!silent.is_empty());
+    assert!(report
+        .rows
+        .iter()
+        .filter(|r| r.backend == "sdnet-fixed")
+        .all(|r| !matches!(r.conformance, Conformance::SilentDivergence { .. })));
+}

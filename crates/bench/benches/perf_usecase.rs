@@ -1,0 +1,74 @@
+//! Experiment E2 — the performance-testing use-case: throughput, packet
+//! rate and latency across a frame-size sweep, measured in-device by
+//! NetDebug and, for contrast, by the external tester (whose numbers
+//! include the MACs).
+
+use netdebug::session::NetDebug;
+use netdebug::usecases::performance::{sweep, Pace};
+use netdebug_bench::{banner, template_for};
+use netdebug_hw::{Backend, Device};
+use netdebug_p4::corpus;
+use netdebug_tester::{run_flow, ExternalView, FlowSpec};
+
+fn main() {
+    banner("E2: performance sweep (reflector, offered = 10G line rate)");
+    let sizes = [64usize, 128, 256, 512, 1024, 1518];
+
+    let dev = Device::deploy_source(&Backend::reference(), corpus::REFLECTOR).unwrap();
+    let mut nd = NetDebug::new(dev);
+    let report = sweep(&mut nd, template_for, &sizes, 2000, Pace::LineRate);
+    println!("{report}");
+
+    banner("E2b: pipeline capacity (back-to-back injection, 64B)");
+    let dev = Device::deploy_source(&Backend::reference(), corpus::REFLECTOR).unwrap();
+    let mut nd = NetDebug::new(dev);
+    let cap = sweep(&mut nd, template_for, &[64], 5000, Pace::BackToBack);
+    let p = &cap.points[0];
+    println!(
+        "pipeline accepts {:.1} Mpps at 64B ({:.2}x the 14.88 Mpps line rate)",
+        p.achieved_pps / 1e6,
+        p.achieved_pps / 14_880_952.0
+    );
+
+    banner("E2c: in-device vs external latency (256B frames)");
+    let mut dev = Device::deploy_source(&Backend::reference(), corpus::REFLECTOR).unwrap();
+    let external = {
+        let mut view = ExternalView::attach(&mut dev);
+        run_flow(
+            &mut view,
+            &FlowSpec {
+                template: template_for(256),
+                count: 1000,
+                ingress: 0,
+                vary_byte: None,
+            },
+        )
+    };
+    let in_device = report
+        .points
+        .iter()
+        .find(|p| p.frame_bytes == 256)
+        .unwrap();
+    println!(
+        "{:<34} {:>10.1} ns",
+        "external tester (incl. MAC/PHY):", external.latency_avg_ns
+    );
+    println!(
+        "{:<34} {:>10.1} ns",
+        "NetDebug (pipeline only):", in_device.latency_ns_avg
+    );
+    println!(
+        "{:<34} {:>10.1} ns",
+        "surrounding-hardware overhead:",
+        external.latency_avg_ns - in_device.latency_ns_avg
+    );
+
+    println!("\nshape check (paper / NetFPGA): line rate at every frame size,");
+    println!("flat in-device latency, and a large constant MAC overhead that");
+    println!("only in-device measurement can subtract out.");
+    for p in &report.points {
+        assert!(p.line_rate_fraction > 0.9, "{p:?}");
+        assert_eq!(p.lost, 0);
+    }
+    assert!(external.latency_avg_ns > 2.0 * in_device.latency_ns_avg);
+}

@@ -1,0 +1,49 @@
+//! Shared helpers for the NetDebug benchmark harness.
+//!
+//! Every bench target regenerates one artifact of the paper (a figure, the
+//! case study, or a quantitative experiment implied by a §3 use-case) and
+//! prints the rows/series in a stable format. EXPERIMENTS.md records the
+//! mapping and the expected shapes.
+
+use netdebug_packet::{EthernetAddress, Ipv4Address, PacketBuilder};
+
+/// Source MAC used by all bench traffic.
+pub fn src_mac() -> EthernetAddress {
+    EthernetAddress::new(2, 0, 0, 0, 0, 1)
+}
+
+/// Destination MAC used by all bench traffic.
+pub fn dst_mac() -> EthernetAddress {
+    EthernetAddress::new(2, 0, 0, 0, 0, 2)
+}
+
+/// A routable IPv4/UDP frame for the `ipv4_forward` program.
+pub fn routable_frame(dst: Ipv4Address) -> Vec<u8> {
+    PacketBuilder::ethernet(src_mac(), dst_mac())
+        .ipv4(Ipv4Address::new(10, 0, 0, 1), dst)
+        .udp(4000, 4001)
+        .payload(b"bench")
+        .build()
+}
+
+/// The malformed (version 5) variant the parser must reject.
+pub fn malformed_frame() -> Vec<u8> {
+    let mut f = routable_frame(Ipv4Address::new(10, 0, 0, 9));
+    f[14] = 0x55;
+    f
+}
+
+/// An Ethernet template of exactly `size - 28` bytes (so that the generated
+/// wire frame, template + 28-byte test header, is `size` bytes).
+pub fn template_for(size: usize) -> Vec<u8> {
+    PacketBuilder::ethernet(src_mac(), dst_mac())
+        .payload(&vec![0x5Au8; size - 28 - 14])
+        .build()
+}
+
+/// Print a section header in the bench output.
+pub fn banner(title: &str) {
+    println!("\n==================================================================");
+    println!("{title}");
+    println!("==================================================================");
+}

@@ -1,0 +1,459 @@
+//! The output packet checker.
+//!
+//! NetDebug's second in-device module (Figure 1): it sits on the data
+//! plane's output, in parallel with the egress MACs, and verifies every
+//! packet **at line rate, in real time**. For each frame it locates the
+//! test header, validates the payload CRC, updates per-stream accounting
+//! (sequence gaps, reordering, duplication, latency) and enforces the
+//! stream's expectation — in particular, a frame flagged `EXPECT_DROP`
+//! appearing at an output is an immediate violation, which is exactly how
+//! the paper's prototype caught the SDNet reject bug.
+
+use crate::generator::{find_test_header, Expectation};
+use netdebug_hw::Outcome;
+use netdebug_packet::testhdr::FLAG_EXPECT_DROP;
+use netdebug_packet::TestHeader;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A violation detected by the checker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Violation {
+    /// A packet that the data plane was required to drop reached an output.
+    ForwardedButExpectedDrop {
+        /// Stream id.
+        stream: u16,
+        /// Sequence number.
+        seq: u64,
+        /// Port it (wrongly) left on.
+        port: u16,
+    },
+    /// A packet expected to be forwarded was dropped inside the device.
+    DroppedButExpectedForward {
+        /// Stream id.
+        stream: u16,
+        /// Sequence number.
+        seq: u64,
+        /// The last pipeline stage the packet reached (from the taps).
+        last_stage: String,
+    },
+    /// A packet left on the wrong port.
+    WrongPort {
+        /// Stream id.
+        stream: u16,
+        /// Sequence number.
+        seq: u64,
+        /// Observed port.
+        got: u16,
+        /// Required port.
+        want: u16,
+    },
+    /// Payload CRC mismatch: the data plane corrupted the packet.
+    Corrupted {
+        /// Stream id.
+        stream: u16,
+        /// Sequence number.
+        seq: u64,
+    },
+    /// An output frame carried no (or an unreadable) test header.
+    Unrecognised {
+        /// Port it appeared on.
+        port: u16,
+    },
+}
+
+/// Latency histogram with fixed power-of-two cycle buckets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Bucket upper bounds in cycles: `1<<i`.
+    pub buckets: Vec<u64>,
+    min: u64,
+    max: u64,
+    sum: u64,
+    n: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; 24],
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+            n: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one latency sample (cycles).
+    pub fn record(&mut self, cycles: u64) {
+        let idx = (64 - cycles.leading_zeros() as usize).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.min = self.min.min(cycles);
+        self.max = self.max.max(cycles);
+        self.sum += cycles;
+        self.n += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Minimum, or 0 with no samples.
+    pub fn min(&self) -> u64 {
+        if self.n == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean, or 0.0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.n as f64
+        }
+    }
+}
+
+/// Per-stream accounting.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamStats {
+    /// Packets the generator reported sending.
+    pub sent: u64,
+    /// Packets seen at outputs with a valid header.
+    pub received: u64,
+    /// Packets confirmed dropped (for `Expectation::Drop` streams this is
+    /// success; for others it feeds `lost`).
+    pub dropped: u64,
+    /// Out-of-order arrivals (sequence lower than the highest seen).
+    pub reordered: u64,
+    /// Duplicate sequence numbers.
+    pub duplicates: u64,
+    /// CRC failures.
+    pub corrupted: u64,
+    /// Latency distribution in device cycles (injection → output).
+    pub latency: LatencyHistogram,
+    /// Highest sequence seen.
+    pub highest_seq: Option<u64>,
+}
+
+impl StreamStats {
+    /// Packets that neither arrived nor were accounted as expected drops.
+    pub fn lost(&self) -> u64 {
+        self.sent.saturating_sub(self.received + self.dropped)
+    }
+}
+
+/// The checker module.
+#[derive(Debug, Clone, Default)]
+pub struct Checker {
+    streams: HashMap<u16, StreamStats>,
+    expectations: HashMap<u16, Expectation>,
+    violations: Vec<Violation>,
+    seen_seqs: HashMap<u16, Vec<u64>>,
+    /// Cycles of checker work per packet (line-rate budget accounting).
+    pub check_cycles_per_packet: u64,
+    packets_checked: u64,
+}
+
+impl Checker {
+    /// Create a checker. The per-packet cost models the hardware pipeline:
+    /// header match + CRC + counter update fits in 2 cycles.
+    pub fn new() -> Self {
+        Checker {
+            check_cycles_per_packet: 2,
+            ..Default::default()
+        }
+    }
+
+    /// Register a stream's expectation and planned packet count.
+    pub fn open_stream(&mut self, stream: u16, expect: Expectation, planned: u64) {
+        self.expectations.insert(stream, expect);
+        self.streams.entry(stream).or_default().sent = planned;
+    }
+
+    /// Total packets inspected.
+    pub fn packets_checked(&self) -> u64 {
+        self.packets_checked
+    }
+
+    /// All violations so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Per-stream statistics.
+    pub fn stream(&self, stream: u16) -> Option<&StreamStats> {
+        self.streams.get(&stream)
+    }
+
+    /// All streams.
+    pub fn streams(&self) -> &HashMap<u16, StreamStats> {
+        &self.streams
+    }
+
+    /// Feed one device outcome (the device's output side) to the checker.
+    ///
+    /// `now_cycles` is the device time when the packet appeared at the
+    /// output; `last_stage` comes from the stage taps and is only used to
+    /// annotate drop violations.
+    pub fn observe(&mut self, outcome: &Outcome, now_cycles: u64, last_stage: &str) {
+        self.packets_checked += 1;
+        match outcome {
+            Outcome::Tx { port, data } => self.observe_output(*port, data, now_cycles),
+            Outcome::Flood { data } => {
+                // Count the flood once (the checker taps the pipeline output
+                // before replication).
+                self.observe_output(u16::MAX, data, now_cycles);
+            }
+            Outcome::Dropped { .. } => {
+                // Drops are only attributable via the generator's records;
+                // session bookkeeping calls `observe_drop` directly.
+                let _ = last_stage;
+            }
+        }
+    }
+
+    fn observe_output(&mut self, port: u16, data: &[u8], now_cycles: u64) {
+        let Some(off) = find_test_header(data) else {
+            self.violations.push(Violation::Unrecognised { port });
+            return;
+        };
+        let h = TestHeader::new_unchecked(&data[off..]);
+        let stream = h.stream();
+        let seq = h.seq();
+        let crc_ok = h.verify_payload();
+        let ts = h.ts_cycles();
+        let expect_drop = h.flags() & FLAG_EXPECT_DROP != 0;
+
+        let stats = self.streams.entry(stream).or_default();
+        stats.received += 1;
+        if let Some(high) = stats.highest_seq {
+            if seq < high {
+                stats.reordered += 1;
+            }
+        }
+        stats.highest_seq = Some(stats.highest_seq.map_or(seq, |h| h.max(seq)));
+        let seen = self.seen_seqs.entry(stream).or_default();
+        if seen.contains(&seq) {
+            stats.duplicates += 1;
+        } else {
+            seen.push(seq);
+        }
+        if !crc_ok {
+            stats.corrupted += 1;
+            self.violations.push(Violation::Corrupted { stream, seq });
+        }
+        stats.latency.record(now_cycles.saturating_sub(ts));
+
+        // Expectation enforcement. The EXPECT_DROP flag in the packet
+        // itself lets the hardware checker flag violations with no host
+        // round trip — this is the paper's detection mechanism.
+        if expect_drop {
+            self.violations.push(Violation::ForwardedButExpectedDrop {
+                stream,
+                seq,
+                port,
+            });
+            return;
+        }
+        if let Some(Expectation::Forward { port: Some(want) }) = self.expectations.get(&stream) {
+            if port != u16::MAX && port != *want {
+                self.violations.push(Violation::WrongPort {
+                    stream,
+                    seq,
+                    got: port,
+                    want: *want,
+                });
+            }
+        }
+    }
+
+    /// Record that a generated packet was dropped inside the device.
+    pub fn observe_drop(&mut self, stream: u16, seq: u64, last_stage: &str) {
+        let stats = self.streams.entry(stream).or_default();
+        stats.dropped += 1;
+        match self.expectations.get(&stream) {
+            Some(Expectation::Drop) | Some(Expectation::Any) | None => {}
+            Some(Expectation::Forward { .. }) => {
+                self.violations.push(Violation::DroppedButExpectedForward {
+                    stream,
+                    seq,
+                    last_stage: last_stage.to_string(),
+                });
+            }
+        }
+    }
+
+    /// Can this checker sustain the given packet rate at `clock_hz`?
+    ///
+    /// The hardware checker processes one packet per
+    /// `check_cycles_per_packet`; software checkers (the alternative the
+    /// paper argues against) are orders of magnitude slower — see the
+    /// `line_rate` bench.
+    pub fn sustains_pps(&self, pps: f64, clock_hz: f64) -> bool {
+        pps * self.check_cycles_per_packet as f64 <= clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{Generator, StreamSpec};
+
+    fn gen_frame(stream: u16, seq: u64, ts: u64, expect: Expectation) -> Vec<u8> {
+        let mut g = Generator::new();
+        let spec = StreamSpec::simple(stream, vec![0x55; 18], 100, expect);
+        g.build(&spec, seq, ts).data
+    }
+
+    #[test]
+    fn accounts_ordering_latency_and_loss() {
+        let mut c = Checker::new();
+        c.open_stream(1, Expectation::Forward { port: Some(2) }, 5);
+        for (seq, ts, now) in [(0u64, 0u64, 50u64), (1, 100, 160), (3, 300, 420)] {
+            let f = gen_frame(1, seq, ts, Expectation::Forward { port: Some(2) });
+            c.observe(
+                &Outcome::Tx {
+                    port: 2,
+                    data: f,
+                },
+                now,
+                "egress",
+            );
+        }
+        // Out-of-order arrival of seq 2 after 3.
+        let f = gen_frame(1, 2, 200, Expectation::Forward { port: Some(2) });
+        c.observe(&Outcome::Tx { port: 2, data: f }, 500, "egress");
+        // Duplicate of seq 3.
+        let f = gen_frame(1, 3, 300, Expectation::Forward { port: Some(2) });
+        c.observe(&Outcome::Tx { port: 2, data: f }, 520, "egress");
+
+        let s = c.stream(1).unwrap();
+        assert_eq!(s.received, 5);
+        assert_eq!(s.reordered, 1);
+        assert_eq!(s.duplicates, 1);
+        assert_eq!(s.lost(), 0); // sent=5, received=5
+        assert_eq!(s.latency.min(), 50);
+        assert_eq!(s.latency.max(), 300);
+        assert!(s.latency.mean() > 0.0);
+        assert!(c.violations().is_empty());
+    }
+
+    #[test]
+    fn expect_drop_violation_detected() {
+        // The reject-bug detection mechanism: EXPECT_DROP packet at output.
+        let mut c = Checker::new();
+        c.open_stream(9, Expectation::Drop, 1);
+        let f = gen_frame(9, 0, 0, Expectation::Drop);
+        c.observe(&Outcome::Tx { port: 1, data: f }, 10, "egress");
+        assert_eq!(
+            c.violations(),
+            &[Violation::ForwardedButExpectedDrop {
+                stream: 9,
+                seq: 0,
+                port: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn expected_drop_counts_clean() {
+        let mut c = Checker::new();
+        c.open_stream(9, Expectation::Drop, 2);
+        c.observe_drop(9, 0, "parser:parse_ipv4");
+        c.observe_drop(9, 1, "parser:parse_ipv4");
+        let s = c.stream(9).unwrap();
+        assert_eq!(s.dropped, 2);
+        assert_eq!(s.lost(), 0);
+        assert!(c.violations().is_empty());
+    }
+
+    #[test]
+    fn unexpected_drop_localised() {
+        let mut c = Checker::new();
+        c.open_stream(4, Expectation::Forward { port: None }, 1);
+        c.observe_drop(4, 0, "table:ipv4_lpm");
+        assert_eq!(
+            c.violations(),
+            &[Violation::DroppedButExpectedForward {
+                stream: 4,
+                seq: 0,
+                last_stage: "table:ipv4_lpm".to_string()
+            }]
+        );
+    }
+
+    #[test]
+    fn wrong_port_detected() {
+        let mut c = Checker::new();
+        c.open_stream(2, Expectation::Forward { port: Some(3) }, 1);
+        let f = gen_frame(2, 0, 0, Expectation::Forward { port: Some(3) });
+        c.observe(&Outcome::Tx { port: 1, data: f }, 5, "egress");
+        assert!(matches!(
+            c.violations()[0],
+            Violation::WrongPort {
+                got: 1,
+                want: 3,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut c = Checker::new();
+        c.open_stream(5, Expectation::Forward { port: None }, 1);
+        let mut f = gen_frame(5, 0, 0, Expectation::Forward { port: None });
+        let n = f.len();
+        f[n - 1] ^= 0xFF; // corrupt a payload byte after the CRC was stamped
+        c.observe(&Outcome::Tx { port: 0, data: f }, 5, "egress");
+        assert!(matches!(c.violations()[0], Violation::Corrupted { .. }));
+    }
+
+    #[test]
+    fn unrecognised_frames_flagged() {
+        let mut c = Checker::new();
+        c.observe(
+            &Outcome::Tx {
+                port: 0,
+                data: vec![0u8; 64],
+            },
+            5,
+            "egress",
+        );
+        assert!(matches!(c.violations()[0], Violation::Unrecognised { port: 0 }));
+    }
+
+    #[test]
+    fn line_rate_budget() {
+        let c = Checker::new();
+        // 2 cycles/packet at 200 MHz sustains 100 Mpps — far above the
+        // 14.88 Mpps 10G worst case.
+        assert!(c.sustains_pps(14_880_952.0, 200e6));
+        assert!(c.sustains_pps(100e6, 200e6));
+        assert!(!c.sustains_pps(150e6, 200e6));
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = LatencyHistogram::default();
+        h.record(1);
+        h.record(100);
+        h.record(100_000);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100_000);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 3);
+    }
+}

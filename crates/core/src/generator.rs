@@ -1,0 +1,242 @@
+//! The test packet generator.
+//!
+//! One of NetDebug's two in-device hardware modules (Figure 1). It is
+//! programmable from the host over the register interface: the software
+//! controller writes *stream* descriptors — a template frame, a count, a
+//! rate, field sweeps — and the generator emits packets **directly into the
+//! data plane under test**, bypassing the front-panel MACs, impersonating
+//! any ingress port.
+//!
+//! Every generated frame carries a [`netdebug_packet::TestHeader`] in its
+//! payload area: magic, stream id, sequence number, an injection timestamp
+//! in device cycles, and a payload CRC. The output checker keys on this
+//! header to account for loss, reordering, duplication, corruption and
+//! per-packet latency without host involvement.
+
+use netdebug_packet::testhdr::{self, TEST_HEADER_LEN};
+use netdebug_packet::TestHeader;
+use serde::{Deserialize, Serialize};
+
+/// What the stream's packets are expected to do in the data plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Expectation {
+    /// Packets must leave the device; if `port` is given, on that port.
+    Forward {
+        /// Required egress port, when exact.
+        port: Option<u16>,
+    },
+    /// Packets must be dropped by the data plane; any output is a failure.
+    Drop,
+    /// No expectation (pure load generation).
+    Any,
+}
+
+/// A byte-offset sweep applied across the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FieldSweep {
+    /// Byte offset into the template.
+    pub offset: usize,
+    /// Added per packet (wrapping).
+    pub step: u8,
+}
+
+/// A programmable packet stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamSpec {
+    /// Stream identifier (appears in every test header).
+    pub stream: u16,
+    /// Template frame (headers the program under test will parse).
+    pub template: Vec<u8>,
+    /// Number of packets.
+    pub count: u64,
+    /// Injection rate in packets per second; `None` = back-to-back.
+    pub rate_pps: Option<f64>,
+    /// Ingress port to impersonate.
+    pub as_port: u16,
+    /// Per-packet field sweeps.
+    pub sweeps: Vec<FieldSweep>,
+    /// Expected data-plane behaviour.
+    pub expect: Expectation,
+}
+
+impl StreamSpec {
+    /// A back-to-back stream with no sweeps.
+    pub fn simple(stream: u16, template: Vec<u8>, count: u64, expect: Expectation) -> Self {
+        StreamSpec {
+            stream,
+            template,
+            count,
+            rate_pps: None,
+            as_port: 0,
+            sweeps: Vec::new(),
+            expect,
+        }
+    }
+}
+
+/// The generator: expands a [`StreamSpec`] into stamped frames.
+#[derive(Debug, Clone, Default)]
+pub struct Generator {
+    emitted: u64,
+}
+
+/// One generated frame, ready for injection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedPacket {
+    /// Frame bytes (template + test header + CRC).
+    pub data: Vec<u8>,
+    /// Stream id.
+    pub stream: u16,
+    /// Sequence number within the stream.
+    pub seq: u64,
+    /// Injection timestamp (device cycles) stamped into the header.
+    pub ts_cycles: u64,
+}
+
+impl Generator {
+    /// Create a generator.
+    pub fn new() -> Self {
+        Generator::default()
+    }
+
+    /// Total frames emitted since construction.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Build the `seq`-th frame of a stream, stamped at `now_cycles`.
+    ///
+    /// The test header (28 bytes) is appended after the template so the
+    /// program under test parses the template exactly as it would parse
+    /// live traffic, while the header rides in the payload region.
+    pub fn build(&mut self, spec: &StreamSpec, seq: u64, now_cycles: u64) -> GeneratedPacket {
+        let mut template = spec.template.clone();
+        for sweep in &spec.sweeps {
+            if sweep.offset < template.len() {
+                template[sweep.offset] =
+                    template[sweep.offset].wrapping_add(sweep.step.wrapping_mul(seq as u8));
+            }
+        }
+        let flags = match spec.expect {
+            Expectation::Drop => testhdr::FLAG_EXPECT_DROP,
+            _ => 0,
+        } | if seq + 1 == spec.count {
+            testhdr::FLAG_LAST
+        } else {
+            0
+        };
+
+        let mut data = Vec::with_capacity(template.len() + TEST_HEADER_LEN);
+        data.extend_from_slice(&template);
+        let hdr_start = data.len();
+        data.resize(hdr_start + TEST_HEADER_LEN, 0);
+        {
+            let mut h = TestHeader::new_unchecked(&mut data[hdr_start..]);
+            h.set_magic();
+            h.set_stream(spec.stream);
+            h.set_flags(flags);
+            h.set_seq(seq);
+            h.set_ts_cycles(now_cycles);
+            h.fill_payload_crc();
+        }
+        self.emitted += 1;
+        GeneratedPacket {
+            data,
+            stream: spec.stream,
+            seq,
+            ts_cycles: now_cycles,
+        }
+    }
+
+    /// Inter-packet gap for a stream at a given core clock, in cycles.
+    pub fn gap_cycles(spec: &StreamSpec, clock_hz: f64) -> u64 {
+        match spec.rate_pps {
+            Some(pps) if pps > 0.0 => (clock_hz / pps).round() as u64,
+            _ => 0,
+        }
+    }
+}
+
+/// Find a test header inside (possibly rewritten) output bytes.
+///
+/// The data plane may have added or removed headers in front of the
+/// payload, so the checker scans for the magic. Returns the byte offset of
+/// the header.
+pub fn find_test_header(data: &[u8]) -> Option<usize> {
+    if data.len() < TEST_HEADER_LEN {
+        return None;
+    }
+    (0..=data.len() - TEST_HEADER_LEN)
+        .find(|&off| TestHeader::new_checked(&data[off..]).is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> StreamSpec {
+        StreamSpec {
+            stream: 7,
+            template: vec![0xAA; 20],
+            count: 3,
+            rate_pps: Some(1_000_000.0),
+            as_port: 2,
+            sweeps: vec![FieldSweep { offset: 4, step: 1 }],
+            expect: Expectation::Drop,
+        }
+    }
+
+    #[test]
+    fn frames_are_stamped_and_swept() {
+        let mut g = Generator::new();
+        let p0 = g.build(&spec(), 0, 100);
+        let p1 = g.build(&spec(), 1, 200);
+        let p2 = g.build(&spec(), 2, 300);
+        assert_eq!(g.emitted(), 3);
+        assert_eq!(p0.data.len(), 20 + TEST_HEADER_LEN);
+
+        // Sweep applied to byte 4.
+        assert_eq!(p0.data[4], 0xAA);
+        assert_eq!(p1.data[4], 0xAB);
+        assert_eq!(p2.data[4], 0xAC);
+
+        // Headers parse and carry the right metadata.
+        let off = find_test_header(&p1.data).unwrap();
+        assert_eq!(off, 20);
+        let h = TestHeader::new_checked(&p1.data[off..]).unwrap();
+        assert_eq!(h.stream(), 7);
+        assert_eq!(h.seq(), 1);
+        assert_eq!(h.ts_cycles(), 200);
+        assert_eq!(h.flags() & testhdr::FLAG_EXPECT_DROP, testhdr::FLAG_EXPECT_DROP);
+        assert_eq!(h.flags() & testhdr::FLAG_LAST, 0);
+        assert!(h.verify_payload());
+
+        // Last frame flagged.
+        let off = find_test_header(&p2.data).unwrap();
+        let h = TestHeader::new_checked(&p2.data[off..]).unwrap();
+        assert_eq!(h.flags() & testhdr::FLAG_LAST, testhdr::FLAG_LAST);
+    }
+
+    #[test]
+    fn gap_cycles_from_rate() {
+        // 200 MHz clock, 1 Mpps -> 200 cycles between packets.
+        assert_eq!(Generator::gap_cycles(&spec(), 200e6), 200);
+        let mut s = spec();
+        s.rate_pps = None;
+        assert_eq!(Generator::gap_cycles(&s, 200e6), 0);
+    }
+
+    #[test]
+    fn header_found_after_prefix_changes() {
+        let mut g = Generator::new();
+        let p = g.build(&spec(), 0, 0);
+        // Simulate encapsulation: 4 bytes prepended.
+        let mut shifted = vec![0x11, 0x22, 0x33, 0x44];
+        shifted.extend_from_slice(&p.data);
+        assert_eq!(find_test_header(&shifted), Some(24));
+        // Simulate decapsulation: 6 bytes stripped.
+        assert_eq!(find_test_header(&p.data[6..]), Some(14));
+        // Absent in unrelated bytes.
+        assert_eq!(find_test_header(&[0u8; 64]), None);
+    }
+}

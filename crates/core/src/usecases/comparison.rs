@@ -1,0 +1,213 @@
+//! Comparison use-case (§3, seventh bullet): "comparing alternative
+//! specifications of the same program".
+//!
+//! NetDebug "can perform full comparisons, since it is able to run tests
+//! related to all the discussed use-cases". This module compares two
+//! deployments — same program on two backends, or two programs claimed to
+//! be equivalent — across every observable axis: behaviour on probe
+//! packets (with internal stage diffs), latency, and resource cost.
+
+use crate::differential::{diff_devices, DiffReport};
+use crate::probes::parser_path_probes;
+use netdebug_hw::{Backend, Device, DeployError};
+use serde::{Deserialize, Serialize};
+
+/// The full comparison verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonReport {
+    /// Label of side A.
+    pub a: String,
+    /// Label of side B.
+    pub b: String,
+    /// Behavioural diff over parser-path probes.
+    pub behaviour: DiffReport,
+    /// Mean pipeline latency per probe (cycles): A then B.
+    pub latency_cycles: (f64, f64),
+    /// Resource totals (LUTs, BRAM36): A then B.
+    pub resources: ((u64, u64), (u64, u64)),
+}
+
+impl ComparisonReport {
+    /// True when behaviour is identical on every probe.
+    pub fn behaviourally_equivalent(&self) -> bool {
+        self.behaviour.equivalent()
+    }
+}
+
+impl core::fmt::Display for ComparisonReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(f, "comparison: {} vs {}", self.a, self.b)?;
+        writeln!(
+            f,
+            "  behaviour: {} agreements, {} divergences{}",
+            self.behaviour.agreements,
+            self.behaviour.divergences.len(),
+            if self.behaviour.equivalent() {
+                " (equivalent)"
+            } else {
+                ""
+            }
+        )?;
+        for d in self.behaviour.divergences.iter().take(5) {
+            writeln!(f, "    probe[{}] {}: {}", d.probe_index, d.probe_path, d.detail)?;
+        }
+        writeln!(
+            f,
+            "  latency (mean cycles): {:.1} vs {:.1}",
+            self.latency_cycles.0, self.latency_cycles.1
+        )?;
+        writeln!(
+            f,
+            "  resources (LUT/BRAM): {}/{} vs {}/{}",
+            self.resources.0 .0, self.resources.0 .1, self.resources.1 .0, self.resources.1 .1
+        )
+    }
+}
+
+fn mean_probe_latency(dev: &mut Device, probes: &[crate::probes::Probe]) -> f64 {
+    let mut sum = 0u64;
+    let mut n = 0u64;
+    for p in probes {
+        let processed = dev.inject(0, &p.data);
+        sum += processed.pipeline_cycles;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum as f64 / n as f64
+    }
+}
+
+/// Compare one program deployed on two backends.
+pub fn compare_backends(
+    source: &str,
+    a: &Backend,
+    b: &Backend,
+) -> Result<ComparisonReport, DeployError> {
+    let ir = netdebug_p4::compile(source).map_err(|e| DeployError {
+        messages: vec![e.to_string()],
+    })?;
+    let probes = parser_path_probes(&ir);
+    let mut dev_a = Device::deploy(a, &ir)?;
+    let mut dev_b = Device::deploy(b, &ir)?;
+    let behaviour = diff_devices(&mut dev_a, &mut dev_b, &probes);
+    let lat_a = mean_probe_latency(&mut dev_a, &probes);
+    let lat_b = mean_probe_latency(&mut dev_b, &probes);
+    let res_a = &dev_a.compiled().resources;
+    let res_b = &dev_b.compiled().resources;
+    Ok(ComparisonReport {
+        a: format!("{}@{}", ir.name, a.name()),
+        b: format!("{}@{}", ir.name, b.name()),
+        behaviour,
+        latency_cycles: (lat_a, lat_b),
+        resources: (
+            (res_a.total_luts(), res_a.total_bram36()),
+            (res_b.total_luts(), res_b.total_bram36()),
+        ),
+    })
+}
+
+/// Compare two programs (claimed equivalent) on the same backend. Probes
+/// are drawn from *both* parsers so either side's paths are exercised.
+pub fn compare_programs(
+    source_a: &str,
+    source_b: &str,
+    backend: &Backend,
+) -> Result<ComparisonReport, DeployError> {
+    let to_err = |e: netdebug_p4::Diag| DeployError {
+        messages: vec![e.to_string()],
+    };
+    let ir_a = netdebug_p4::compile(source_a).map_err(to_err)?;
+    let ir_b = netdebug_p4::compile(source_b).map_err(to_err)?;
+    let mut probes = parser_path_probes(&ir_a);
+    probes.extend(parser_path_probes(&ir_b));
+    let mut dev_a = Device::deploy(backend, &ir_a)?;
+    let mut dev_b = Device::deploy(backend, &ir_b)?;
+    let behaviour = diff_devices(&mut dev_a, &mut dev_b, &probes);
+    let lat_a = mean_probe_latency(&mut dev_a, &probes);
+    let lat_b = mean_probe_latency(&mut dev_b, &probes);
+    let res_a = &dev_a.compiled().resources;
+    let res_b = &dev_b.compiled().resources;
+    Ok(ComparisonReport {
+        a: format!("{}@{}", ir_a.name, backend.name()),
+        b: format!("{}@{}", ir_b.name, backend.name()),
+        behaviour,
+        latency_cycles: (lat_a, lat_b),
+        resources: (
+            (res_a.total_luts(), res_a.total_bram36()),
+            (res_b.total_luts(), res_b.total_bram36()),
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdebug_p4::corpus;
+
+    #[test]
+    fn reference_vs_sdnet_2018_differs_behaviourally() {
+        let report =
+            compare_backends(corpus::IPV4_FORWARD, &Backend::reference(), &Backend::sdnet_2018())
+                .unwrap();
+        assert!(!report.behaviourally_equivalent());
+        let text = report.to_string();
+        assert!(text.contains("divergences"));
+    }
+
+    #[test]
+    fn reference_vs_fixed_sdnet_equivalent_but_latency_comparable() {
+        let report =
+            compare_backends(corpus::IPV4_FORWARD, &Backend::reference(), &Backend::sdnet_fixed())
+                .unwrap();
+        assert!(report.behaviourally_equivalent());
+        assert!((report.latency_cycles.0 - report.latency_cycles.1).abs() < 1e-9);
+        assert_eq!(report.resources.0, report.resources.1);
+    }
+
+    #[test]
+    fn equivalent_reformulation_passes_inequivalent_fails() {
+        // Same reflector semantics written with a temporary local instead
+        // of metadata.
+        let alt_reflector = r#"
+            header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+            struct headers_t { ethernet_t ethernet; }
+            struct metadata_t { bit<1> u; }
+            parser P2(packet_in pkt, out headers_t hdr, inout metadata_t meta,
+                      inout standard_metadata_t standard_metadata) {
+                state start { pkt.extract(hdr.ethernet); transition accept; }
+            }
+            control I2(inout headers_t hdr, inout metadata_t meta,
+                       inout standard_metadata_t standard_metadata) {
+                apply {
+                    bit<48> tmp = hdr.ethernet.dstAddr;
+                    hdr.ethernet.dstAddr = hdr.ethernet.srcAddr;
+                    hdr.ethernet.srcAddr = tmp;
+                    standard_metadata.egress_spec = standard_metadata.ingress_port;
+                }
+            }
+            control D2(packet_out pkt, in headers_t hdr) {
+                apply { pkt.emit(hdr.ethernet); }
+            }
+            V1Switch(P2(), I2(), D2()) main;
+        "#;
+        let report =
+            compare_programs(corpus::REFLECTOR, alt_reflector, &Backend::reference()).unwrap();
+        assert!(
+            report.behaviourally_equivalent(),
+            "{:#?}",
+            report.behaviour.divergences
+        );
+
+        // A subtly different program (does not swap MACs) is caught.
+        let broken = alt_reflector.replace(
+            "hdr.ethernet.dstAddr = hdr.ethernet.srcAddr;",
+            "hdr.ethernet.dstAddr = tmp;",
+        );
+        let report =
+            compare_programs(corpus::REFLECTOR, &broken, &Backend::reference()).unwrap();
+        assert!(!report.behaviourally_equivalent());
+        assert!(report.behaviour.divergences[0].detail.contains("bytes differ"));
+    }
+}

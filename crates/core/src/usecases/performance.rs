@@ -1,0 +1,221 @@
+//! Performance testing use-case (§3, second bullet).
+//!
+//! "Performance metrics, such as throughput, packet rate and latency."
+//! NetDebug measures all three *from inside the device*: the generator
+//! stamps injection timestamps in device cycles, the checker reads them at
+//! the pipeline output, so latency excludes the MACs and throughput is the
+//! pipeline's own — numbers an external tester cannot separate from the
+//! surrounding hardware.
+
+use crate::generator::{Expectation, StreamSpec};
+use crate::session::NetDebug;
+use serde::{Deserialize, Serialize};
+
+/// How injections are paced.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Pace {
+    /// Inject at the 10G line rate for the frame size.
+    LineRate,
+    /// Inject as fast as the pipeline accepts (capacity probe).
+    BackToBack,
+    /// Fixed rate in packets per second.
+    Pps(f64),
+}
+
+/// One row of the performance sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfPoint {
+    /// Frame size in bytes.
+    pub frame_bytes: usize,
+    /// Offered load, packets per second.
+    pub offered_pps: f64,
+    /// Achieved rate through the pipeline, packets per second.
+    pub achieved_pps: f64,
+    /// Achieved rate in Gbit/s of frame bytes.
+    pub achieved_gbps: f64,
+    /// Mean pipeline latency in device cycles.
+    pub latency_cycles_avg: f64,
+    /// Minimum pipeline latency in device cycles.
+    pub latency_cycles_min: u64,
+    /// Maximum pipeline latency in device cycles.
+    pub latency_cycles_max: u64,
+    /// Mean pipeline latency in nanoseconds.
+    pub latency_ns_avg: f64,
+    /// Fraction of the 10G line rate achieved (1.0 = full line rate).
+    pub line_rate_fraction: f64,
+    /// Packets lost inside the pipeline during the run.
+    pub lost: u64,
+}
+
+/// A full sweep report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Pacing used.
+    pub pace: Pace,
+    /// One point per frame size.
+    pub points: Vec<PerfPoint>,
+}
+
+impl core::fmt::Display for PerfReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "{:>6} {:>12} {:>12} {:>9} {:>16} {:>10}",
+            "bytes", "offered-pps", "achieved-pps", "gbps", "latency(cyc avg)", "line-rate"
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:>6} {:>12.0} {:>12.0} {:>9.3} {:>16.1} {:>9.1}%",
+                p.frame_bytes,
+                p.offered_pps,
+                p.achieved_pps,
+                p.achieved_gbps,
+                p.latency_cycles_avg,
+                p.line_rate_fraction * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Sweep frame sizes through the device.
+///
+/// `sizes` are *wire* frame sizes; the generator appends a 28-byte test
+/// header, so `template_for(size)` must return `size - 28` template bytes
+/// that the program under test forwards (performance runs need packets
+/// that survive the pipeline).
+pub fn sweep(
+    nd: &mut NetDebug,
+    template_for: impl Fn(usize) -> Vec<u8>,
+    sizes: &[usize],
+    count: u64,
+    pace: Pace,
+) -> PerfReport {
+    const TEST_HDR: usize = netdebug_packet::TEST_HEADER_LEN;
+    let clock_hz = nd.device().config().core_clock_hz;
+    let mut points = Vec::with_capacity(sizes.len());
+    for (i, &size) in sizes.iter().enumerate() {
+        let stream = 0x5000 + i as u16;
+        let template = template_for(size);
+        assert_eq!(
+            template.len() + TEST_HDR,
+            size,
+            "template_for must return size - {TEST_HDR} bytes"
+        );
+        let line_pps = nd.device().config().line_rate_pps(size);
+        let rate_pps = match pace {
+            Pace::LineRate => Some(line_pps),
+            Pace::BackToBack => None,
+            Pace::Pps(pps) => Some(pps),
+        };
+        nd.run_stream(&StreamSpec {
+            stream,
+            template,
+            count,
+            rate_pps,
+            as_port: 0,
+            sweeps: Vec::new(),
+            expect: Expectation::Any,
+        });
+        let stats = nd.checker().stream(stream).cloned().unwrap_or_default();
+        let (first, last) = nd.stream_window(stream).unwrap_or((0, 1));
+        let window_s = (last.saturating_sub(first)).max(1) as f64 / clock_hz;
+        let achieved_pps = stats.received as f64 / window_s;
+        let offered_pps = rate_pps.unwrap_or({
+            // Back-to-back: offered = pipeline acceptance rate.
+            achieved_pps
+        });
+        let achieved_gbps = achieved_pps * (size * 8) as f64 / 1e9;
+        points.push(PerfPoint {
+            frame_bytes: size,
+            offered_pps,
+            achieved_pps,
+            achieved_gbps,
+            latency_cycles_avg: stats.latency.mean(),
+            latency_cycles_min: stats.latency.min(),
+            latency_cycles_max: stats.latency.max(),
+            latency_ns_avg: stats.latency.mean() * 1e9 / clock_hz,
+            line_rate_fraction: achieved_pps / line_pps,
+            lost: stats.lost(),
+        });
+    }
+    PerfReport { pace, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdebug_hw::{Backend, BugSpec, Device};
+    use netdebug_p4::corpus;
+    use netdebug_packet::{EthernetAddress, PacketBuilder};
+
+    fn reflector(backend: &Backend) -> NetDebug {
+        NetDebug::new(Device::deploy_source(backend, corpus::REFLECTOR).unwrap())
+    }
+
+    // Template sized such that template + 28B test header == wire size.
+    fn template_for(size: usize) -> Vec<u8> {
+        let payload = size - 14 - 28;
+        PacketBuilder::ethernet(
+            EthernetAddress::new(2, 0, 0, 0, 0, 1),
+            EthernetAddress::new(2, 0, 0, 0, 0, 2),
+        )
+        .payload(&vec![0x5Au8; payload])
+        .build()
+    }
+
+    #[test]
+    fn line_rate_sustained_across_sizes() {
+        let mut nd = reflector(&Backend::reference());
+        let sizes = [64usize, 128, 256, 512, 1024, 1472];
+        let report = sweep(&mut nd, template_for, &sizes, 200, Pace::LineRate);
+        for p in &report.points {
+            assert_eq!(p.lost, 0, "{p:?}");
+            assert!(
+                p.line_rate_fraction > 0.95,
+                "line rate at {}B: {:.3}",
+                p.frame_bytes,
+                p.line_rate_fraction
+            );
+        }
+        // Latency flat at line rate (no queue build-up).
+        let p64 = &report.points[0];
+        assert!(p64.latency_cycles_max <= p64.latency_cycles_min + 2, "{p64:?}");
+        let text = report.to_string();
+        assert!(text.contains("line-rate"));
+    }
+
+    #[test]
+    fn back_to_back_shows_pipeline_capacity() {
+        let mut nd = reflector(&Backend::reference());
+        let report = sweep(&mut nd, template_for, &[64], 500, Pace::BackToBack);
+        let p = &report.points[0];
+        // II for the reflector: ethernet (112 bits) -> 1 + 2 = 3 cycles,
+        // so the pipeline accepts ~200e6/3 = 66.7 Mpps, far above line rate.
+        assert!(
+            p.achieved_pps > 60e6,
+            "pipeline capacity {} pps",
+            p.achieved_pps
+        );
+        // Back-to-back floods the pipeline: queueing delays show up as a
+        // widening min/max latency spread.
+        assert!(p.latency_cycles_max > p.latency_cycles_min);
+    }
+
+    #[test]
+    fn extra_latency_bug_visible_in_measurements() {
+        let mut clean = reflector(&Backend::reference());
+        let mut slow = reflector(&Backend::sdnet_with_bugs(
+            "slow",
+            vec![BugSpec::ExtraLatency { cycles: 200 }],
+        ));
+        let c = sweep(&mut clean, template_for, &[128], 50, Pace::Pps(1e6));
+        let s = sweep(&mut slow, template_for, &[128], 50, Pace::Pps(1e6));
+        let delta = s.points[0].latency_cycles_avg - c.points[0].latency_cycles_avg;
+        assert!(
+            (delta - 200.0).abs() < 2.0,
+            "in-device latency isolates the pipeline: delta {delta}"
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Resources quantification use-case (§3, fifth bullet): "evaluating the
+//! consumption of hardware resources".
+//!
+//! For each program this reports the estimated LUT/FF/BRAM cost of the
+//! compiled pipeline and its utilisation of the NetFPGA SUME budget. Only a
+//! tool with access to the toolchain/board — NetDebug's position — can see
+//! these numbers; they are invisible at the device's ports (which is why
+//! Figure 2 scores external testers "no" here).
+
+use netdebug_hw::{Backend, ResourceReport, SUME_BUDGET};
+use serde::{Deserialize, Serialize};
+
+/// One program's resource row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceRow {
+    /// Program name.
+    pub program: String,
+    /// Estimated LUTs.
+    pub luts: u64,
+    /// Estimated flip-flops.
+    pub ffs: u64,
+    /// Estimated BRAM36 blocks.
+    pub bram36: u64,
+    /// LUT utilisation fraction of the SUME.
+    pub lut_fraction: f64,
+    /// BRAM utilisation fraction of the SUME.
+    pub bram_fraction: f64,
+    /// Whether the design fits the board.
+    pub fits: bool,
+    /// Per-component breakdown.
+    pub breakdown: ResourceReport,
+}
+
+/// The resources report across a corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourcesReport {
+    /// One row per program.
+    pub rows: Vec<ResourceRow>,
+}
+
+impl core::fmt::Display for ResourcesReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "{:<24} {:>10} {:>10} {:>8} {:>7} {:>7} fits",
+            "program", "LUTs", "FFs", "BRAM36", "LUT%", "BRAM%"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<24} {:>10} {:>10} {:>8} {:>6.2}% {:>6.2}% {}",
+                r.program,
+                r.luts,
+                r.ffs,
+                r.bram36,
+                r.lut_fraction * 100.0,
+                r.bram_fraction * 100.0,
+                if r.fits { "yes" } else { "NO" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Quantify the resources of one program (compiled with the reference
+/// backend so even SDNet-rejected programs get an estimate).
+pub fn quantify_program(name: &str, source: &str) -> Option<ResourceRow> {
+    let ir = netdebug_p4::compile(source).ok()?;
+    let compiled = Backend::reference().compile(&ir).ok()?;
+    let report = compiled.resources;
+    let (lut_fraction, _, bram_fraction) = report.utilisation(SUME_BUDGET);
+    Some(ResourceRow {
+        program: name.to_string(),
+        luts: report.total_luts(),
+        ffs: report.total_ffs(),
+        bram36: report.total_bram36(),
+        lut_fraction,
+        bram_fraction,
+        fits: report.fits(SUME_BUDGET),
+        breakdown: report,
+    })
+}
+
+/// Quantify a corpus of (name, source) pairs.
+pub fn quantify<'a>(programs: impl IntoIterator<Item = (&'a str, &'a str)>) -> ResourcesReport {
+    ResourcesReport {
+        rows: programs
+            .into_iter()
+            .filter_map(|(n, s)| quantify_program(n, s))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdebug_p4::corpus;
+
+    #[test]
+    fn corpus_quantified() {
+        let report = quantify(
+            corpus::corpus()
+                .iter()
+                .map(|p| (p.name, p.source))
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(report.rows.len(), corpus::corpus().len());
+        for row in &report.rows {
+            assert!(row.fits, "{}", row.program);
+            assert!(row.luts > 0);
+            assert!(!row.breakdown.components.is_empty());
+        }
+        // The ternary ACL dominates LUT cost; the reflector is the smallest.
+        let luts = |name: &str| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.program == name)
+                .unwrap()
+                .luts
+        };
+        assert!(luts("acl_firewall") > 10 * luts("reflector"));
+        let text = report.to_string();
+        assert!(text.contains("acl_firewall"));
+    }
+
+    #[test]
+    fn invalid_programs_skipped() {
+        let report = quantify([("broken", "header {")]);
+        assert!(report.rows.is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the NetDebug core: accounting invariants of
+//! the generator/checker pair and robustness of the probe machinery.
+
+use netdebug::generator::{find_test_header, Expectation, FieldSweep, StreamSpec};
+use netdebug::session::NetDebug;
+use netdebug_hw::{Backend, Device};
+use netdebug_p4::corpus;
+use netdebug_packet::{EthernetAddress, PacketBuilder, TestHeader, TEST_HEADER_LEN};
+use proptest::prelude::*;
+
+fn reflector() -> NetDebug {
+    NetDebug::new(Device::deploy_source(&Backend::reference(), corpus::REFLECTOR).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Conservation of packets: for every stream on every backend,
+    /// sent == received + dropped + lost, and on the reflector (which never
+    /// drops) the checker sees every packet exactly once, in order.
+    #[test]
+    fn accounting_invariant(
+        count in 1u64..80,
+        rate in proptest::option::of(1e5f64..1e7),
+        payload_len in 0usize..64,
+        port in 0u16..4,
+    ) {
+        let mut nd = reflector();
+        let template = PacketBuilder::ethernet(
+            EthernetAddress::new(2, 0, 0, 0, 0, 1),
+            EthernetAddress::new(2, 0, 0, 0, 0, 2),
+        )
+        .payload(&vec![0xC3u8; payload_len])
+        .build();
+        let report = nd.run_session(&[StreamSpec {
+            stream: 1,
+            template,
+            count,
+            rate_pps: rate,
+            as_port: port,
+            sweeps: vec![],
+            expect: Expectation::Forward { port: Some(port) },
+        }]);
+        let (_, stats) = &report.streams[0];
+        prop_assert_eq!(stats.sent, count);
+        prop_assert_eq!(stats.received + stats.dropped + stats.lost(), count);
+        prop_assert_eq!(stats.received, count);
+        prop_assert_eq!(stats.reordered, 0);
+        prop_assert_eq!(stats.duplicates, 0);
+        prop_assert_eq!(stats.corrupted, 0);
+        prop_assert!(report.passed, "{}", report);
+    }
+
+    /// Sweeping arbitrary template bytes never breaks the test-header
+    /// machinery: the checker still finds and validates every packet.
+    #[test]
+    fn sweeps_never_confuse_the_checker(
+        count in 1u64..40,
+        offset in 0usize..14,
+        step in any::<u8>(),
+    ) {
+        let mut nd = reflector();
+        let template = PacketBuilder::ethernet(
+            EthernetAddress::new(2, 0, 0, 0, 0, 1),
+            EthernetAddress::new(2, 0, 0, 0, 0, 2),
+        )
+        .payload(b"prop")
+        .build();
+        let report = nd.run_session(&[StreamSpec {
+            stream: 1,
+            template,
+            count,
+            rate_pps: None,
+            as_port: 0,
+            sweeps: vec![FieldSweep { offset, step }],
+            expect: Expectation::Any,
+        }]);
+        let (_, stats) = &report.streams[0];
+        prop_assert_eq!(stats.received, count);
+        prop_assert_eq!(stats.corrupted, 0);
+    }
+
+    /// find_test_header never panics and never misses a real header: when a
+    /// valid header is embedded at `offset`, the scan returns some offset
+    /// no later than it.
+    #[test]
+    fn find_test_header_finds_embedded(
+        prefix in proptest::collection::vec(any::<u8>(), 0..48),
+        payload in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let mut buf = prefix.clone();
+        let hdr_at = buf.len();
+        buf.resize(hdr_at + TEST_HEADER_LEN + payload.len(), 0);
+        {
+            let mut h = TestHeader::new_unchecked(&mut buf[hdr_at..]);
+            h.set_magic();
+            h.set_stream(3);
+            h.set_seq(42);
+            h.payload_mut().copy_from_slice(&payload);
+            h.fill_payload_crc();
+        }
+        let found = find_test_header(&buf);
+        prop_assert!(found.is_some());
+        prop_assert!(found.unwrap() <= hdr_at);
+    }
+
+    /// Random garbage never panics the scanner.
+    #[test]
+    fn find_test_header_never_panics(data in proptest::collection::vec(any::<u8>(), 0..160)) {
+        let _ = find_test_header(&data);
+    }
+
+    /// Parser-path probes are deterministic and never panic, for every
+    /// corpus program.
+    #[test]
+    fn probes_deterministic(idx in 0usize..17) {
+        let programs = corpus::corpus();
+        let prog = &programs[idx % programs.len()];
+        let ir = netdebug_p4::compile(prog.source).unwrap();
+        let a = netdebug::probes::parser_path_probes(&ir);
+        let b = netdebug::probes::parser_path_probes(&ir);
+        prop_assert_eq!(a, b);
+    }
+}

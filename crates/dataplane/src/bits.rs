@@ -1,0 +1,92 @@
+//! Bit-level packet field access.
+//!
+//! P4 headers are bit-packed in network order: bit 0 of a header is the most
+//! significant bit of its first byte. These helpers read and write arbitrary
+//! bit ranges (up to 128 bits wide) against byte buffers; both the parser
+//! (extract) and the deparser (emit) are built on them.
+
+/// Read `width` bits starting `bit_off` bits into `data`, MSB-first.
+///
+/// Panics if the range exceeds the buffer — callers must length-check first
+/// (the parser turns short packets into `reject`, it never panics).
+pub fn read_bits(data: &[u8], bit_off: usize, width: usize) -> u128 {
+    debug_assert!(width <= 128);
+    let mut value: u128 = 0;
+    for i in 0..width {
+        let bit = bit_off + i;
+        let byte = data[bit / 8];
+        let shift = 7 - (bit % 8);
+        value = (value << 1) | u128::from((byte >> shift) & 1);
+    }
+    value
+}
+
+/// Write the low `width` bits of `value` at `bit_off` bits into `data`,
+/// MSB-first.
+pub fn write_bits(data: &mut [u8], bit_off: usize, width: usize, value: u128) {
+    debug_assert!(width <= 128);
+    for i in 0..width {
+        let bit = bit_off + i;
+        let shift = 7 - (bit % 8);
+        let v = ((value >> (width - 1 - i)) & 1) as u8;
+        let byte = &mut data[bit / 8];
+        *byte = (*byte & !(1 << shift)) | (v << shift);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_byte_reads() {
+        let data = [0xAB, 0xCD, 0xEF];
+        assert_eq!(read_bits(&data, 0, 8), 0xAB);
+        assert_eq!(read_bits(&data, 8, 8), 0xCD);
+        assert_eq!(read_bits(&data, 0, 24), 0xABCDEF);
+    }
+
+    #[test]
+    fn sub_byte_reads() {
+        // 0x45 = version 4, ihl 5 — the IPv4 first byte.
+        let data = [0x45];
+        assert_eq!(read_bits(&data, 0, 4), 4);
+        assert_eq!(read_bits(&data, 4, 4), 5);
+    }
+
+    #[test]
+    fn straddling_reads() {
+        // flags(3) + fragOffset(13) across two bytes: 0b010_0000000000101
+        let data = [0b0100_0000, 0b0000_0101];
+        assert_eq!(read_bits(&data, 0, 3), 0b010);
+        assert_eq!(read_bits(&data, 3, 13), 0b0000000000101);
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut data = [0u8; 16];
+        write_bits(&mut data, 3, 13, 0x1ABC & 0x1FFF);
+        assert_eq!(read_bits(&data, 3, 13), 0x1ABC & 0x1FFF);
+        // Neighbouring bits untouched.
+        assert_eq!(read_bits(&data, 0, 3), 0);
+        write_bits(&mut data, 0, 3, 0b111);
+        assert_eq!(read_bits(&data, 0, 3), 0b111);
+        assert_eq!(read_bits(&data, 3, 13), 0x1ABC & 0x1FFF);
+    }
+
+    #[test]
+    fn wide_fields() {
+        let mut data = [0u8; 16];
+        let v = u128::from_str_radix("0123456789ABCDEF0123456789ABCDEF", 16).unwrap();
+        write_bits(&mut data, 0, 128, v);
+        assert_eq!(read_bits(&data, 0, 128), v);
+    }
+
+    #[test]
+    fn write_truncates_to_width() {
+        let mut data = [0u8; 2];
+        write_bits(&mut data, 0, 4, 0xFF);
+        assert_eq!(read_bits(&data, 0, 4), 0xF);
+        assert_eq!(read_bits(&data, 4, 4), 0);
+    }
+}

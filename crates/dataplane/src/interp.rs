@@ -1,0 +1,743 @@
+//! The reference interpreter: P4-16 semantics for the pipeline IR.
+//!
+//! [`Dataplane`] owns a compiled program plus its runtime state (tables,
+//! registers, counters, meters) and processes one packet at a time:
+//!
+//! 1. **Parse**: run the FSM from `start`; `extract` consumes bytes and
+//!    marks headers valid; a `reject` transition — or running out of bytes —
+//!    **drops the packet**, as P4-16 requires (this is the exact semantics
+//!    the paper's SDNet backend violated);
+//! 2. **Pipeline**: execute each control in order: table applies, ifs and
+//!    primitive ops, with v1model-style drop semantics (`mark_to_drop` sets
+//!    a flag that a later `egress_spec` write clears);
+//! 3. **Deparse**: emit valid headers in deparse order, append the unparsed
+//!    payload.
+//!
+//! Egress conventions (documented device-model behaviour):
+//! * `egress_spec` 0..510 — forward out of that port;
+//! * `egress_spec` 511 — flood (all ports except ingress);
+//! * no write to `egress_spec` — drop (`NoEgress`).
+
+use crate::bits::{read_bits, write_bits};
+use crate::externs::{ExternState, MeterConfig};
+use crate::table::{lpm_pattern, RuntimeEntry, TableError, TableState};
+use crate::trace::{DropReason, Trace, TraceEvent, Verdict};
+use netdebug_p4::ast::{BinOp, UnOp};
+use netdebug_p4::ir::{
+    self, truncate, IrExpr, IrPattern, IrStmt, IrTransition, LValue, Op, TransTarget,
+};
+
+/// The flood "port" value in `egress_spec`.
+pub const FLOOD_PORT: u128 = 511;
+
+/// Maximum parser states visited per packet before declaring a loop.
+const PARSER_STATE_BUDGET: usize = 256;
+
+/// Errors from the control-plane API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlError {
+    /// No such table.
+    NoSuchTable(String),
+    /// No such action.
+    NoSuchAction(String),
+    /// No such extern instance.
+    NoSuchExtern(String),
+    /// Entry rejected.
+    Table(TableError),
+}
+
+impl core::fmt::Display for ControlError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ControlError::NoSuchTable(n) => write!(f, "no such table `{n}`"),
+            ControlError::NoSuchAction(n) => write!(f, "no such action `{n}`"),
+            ControlError::NoSuchExtern(n) => write!(f, "no such extern `{n}`"),
+            ControlError::Table(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ControlError {}
+
+impl From<TableError> for ControlError {
+    fn from(e: TableError) -> Self {
+        ControlError::Table(e)
+    }
+}
+
+/// Runtime value of one header instance.
+#[derive(Debug, Clone)]
+struct HeaderVal {
+    valid: bool,
+    fields: Vec<u128>,
+}
+
+/// Per-packet execution environment.
+struct Env {
+    headers: Vec<HeaderVal>,
+    meta: Vec<u128>,
+    locals: Vec<u128>,
+    ingress_port: u128,
+    egress_spec: u128,
+    egress_written: bool,
+    packet_length: u128,
+    ts_cycles: u128,
+    drop_flag: bool,
+    exited: bool,
+    action_args: Vec<u128>,
+}
+
+/// A program plus its runtime state — one simulated data plane.
+#[derive(Debug, Clone)]
+pub struct Dataplane {
+    program: ir::Program,
+    tables: Vec<TableState>,
+    externs: ExternState,
+    packets_processed: u64,
+}
+
+impl Dataplane {
+    /// Instantiate a data plane for a compiled program (const entries
+    /// installed, externs zeroed).
+    pub fn new(program: ir::Program) -> Self {
+        let tables = program.tables.iter().map(TableState::new).collect();
+        let externs = ExternState::new(&program.externs);
+        Dataplane {
+            program,
+            tables,
+            externs,
+            packets_processed: 0,
+        }
+    }
+
+    /// Instantiate with per-table capacity overrides (used by hardware
+    /// backends that quantize or truncate table memories).
+    pub fn with_table_capacities(program: ir::Program, capacities: &[u64]) -> Self {
+        let tables = program
+            .tables
+            .iter()
+            .zip(capacities)
+            .map(|(t, cap)| TableState::with_capacity(t, *cap))
+            .collect();
+        let externs = ExternState::new(&program.externs);
+        Dataplane {
+            program,
+            tables,
+            externs,
+            packets_processed: 0,
+        }
+    }
+
+    /// The compiled program.
+    pub fn program(&self) -> &ir::Program {
+        &self.program
+    }
+
+    /// Packets processed since construction.
+    pub fn packets_processed(&self) -> u64 {
+        self.packets_processed
+    }
+
+    // ------------------------------------------------------------------
+    // Control-plane API
+    // ------------------------------------------------------------------
+
+    fn table_id(&self, name: &str) -> Result<usize, ControlError> {
+        self.program
+            .table_by_name(name)
+            .ok_or_else(|| ControlError::NoSuchTable(name.to_string()))
+    }
+
+    fn action_id(&self, name: &str) -> Result<usize, ControlError> {
+        self.program
+            .action_by_name(name)
+            .ok_or_else(|| ControlError::NoSuchAction(name.to_string()))
+    }
+
+    fn extern_id(&self, name: &str) -> Result<usize, ControlError> {
+        self.program
+            .extern_by_name(name)
+            .ok_or_else(|| ControlError::NoSuchExtern(name.to_string()))
+    }
+
+    /// Install an arbitrary entry.
+    pub fn install(
+        &mut self,
+        table: &str,
+        patterns: Vec<IrPattern>,
+        action: &str,
+        args: Vec<u128>,
+        priority: i32,
+    ) -> Result<(), ControlError> {
+        let tid = self.table_id(table)?;
+        let aid = self.action_id(action)?;
+        let entry = RuntimeEntry {
+            patterns,
+            action: ir::ActionCall {
+                action: aid,
+                args,
+            },
+            priority,
+        };
+        self.tables[tid]
+            .install(&self.program.tables[tid], &self.program.actions, entry)?;
+        Ok(())
+    }
+
+    /// Install an exact-match entry (one value per key).
+    pub fn install_exact(
+        &mut self,
+        table: &str,
+        keys: Vec<u128>,
+        action: &str,
+        args: Vec<u128>,
+    ) -> Result<(), ControlError> {
+        let patterns = keys.into_iter().map(IrPattern::Value).collect();
+        self.install(table, patterns, action, args, 0)
+    }
+
+    /// Install an LPM entry on a single-key LPM table (priority = prefix
+    /// length, so longest prefix wins).
+    pub fn install_lpm(
+        &mut self,
+        table: &str,
+        prefix: u128,
+        prefix_len: u16,
+        action: &str,
+        args: Vec<u128>,
+    ) -> Result<(), ControlError> {
+        let tid = self.table_id(table)?;
+        let width = self.program.tables[tid]
+            .keys
+            .first()
+            .map(|k| k.width)
+            .unwrap_or(32);
+        let pattern = lpm_pattern(prefix, prefix_len, width);
+        self.install(table, vec![pattern], action, args, i32::from(prefix_len))
+    }
+
+    /// Read a counter cell: (packets, bytes).
+    pub fn counter(&self, name: &str, index: usize) -> Result<(u64, u64), ControlError> {
+        Ok(self.externs.counter_read(self.extern_id(name)?, index))
+    }
+
+    /// Read a register cell.
+    pub fn register(&self, name: &str, index: usize) -> Result<u128, ControlError> {
+        Ok(self.externs.register_read(self.extern_id(name)?, index))
+    }
+
+    /// Write a register cell from the control plane.
+    pub fn set_register(&mut self, name: &str, index: usize, value: u128) -> Result<(), ControlError> {
+        let id = self.extern_id(name)?;
+        self.externs.register_write(id, index, value);
+        Ok(())
+    }
+
+    /// Configure a meter cell.
+    pub fn configure_meter(
+        &mut self,
+        name: &str,
+        index: usize,
+        config: MeterConfig,
+    ) -> Result<(), ControlError> {
+        let id = self.extern_id(name)?;
+        self.externs.meter_configure(id, index, config);
+        Ok(())
+    }
+
+    /// Hit/miss/occupancy statistics for a table.
+    pub fn table_stats(&self, name: &str) -> Result<(u64, u64, usize, u64), ControlError> {
+        let tid = self.table_id(name)?;
+        let t = &self.tables[tid];
+        Ok((t.hits, t.misses, t.len(), t.capacity()))
+    }
+
+    /// Direct access to a table's runtime state (used by backends).
+    pub fn table_state_mut(&mut self, index: usize) -> &mut TableState {
+        &mut self.tables[index]
+    }
+
+    // ------------------------------------------------------------------
+    // Packet processing
+    // ------------------------------------------------------------------
+
+    /// Process a packet arriving on `port` at device time `now_cycles`,
+    /// recording a full trace.
+    pub fn process(&mut self, port: u16, data: &[u8], now_cycles: u64) -> (Verdict, Trace) {
+        let mut trace = Trace::default();
+        let verdict = self.run(port, data, now_cycles, Some(&mut trace));
+        trace.push(TraceEvent::Final {
+            verdict: format!("{verdict:?}"),
+        });
+        (verdict, trace)
+    }
+
+    /// Process without tracing (fast path for throughput benchmarks).
+    pub fn process_untraced(&mut self, port: u16, data: &[u8], now_cycles: u64) -> Verdict {
+        self.run(port, data, now_cycles, None)
+    }
+
+    fn run(
+        &mut self,
+        port: u16,
+        data: &[u8],
+        now_cycles: u64,
+        mut trace: Option<&mut Trace>,
+    ) -> Verdict {
+        self.packets_processed += 1;
+        let mut env = Env {
+            headers: self
+                .program
+                .headers
+                .iter()
+                .map(|h| HeaderVal {
+                    valid: false,
+                    fields: vec![0; h.fields.len()],
+                })
+                .collect(),
+            meta: vec![0; self.program.metadata.len()],
+            locals: vec![0; self.program.locals.len()],
+            ingress_port: u128::from(port),
+            egress_spec: 0,
+            egress_written: false,
+            packet_length: data.len() as u128,
+            ts_cycles: u128::from(now_cycles),
+            drop_flag: false,
+            exited: false,
+            action_args: Vec::new(),
+        };
+
+        // ---- Parse ----
+        let mut cursor_bits = 0usize;
+        let total_bits = data.len() * 8;
+        let mut state = 0usize;
+        let mut visited = 0usize;
+        loop {
+            visited += 1;
+            if visited > PARSER_STATE_BUDGET {
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(TraceEvent::ParserReject);
+                }
+                return Verdict::Drop(DropReason::ParserReject);
+            }
+            let st = &self.program.parser.states[state];
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(TraceEvent::ParserState {
+                    name: st.name.clone(),
+                });
+            }
+            // Clone ops to avoid borrowing issues; parser states are small.
+            let ops = st.ops.clone();
+            let transition = st.transition.clone();
+            for op in &ops {
+                match op {
+                    ir::ParserOp::Extract(hid) => {
+                        let layout = &self.program.headers[*hid];
+                        let width = layout.bit_width as usize;
+                        if cursor_bits + width > total_bits {
+                            if let Some(t) = trace.as_deref_mut() {
+                                t.push(TraceEvent::ParserReject);
+                            }
+                            return Verdict::Drop(DropReason::PacketTooShort);
+                        }
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.push(TraceEvent::Extract {
+                                header: layout.name.clone(),
+                                at_bit: cursor_bits,
+                            });
+                        }
+                        let fields: Vec<u128> = layout
+                            .fields
+                            .iter()
+                            .map(|f| {
+                                read_bits(
+                                    data,
+                                    cursor_bits + f.offset_bits as usize,
+                                    f.width_bits as usize,
+                                )
+                            })
+                            .collect();
+                        env.headers[*hid] = HeaderVal {
+                            valid: true,
+                            fields,
+                        };
+                        cursor_bits += width;
+                    }
+                    ir::ParserOp::Assign(lv, e) => {
+                        let v = self.eval(e, &env, now_cycles);
+                        self.assign(lv, v, &mut env);
+                    }
+                }
+            }
+            let target = match &transition {
+                IrTransition::Accept => TransTarget::Accept,
+                IrTransition::Reject => TransTarget::Reject,
+                IrTransition::Goto(s) => TransTarget::State(*s),
+                IrTransition::Select {
+                    keys,
+                    arms,
+                    default,
+                } => {
+                    let key_vals: Vec<u128> =
+                        keys.iter().map(|k| self.eval(k, &env, now_cycles)).collect();
+                    arms.iter()
+                        .find(|arm| {
+                            arm.patterns
+                                .iter()
+                                .zip(&key_vals)
+                                .all(|(p, k)| p.matches(*k))
+                        })
+                        .map(|arm| arm.target)
+                        .unwrap_or(*default)
+                }
+            };
+            match target {
+                TransTarget::Accept => {
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.push(TraceEvent::ParserAccept);
+                    }
+                    break;
+                }
+                TransTarget::Reject => {
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.push(TraceEvent::ParserReject);
+                    }
+                    return Verdict::Drop(DropReason::ParserReject);
+                }
+                TransTarget::State(s) => state = s,
+            }
+        }
+        let payload_start = cursor_bits / 8;
+        let payload: Vec<u8> = data[payload_start.min(data.len())..].to_vec();
+
+        // ---- Pipeline ----
+        let controls = self.program.controls.clone();
+        for control in &controls {
+            if env.exited {
+                break;
+            }
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(TraceEvent::ControlEnter {
+                    name: control.name.clone(),
+                });
+            }
+            self.exec_block(&control.body, &mut env, now_cycles, &mut trace, data.len());
+        }
+
+        // ---- Verdict + deparse ----
+        if env.drop_flag {
+            return Verdict::Drop(DropReason::ActionDrop);
+        }
+        if !env.egress_written {
+            return Verdict::Drop(DropReason::NoEgress);
+        }
+        let out = self.deparse(&env, &payload, &mut trace);
+        if env.egress_spec == FLOOD_PORT {
+            Verdict::Flood { data: out }
+        } else if env.egress_spec > FLOOD_PORT {
+            Verdict::Drop(DropReason::BadEgress)
+        } else {
+            Verdict::Forward {
+                port: env.egress_spec as u16,
+                data: out,
+            }
+        }
+    }
+
+    fn deparse(&self, env: &Env, payload: &[u8], trace: &mut Option<&mut Trace>) -> Vec<u8> {
+        let mut out_bits = 0usize;
+        for &hid in &self.program.deparse {
+            if env.headers[hid].valid {
+                out_bits += self.program.headers[hid].bit_width as usize;
+            }
+        }
+        let mut out = vec![0u8; out_bits / 8 + payload.len()];
+        let mut cursor = 0usize;
+        for &hid in &self.program.deparse {
+            if !env.headers[hid].valid {
+                continue;
+            }
+            let layout = &self.program.headers[hid];
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(TraceEvent::Emit {
+                    header: layout.name.clone(),
+                });
+            }
+            for (f, value) in layout.fields.iter().zip(&env.headers[hid].fields) {
+                write_bits(
+                    &mut out,
+                    cursor + f.offset_bits as usize,
+                    f.width_bits as usize,
+                    *value,
+                );
+            }
+            cursor += layout.bit_width as usize;
+        }
+        out[cursor / 8..].copy_from_slice(payload);
+        out
+    }
+
+    fn exec_block(
+        &mut self,
+        body: &[IrStmt],
+        env: &mut Env,
+        now: u64,
+        trace: &mut Option<&mut Trace>,
+        pkt_len: usize,
+    ) {
+        for stmt in body {
+            if env.exited {
+                return;
+            }
+            match stmt {
+                IrStmt::ApplyTable { table, hit_into } => {
+                    self.apply_table(*table, *hit_into, env, now, trace, pkt_len);
+                }
+                IrStmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
+                    if self.eval(cond, env, now) != 0 {
+                        self.exec_block(then_branch, env, now, trace, pkt_len);
+                    } else {
+                        self.exec_block(else_branch, env, now, trace, pkt_len);
+                    }
+                }
+                IrStmt::Op(op) => self.exec_op(op, env, now, trace, pkt_len),
+                IrStmt::Exit => {
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.push(TraceEvent::Exit);
+                    }
+                    env.exited = true;
+                }
+            }
+        }
+    }
+
+    fn apply_table(
+        &mut self,
+        tid: usize,
+        hit_into: Option<usize>,
+        env: &mut Env,
+        now: u64,
+        trace: &mut Option<&mut Trace>,
+        pkt_len: usize,
+    ) {
+        let keys: Vec<u128> = self.program.tables[tid]
+            .keys
+            .iter()
+            .map(|k| k.expr.clone())
+            .collect::<Vec<_>>()
+            .iter()
+            .map(|e| self.eval(e, env, now))
+            .collect();
+        let looked = self.tables[tid].lookup(&keys).cloned();
+        let (call, hit) = match looked {
+            Some(entry) => (entry.action, true),
+            None => (self.program.tables[tid].default_action.clone(), false),
+        };
+        if let Some(local) = hit_into {
+            env.locals[local] = hit as u128;
+        }
+        let action = self.program.actions[call.action].clone();
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(TraceEvent::TableApply {
+                table: self.program.tables[tid].name.clone(),
+                keys,
+                hit,
+                action: action.name.clone(),
+            });
+        }
+        let saved_args = std::mem::replace(&mut env.action_args, call.args.clone());
+        for op in &action.ops {
+            self.exec_op(op, env, now, trace, pkt_len);
+        }
+        env.action_args = saved_args;
+    }
+
+    fn exec_op(
+        &mut self,
+        op: &Op,
+        env: &mut Env,
+        now: u64,
+        trace: &mut Option<&mut Trace>,
+        pkt_len: usize,
+    ) {
+        match op {
+            Op::Assign(lv, e) => {
+                let v = self.eval(e, env, now);
+                self.assign(lv, v, env);
+            }
+            Op::SetValid(hid, valid) => {
+                env.headers[*hid].valid = *valid;
+                if !*valid {
+                    for f in &mut env.headers[*hid].fields {
+                        *f = 0;
+                    }
+                }
+            }
+            Op::Drop => {
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(TraceEvent::MarkToDrop);
+                }
+                env.drop_flag = true;
+            }
+            Op::CounterInc(id, idx) => {
+                let i = self.eval(idx, env, now) as usize;
+                self.externs.counter_inc(*id, i, pkt_len);
+            }
+            Op::RegisterRead(lv, id, idx) => {
+                let i = self.eval(idx, env, now) as usize;
+                let v = self.externs.register_read(*id, i);
+                self.assign(lv, v, env);
+            }
+            Op::RegisterWrite(id, idx, val) => {
+                let i = self.eval(idx, env, now) as usize;
+                let v = self.eval(val, env, now);
+                self.externs.register_write(*id, i, v);
+            }
+            Op::MeterExecute(id, idx, lv) => {
+                let i = self.eval(idx, env, now) as usize;
+                let colour = self.externs.meter_execute(*id, i, now);
+                self.assign(lv, colour, env);
+            }
+            Op::NoOp => {}
+        }
+    }
+
+    fn assign(&self, lv: &LValue, value: u128, env: &mut Env) {
+        match lv {
+            LValue::Field(h, f) => {
+                let width = self.program.headers[*h].fields[*f].width_bits;
+                env.headers[*h].fields[*f] = truncate(value, width);
+            }
+            LValue::Meta(m) => {
+                env.meta[*m] = truncate(value, self.program.metadata[*m].width);
+            }
+            LValue::Std(s) => match s {
+                ir::StdField::EgressSpec => {
+                    env.egress_spec = truncate(value, 9);
+                    env.egress_written = true;
+                    // v1model: a later egress write revives the packet.
+                    env.drop_flag = false;
+                }
+                ir::StdField::EgressPort | ir::StdField::IngressPort => {
+                    // Read-only from the data plane; writes ignored.
+                }
+                ir::StdField::PacketLength => env.packet_length = truncate(value, 32),
+                ir::StdField::IngressTimestamp => env.ts_cycles = truncate(value, 48),
+            },
+            LValue::Local(l) => {
+                env.locals[*l] = truncate(value, self.program.locals[*l].width);
+            }
+            LValue::Slice(inner, hi, lo) => {
+                let current = self.read_lvalue(inner, env);
+                let slice_w = hi - lo + 1;
+                let mask = ir::all_ones(slice_w) << lo;
+                let new = (current & !mask) | ((truncate(value, slice_w)) << lo);
+                self.assign(inner, new, env);
+            }
+        }
+    }
+
+    fn read_lvalue(&self, lv: &LValue, env: &Env) -> u128 {
+        match lv {
+            LValue::Field(h, f) => env.headers[*h].fields[*f],
+            LValue::Meta(m) => env.meta[*m],
+            LValue::Std(s) => match s {
+                ir::StdField::IngressPort => env.ingress_port,
+                ir::StdField::EgressSpec => env.egress_spec,
+                ir::StdField::EgressPort => env.egress_spec,
+                ir::StdField::PacketLength => env.packet_length,
+                ir::StdField::IngressTimestamp => env.ts_cycles,
+            },
+            LValue::Local(l) => env.locals[*l],
+            LValue::Slice(inner, hi, lo) => {
+                truncate(self.read_lvalue(inner, env) >> lo, hi - lo + 1)
+            }
+        }
+    }
+
+    fn eval(&self, e: &IrExpr, env: &Env, now: u64) -> u128 {
+        let _ = now;
+        match e {
+            IrExpr::Const { value, .. } => *value,
+            IrExpr::Field(h, f) => {
+                if env.headers[*h].valid {
+                    env.headers[*h].fields[*f]
+                } else {
+                    // Reading an invalid header is undefined in P4; the
+                    // reference returns 0 deterministically.
+                    0
+                }
+            }
+            IrExpr::Meta(m) => env.meta[*m],
+            IrExpr::Std(s) => match s {
+                ir::StdField::IngressPort => env.ingress_port,
+                ir::StdField::EgressSpec => env.egress_spec,
+                ir::StdField::EgressPort => env.egress_spec,
+                ir::StdField::PacketLength => env.packet_length,
+                ir::StdField::IngressTimestamp => env.ts_cycles,
+            },
+            IrExpr::Param { index, width } => {
+                truncate(env.action_args.get(*index).copied().unwrap_or(0), *width)
+            }
+            IrExpr::Local(l) => env.locals[*l],
+            IrExpr::IsValid(h) => env.headers[*h].valid as u128,
+            IrExpr::Un { op, a, width } => {
+                let v = self.eval(a, env, now);
+                match op {
+                    UnOp::Not => truncate(!v, *width),
+                    UnOp::Neg => truncate(v.wrapping_neg(), *width),
+                    UnOp::LNot => (v == 0) as u128,
+                }
+            }
+            IrExpr::Bin { op, a, b, width } => {
+                let x = self.eval(a, env, now);
+                let y = self.eval(b, env, now);
+                let w = *width;
+                match op {
+                    BinOp::Add => truncate(x.wrapping_add(y), w),
+                    BinOp::Sub => truncate(x.wrapping_sub(y), w),
+                    BinOp::Mul => truncate(x.wrapping_mul(y), w),
+                    BinOp::Div => {
+                        if y == 0 {
+                            0
+                        } else {
+                            truncate(x / y, w)
+                        }
+                    }
+                    BinOp::Mod => {
+                        if y == 0 {
+                            0
+                        } else {
+                            truncate(x % y, w)
+                        }
+                    }
+                    BinOp::And => x & y,
+                    BinOp::Or => x | y,
+                    BinOp::Xor => x ^ y,
+                    BinOp::Shl => truncate(x.checked_shl(y as u32).unwrap_or(0), w),
+                    BinOp::Shr => x.checked_shr(y as u32).unwrap_or(0),
+                    BinOp::Eq => (x == y) as u128,
+                    BinOp::Ne => (x != y) as u128,
+                    BinOp::Lt => (x < y) as u128,
+                    BinOp::Le => (x <= y) as u128,
+                    BinOp::Gt => (x > y) as u128,
+                    BinOp::Ge => (x >= y) as u128,
+                    BinOp::LAnd => (x != 0 && y != 0) as u128,
+                    BinOp::LOr => (x != 0 || y != 0) as u128,
+                    BinOp::Concat => {
+                        let bw = b.width(&self.program);
+                        truncate((x << bw) | y, w)
+                    }
+                }
+            }
+            IrExpr::Slice { base, hi, lo } => {
+                truncate(self.eval(base, env, now) >> lo, hi - lo + 1)
+            }
+            IrExpr::Cast { expr, width } => truncate(self.eval(expr, env, now), *width),
+        }
+    }
+}

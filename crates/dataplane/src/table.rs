@@ -1,0 +1,417 @@
+//! Runtime match-action table state.
+//!
+//! Tables hold [`RuntimeEntry`]s installed either at compile time (const
+//! entries) or through the control-plane API. Lookup is match-kind aware:
+//! exact tables need full equality, LPM prefers the longest prefix, and
+//! ternary/range tables resolve by explicit priority. A single sorted entry
+//! list implements all three — LPM priority is the prefix length, exact
+//! entries cannot overlap, ternary priorities come from the caller.
+
+use netdebug_p4::ast::MatchKind;
+use netdebug_p4::ir::{self, ActionCall, IrPattern};
+use serde::{Deserialize, Serialize};
+
+/// Errors from control-plane table manipulation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TableError {
+    /// The table is at its declared capacity.
+    Full {
+        /// Declared capacity.
+        capacity: u64,
+    },
+    /// Entry pattern count does not match the table's key count.
+    KeyCountMismatch {
+        /// Patterns supplied.
+        got: usize,
+        /// Keys declared.
+        want: usize,
+    },
+    /// The action is not in the table's action list.
+    ActionNotPermitted,
+    /// Wrong number of action arguments.
+    BadActionArgs {
+        /// Arguments supplied.
+        got: usize,
+        /// Parameters declared.
+        want: usize,
+    },
+    /// Pattern kind is incompatible with the key's match kind (e.g. a range
+    /// pattern on an exact key).
+    BadPattern,
+}
+
+impl core::fmt::Display for TableError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TableError::Full { capacity } => write!(f, "table full (capacity {capacity})"),
+            TableError::KeyCountMismatch { got, want } => {
+                write!(f, "entry has {got} patterns, table has {want} keys")
+            }
+            TableError::ActionNotPermitted => write!(f, "action not permitted by table"),
+            TableError::BadActionArgs { got, want } => {
+                write!(f, "action takes {want} args, {got} given")
+            }
+            TableError::BadPattern => write!(f, "pattern incompatible with match kind"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// An installed entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeEntry {
+    /// Patterns, one per key.
+    pub patterns: Vec<IrPattern>,
+    /// Bound action and arguments.
+    pub action: ActionCall,
+    /// Priority (higher wins). For LPM entries this is the prefix length.
+    pub priority: i32,
+}
+
+/// Runtime state of one table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableState {
+    /// Entries sorted by descending priority.
+    entries: Vec<RuntimeEntry>,
+    /// Capacity from the IR (may be further limited by a backend).
+    capacity: u64,
+    /// Lookup hit counter.
+    pub hits: u64,
+    /// Lookup miss counter.
+    pub misses: u64,
+}
+
+impl TableState {
+    /// Build the initial state for a table: const entries pre-installed.
+    pub fn new(table: &ir::TableIr) -> Self {
+        Self::with_capacity(table, table.size)
+    }
+
+    /// Build with an explicit capacity override (backends quantize/truncate).
+    pub fn with_capacity(table: &ir::TableIr, capacity: u64) -> Self {
+        let mut entries: Vec<RuntimeEntry> = table
+            .const_entries
+            .iter()
+            .map(|e| RuntimeEntry {
+                patterns: e.patterns.clone(),
+                action: e.action.clone(),
+                priority: e.priority,
+            })
+            .collect();
+        entries.sort_by_key(|e| core::cmp::Reverse(e.priority));
+        TableState {
+            entries,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of installed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Install an entry, validating against the table's IR declaration.
+    pub fn install(
+        &mut self,
+        table: &ir::TableIr,
+        actions: &[ir::ActionIr],
+        entry: RuntimeEntry,
+    ) -> Result<(), TableError> {
+        if self.entries.len() as u64 >= self.capacity {
+            return Err(TableError::Full {
+                capacity: self.capacity,
+            });
+        }
+        if entry.patterns.len() != table.keys.len() {
+            return Err(TableError::KeyCountMismatch {
+                got: entry.patterns.len(),
+                want: table.keys.len(),
+            });
+        }
+        if !table.actions.contains(&entry.action.action) {
+            return Err(TableError::ActionNotPermitted);
+        }
+        let action = &actions[entry.action.action];
+        if entry.action.args.len() != action.params.len() {
+            return Err(TableError::BadActionArgs {
+                got: entry.action.args.len(),
+                want: action.params.len(),
+            });
+        }
+        for (pattern, key) in entry.patterns.iter().zip(&table.keys) {
+            let ok = match key.kind {
+                MatchKind::Exact => matches!(pattern, IrPattern::Value(_)),
+                MatchKind::Lpm => matches!(
+                    pattern,
+                    IrPattern::Value(_) | IrPattern::Mask { .. } | IrPattern::Any
+                ),
+                MatchKind::Ternary => true,
+                MatchKind::Range => !matches!(pattern, IrPattern::Mask { .. }),
+            };
+            if !ok {
+                return Err(TableError::BadPattern);
+            }
+        }
+        let pos = self
+            .entries
+            .partition_point(|e| e.priority >= entry.priority);
+        self.entries.insert(pos, entry);
+        Ok(())
+    }
+
+    /// Remove all installed entries (const entries included).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Look up the given key values; returns the matched entry.
+    pub fn lookup(&mut self, keys: &[u128]) -> Option<&RuntimeEntry> {
+        let found = self
+            .entries
+            .iter()
+            .find(|e| e.patterns.iter().zip(keys).all(|(p, k)| p.matches(*k)));
+        if found.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        found
+    }
+
+    /// Iterate installed entries in priority order.
+    pub fn entries(&self) -> impl Iterator<Item = &RuntimeEntry> {
+        self.entries.iter()
+    }
+}
+
+/// Build an LPM pattern from a prefix value and length.
+pub fn lpm_pattern(prefix: u128, prefix_len: u16, key_width: u16) -> IrPattern {
+    if prefix_len == 0 {
+        return IrPattern::Any;
+    }
+    let mask = ir::all_ones(key_width) & !(ir::all_ones(key_width) >> prefix_len.min(key_width));
+    IrPattern::Mask {
+        value: prefix & mask,
+        mask,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdebug_p4::ast::MatchKind;
+    use netdebug_p4::ir::{ActionIr, IrExpr, TableIr, TableKey};
+
+    fn table_ir(kind: MatchKind, size: u64) -> (TableIr, Vec<ActionIr>) {
+        let actions = vec![
+            ActionIr {
+                name: "NoAction".into(),
+                control: String::new(),
+                params: vec![],
+                ops: vec![],
+            },
+            ActionIr {
+                name: "fwd".into(),
+                control: "I".into(),
+                params: vec![("port".into(), 9)],
+                ops: vec![],
+            },
+        ];
+        let table = TableIr {
+            name: "t".into(),
+            control: "I".into(),
+            keys: vec![TableKey {
+                expr: IrExpr::konst(0, 32),
+                kind,
+                width: 32,
+            }],
+            actions: vec![0, 1],
+            default_action: ActionCall {
+                action: 0,
+                args: vec![],
+            },
+            size,
+            const_entries: vec![],
+        };
+        (table, actions)
+    }
+
+    fn fwd_entry(patterns: Vec<IrPattern>, priority: i32) -> RuntimeEntry {
+        RuntimeEntry {
+            patterns,
+            action: ActionCall {
+                action: 1,
+                args: vec![3],
+            },
+            priority,
+        }
+    }
+
+    #[test]
+    fn exact_lookup() {
+        let (t, a) = table_ir(MatchKind::Exact, 4);
+        let mut s = TableState::new(&t);
+        s.install(&t, &a, fwd_entry(vec![IrPattern::Value(42)], 0))
+            .unwrap();
+        assert!(s.lookup(&[42]).is_some());
+        assert!(s.lookup(&[43]).is_none());
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn lpm_longest_prefix_wins() {
+        let (t, a) = table_ir(MatchKind::Lpm, 8);
+        let mut s = TableState::new(&t);
+        // 10.0.0.0/8 -> priority 8, 10.1.0.0/16 -> priority 16.
+        let p8 = lpm_pattern(0x0A00_0000, 8, 32);
+        let p16 = lpm_pattern(0x0A01_0000, 16, 32);
+        s.install(
+            &t,
+            &a,
+            RuntimeEntry {
+                patterns: vec![p8],
+                action: ActionCall {
+                    action: 1,
+                    args: vec![1],
+                },
+                priority: 8,
+            },
+        )
+        .unwrap();
+        s.install(
+            &t,
+            &a,
+            RuntimeEntry {
+                patterns: vec![p16],
+                action: ActionCall {
+                    action: 1,
+                    args: vec![2],
+                },
+                priority: 16,
+            },
+        )
+        .unwrap();
+        // 10.1.2.3 matches both; /16 must win.
+        let hit = s.lookup(&[0x0A01_0203]).unwrap();
+        assert_eq!(hit.action.args, vec![2]);
+        // 10.9.0.1 only matches /8.
+        let hit = s.lookup(&[0x0A09_0001]).unwrap();
+        assert_eq!(hit.action.args, vec![1]);
+        // 11.0.0.1 matches nothing.
+        assert!(s.lookup(&[0x0B00_0001]).is_none());
+    }
+
+    #[test]
+    fn ternary_priority_order() {
+        let (t, a) = table_ir(MatchKind::Ternary, 8);
+        let mut s = TableState::new(&t);
+        s.install(
+            &t,
+            &a,
+            RuntimeEntry {
+                patterns: vec![IrPattern::Any],
+                action: ActionCall {
+                    action: 1,
+                    args: vec![9],
+                },
+                priority: 1,
+            },
+        )
+        .unwrap();
+        s.install(
+            &t,
+            &a,
+            RuntimeEntry {
+                patterns: vec![IrPattern::Mask {
+                    value: 0x0800,
+                    mask: 0xFF00,
+                }],
+                action: ActionCall {
+                    action: 1,
+                    args: vec![1],
+                },
+                priority: 10,
+            },
+        )
+        .unwrap();
+        assert_eq!(s.lookup(&[0x08AA]).unwrap().action.args, vec![1]);
+        assert_eq!(s.lookup(&[0x1234]).unwrap().action.args, vec![9]);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let (t, a) = table_ir(MatchKind::Exact, 2);
+        let mut s = TableState::new(&t);
+        s.install(&t, &a, fwd_entry(vec![IrPattern::Value(1)], 0))
+            .unwrap();
+        s.install(&t, &a, fwd_entry(vec![IrPattern::Value(2)], 0))
+            .unwrap();
+        let err = s
+            .install(&t, &a, fwd_entry(vec![IrPattern::Value(3)], 0))
+            .unwrap_err();
+        assert_eq!(err, TableError::Full { capacity: 2 });
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (t, a) = table_ir(MatchKind::Exact, 8);
+        let mut s = TableState::new(&t);
+        // Wrong pattern count.
+        assert!(matches!(
+            s.install(
+                &t,
+                &a,
+                fwd_entry(vec![IrPattern::Value(1), IrPattern::Value(2)], 0)
+            ),
+            Err(TableError::KeyCountMismatch { .. })
+        ));
+        // Range pattern on exact key.
+        assert_eq!(
+            s.install(&t, &a, fwd_entry(vec![IrPattern::Range { lo: 0, hi: 9 }], 0)),
+            Err(TableError::BadPattern)
+        );
+        // Wrong arg count.
+        let bad = RuntimeEntry {
+            patterns: vec![IrPattern::Value(5)],
+            action: ActionCall {
+                action: 1,
+                args: vec![],
+            },
+            priority: 0,
+        };
+        assert!(matches!(
+            s.install(&t, &a, bad),
+            Err(TableError::BadActionArgs { got: 0, want: 1 })
+        ));
+    }
+
+    #[test]
+    fn lpm_pattern_builder() {
+        match lpm_pattern(0x0A000000, 8, 32) {
+            IrPattern::Mask { value, mask } => {
+                assert_eq!(mask, 0xFF00_0000);
+                assert_eq!(value, 0x0A00_0000);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(lpm_pattern(0, 0, 32), IrPattern::Any));
+        match lpm_pattern(0xFFFF_FFFF, 32, 32) {
+            IrPattern::Mask { mask, .. } => assert_eq!(mask, 0xFFFF_FFFF),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Per-packet execution traces.
+//!
+//! The reference interpreter records every semantically meaningful step it
+//! takes. Traces serve two purposes in the reproduction:
+//!
+//! 1. they are the "ground truth" NetDebug's fault localisation compares
+//!    hardware behaviour against, and
+//! 2. they give the *status monitoring* and *functional testing* use-cases
+//!    a machine-readable account of where a packet went and why.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a packet was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// The parser took a `reject` transition.
+    ParserReject,
+    /// The packet ran out of bytes mid-extract (P4 `PacketTooShort`).
+    PacketTooShort,
+    /// An action executed `mark_to_drop()` (and no later egress write).
+    ActionDrop,
+    /// The pipeline finished without choosing an egress port.
+    NoEgress,
+    /// The chosen egress port does not exist on the device.
+    BadEgress,
+}
+
+impl core::fmt::Display for DropReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            DropReason::ParserReject => "parser reject",
+            DropReason::PacketTooShort => "packet too short",
+            DropReason::ActionDrop => "mark_to_drop",
+            DropReason::NoEgress => "no egress chosen",
+            DropReason::BadEgress => "egress port out of range",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The final fate of a processed packet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Send the (possibly rewritten) bytes out of one port.
+    Forward {
+        /// Egress port.
+        port: u16,
+        /// Serialized packet bytes.
+        data: Vec<u8>,
+    },
+    /// Send out of every port except the ingress (egress_spec 511).
+    Flood {
+        /// Serialized packet bytes.
+        data: Vec<u8>,
+    },
+    /// Discard.
+    Drop(DropReason),
+}
+
+impl Verdict {
+    /// True if the packet survives to some output.
+    pub fn is_forwarded(&self) -> bool {
+        !matches!(self, Verdict::Drop(_))
+    }
+
+    /// The output bytes, if any.
+    pub fn data(&self) -> Option<&[u8]> {
+        match self {
+            Verdict::Forward { data, .. } | Verdict::Flood { data } => Some(data),
+            Verdict::Drop(_) => None,
+        }
+    }
+}
+
+/// One step of packet processing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// Entered a parser state.
+    ParserState {
+        /// State name.
+        name: String,
+    },
+    /// Extracted a header.
+    Extract {
+        /// Header instance name.
+        header: String,
+        /// Bit offset within the packet where extraction started.
+        at_bit: usize,
+    },
+    /// Parser accepted the packet.
+    ParserAccept,
+    /// Parser rejected the packet.
+    ParserReject,
+    /// Entered a control block.
+    ControlEnter {
+        /// Control name.
+        name: String,
+    },
+    /// Applied a table.
+    TableApply {
+        /// Table name.
+        table: String,
+        /// Evaluated key values.
+        keys: Vec<u128>,
+        /// Whether an entry matched.
+        hit: bool,
+        /// Name of the action that ran (matched or default).
+        action: String,
+    },
+    /// An action (or inline op) dropped the packet.
+    MarkToDrop,
+    /// `exit` executed.
+    Exit,
+    /// A header was emitted by the deparser.
+    Emit {
+        /// Header instance name.
+        header: String,
+    },
+    /// Final verdict summary.
+    Final {
+        /// Human-readable description.
+        verdict: String,
+    },
+}
+
+/// A full per-packet trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Events in execution order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Append an event.
+    pub fn push(&mut self, e: TraceEvent) {
+        self.events.push(e);
+    }
+
+    /// Names of tables applied, in order.
+    pub fn tables_applied(&self) -> Vec<&str> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::TableApply { table, .. } => Some(table.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Names of parser states visited, in order.
+    pub fn states_visited(&self) -> Vec<&str> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::ParserState { name } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// True if the parser rejected.
+    pub fn parser_rejected(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::ParserReject))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_queries() {
+        let mut t = Trace::default();
+        t.push(TraceEvent::ParserState {
+            name: "start".into(),
+        });
+        t.push(TraceEvent::Extract {
+            header: "ethernet".into(),
+            at_bit: 0,
+        });
+        t.push(TraceEvent::ParserReject);
+        assert_eq!(t.states_visited(), vec!["start"]);
+        assert!(t.parser_rejected());
+        assert!(t.tables_applied().is_empty());
+    }
+
+    #[test]
+    fn verdict_helpers() {
+        let v = Verdict::Forward {
+            port: 2,
+            data: vec![1, 2, 3],
+        };
+        assert!(v.is_forwarded());
+        assert_eq!(v.data(), Some(&[1u8, 2, 3][..]));
+        let d = Verdict::Drop(DropReason::ParserReject);
+        assert!(!d.is_forwarded());
+        assert_eq!(d.data(), None);
+        assert_eq!(DropReason::ParserReject.to_string(), "parser reject");
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests for the reference interpreter.
+
+use netdebug_dataplane::{lpm_pattern, Dataplane, Verdict};
+use netdebug_p4::corpus;
+use netdebug_p4::ir::IrPattern;
+use netdebug_packet::{EthernetAddress, Ipv4Address, PacketBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    /// No corpus program panics on arbitrary input bytes, whatever port or
+    /// timestamp they arrive with.
+    #[test]
+    fn interpreter_never_panics(
+        prog_idx in 0usize..17,
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        port in 0u16..4,
+        now in any::<u64>(),
+    ) {
+        let programs = corpus::corpus();
+        let prog = &programs[prog_idx % programs.len()];
+        let ir = netdebug_p4::compile(prog.source).unwrap();
+        let mut dp = Dataplane::new(ir);
+        let _ = dp.process(port, &data, now);
+    }
+
+    /// The reflector is byte-preserving apart from the swapped MACs: for any
+    /// payload, output length equals input length and payload bytes survive.
+    #[test]
+    fn reflector_preserves_bytes(
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+        port in 0u16..4,
+    ) {
+        let ir = netdebug_p4::compile(corpus::REFLECTOR).unwrap();
+        let mut dp = Dataplane::new(ir);
+        let frame = PacketBuilder::ethernet(
+            EthernetAddress::new(2, 0, 0, 0, 0, 1),
+            EthernetAddress::new(2, 0, 0, 0, 0, 2),
+        )
+        .payload(&payload)
+        .build();
+        match dp.process_untraced(port, &frame, 0) {
+            Verdict::Forward { port: out_port, data } => {
+                prop_assert_eq!(out_port, port);
+                prop_assert_eq!(data.len(), frame.len());
+                prop_assert_eq!(&data[14..], &payload[..]);
+                // MACs swapped.
+                prop_assert_eq!(&data[0..6], &frame[6..12]);
+                prop_assert_eq!(&data[6..12], &frame[0..6]);
+                // Ethertype preserved.
+                prop_assert_eq!(&data[12..14], &frame[12..14]);
+            }
+            other => prop_assert!(false, "expected forward, got {:?}", other),
+        }
+    }
+
+    /// LPM table lookup agrees with a naive "scan all prefixes, pick the
+    /// longest match" oracle for arbitrary prefix sets and keys.
+    #[test]
+    fn lpm_matches_naive_oracle(
+        prefixes in proptest::collection::vec((any::<u32>(), 0u16..=32), 1..12),
+        keys in proptest::collection::vec(any::<u32>(), 1..16),
+    ) {
+        let ir = netdebug_p4::compile(corpus::IPV4_FORWARD).unwrap();
+        let mut dp = Dataplane::new(ir);
+        for (i, (prefix, len)) in prefixes.iter().enumerate() {
+            // Port arg encodes the entry index so we can identify the winner.
+            dp.install_lpm(
+                "ipv4_lpm",
+                u128::from(*prefix),
+                *len,
+                "ipv4_forward",
+                vec![0, (i as u128) % 512],
+            )
+            .unwrap();
+        }
+        for key in keys {
+            // Naive oracle: longest prefix whose masked bits match. Earlier
+            // install wins ties (same behaviour as the sorted entry list,
+            // which is stable).
+            let mut best: Option<(u16, usize)> = None;
+            for (i, (prefix, len)) in prefixes.iter().enumerate() {
+                let mask = if *len == 0 { 0u32 } else { u32::MAX << (32 - len) };
+                if key & mask == prefix & mask {
+                    let better = match best {
+                        None => true,
+                        Some((blen, _)) => *len > blen,
+                    };
+                    if better {
+                        best = Some((*len, i));
+                    }
+                }
+            }
+            let frame = PacketBuilder::ethernet(
+                EthernetAddress::new(2, 0, 0, 0, 0, 1),
+                EthernetAddress::new(2, 0, 0, 0, 0, 2),
+            )
+            .ipv4(Ipv4Address::new(1, 1, 1, 1), Ipv4Address::from_u32(key))
+            .udp(1, 2)
+            .build();
+            let verdict = dp.process_untraced(0, &frame, 0);
+            match best {
+                Some((_, idx)) => match verdict {
+                    Verdict::Forward { port, .. } => {
+                        prop_assert_eq!(u128::from(port), (idx as u128) % 512);
+                    }
+                    other => prop_assert!(false, "oracle hit, dataplane {:?}", other),
+                },
+                None => {
+                    prop_assert!(matches!(verdict, Verdict::Drop(_)),
+                        "oracle miss must drop");
+                }
+            }
+        }
+    }
+
+    /// Ternary lookup respects priorities: highest priority matching entry
+    /// always wins, verified against a scan oracle.
+    #[test]
+    fn ternary_priority_oracle(
+        entries in proptest::collection::vec(
+            (any::<u16>(), any::<u16>(), 0i32..1000), 1..10),
+        keys in proptest::collection::vec(any::<u16>(), 1..8),
+    ) {
+        let ir = netdebug_p4::compile(corpus::FEATURE_WIDE_KEY).unwrap();
+        let mut dp = Dataplane::new(ir);
+        // Distinct priorities so the winner is unambiguous.
+        let mut seen = std::collections::HashSet::new();
+        let entries: Vec<_> = entries
+            .into_iter()
+            .filter(|(_, _, p)| seen.insert(*p))
+            .collect();
+        for (i, (value, mask, prio)) in entries.iter().enumerate() {
+            dp.install(
+                "wide",
+                vec![IrPattern::Mask {
+                    value: u128::from(*value),
+                    mask: u128::from(*mask),
+                }],
+                "fwd",
+                vec![(i as u128) % 511],
+                *prio,
+            )
+            .unwrap();
+        }
+        for key in keys {
+            let mut frame = vec![0u8; 16];
+            frame[14] = (key >> 8) as u8;
+            frame[15] = key as u8;
+            let verdict = dp.process_untraced(0, &frame, 0);
+            let winner = entries
+                .iter()
+                .enumerate()
+                .filter(|(_, (v, m, _))| u128::from(key) & u128::from(*m)
+                    == u128::from(*v) & u128::from(*m))
+                .max_by_key(|(_, (_, _, p))| *p)
+                .map(|(i, _)| i);
+            match winner {
+                Some(idx) => match verdict {
+                    Verdict::Forward { port, .. } => {
+                        prop_assert_eq!(u128::from(port), (idx as u128) % 511);
+                    }
+                    other => prop_assert!(false, "oracle hit, dataplane {:?}", other),
+                },
+                None => prop_assert!(matches!(verdict, Verdict::Drop(_))),
+            }
+        }
+    }
+
+    /// lpm_pattern always produces a pattern that matches the prefix itself.
+    #[test]
+    fn lpm_pattern_matches_own_prefix(prefix in any::<u32>(), len in 0u16..=32) {
+        let p = lpm_pattern(u128::from(prefix), len, 32);
+        let mask = if len == 0 { 0u128 } else {
+            (u128::from(u32::MAX) << (32 - len)) & u128::from(u32::MAX)
+        };
+        prop_assert!(p.matches(u128::from(prefix) & mask));
+    }
+}

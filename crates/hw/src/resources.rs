@@ -1,0 +1,323 @@
+//! FPGA resource estimation.
+//!
+//! The *resources quantification* use-case needs per-program estimates of
+//! what a compiled pipeline consumes on the target. Real numbers come from
+//! synthesis; this model uses deterministic cost formulas calibrated to the
+//! ballpark of SDNet-era NetFPGA SUME builds, so that *relative* comparisons
+//! between programs (the thing the use-case is for) are meaningful:
+//!
+//! * **Parser**: a state machine — 150 LUTs + 120 FFs per state, plus
+//!   2 LUTs / 3 FFs per extracted header bit (field alignment muxes), plus
+//!   40 LUTs per select arm (comparators).
+//! * **Exact tables**: hash-table lookup — BRAM for entries
+//!   (`size × (key_bits + action_sel + max_arg_bits)` rounded to 36Kb
+//!   blocks, ×2 for hash-bucket slack), 300 LUTs fixed + 1 LUT per key bit.
+//! * **LPM tables**: same storage ×1.5 (prefix expansion) + 500 LUTs.
+//! * **Ternary/range tables**: TCAM emulation in logic — 8 LUTs and 2 FFs
+//!   per entry×key-bit, no BRAM (this is why real SDNet ternary tables were
+//!   tiny).
+//! * **Actions**: 25 LUTs per primitive op + barrel shifters (60 LUTs) for
+//!   shifts/slices.
+//! * **Externs**: registers/counters = BRAM-backed
+//!   (`cells × width` bits); meters add 200 LUTs per instance.
+//! * **Deparser**: 100 LUTs per emitted header + 1 LUT per bit.
+//!
+//! The device ships the Virtex-7 XC7VX690T budget (NetFPGA SUME):
+//! 433 200 LUTs, 866 400 FFs, 1 470 BRAM36 blocks.
+
+use netdebug_p4::ast::MatchKind;
+use netdebug_p4::ir;
+use serde::{Deserialize, Serialize};
+
+/// Resource budget of the target FPGA.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceBudget {
+    /// Lookup tables available.
+    pub luts: u64,
+    /// Flip-flops available.
+    pub ffs: u64,
+    /// 36Kb block RAMs available.
+    pub bram36: u64,
+}
+
+/// The NetFPGA SUME (Virtex-7 XC7VX690T) budget.
+pub const SUME_BUDGET: ResourceBudget = ResourceBudget {
+    luts: 433_200,
+    ffs: 866_400,
+    bram36: 1_470,
+};
+
+/// Estimated consumption of one pipeline component.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ComponentCost {
+    /// Component name (e.g. `parser`, `table ipv4_lpm`).
+    pub name: String,
+    /// LUTs.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// BRAM36 blocks.
+    pub bram36: u64,
+}
+
+/// A complete resource report.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResourceReport {
+    /// Per-component costs.
+    pub components: Vec<ComponentCost>,
+}
+
+impl ResourceReport {
+    /// Total LUTs.
+    pub fn total_luts(&self) -> u64 {
+        self.components.iter().map(|c| c.luts).sum()
+    }
+
+    /// Total FFs.
+    pub fn total_ffs(&self) -> u64 {
+        self.components.iter().map(|c| c.ffs).sum()
+    }
+
+    /// Total BRAM36 blocks.
+    pub fn total_bram36(&self) -> u64 {
+        self.components.iter().map(|c| c.bram36).sum()
+    }
+
+    /// Utilisation fractions against a budget: (lut, ff, bram).
+    pub fn utilisation(&self, budget: ResourceBudget) -> (f64, f64, f64) {
+        (
+            self.total_luts() as f64 / budget.luts as f64,
+            self.total_ffs() as f64 / budget.ffs as f64,
+            self.total_bram36() as f64 / budget.bram36 as f64,
+        )
+    }
+
+    /// True if the design fits the budget.
+    pub fn fits(&self, budget: ResourceBudget) -> bool {
+        self.total_luts() <= budget.luts
+            && self.total_ffs() <= budget.ffs
+            && self.total_bram36() <= budget.bram36
+    }
+}
+
+fn bram_blocks(bits: u64) -> u64 {
+    bits.div_ceil(36 * 1024)
+}
+
+/// Estimate the resources a compiled program consumes.
+pub fn estimate(program: &ir::Program) -> ResourceReport {
+    let mut report = ResourceReport::default();
+
+    // Parser.
+    let mut parser = ComponentCost {
+        name: "parser".to_string(),
+        ..Default::default()
+    };
+    for state in &program.parser.states {
+        parser.luts += 150;
+        parser.ffs += 120;
+        for op in &state.ops {
+            if let ir::ParserOp::Extract(h) = op {
+                let bits = u64::from(program.headers[*h].bit_width);
+                parser.luts += 2 * bits;
+                parser.ffs += 3 * bits;
+            }
+        }
+        if let ir::IrTransition::Select { arms, .. } = &state.transition {
+            parser.luts += 40 * arms.len() as u64;
+        }
+    }
+    report.components.push(parser);
+
+    // Tables.
+    for table in &program.tables {
+        let key_bits: u64 = table.keys.iter().map(|k| u64::from(k.width)).sum();
+        let action_sel_bits = 8u64;
+        let max_arg_bits: u64 = table
+            .actions
+            .iter()
+            .map(|&a| {
+                program.actions[a]
+                    .params
+                    .iter()
+                    .map(|(_, w)| u64::from(*w))
+                    .sum::<u64>()
+            })
+            .max()
+            .unwrap_or(0);
+        let entry_bits = key_bits + action_sel_bits + max_arg_bits;
+        let is_tcam = table
+            .keys
+            .iter()
+            .any(|k| matches!(k.kind, MatchKind::Ternary | MatchKind::Range));
+        let is_lpm = table.keys.iter().any(|k| matches!(k.kind, MatchKind::Lpm));
+
+        let mut cost = ComponentCost {
+            name: format!("table {}", table.name),
+            ..Default::default()
+        };
+        if is_tcam {
+            cost.luts = 8 * table.size * key_bits + 300;
+            cost.ffs = 2 * table.size * key_bits;
+            cost.bram36 = bram_blocks(table.size * (action_sel_bits + max_arg_bits));
+        } else if is_lpm {
+            cost.luts = 500 + key_bits;
+            cost.ffs = 200;
+            cost.bram36 = bram_blocks((table.size * entry_bits * 3) / 2);
+        } else {
+            cost.luts = 300 + key_bits;
+            cost.ffs = 150;
+            cost.bram36 = bram_blocks(table.size * entry_bits * 2);
+        }
+        report.components.push(cost);
+    }
+
+    // Actions.
+    let mut actions = ComponentCost {
+        name: "actions".to_string(),
+        ..Default::default()
+    };
+    for action in &program.actions {
+        for op in &action.ops {
+            actions.luts += 25;
+            actions.ffs += 10;
+            if op_uses_shifter(op) {
+                actions.luts += 60;
+            }
+        }
+    }
+    report.components.push(actions);
+
+    // Externs.
+    for e in &program.externs {
+        let bits = e.size * u64::from(e.width);
+        let (luts, bram) = match e.kind {
+            ir::ExternKindIr::Register => (100, bram_blocks(bits)),
+            ir::ExternKindIr::Counter => (120, bram_blocks(e.size * 64 * 2)),
+            ir::ExternKindIr::Meter => (200, bram_blocks(e.size * 128)),
+        };
+        report.components.push(ComponentCost {
+            name: format!("extern {}", e.name),
+            luts,
+            ffs: 50,
+            bram36: bram,
+        });
+    }
+
+    // Deparser.
+    let mut deparser = ComponentCost {
+        name: "deparser".to_string(),
+        ..Default::default()
+    };
+    for &h in &program.deparse {
+        let bits = u64::from(program.headers[h].bit_width);
+        deparser.luts += 100 + bits;
+        deparser.ffs += bits;
+    }
+    report.components.push(deparser);
+
+    report
+}
+
+fn op_uses_shifter(op: &ir::Op) -> bool {
+    fn expr_shifts(e: &ir::IrExpr) -> bool {
+        let mut found = false;
+        e.visit(&mut |node| {
+            if matches!(
+                node,
+                ir::IrExpr::Slice { .. }
+                    | ir::IrExpr::Bin {
+                        op: netdebug_p4::ast::BinOp::Shl | netdebug_p4::ast::BinOp::Shr
+                            | netdebug_p4::ast::BinOp::Concat,
+                        ..
+                    }
+            ) {
+                found = true;
+            }
+        });
+        found
+    }
+    match op {
+        ir::Op::Assign(lv, e) => {
+            matches!(lv, ir::LValue::Slice(..)) || expr_shifts(e)
+        }
+        ir::Op::RegisterWrite(_, idx, val) => expr_shifts(idx) || expr_shifts(val),
+        ir::Op::RegisterRead(_, _, idx) | ir::Op::CounterInc(_, idx) => expr_shifts(idx),
+        ir::Op::MeterExecute(_, idx, _) => expr_shifts(idx),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdebug_p4::corpus;
+
+    #[test]
+    fn all_corpus_programs_fit_the_sume() {
+        for prog in corpus::corpus() {
+            let ir = netdebug_p4::compile(prog.source).unwrap();
+            let report = estimate(&ir);
+            assert!(
+                report.fits(SUME_BUDGET),
+                "{} should fit: {} LUTs {} BRAM",
+                prog.name,
+                report.total_luts(),
+                report.total_bram36()
+            );
+            assert!(report.total_luts() > 0);
+        }
+    }
+
+    #[test]
+    fn bigger_tables_cost_more_bram() {
+        let small = netdebug_p4::compile(
+            &corpus::IPV4_FORWARD.replace("size = 1024;", "size = 64;"),
+        )
+        .unwrap();
+        let big = netdebug_p4::compile(
+            &corpus::IPV4_FORWARD.replace("size = 1024;", "size = 65536;"),
+        )
+        .unwrap();
+        assert!(estimate(&big).total_bram36() > estimate(&small).total_bram36());
+    }
+
+    #[test]
+    fn ternary_burns_luts_not_bram() {
+        let ir = netdebug_p4::compile(corpus::ACL_FIREWALL).unwrap();
+        let report = estimate(&ir);
+        let acl = report
+            .components
+            .iter()
+            .find(|c| c.name == "table acl")
+            .unwrap();
+        // TCAM emulation: LUT-dominated.
+        assert!(acl.luts > 100_000, "{}", acl.luts);
+        let ipv4 = netdebug_p4::compile(corpus::IPV4_FORWARD).unwrap();
+        let lpm = estimate(&ipv4);
+        let lpm_table = lpm
+            .components
+            .iter()
+            .find(|c| c.name == "table ipv4_lpm")
+            .unwrap();
+        assert!(lpm_table.luts < acl.luts / 10);
+    }
+
+    #[test]
+    fn utilisation_fractions() {
+        let ir = netdebug_p4::compile(corpus::REFLECTOR).unwrap();
+        let report = estimate(&ir);
+        let (lut, ff, bram) = report.utilisation(SUME_BUDGET);
+        assert!(lut > 0.0 && lut < 0.05);
+        assert!(ff > 0.0 && ff < 0.05);
+        assert!(bram < 0.05);
+    }
+
+    #[test]
+    fn bram_block_rounding() {
+        assert_eq!(bram_blocks(0), 0);
+        assert_eq!(bram_blocks(1), 1);
+        assert_eq!(bram_blocks(36 * 1024), 1);
+        assert_eq!(bram_blocks(36 * 1024 + 1), 2);
+    }
+}

@@ -1,0 +1,204 @@
+//! Semantic checking and lints.
+//!
+//! [`check`] runs full lowering (which performs the hard semantic checks:
+//! name resolution, width checking, state references, action arities) and
+//! then adds lint-grade warnings computed over the IR: unreachable parser
+//! states, dead tables and actions, headers that can never reach the wire.
+//! The *comparison* and *compiler check* use-cases present these to users.
+
+use crate::ast;
+use crate::ir::{self, IrStmt, IrTransition, TransTarget};
+use crate::lower;
+use crate::span::{Diag, Severity, Span};
+use std::collections::HashSet;
+
+/// Result of checking a program: the lowered IR plus lint diagnostics.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// The lowered program.
+    pub program: ir::Program,
+    /// Warnings (never errors; errors abort lowering).
+    pub warnings: Vec<Diag>,
+}
+
+/// Type-check and lint a parsed program.
+pub fn check(prog: &ast::Program) -> Result<CheckReport, Diag> {
+    let program = lower::lower(prog)?;
+    let mut warnings = Vec::new();
+
+    // Unreachable parser states.
+    let mut reachable = HashSet::new();
+    let mut stack = vec![0usize];
+    while let Some(s) = stack.pop() {
+        if !reachable.insert(s) {
+            continue;
+        }
+        match &program.parser.states[s].transition {
+            IrTransition::Goto(t) => stack.push(*t),
+            IrTransition::Select { arms, default, .. } => {
+                for arm in arms {
+                    if let TransTarget::State(t) = arm.target {
+                        stack.push(t);
+                    }
+                }
+                if let TransTarget::State(t) = default {
+                    stack.push(*t);
+                }
+            }
+            IrTransition::Accept | IrTransition::Reject => {}
+        }
+    }
+    for (i, state) in program.parser.states.iter().enumerate() {
+        if !reachable.contains(&i) {
+            warnings.push(Diag {
+                severity: Severity::Warning,
+                span: Span::NONE,
+                message: format!("parser state `{}` is unreachable", state.name),
+            });
+        }
+    }
+
+    // Tables never applied.
+    let mut applied = HashSet::new();
+    for control in &program.controls {
+        collect_applied(&control.body, &mut applied);
+    }
+    for (i, table) in program.tables.iter().enumerate() {
+        if !applied.contains(&i) {
+            warnings.push(Diag {
+                severity: Severity::Warning,
+                span: Span::NONE,
+                message: format!("table `{}` is never applied", table.name),
+            });
+        }
+    }
+
+    // Actions not reachable from any applied table (NoAction exempt).
+    let mut used_actions: HashSet<usize> = HashSet::new();
+    for (i, table) in program.tables.iter().enumerate() {
+        if applied.contains(&i) {
+            used_actions.extend(table.actions.iter().copied());
+            used_actions.insert(table.default_action.action);
+            for e in &table.const_entries {
+                used_actions.insert(e.action.action);
+            }
+        }
+    }
+    for (i, action) in program.actions.iter().enumerate() {
+        if i != 0 && !used_actions.contains(&i) {
+            warnings.push(Diag {
+                severity: Severity::Warning,
+                span: Span::NONE,
+                message: format!("action `{}` is not reachable from any applied table", action.name),
+            });
+        }
+    }
+
+    // Headers that are never extracted (can only reach the wire via
+    // setValid) and extracted headers that are never emitted.
+    let mut extracted = HashSet::new();
+    for state in &program.parser.states {
+        for op in &state.ops {
+            if let ir::ParserOp::Extract(h) = op {
+                extracted.insert(*h);
+            }
+        }
+    }
+    let emitted: HashSet<usize> = program.deparse.iter().copied().collect();
+    for (i, h) in program.headers.iter().enumerate() {
+        if !extracted.contains(&i) {
+            warnings.push(Diag {
+                severity: Severity::Warning,
+                span: Span::NONE,
+                message: format!("header `{}` is never extracted by the parser", h.name),
+            });
+        }
+        if extracted.contains(&i) && !emitted.contains(&i) {
+            warnings.push(Diag {
+                severity: Severity::Warning,
+                span: Span::NONE,
+                message: format!("header `{}` is extracted but never emitted", h.name),
+            });
+        }
+    }
+
+    Ok(CheckReport { program, warnings })
+}
+
+fn collect_applied(body: &[IrStmt], out: &mut HashSet<usize>) {
+    for stmt in body {
+        match stmt {
+            IrStmt::ApplyTable { table, .. } => {
+                out.insert(*table);
+            }
+            IrStmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                collect_applied(then_branch, out);
+                collect_applied(else_branch, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn clean_program_has_no_warnings() {
+        let src = r#"
+            header h_t { bit<8> a; }
+            struct headers_t { h_t h; }
+            parser P(packet_in pkt, out headers_t hdr) {
+                state start { pkt.extract(hdr.h); transition accept; }
+            }
+            control I(inout headers_t hdr) {
+                action nop() { }
+                table t { key = { hdr.h.a: exact; } actions = { nop; } }
+                apply { t.apply(); }
+            }
+            control D(packet_out pkt, in headers_t hdr) {
+                apply { pkt.emit(hdr.h); }
+            }
+        "#;
+        let report = check(&parse(src).unwrap()).unwrap();
+        assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+    }
+
+    #[test]
+    fn dead_constructs_warned() {
+        let src = r#"
+            header h_t { bit<8> a; }
+            header g_t { bit<8> b; }
+            struct headers_t { h_t h; g_t g; }
+            parser P(packet_in pkt, out headers_t hdr) {
+                state start { pkt.extract(hdr.h); transition accept; }
+                state orphan { transition accept; }
+            }
+            control I(inout headers_t hdr) {
+                action unused_action() { hdr.h.a = 1; }
+                action nop() { }
+                table used { key = { hdr.h.a: exact; } actions = { nop; } }
+                table unused_table { key = { hdr.h.a: exact; } actions = { unused_action; } }
+                apply { used.apply(); }
+            }
+            control D(packet_out pkt, in headers_t hdr) {
+                apply { pkt.emit(hdr.h); }
+            }
+        "#;
+        let report = check(&parse(src).unwrap()).unwrap();
+        let msgs: Vec<&str> = report.warnings.iter().map(|w| w.message.as_str()).collect();
+        assert!(msgs.iter().any(|m| m.contains("`orphan` is unreachable")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("`unused_table` is never applied")), "{msgs:?}");
+        assert!(
+            msgs.iter().any(|m| m.contains("`unused_action` is not reachable")),
+            "{msgs:?}"
+        );
+        assert!(msgs.iter().any(|m| m.contains("`g` is never extracted")), "{msgs:?}");
+    }
+}

@@ -1,0 +1,426 @@
+//! Pretty-printer: AST back to P4 source.
+//!
+//! `parse(pretty(parse(src)))` must equal `parse(src)` — this fixpoint is
+//! enforced by a property test and keeps the printer honest. The printer is
+//! used by examples to show generated checker programs, and by tests to
+//! produce readable goldens.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Render a whole program.
+pub fn pretty(prog: &Program) -> String {
+    let mut out = String::new();
+    for item in &prog.items {
+        match item {
+            Item::Typedef(t) => {
+                let _ = writeln!(out, "typedef {} {};", ty(&t.ty), t.name);
+            }
+            Item::Const(c) => {
+                let _ = writeln!(out, "const {} {} = {};", ty(&c.ty), c.name, expr(&c.value));
+            }
+            Item::Header(h) => {
+                let _ = writeln!(out, "header {} {{", h.name);
+                for f in &h.fields {
+                    let _ = writeln!(out, "    {} {};", ty(&f.ty), f.name);
+                }
+                let _ = writeln!(out, "}}");
+            }
+            Item::Struct(s) => {
+                let _ = writeln!(out, "struct {} {{", s.name);
+                for f in &s.fields {
+                    let _ = writeln!(out, "    {} {};", ty(&f.ty), f.name);
+                }
+                let _ = writeln!(out, "}}");
+            }
+            Item::Parser(p) => {
+                let _ = writeln!(out, "parser {}({}) {{", p.name, params(&p.params));
+                for s in &p.states {
+                    let _ = writeln!(out, "    state {} {{", s.name);
+                    for stmt_ in &s.stmts {
+                        stmt(&mut out, stmt_, 2);
+                    }
+                    transition(&mut out, &s.transition, 2);
+                    let _ = writeln!(out, "    }}");
+                }
+                let _ = writeln!(out, "}}");
+            }
+            Item::Control(c) => {
+                let _ = writeln!(out, "control {}({}) {{", c.name, params(&c.params));
+                for local in &c.locals {
+                    match local {
+                        ControlLocal::Action(a) => {
+                            let ps = a
+                                .params
+                                .iter()
+                                .map(|p| format!("{} {}", ty(&p.ty), p.name))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let _ = writeln!(out, "    action {}({}) {{", a.name, ps);
+                            for stmt_ in &a.body.stmts {
+                                stmt(&mut out, stmt_, 2);
+                            }
+                            let _ = writeln!(out, "    }}");
+                        }
+                        ControlLocal::Table(t) => table(&mut out, t),
+                        ControlLocal::Extern(e) => extern_decl(&mut out, e, 1),
+                        ControlLocal::Var(v) => var_decl(&mut out, v, 1),
+                    }
+                }
+                let _ = writeln!(out, "    apply {{");
+                for stmt_ in &c.apply.stmts {
+                    stmt(&mut out, stmt_, 2);
+                }
+                let _ = writeln!(out, "    }}");
+                let _ = writeln!(out, "}}");
+            }
+            Item::Extern(e) => extern_decl(&mut out, e, 0),
+            Item::Package(p) => {
+                let blocks = p
+                    .blocks
+                    .iter()
+                    .map(|b| format!("{b}()"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let _ = writeln!(out, "{}({}) main;", p.package, blocks);
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn ty(t: &TypeRef) -> String {
+    match &t.kind {
+        TypeKind::Bit(w) => format!("bit<{w}>"),
+        TypeKind::Bool => "bool".to_string(),
+        TypeKind::Named(n) => n.clone(),
+    }
+}
+
+fn params(ps: &[Param]) -> String {
+    ps.iter()
+        .map(|p| {
+            let dir = match p.dir {
+                Direction::In => "in ",
+                Direction::Out => "out ",
+                Direction::Inout => "inout ",
+                Direction::None => "",
+            };
+            format!("{dir}{} {}", ty(&p.ty), p.name)
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn extern_decl(out: &mut String, e: &ExternDecl, level: usize) {
+    indent(out, level);
+    match e.kind {
+        ExternKind::Register => {
+            let _ = writeln!(out, "register<bit<{}>>({}) {};", e.width, e.size, e.name);
+        }
+        ExternKind::Counter => {
+            let _ = writeln!(out, "counter({}) {};", e.size, e.name);
+        }
+        ExternKind::Meter => {
+            let _ = writeln!(out, "meter({}) {};", e.size, e.name);
+        }
+    }
+}
+
+fn var_decl(out: &mut String, v: &VarDecl, level: usize) {
+    indent(out, level);
+    match &v.init {
+        Some(e) => {
+            let _ = writeln!(out, "{} {} = {};", ty(&v.ty), v.name, expr(e));
+        }
+        None => {
+            let _ = writeln!(out, "{} {};", ty(&v.ty), v.name);
+        }
+    }
+}
+
+fn table(out: &mut String, t: &TableDecl) {
+    let _ = writeln!(out, "    table {} {{", t.name);
+    if !t.keys.is_empty() {
+        let _ = writeln!(out, "        key = {{");
+        for (e, kind) in &t.keys {
+            let _ = writeln!(out, "            {}: {};", expr(e), kind);
+        }
+        let _ = writeln!(out, "        }}");
+    }
+    if !t.actions.is_empty() {
+        let _ = writeln!(out, "        actions = {{");
+        for a in &t.actions {
+            let _ = writeln!(out, "            {a};");
+        }
+        let _ = writeln!(out, "        }}");
+    }
+    if let Some(size) = t.size {
+        let _ = writeln!(out, "        size = {size};");
+    }
+    if let Some((name, args)) = &t.default_action {
+        let args = args.iter().map(expr).collect::<Vec<_>>().join(", ");
+        let _ = writeln!(out, "        default_action = {name}({args});");
+    }
+    if !t.entries.is_empty() {
+        let _ = writeln!(out, "        entries = {{");
+        for e in &t.entries {
+            let ks = keysets(&e.keysets);
+            let args = e.args.iter().map(expr).collect::<Vec<_>>().join(", ");
+            let _ = writeln!(out, "            {}: {}({});", ks, e.action, args);
+        }
+        let _ = writeln!(out, "        }}");
+    }
+    let _ = writeln!(out, "    }}");
+}
+
+fn keysets(ks: &[KeySet]) -> String {
+    let one = |k: &KeySet| match k {
+        KeySet::Value(e) => expr(e),
+        KeySet::Mask(v, m) => format!("{} &&& {}", expr(v), expr(m)),
+        KeySet::Range(lo, hi) => format!("{} .. {}", expr(lo), expr(hi)),
+        KeySet::Default => "default".to_string(),
+    };
+    if ks.len() == 1 {
+        one(&ks[0])
+    } else {
+        format!(
+            "({})",
+            ks.iter().map(one).collect::<Vec<_>>().join(", ")
+        )
+    }
+}
+
+fn transition(out: &mut String, t: &Transition, level: usize) {
+    match t {
+        Transition::Direct { target, .. } => {
+            indent(out, level);
+            let _ = writeln!(out, "transition {target};");
+        }
+        Transition::Select { exprs, cases, .. } => {
+            indent(out, level);
+            let keys = exprs.iter().map(expr).collect::<Vec<_>>().join(", ");
+            let _ = writeln!(out, "transition select({keys}) {{");
+            for case in cases {
+                indent(out, level + 1);
+                let _ = writeln!(out, "{}: {};", keysets(&case.keysets), case.target);
+            }
+            indent(out, level);
+            let _ = writeln!(out, "}}");
+        }
+    }
+}
+
+fn stmt(out: &mut String, s: &Stmt, level: usize) {
+    match s {
+        Stmt::Assign { lhs, rhs, .. } => {
+            indent(out, level);
+            let _ = writeln!(out, "{} = {};", expr(lhs), expr(rhs));
+        }
+        Stmt::Call { callee, args, .. } => {
+            indent(out, level);
+            let args = args.iter().map(expr).collect::<Vec<_>>().join(", ");
+            let _ = writeln!(out, "{}({});", expr(callee), args);
+        }
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+            ..
+        } => {
+            indent(out, level);
+            let _ = writeln!(out, "if ({}) {{", expr(cond));
+            for s in &then_block.stmts {
+                stmt(out, s, level + 1);
+            }
+            if else_block.stmts.is_empty() {
+                indent(out, level);
+                let _ = writeln!(out, "}}");
+            } else {
+                indent(out, level);
+                let _ = writeln!(out, "}} else {{");
+                for s in &else_block.stmts {
+                    stmt(out, s, level + 1);
+                }
+                indent(out, level);
+                let _ = writeln!(out, "}}");
+            }
+        }
+        Stmt::Exit { .. } => {
+            indent(out, level);
+            let _ = writeln!(out, "exit;");
+        }
+        Stmt::Return { .. } => {
+            indent(out, level);
+            let _ = writeln!(out, "return;");
+        }
+        Stmt::Var(v) => var_decl(out, v, level),
+    }
+}
+
+fn prec(op: BinOp) -> u8 {
+    use BinOp::*;
+    match op {
+        Mul | Div | Mod => 10,
+        Add | Sub | Concat => 9,
+        Shl | Shr => 8,
+        Lt | Le | Gt | Ge => 7,
+        Eq | Ne => 6,
+        And => 5,
+        Xor => 4,
+        Or => 3,
+        LAnd => 2,
+        LOr => 1,
+    }
+}
+
+fn op_str(op: BinOp) -> &'static str {
+    use BinOp::*;
+    match op {
+        Add => "+",
+        Sub => "-",
+        Mul => "*",
+        Div => "/",
+        Mod => "%",
+        And => "&",
+        Or => "|",
+        Xor => "^",
+        Shl => "<<",
+        Shr => ">>",
+        Eq => "==",
+        Ne => "!=",
+        Lt => "<",
+        Le => "<=",
+        Gt => ">",
+        Ge => ">=",
+        LAnd => "&&",
+        LOr => "||",
+        Concat => "++",
+    }
+}
+
+/// Render an expression (parenthesising by precedence).
+pub fn expr(e: &Expr) -> String {
+    expr_prec(e, 0)
+}
+
+fn expr_prec(e: &Expr, min: u8) -> String {
+    match e {
+        Expr::Int { value, width, .. } => match width {
+            Some(w) => format!("{w}w{value}"),
+            None => format!("{value}"),
+        },
+        Expr::Bool { value, .. } => value.to_string(),
+        Expr::Path { segments, .. } => segments.join("."),
+        Expr::Call { callee, args, .. } => {
+            let args = args.iter().map(expr).collect::<Vec<_>>().join(", ");
+            format!("{}({})", expr(callee), args)
+        }
+        Expr::Member { base, member, .. } => format!("{}.{member}", expr(base)),
+        Expr::Unary { op, expr: inner, .. } => {
+            let op = match op {
+                UnOp::Not => "~",
+                UnOp::LNot => "!",
+                UnOp::Neg => "-",
+            };
+            format!("{op}{}", expr_prec(inner, 11))
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let p = prec(*op);
+            let body = format!(
+                "{} {} {}",
+                expr_prec(lhs, p),
+                op_str(*op),
+                expr_prec(rhs, p + 1)
+            );
+            if p < min {
+                format!("({body})")
+            } else {
+                body
+            }
+        }
+        Expr::Slice { base, hi, lo, .. } => format!("{}[{hi}:{lo}]", expr_prec(base, 11)),
+        Expr::Cast { ty: t, expr: inner, .. } => {
+            let body = format!("({}) {}", ty(t), expr_prec(inner, 11));
+            if min > 0 {
+                format!("({body})")
+            } else {
+                body
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const ROUND_TRIP: &str = r#"
+        typedef bit<48> mac_t;
+        const bit<16> T = 0x800;
+        header eth_t { mac_t dst; mac_t src; bit<16> ty; }
+        struct headers_t { eth_t eth; }
+        struct meta_t { bit<9> p; }
+        parser P(packet_in pkt, out headers_t hdr, inout meta_t m,
+                 inout standard_metadata_t std) {
+            state start {
+                pkt.extract(hdr.eth);
+                transition select(hdr.eth.ty, hdr.eth.dst) {
+                    (T, 1 .. 5): accept;
+                    (0x86dd &&& 0xFF00, _): next;
+                    default: reject;
+                }
+            }
+            state next { transition accept; }
+        }
+        control I(inout headers_t hdr, inout meta_t m,
+                  inout standard_metadata_t std) {
+            register<bit<32>>(8) r;
+            action f(bit<9> port) { std.egress_spec = port; }
+            table t {
+                key = { hdr.eth.dst: exact; }
+                actions = { f; NoAction; }
+                size = 16;
+                default_action = NoAction();
+                entries = { 5: f(1); }
+            }
+            apply {
+                if (hdr.eth.isValid() && hdr.eth.ty == T) {
+                    t.apply();
+                } else {
+                    m.p = (bit<9>) hdr.eth.dst[8:0];
+                }
+            }
+        }
+        control D(packet_out pkt, in headers_t hdr) {
+            apply { pkt.emit(hdr.eth); }
+        }
+        V1Switch(P(), I(), D()) main;
+    "#;
+
+    #[test]
+    fn reparse_fixpoint() {
+        let ast1 = parse(ROUND_TRIP).unwrap();
+        let printed = pretty(&ast1);
+        let ast2 = parse(&printed).unwrap_or_else(|e| {
+            panic!("re-parse failed: {e}\n--- printed ---\n{printed}")
+        });
+        let printed2 = pretty(&ast2);
+        assert_eq!(printed, printed2, "pretty is not a fixpoint");
+    }
+
+    #[test]
+    fn expr_parenthesisation() {
+        let ast = parse("control C(inout h_t h) { apply { h.x = (h.a + h.b) * h.c; } }").unwrap();
+        let printed = pretty(&ast);
+        assert!(printed.contains("(h.a + h.b) * h.c"), "{printed}");
+    }
+}

@@ -1,0 +1,329 @@
+//! Token kinds produced by the lexer.
+
+use crate::span::Span;
+
+/// A lexical token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is (and its payload, for literals/identifiers).
+    pub kind: TokenKind,
+    /// Where it came from.
+    pub span: Span,
+}
+
+/// The kinds of tokens in the P4-16 subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    // Literals and names -------------------------------------------------
+    /// An identifier such as `hdr` or `parse_ipv4`.
+    Ident(String),
+    /// An integer literal; P4 width-prefixed forms (`8w0xFF`) carry their
+    /// width.
+    Int {
+        /// The numeric value (P4 constants in this subset fit in 128 bits).
+        value: u128,
+        /// Explicit width from a `Nw`/`Ns` prefix, if present.
+        width: Option<u16>,
+    },
+    /// A string literal (only used by `@name` annotations).
+    Str(String),
+
+    // Keywords ------------------------------------------------------------
+    /// `header`
+    Header,
+    /// `struct`
+    Struct,
+    /// `typedef`
+    Typedef,
+    /// `const`
+    Const,
+    /// `parser`
+    Parser,
+    /// `control`
+    Control,
+    /// `state`
+    State,
+    /// `transition`
+    Transition,
+    /// `select`
+    Select,
+    /// `accept`
+    Accept,
+    /// `reject`
+    Reject,
+    /// `table`
+    Table,
+    /// `key`
+    Key,
+    /// `actions`
+    Actions,
+    /// `action`
+    Action,
+    /// `entries`
+    Entries,
+    /// `size`
+    Size,
+    /// `default_action`
+    DefaultAction,
+    /// `apply`
+    Apply,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `return`
+    Return,
+    /// `exit`
+    Exit,
+    /// `bit`
+    Bit,
+    /// `bool`
+    Bool,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `in`
+    In,
+    /// `out`
+    Out,
+    /// `inout`
+    Inout,
+    /// `default`
+    Default,
+    /// `register`
+    Register,
+    /// `counter`
+    Counter,
+    /// `meter`
+    Meter,
+
+    // Punctuation ----------------------------------------------------------
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `=`
+    Eq,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `++` (bit concatenation)
+    PlusPlus,
+    /// `@` (annotation lead-in)
+    At,
+    /// `_` (don't-care in select / ternary entries)
+    Underscore,
+    /// `&&&` (mask in select expressions)
+    MaskOp,
+    /// `..` (range in select expressions)
+    DotDot,
+
+    /// End of input sentinel.
+    Eof,
+}
+
+impl TokenKind {
+    /// Keyword lookup for identifiers.
+    pub fn keyword(ident: &str) -> Option<TokenKind> {
+        Some(match ident {
+            "header" => TokenKind::Header,
+            "struct" => TokenKind::Struct,
+            "typedef" => TokenKind::Typedef,
+            "const" => TokenKind::Const,
+            "parser" => TokenKind::Parser,
+            "control" => TokenKind::Control,
+            "state" => TokenKind::State,
+            "transition" => TokenKind::Transition,
+            "select" => TokenKind::Select,
+            "accept" => TokenKind::Accept,
+            "reject" => TokenKind::Reject,
+            "table" => TokenKind::Table,
+            "key" => TokenKind::Key,
+            "actions" => TokenKind::Actions,
+            "action" => TokenKind::Action,
+            "entries" => TokenKind::Entries,
+            "size" => TokenKind::Size,
+            "default_action" => TokenKind::DefaultAction,
+            "apply" => TokenKind::Apply,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "return" => TokenKind::Return,
+            "exit" => TokenKind::Exit,
+            "bit" => TokenKind::Bit,
+            "bool" => TokenKind::Bool,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            "in" => TokenKind::In,
+            "out" => TokenKind::Out,
+            "inout" => TokenKind::Inout,
+            "default" => TokenKind::Default,
+            "register" => TokenKind::Register,
+            "counter" => TokenKind::Counter,
+            "meter" => TokenKind::Meter,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable name for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(name) => format!("identifier `{name}`"),
+            TokenKind::Int { value, .. } => format!("integer `{value}`"),
+            TokenKind::Str(s) => format!("string {s:?}"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.lexeme()),
+        }
+    }
+
+    /// The literal spelling of fixed tokens (empty for payload tokens).
+    pub fn lexeme(&self) -> &'static str {
+        match self {
+            TokenKind::Header => "header",
+            TokenKind::Struct => "struct",
+            TokenKind::Typedef => "typedef",
+            TokenKind::Const => "const",
+            TokenKind::Parser => "parser",
+            TokenKind::Control => "control",
+            TokenKind::State => "state",
+            TokenKind::Transition => "transition",
+            TokenKind::Select => "select",
+            TokenKind::Accept => "accept",
+            TokenKind::Reject => "reject",
+            TokenKind::Table => "table",
+            TokenKind::Key => "key",
+            TokenKind::Actions => "actions",
+            TokenKind::Action => "action",
+            TokenKind::Entries => "entries",
+            TokenKind::Size => "size",
+            TokenKind::DefaultAction => "default_action",
+            TokenKind::Apply => "apply",
+            TokenKind::If => "if",
+            TokenKind::Else => "else",
+            TokenKind::Return => "return",
+            TokenKind::Exit => "exit",
+            TokenKind::Bit => "bit",
+            TokenKind::Bool => "bool",
+            TokenKind::True => "true",
+            TokenKind::False => "false",
+            TokenKind::In => "in",
+            TokenKind::Out => "out",
+            TokenKind::Inout => "inout",
+            TokenKind::Default => "default",
+            TokenKind::Register => "register",
+            TokenKind::Counter => "counter",
+            TokenKind::Meter => "meter",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Lt => "<",
+            TokenKind::Gt => ">",
+            TokenKind::Le => "<=",
+            TokenKind::Ge => ">=",
+            TokenKind::EqEq => "==",
+            TokenKind::NotEq => "!=",
+            TokenKind::Eq => "=",
+            TokenKind::Semi => ";",
+            TokenKind::Colon => ":",
+            TokenKind::Comma => ",",
+            TokenKind::Dot => ".",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::Amp => "&",
+            TokenKind::Pipe => "|",
+            TokenKind::Caret => "^",
+            TokenKind::Tilde => "~",
+            TokenKind::Bang => "!",
+            TokenKind::AndAnd => "&&",
+            TokenKind::OrOr => "||",
+            TokenKind::Shl => "<<",
+            TokenKind::Shr => ">>",
+            TokenKind::PlusPlus => "++",
+            TokenKind::At => "@",
+            TokenKind::Underscore => "_",
+            TokenKind::MaskOp => "&&&",
+            TokenKind::DotDot => "..",
+            TokenKind::Ident(_) | TokenKind::Int { .. } | TokenKind::Str(_) | TokenKind::Eof => "",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(TokenKind::keyword("header"), Some(TokenKind::Header));
+        assert_eq!(TokenKind::keyword("reject"), Some(TokenKind::Reject));
+        assert_eq!(TokenKind::keyword("hdr"), None);
+    }
+
+    #[test]
+    fn describe_is_helpful() {
+        assert_eq!(
+            TokenKind::Ident("foo".into()).describe(),
+            "identifier `foo`"
+        );
+        assert_eq!(TokenKind::Semi.describe(), "`;`");
+    }
+}

@@ -1,0 +1,143 @@
+//! Golden tests for front-end diagnostics.
+//!
+//! The *compiler check* use-case presents diagnostics to users, so their
+//! wording and positioning are part of the public contract. Each case here
+//! pins the message fragment and the error line for one misuse.
+
+use netdebug_p4::compile;
+
+fn expect_error(src: &str, fragment: &str, line: u32) {
+    let err = compile(src).expect_err(&format!("expected error containing `{fragment}`"));
+    assert!(
+        err.message.contains(fragment),
+        "expected `{fragment}` in `{}`",
+        err.message
+    );
+    assert_eq!(err.span.line, line, "wrong line for `{}`", err.message);
+}
+
+#[test]
+fn lexer_diagnostics() {
+    expect_error("header h_t { bit<8> a; $ }", "unexpected character", 1);
+    expect_error("/* never closed", "unterminated block comment", 1);
+}
+
+#[test]
+fn parser_diagnostics() {
+    expect_error(
+        "header h_t {\n  bit<8 a;\n}",
+        "expected `>`",
+        2,
+    );
+    expect_error(
+        "parser P(packet_in p) {\n  state start { }\n}",
+        "has no transition",
+        2,
+    );
+    expect_error(
+        "control C(inout h_t h) {\n}",
+        "missing an apply block",
+        1,
+    );
+    expect_error("header h_t { bit<200> x; }", "bit width must be 1..=128", 1);
+    expect_error(
+        "control C(inout h_t h) {\n  table t { key = { h.x: fuzzy; } }\n  apply { }\n}",
+        "unknown match kind",
+        2,
+    );
+}
+
+#[test]
+fn lowering_diagnostics() {
+    const PRELUDE: &str = r#"
+header h_t { bit<8> a; bit<16> b; }
+struct headers_t { h_t h; }
+struct meta_t { bit<4> m; }
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+         inout standard_metadata_t std) {
+    state start { pkt.extract(hdr.h); transition accept; }
+}
+"#;
+    // Width mismatch in an assignment (line 11 = 3 lines into the control).
+    expect_error(
+        &format!(
+            "{PRELUDE}control I(inout headers_t hdr, inout meta_t meta,\n          inout standard_metadata_t std) {{\n  apply {{ hdr.h.a = hdr.h.b; }}\n}}"
+        ),
+        "width mismatch",
+        11,
+    );
+    // Unknown field.
+    expect_error(
+        &format!(
+            "{PRELUDE}control I(inout headers_t hdr, inout meta_t meta,\n          inout standard_metadata_t std) {{\n  apply {{ hdr.h.zz = 1; }}\n}}"
+        ),
+        "has no field `zz`",
+        11,
+    );
+    // Unsupported standard_metadata field.
+    expect_error(
+        &format!(
+            "{PRELUDE}control I(inout headers_t hdr, inout meta_t meta,\n          inout standard_metadata_t std) {{\n  apply {{ std.mcast_grp = 1; }}\n}}"
+        ),
+        "not supported",
+        11,
+    );
+    // Unsupported extern.
+    expect_error(
+        &format!(
+            "{PRELUDE}control I(inout headers_t hdr, inout meta_t meta,\n          inout standard_metadata_t std) {{\n  apply {{ update_checksum(); }}\n}}"
+        ),
+        "not supported by this subset",
+        11,
+    );
+    // Literal too wide for its context.
+    expect_error(
+        &format!(
+            "{PRELUDE}control I(inout headers_t hdr, inout meta_t meta,\n          inout standard_metadata_t std) {{\n  apply {{ hdr.h.a = 300; }}\n}}"
+        ),
+        "does not fit in 8 bits",
+        11,
+    );
+    // Conditionals inside actions.
+    expect_error(
+        &format!(
+            "{PRELUDE}control I(inout headers_t hdr, inout meta_t meta,\n          inout standard_metadata_t std) {{\n  action a() {{ if (hdr.h.a == 1) {{ }} }}\n  apply {{ }}\n}}"
+        ),
+        "conditionals inside actions",
+        11,
+    );
+}
+
+#[test]
+fn structural_diagnostics() {
+    // Misaligned header.
+    expect_error(
+        "header odd_t { bit<3> x; }\nstruct headers_t { odd_t o; }\nparser P(packet_in pkt, out headers_t hdr) {\n  state start { pkt.extract(hdr.o); transition accept; }\n}\ncontrol I(inout headers_t hdr) { apply { } }",
+        "byte-aligned",
+        1,
+    );
+    // Missing start state.
+    expect_error(
+        "header h_t { bit<8> a; }\nstruct headers_t { h_t h; }\nparser P(packet_in pkt, out headers_t hdr) {\n  state begin { transition accept; }\n}\ncontrol I(inout headers_t hdr) { apply { } }",
+        "no `start` state",
+        3,
+    );
+    // No parser at all.
+    let err = compile("header h_t { bit<8> a; }").unwrap_err();
+    assert!(err.message.contains("no parser"), "{err}");
+    // Duplicate table.
+    expect_error(
+        "header h_t { bit<8> a; }\nstruct headers_t { h_t h; }\nparser P(packet_in pkt, out headers_t hdr) {\n  state start { pkt.extract(hdr.h); transition accept; }\n}\ncontrol I(inout headers_t hdr) {\n  action n() { }\n  table t { key = { hdr.h.a: exact; } actions = { n; } }\n  table t { key = { hdr.h.a: exact; } actions = { n; } }\n  apply { t.apply(); }\n}",
+        "duplicate table",
+        9,
+    );
+}
+
+#[test]
+fn select_arity_diagnostics() {
+    expect_error(
+        "header h_t { bit<8> a; bit<8> b; }\nstruct headers_t { h_t h; }\nparser P(packet_in pkt, out headers_t hdr) {\n  state start {\n    pkt.extract(hdr.h);\n    transition select(hdr.h.a, hdr.h.b) {\n      (1, 2, 3): accept;\n      default: reject;\n    }\n  }\n}\ncontrol I(inout headers_t hdr) { apply { } }",
+        "select arm has 3 patterns, selector has 2 keys",
+        7,
+    );
+}

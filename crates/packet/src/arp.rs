@@ -1,0 +1,189 @@
+//! ARP packet view (Ethernet/IPv4 only).
+
+use crate::ethernet::EthernetAddress;
+use crate::ipv4::Ipv4Address;
+use crate::{get_u16, set_u16, Error, Result};
+
+/// Length of an Ethernet/IPv4 ARP packet in bytes.
+pub const PACKET_LEN: usize = 28;
+
+/// ARP operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArpOperation {
+    /// Request (1).
+    Request,
+    /// Reply (2).
+    Reply,
+    /// Any other opcode.
+    Unknown(u16),
+}
+
+impl From<u16> for ArpOperation {
+    fn from(v: u16) -> Self {
+        match v {
+            1 => ArpOperation::Request,
+            2 => ArpOperation::Reply,
+            other => ArpOperation::Unknown(other),
+        }
+    }
+}
+
+impl From<ArpOperation> for u16 {
+    fn from(v: ArpOperation) -> u16 {
+        match v {
+            ArpOperation::Request => 1,
+            ArpOperation::Reply => 2,
+            ArpOperation::Unknown(other) => other,
+        }
+    }
+}
+
+/// A view over an Ethernet/IPv4 ARP packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+mod field {
+    pub const HTYPE: usize = 0;
+    pub const PTYPE: usize = 2;
+    pub const HLEN: usize = 4;
+    pub const PLEN: usize = 5;
+    pub const OPER: usize = 6;
+    pub const SHA: core::ops::Range<usize> = 8..14;
+    pub const SPA: core::ops::Range<usize> = 14..18;
+    pub const THA: core::ops::Range<usize> = 18..24;
+    pub const TPA: core::ops::Range<usize> = 24..28;
+}
+
+impl<T: AsRef<[u8]>> ArpPacket<T> {
+    /// Wrap a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        ArpPacket { buffer }
+    }
+
+    /// Wrap a buffer, validating length and hardware/protocol types.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let p = Self::new_unchecked(buffer);
+        let data = p.buffer.as_ref();
+        if data.len() < PACKET_LEN {
+            return Err(Error::Truncated);
+        }
+        if get_u16(data, field::HTYPE) != 1
+            || get_u16(data, field::PTYPE) != 0x0800
+            || data[field::HLEN] != 6
+            || data[field::PLEN] != 4
+        {
+            return Err(Error::BadVersion);
+        }
+        Ok(p)
+    }
+
+    /// Consume the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Operation code.
+    pub fn operation(&self) -> ArpOperation {
+        ArpOperation::from(get_u16(self.buffer.as_ref(), field::OPER))
+    }
+
+    /// Sender hardware address.
+    pub fn sender_hw_addr(&self) -> EthernetAddress {
+        EthernetAddress::from_bytes(&self.buffer.as_ref()[field::SHA])
+    }
+
+    /// Sender protocol (IPv4) address.
+    pub fn sender_proto_addr(&self) -> Ipv4Address {
+        Ipv4Address::from_bytes(&self.buffer.as_ref()[field::SPA])
+    }
+
+    /// Target hardware address.
+    pub fn target_hw_addr(&self) -> EthernetAddress {
+        EthernetAddress::from_bytes(&self.buffer.as_ref()[field::THA])
+    }
+
+    /// Target protocol (IPv4) address.
+    pub fn target_proto_addr(&self) -> Ipv4Address {
+        Ipv4Address::from_bytes(&self.buffer.as_ref()[field::TPA])
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> ArpPacket<T> {
+    /// Write the fixed Ethernet/IPv4 preamble (htype/ptype/hlen/plen).
+    pub fn fill_preamble(&mut self) {
+        let data = self.buffer.as_mut();
+        set_u16(data, field::HTYPE, 1);
+        set_u16(data, field::PTYPE, 0x0800);
+        data[field::HLEN] = 6;
+        data[field::PLEN] = 4;
+    }
+
+    /// Set the operation code.
+    pub fn set_operation(&mut self, op: ArpOperation) {
+        set_u16(self.buffer.as_mut(), field::OPER, op.into());
+    }
+
+    /// Set the sender hardware address.
+    pub fn set_sender_hw_addr(&mut self, a: EthernetAddress) {
+        self.buffer.as_mut()[field::SHA].copy_from_slice(a.as_bytes());
+    }
+
+    /// Set the sender protocol address.
+    pub fn set_sender_proto_addr(&mut self, a: Ipv4Address) {
+        self.buffer.as_mut()[field::SPA].copy_from_slice(a.as_bytes());
+    }
+
+    /// Set the target hardware address.
+    pub fn set_target_hw_addr(&mut self, a: EthernetAddress) {
+        self.buffer.as_mut()[field::THA].copy_from_slice(a.as_bytes());
+    }
+
+    /// Set the target protocol address.
+    pub fn set_target_proto_addr(&mut self, a: Ipv4Address) {
+        self.buffer.as_mut()[field::TPA].copy_from_slice(a.as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let mut buf = [0u8; PACKET_LEN];
+        {
+            let mut p = ArpPacket::new_unchecked(&mut buf[..]);
+            p.fill_preamble();
+            p.set_operation(ArpOperation::Request);
+            p.set_sender_hw_addr(EthernetAddress::new(2, 0, 0, 0, 0, 1));
+            p.set_sender_proto_addr(Ipv4Address::new(192, 168, 0, 1));
+            p.set_target_hw_addr(EthernetAddress::default());
+            p.set_target_proto_addr(Ipv4Address::new(192, 168, 0, 2));
+        }
+        let p = ArpPacket::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.operation(), ArpOperation::Request);
+        assert_eq!(p.sender_hw_addr(), EthernetAddress::new(2, 0, 0, 0, 0, 1));
+        assert_eq!(p.sender_proto_addr(), Ipv4Address::new(192, 168, 0, 1));
+        assert_eq!(p.target_proto_addr(), Ipv4Address::new(192, 168, 0, 2));
+    }
+
+    #[test]
+    fn non_ethernet_ipv4_rejected() {
+        let mut buf = [0u8; PACKET_LEN];
+        {
+            let mut p = ArpPacket::new_unchecked(&mut buf[..]);
+            p.fill_preamble();
+        }
+        buf[0] = 9; // bogus htype
+        assert_eq!(
+            ArpPacket::new_checked(&buf[..]).unwrap_err(),
+            Error::BadVersion
+        );
+        assert_eq!(
+            ArpPacket::new_checked(&buf[..20]).unwrap_err(),
+            Error::Truncated
+        );
+    }
+}

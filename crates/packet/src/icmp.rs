@@ -1,0 +1,194 @@
+//! ICMPv4 packet view (echo request/reply and destination unreachable).
+
+use crate::{checksum, get_u16, set_u16, Error, Result};
+
+/// Length of the ICMP header in bytes.
+pub const HEADER_LEN: usize = 8;
+
+/// ICMP message types used by this reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IcmpType {
+    /// Echo reply (0).
+    EchoReply,
+    /// Destination unreachable (3).
+    DestUnreachable,
+    /// Echo request (8).
+    EchoRequest,
+    /// Time exceeded (11).
+    TimeExceeded,
+    /// Any other type.
+    Unknown(u8),
+}
+
+impl From<u8> for IcmpType {
+    fn from(v: u8) -> Self {
+        match v {
+            0 => IcmpType::EchoReply,
+            3 => IcmpType::DestUnreachable,
+            8 => IcmpType::EchoRequest,
+            11 => IcmpType::TimeExceeded,
+            other => IcmpType::Unknown(other),
+        }
+    }
+}
+
+impl From<IcmpType> for u8 {
+    fn from(v: IcmpType) -> u8 {
+        match v {
+            IcmpType::EchoReply => 0,
+            IcmpType::DestUnreachable => 3,
+            IcmpType::EchoRequest => 8,
+            IcmpType::TimeExceeded => 11,
+            IcmpType::Unknown(other) => other,
+        }
+    }
+}
+
+/// A view over an ICMPv4 packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IcmpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+mod field {
+    pub const TYPE: usize = 0;
+    pub const CODE: usize = 1;
+    pub const CHECKSUM: usize = 2;
+    pub const IDENT: usize = 4;
+    pub const SEQ: usize = 6;
+    pub const PAYLOAD: usize = 8;
+}
+
+impl<T: AsRef<[u8]>> IcmpPacket<T> {
+    /// Wrap a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        IcmpPacket { buffer }
+    }
+
+    /// Wrap a buffer, ensuring it can hold the header.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let p = Self::new_unchecked(buffer);
+        if p.buffer.as_ref().len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        Ok(p)
+    }
+
+    /// Consume the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Message type.
+    pub fn msg_type(&self) -> IcmpType {
+        IcmpType::from(self.buffer.as_ref()[field::TYPE])
+    }
+
+    /// Message code.
+    pub fn msg_code(&self) -> u8 {
+        self.buffer.as_ref()[field::CODE]
+    }
+
+    /// Checksum field.
+    pub fn checksum_field(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), field::CHECKSUM)
+    }
+
+    /// Echo identifier (meaningful for echo messages).
+    pub fn ident(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), field::IDENT)
+    }
+
+    /// Echo sequence number (meaningful for echo messages).
+    pub fn seq_number(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), field::SEQ)
+    }
+
+    /// Payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[field::PAYLOAD..]
+    }
+
+    /// True if the checksum over the whole message verifies.
+    pub fn verify_checksum(&self) -> bool {
+        checksum::verify(self.buffer.as_ref())
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> IcmpPacket<T> {
+    /// Set the message type.
+    pub fn set_msg_type(&mut self, ty: IcmpType) {
+        self.buffer.as_mut()[field::TYPE] = ty.into();
+    }
+
+    /// Set the message code.
+    pub fn set_msg_code(&mut self, code: u8) {
+        self.buffer.as_mut()[field::CODE] = code;
+    }
+
+    /// Set the echo identifier.
+    pub fn set_ident(&mut self, v: u16) {
+        set_u16(self.buffer.as_mut(), field::IDENT, v);
+    }
+
+    /// Set the echo sequence number.
+    pub fn set_seq_number(&mut self, v: u16) {
+        set_u16(self.buffer.as_mut(), field::SEQ, v);
+    }
+
+    /// Recompute and store the checksum.
+    pub fn fill_checksum(&mut self) {
+        set_u16(self.buffer.as_mut(), field::CHECKSUM, 0);
+        let sum = checksum::checksum(self.buffer.as_ref());
+        set_u16(self.buffer.as_mut(), field::CHECKSUM, sum);
+    }
+
+    /// Mutable payload bytes.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[field::PAYLOAD..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_round_trip() {
+        let mut buf = [0u8; 16];
+        {
+            let mut p = IcmpPacket::new_unchecked(&mut buf[..]);
+            p.set_msg_type(IcmpType::EchoRequest);
+            p.set_msg_code(0);
+            p.set_ident(0x42);
+            p.set_seq_number(7);
+            p.payload_mut().copy_from_slice(b"netdebug");
+            p.fill_checksum();
+        }
+        let p = IcmpPacket::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.msg_type(), IcmpType::EchoRequest);
+        assert_eq!(p.ident(), 0x42);
+        assert_eq!(p.seq_number(), 7);
+        assert_eq!(p.payload(), b"netdebug");
+        assert!(p.verify_checksum());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut buf = [0u8; 8];
+        {
+            let mut p = IcmpPacket::new_unchecked(&mut buf[..]);
+            p.set_msg_type(IcmpType::EchoReply);
+            p.fill_checksum();
+        }
+        buf[7] ^= 1;
+        assert!(!IcmpPacket::new_checked(&buf[..]).unwrap().verify_checksum());
+    }
+
+    #[test]
+    fn type_round_trip() {
+        for raw in [0u8, 3, 8, 11, 99] {
+            assert_eq!(u8::from(IcmpType::from(raw)), raw);
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! IPv6 packet view (fixed header only; extension headers are treated as
+//! payload, which matches what the simple P4 programs in this reproduction
+//! parse).
+
+use crate::ipv4::IpProtocol;
+use crate::{get_u16, get_u32, set_u16, set_u32, Error, Result};
+
+/// A sixteen-octet IPv6 address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Ipv6Address(pub [u8; 16]);
+
+impl Ipv6Address {
+    /// The unspecified address `::`.
+    pub const UNSPECIFIED: Ipv6Address = Ipv6Address([0; 16]);
+    /// The loopback address `::1`.
+    pub const LOOPBACK: Ipv6Address = Ipv6Address([0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1]);
+
+    /// Construct from eight 16-bit groups.
+    pub fn new(g: [u16; 8]) -> Self {
+        let mut b = [0u8; 16];
+        for (i, group) in g.iter().enumerate() {
+            b[i * 2..i * 2 + 2].copy_from_slice(&group.to_be_bytes());
+        }
+        Ipv6Address(b)
+    }
+
+    /// Parse from a byte slice (panics if shorter than sixteen bytes).
+    pub fn from_bytes(data: &[u8]) -> Self {
+        let mut b = [0u8; 16];
+        b.copy_from_slice(&data[..16]);
+        Ipv6Address(b)
+    }
+
+    /// Raw octets.
+    pub const fn as_bytes(&self) -> &[u8; 16] {
+        &self.0
+    }
+
+    /// True for `ff00::/8`.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] == 0xFF
+    }
+
+    /// True for `::1`.
+    pub fn is_loopback(&self) -> bool {
+        *self == Self::LOOPBACK
+    }
+}
+
+impl core::fmt::Display for Ipv6Address {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Uncompressed colon-hex form; compression is cosmetic and this
+        // output only appears in test logs.
+        for i in 0..8 {
+            if i > 0 {
+                write!(f, ":")?;
+            }
+            write!(
+                f,
+                "{:x}",
+                u16::from_be_bytes([self.0[i * 2], self.0[i * 2 + 1]])
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Length of the fixed IPv6 header in bytes.
+pub const HEADER_LEN: usize = 40;
+
+/// A view over an IPv6 packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ipv6Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+mod field {
+    pub const VER_TC_FLOW: usize = 0;
+    pub const LENGTH: usize = 4;
+    pub const NEXT_HEADER: usize = 6;
+    pub const HOP_LIMIT: usize = 7;
+    pub const SRC: core::ops::Range<usize> = 8..24;
+    pub const DST: core::ops::Range<usize> = 24..40;
+}
+
+impl<T: AsRef<[u8]>> Ipv6Packet<T> {
+    /// Wrap a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Ipv6Packet { buffer }
+    }
+
+    /// Wrap a buffer, validating version and payload length.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let packet = Self::new_unchecked(buffer);
+        let data = packet.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        if packet.version() != 6 {
+            return Err(Error::BadVersion);
+        }
+        if data.len() < HEADER_LEN + usize::from(packet.payload_len()) {
+            return Err(Error::BadLength);
+        }
+        Ok(packet)
+    }
+
+    /// Consume the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// IP version field (must be 6).
+    pub fn version(&self) -> u8 {
+        self.buffer.as_ref()[field::VER_TC_FLOW] >> 4
+    }
+
+    /// Traffic class.
+    pub fn traffic_class(&self) -> u8 {
+        let w = get_u32(self.buffer.as_ref(), field::VER_TC_FLOW);
+        ((w >> 20) & 0xFF) as u8
+    }
+
+    /// Flow label (20 bits).
+    pub fn flow_label(&self) -> u32 {
+        get_u32(self.buffer.as_ref(), field::VER_TC_FLOW) & 0x000F_FFFF
+    }
+
+    /// Payload length field.
+    pub fn payload_len(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), field::LENGTH)
+    }
+
+    /// Next-header protocol.
+    pub fn next_header(&self) -> IpProtocol {
+        IpProtocol::from(self.buffer.as_ref()[field::NEXT_HEADER])
+    }
+
+    /// Hop limit.
+    pub fn hop_limit(&self) -> u8 {
+        self.buffer.as_ref()[field::HOP_LIMIT]
+    }
+
+    /// Source address.
+    pub fn src_addr(&self) -> Ipv6Address {
+        Ipv6Address::from_bytes(&self.buffer.as_ref()[field::SRC])
+    }
+
+    /// Destination address.
+    pub fn dst_addr(&self) -> Ipv6Address {
+        Ipv6Address::from_bytes(&self.buffer.as_ref()[field::DST])
+    }
+
+    /// Payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        let end = (HEADER_LEN + usize::from(self.payload_len())).min(self.buffer.as_ref().len());
+        &self.buffer.as_ref()[HEADER_LEN..end]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv6Packet<T> {
+    /// Set version, traffic class and flow label in one write.
+    pub fn set_ver_tc_flow(&mut self, traffic_class: u8, flow_label: u32) {
+        let w = (6u32 << 28) | (u32::from(traffic_class) << 20) | (flow_label & 0x000F_FFFF);
+        set_u32(self.buffer.as_mut(), field::VER_TC_FLOW, w);
+    }
+
+    /// Set the payload length field.
+    pub fn set_payload_len(&mut self, len: u16) {
+        set_u16(self.buffer.as_mut(), field::LENGTH, len);
+    }
+
+    /// Set the next-header protocol.
+    pub fn set_next_header(&mut self, proto: IpProtocol) {
+        self.buffer.as_mut()[field::NEXT_HEADER] = proto.into();
+    }
+
+    /// Set the hop limit.
+    pub fn set_hop_limit(&mut self, v: u8) {
+        self.buffer.as_mut()[field::HOP_LIMIT] = v;
+    }
+
+    /// Set the source address.
+    pub fn set_src_addr(&mut self, addr: Ipv6Address) {
+        self.buffer.as_mut()[field::SRC].copy_from_slice(addr.as_bytes());
+    }
+
+    /// Set the destination address.
+    pub fn set_dst_addr(&mut self, addr: Ipv6Address) {
+        self.buffer.as_mut()[field::DST].copy_from_slice(addr.as_bytes());
+    }
+
+    /// Mutable payload bytes.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let end = (HEADER_LEN + usize::from(self.payload_len())).min(self.buffer.as_ref().len());
+        &mut self.buffer.as_mut()[HEADER_LEN..end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_then_parse() {
+        let mut buf = [0u8; 48];
+        {
+            let mut p = Ipv6Packet::new_unchecked(&mut buf[..]);
+            p.set_ver_tc_flow(0x2A, 0x12345);
+            p.set_payload_len(8);
+            p.set_next_header(IpProtocol::Udp);
+            p.set_hop_limit(64);
+            p.set_src_addr(Ipv6Address::new([0xfdaa, 0, 0, 0, 0, 0, 0, 1]));
+            p.set_dst_addr(Ipv6Address::new([0xfdaa, 0, 0, 0, 0, 0, 0, 2]));
+        }
+        let p = Ipv6Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.version(), 6);
+        assert_eq!(p.traffic_class(), 0x2A);
+        assert_eq!(p.flow_label(), 0x12345);
+        assert_eq!(p.payload_len(), 8);
+        assert_eq!(p.next_header(), IpProtocol::Udp);
+        assert_eq!(p.hop_limit(), 64);
+        assert_eq!(p.src_addr().to_string(), "fdaa:0:0:0:0:0:0:1");
+        assert_eq!(p.payload().len(), 8);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = [0u8; 40];
+        buf[0] = 0x40;
+        assert_eq!(
+            Ipv6Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::BadVersion
+        );
+    }
+
+    #[test]
+    fn truncated_and_bad_length_rejected() {
+        assert_eq!(
+            Ipv6Packet::new_checked(&[0u8; 39][..]).unwrap_err(),
+            Error::Truncated
+        );
+        let mut buf = [0u8; 40];
+        buf[0] = 0x60;
+        buf[5] = 10; // payload_len 10, but no payload bytes present
+        assert_eq!(
+            Ipv6Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::BadLength
+        );
+    }
+
+    #[test]
+    fn multicast_loopback() {
+        assert!(Ipv6Address::from_bytes(&[0xFF; 16]).is_multicast());
+        assert!(Ipv6Address::LOOPBACK.is_loopback());
+    }
+}

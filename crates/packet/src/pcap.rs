@@ -1,0 +1,82 @@
+//! Minimal libpcap file writer.
+//!
+//! Produces classic `pcap` files (magic `0xa1b2c3d4`, LINKTYPE_ETHERNET)
+//! readable by Wireshark/tcpdump. Used by examples and the external tester to
+//! dump captures for offline inspection.
+
+use std::io::{self, Write};
+
+/// Classic pcap global header magic (microsecond timestamps).
+const MAGIC: u32 = 0xa1b2_c3d4;
+/// LINKTYPE_ETHERNET.
+const LINKTYPE: u32 = 1;
+
+/// Writes packets into a pcap stream.
+pub struct PcapWriter<W: Write> {
+    sink: W,
+    packets: u64,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Create a writer and emit the global header.
+    pub fn new(mut sink: W) -> io::Result<Self> {
+        sink.write_all(&MAGIC.to_le_bytes())?;
+        sink.write_all(&2u16.to_le_bytes())?; // version major
+        sink.write_all(&4u16.to_le_bytes())?; // version minor
+        sink.write_all(&0i32.to_le_bytes())?; // thiszone
+        sink.write_all(&0u32.to_le_bytes())?; // sigfigs
+        sink.write_all(&65535u32.to_le_bytes())?; // snaplen
+        sink.write_all(&LINKTYPE.to_le_bytes())?;
+        Ok(PcapWriter { sink, packets: 0 })
+    }
+
+    /// Append one packet with the given timestamp in microseconds.
+    pub fn write_packet(&mut self, ts_micros: u64, data: &[u8]) -> io::Result<()> {
+        let secs = (ts_micros / 1_000_000) as u32;
+        let micros = (ts_micros % 1_000_000) as u32;
+        self.sink.write_all(&secs.to_le_bytes())?;
+        self.sink.write_all(&micros.to_le_bytes())?;
+        self.sink.write_all(&(data.len() as u32).to_le_bytes())?;
+        self.sink.write_all(&(data.len() as u32).to_le_bytes())?;
+        self.sink.write_all(data)?;
+        self.packets += 1;
+        Ok(())
+    }
+
+    /// Number of packets written so far.
+    pub fn packet_count(&self) -> u64 {
+        self.packets
+    }
+
+    /// Flush and return the underlying sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_records_layout() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_packet(1_500_000, &[0xAA; 60]).unwrap();
+        w.write_packet(2_000_001, &[0xBB; 4]).unwrap();
+        assert_eq!(w.packet_count(), 2);
+        let bytes = w.finish().unwrap();
+
+        // Global header is 24 bytes.
+        assert_eq!(&bytes[0..4], &MAGIC.to_le_bytes());
+        assert_eq!(bytes.len(), 24 + (16 + 60) + (16 + 4));
+
+        // First record header: ts=1.5s.
+        let secs = u32::from_le_bytes(bytes[24..28].try_into().unwrap());
+        let micros = u32::from_le_bytes(bytes[28..32].try_into().unwrap());
+        assert_eq!((secs, micros), (1, 500_000));
+        let caplen = u32::from_le_bytes(bytes[32..36].try_into().unwrap());
+        assert_eq!(caplen, 60);
+        assert_eq!(&bytes[40..100], &[0xAA; 60][..]);
+    }
+}

@@ -1,0 +1,153 @@
+//! IEEE 802.1Q VLAN tag view.
+//!
+//! The view covers the four bytes that follow the outer EtherType `0x8100`:
+//! TCI (PCP/DEI/VID) plus the inner EtherType.
+
+use crate::ethernet::EtherType;
+use crate::{get_u16, set_u16, Error, Result};
+
+/// Length of the 802.1Q tag (TCI + inner EtherType) in bytes.
+pub const TAG_LEN: usize = 4;
+
+/// A view over a 802.1Q tag and everything after it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VlanTag<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+mod field {
+    pub const TCI: usize = 0;
+    pub const ETHERTYPE: usize = 2;
+    pub const PAYLOAD: usize = 4;
+}
+
+impl<T: AsRef<[u8]>> VlanTag<T> {
+    /// Wrap a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        VlanTag { buffer }
+    }
+
+    /// Wrap a buffer, ensuring it can hold the tag.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let tag = Self::new_unchecked(buffer);
+        if tag.buffer.as_ref().len() < TAG_LEN {
+            return Err(Error::Truncated);
+        }
+        Ok(tag)
+    }
+
+    /// Consume the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Priority code point (3 bits).
+    pub fn pcp(&self) -> u8 {
+        (get_u16(self.buffer.as_ref(), field::TCI) >> 13) as u8
+    }
+
+    /// Drop-eligible indicator.
+    pub fn dei(&self) -> bool {
+        get_u16(self.buffer.as_ref(), field::TCI) & 0x1000 != 0
+    }
+
+    /// VLAN identifier (12 bits).
+    pub fn vid(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), field::TCI) & 0x0FFF
+    }
+
+    /// Inner EtherType.
+    pub fn ethertype(&self) -> EtherType {
+        EtherType::from(get_u16(self.buffer.as_ref(), field::ETHERTYPE))
+    }
+
+    /// Bytes following the tag.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[field::PAYLOAD..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> VlanTag<T> {
+    /// Set the priority code point (3 bits, truncated).
+    pub fn set_pcp(&mut self, pcp: u8) {
+        let tci = get_u16(self.buffer.as_ref(), field::TCI);
+        set_u16(
+            self.buffer.as_mut(),
+            field::TCI,
+            (tci & 0x1FFF) | (u16::from(pcp & 0x07) << 13),
+        );
+    }
+
+    /// Set the drop-eligible indicator.
+    pub fn set_dei(&mut self, dei: bool) {
+        let tci = get_u16(self.buffer.as_ref(), field::TCI);
+        set_u16(
+            self.buffer.as_mut(),
+            field::TCI,
+            if dei { tci | 0x1000 } else { tci & !0x1000 },
+        );
+    }
+
+    /// Set the VLAN identifier (12 bits, truncated).
+    pub fn set_vid(&mut self, vid: u16) {
+        let tci = get_u16(self.buffer.as_ref(), field::TCI);
+        set_u16(
+            self.buffer.as_mut(),
+            field::TCI,
+            (tci & 0xF000) | (vid & 0x0FFF),
+        );
+    }
+
+    /// Set the inner EtherType.
+    pub fn set_ethertype(&mut self, ty: EtherType) {
+        set_u16(self.buffer.as_mut(), field::ETHERTYPE, ty.into());
+    }
+
+    /// Mutable bytes following the tag.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[field::PAYLOAD..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_set() {
+        let mut buf = [0u8; 8];
+        {
+            let mut tag = VlanTag::new_unchecked(&mut buf[..]);
+            tag.set_pcp(5);
+            tag.set_dei(true);
+            tag.set_vid(0x123);
+            tag.set_ethertype(EtherType::Ipv4);
+        }
+        let tag = VlanTag::new_checked(&buf[..]).unwrap();
+        assert_eq!(tag.pcp(), 5);
+        assert!(tag.dei());
+        assert_eq!(tag.vid(), 0x123);
+        assert_eq!(tag.ethertype(), EtherType::Ipv4);
+        assert_eq!(tag.payload().len(), 4);
+    }
+
+    #[test]
+    fn vid_truncates_to_12_bits() {
+        let mut buf = [0u8; 4];
+        let mut tag = VlanTag::new_unchecked(&mut buf[..]);
+        tag.set_vid(0xFFFF);
+        assert_eq!(tag.vid(), 0x0FFF);
+        tag.set_pcp(0xFF);
+        assert_eq!(tag.pcp(), 0x07);
+        // Setting PCP must not clobber VID.
+        assert_eq!(tag.vid(), 0x0FFF);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(
+            VlanTag::new_checked(&[0u8; 3][..]).unwrap_err(),
+            Error::Truncated
+        );
+    }
+}

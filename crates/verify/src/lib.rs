@@ -1,0 +1,299 @@
+//! Spec-level formal verification of P4 programs (the p4v baseline).
+//!
+//! This crate reproduces the role played by software formal verification
+//! tools — p4v [Cascaval et al., SIGCOMM 2018] — in the paper's Figure 2 and
+//! §4 case study. It symbolically executes the *pipeline IR as written by
+//! the programmer*, exploring every parser path, branch and table action
+//! (for all possible control planes), and checks:
+//!
+//! * reads/writes of invalid headers,
+//! * paths that end with neither a drop nor an egress decision,
+//! * and it *certifies* that every `reject` path drops the packet.
+//!
+//! **What it cannot do — by design, and this is the paper's point:** its
+//! input is the program, never the device. A backend that silently
+//! mis-compiles `reject` (see `RejectStateIgnored` in `netdebug-hw`)
+//! produces hardware whose behaviour diverges from the verified spec, and no
+//! amount of spec-level analysis will notice. The integration tests of the
+//! workspace demonstrate exactly this blind spot.
+//!
+//! ```
+//! use netdebug_verify::{verify, Options};
+//!
+//! let ir = netdebug_p4::compile(netdebug_p4::corpus::IPV4_FORWARD).unwrap();
+//! let report = verify(&ir, Options::default());
+//! assert!(report.verified());            // the spec is clean…
+//! assert!(report.reject_paths > 0);      // …and promises drop paths,
+//! assert!(report.spec_reject_drops);     // which the verifier certifies.
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod solver;
+pub mod sym;
+
+pub use exec::{verify, Finding, FindingKind, Options, VerifyReport};
+pub use solver::{solve, Sat};
+pub use sym::Sym;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdebug_p4::corpus;
+
+    fn run(source: &str) -> VerifyReport {
+        let ir = netdebug_p4::compile(source).unwrap();
+        verify(&ir, Options::default())
+    }
+
+    #[test]
+    fn corpus_apps_verify_clean() {
+        for prog in corpus::corpus() {
+            let report = run(prog.source);
+            // Enumerative exploration saturates on feature_many_tables
+            // (12 tables × 3 outcomes each ≈ 500k paths); p4v avoids this
+            // with monolithic SMT encodings. Saturation is reported, not
+            // hidden — any *semantic* finding is still a failure here.
+            let semantic: Vec<_> = report
+                .findings
+                .iter()
+                .filter(|f| f.kind != FindingKind::PathBudgetExhausted)
+                .collect();
+            assert!(
+                semantic.is_empty(),
+                "{} expected clean, got {:#?}",
+                prog.name,
+                semantic
+            );
+            if prog.name != "feature_many_tables" {
+                assert!(
+                    report.verified(),
+                    "{} unexpectedly saturated the path budget",
+                    prog.name
+                );
+            }
+            assert!(report.paths_explored > 0, "{}", prog.name);
+        }
+    }
+
+    #[test]
+    fn ipv4_forward_certified_with_reject_paths() {
+        let report = run(corpus::IPV4_FORWARD);
+        assert!(report.verified());
+        assert!(report.reject_paths >= 1, "{}", report.reject_paths);
+        assert!(report.spec_reject_drops);
+    }
+
+    #[test]
+    fn detects_read_of_invalid_header() {
+        // hdr.ipv4 is read without a validity guard on the non-IPv4 path.
+        let report = run(
+            r#"
+            const bit<16> TYPE_IPV4 = 0x800;
+            header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+            header ipv4_t { bit<8> ttl; bit<8> proto; bit<16> csum; bit<32> a; bit<32> b; }
+            struct headers_t { ethernet_t ethernet; ipv4_t ipv4; }
+            struct meta_t { bit<8> t; }
+            parser P(packet_in pkt, out headers_t hdr, inout meta_t m,
+                     inout standard_metadata_t std) {
+                state start {
+                    pkt.extract(hdr.ethernet);
+                    transition select(hdr.ethernet.etherType) {
+                        TYPE_IPV4: parse_ipv4;
+                        default: accept;
+                    }
+                }
+                state parse_ipv4 { pkt.extract(hdr.ipv4); transition accept; }
+            }
+            control I(inout headers_t hdr, inout meta_t m,
+                      inout standard_metadata_t std) {
+                apply {
+                    // BUG: no isValid() guard.
+                    m.t = hdr.ipv4.ttl;
+                    std.egress_spec = 1;
+                }
+            }
+            control D(packet_out pkt, in headers_t hdr) {
+                apply { pkt.emit(hdr.ethernet); pkt.emit(hdr.ipv4); }
+            }
+            "#,
+        );
+        assert!(!report.verified());
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.kind == FindingKind::ReadInvalidHeader
+                    && f.detail.contains("ipv4.ttl")),
+            "{:#?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn guarded_read_is_clean() {
+        let report = run(
+            r#"
+            const bit<16> TYPE_IPV4 = 0x800;
+            header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+            header ipv4_t { bit<8> ttl; }
+            struct headers_t { ethernet_t ethernet; ipv4_t ipv4; }
+            struct meta_t { bit<8> t; }
+            parser P(packet_in pkt, out headers_t hdr, inout meta_t m,
+                     inout standard_metadata_t std) {
+                state start {
+                    pkt.extract(hdr.ethernet);
+                    transition select(hdr.ethernet.etherType) {
+                        TYPE_IPV4: parse_ipv4;
+                        default: accept;
+                    }
+                }
+                state parse_ipv4 { pkt.extract(hdr.ipv4); transition accept; }
+            }
+            control I(inout headers_t hdr, inout meta_t m,
+                      inout standard_metadata_t std) {
+                apply {
+                    if (hdr.ipv4.isValid()) {
+                        m.t = hdr.ipv4.ttl;
+                    }
+                    std.egress_spec = 1;
+                }
+            }
+            control D(packet_out pkt, in headers_t hdr) {
+                apply { pkt.emit(hdr.ethernet); pkt.emit(hdr.ipv4); }
+            }
+            "#,
+        );
+        assert!(report.verified(), "{:#?}", report.findings);
+    }
+
+    #[test]
+    fn detects_missing_verdict() {
+        let report = run(
+            r#"
+            header h_t { bit<8> x; }
+            struct headers_t { h_t h; }
+            struct meta_t { bit<8> y; }
+            parser P(packet_in pkt, out headers_t hdr, inout meta_t m,
+                     inout standard_metadata_t std) {
+                state start { pkt.extract(hdr.h); transition accept; }
+            }
+            control I(inout headers_t hdr, inout meta_t m,
+                      inout standard_metadata_t std) {
+                apply {
+                    // Forward only half the value space; the other half
+                    // falls through with no verdict.
+                    if (hdr.h.x < 128) {
+                        std.egress_spec = 1;
+                    }
+                }
+            }
+            control D(packet_out pkt, in headers_t hdr) {
+                apply { pkt.emit(hdr.h); }
+            }
+            "#,
+        );
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.kind == FindingKind::NoVerdict));
+        // The witness pins a concrete packet that exhibits the problem.
+        let f = report
+            .findings
+            .iter()
+            .find(|f| f.kind == FindingKind::NoVerdict)
+            .unwrap();
+        assert!(
+            f.witness.iter().any(|(name, v)| name == "h.x" && *v >= 128),
+            "{:?}",
+            f.witness
+        );
+    }
+
+    #[test]
+    fn infeasible_branches_are_pruned() {
+        let report = run(
+            r#"
+            header h_t { bit<8> x; }
+            struct headers_t { h_t h; }
+            struct meta_t { bit<8> y; }
+            parser P(packet_in pkt, out headers_t hdr, inout meta_t m,
+                     inout standard_metadata_t std) {
+                state start {
+                    pkt.extract(hdr.h);
+                    transition select(hdr.h.x) {
+                        1: one;
+                        default: accept;
+                    }
+                }
+                state one { transition accept; }
+            }
+            control I(inout headers_t hdr, inout meta_t m,
+                      inout standard_metadata_t std) {
+                apply {
+                    if (hdr.h.x == 1) {
+                        if (hdr.h.x == 2) {
+                            // Unreachable: no verdict here must NOT fire.
+                            m.y = 1;
+                        } else {
+                            std.egress_spec = 1;
+                        }
+                    } else {
+                        std.egress_spec = 2;
+                    }
+                }
+            }
+            control D(packet_out pkt, in headers_t hdr) {
+                apply { pkt.emit(hdr.h); }
+            }
+            "#,
+        );
+        // The x==1 && x==2 path is infeasible; without pruning it would be
+        // reported as NoVerdict.
+        assert!(
+            report.verified(),
+            "infeasible path not pruned: {:#?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn table_actions_all_explored() {
+        // An action that writes an invalid header is only reachable through
+        // a table hit — the "for all control planes" model must find it.
+        let report = run(
+            r#"
+            header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+            header ipv4_t { bit<8> ttl; }
+            struct headers_t { ethernet_t ethernet; ipv4_t ipv4; }
+            struct meta_t { bit<8> t; }
+            parser P(packet_in pkt, out headers_t hdr, inout meta_t m,
+                     inout standard_metadata_t std) {
+                state start { pkt.extract(hdr.ethernet); transition accept; }
+            }
+            control I(inout headers_t hdr, inout meta_t m,
+                      inout standard_metadata_t std) {
+                action bad() {
+                    hdr.ipv4.ttl = 7;   // ipv4 never extracted!
+                    std.egress_spec = 1;
+                }
+                table t {
+                    key = { hdr.ethernet.etherType: exact; }
+                    actions = { bad; NoAction; }
+                    default_action = NoAction();
+                }
+                apply { t.apply(); std.egress_spec = 2; }
+            }
+            control D(packet_out pkt, in headers_t hdr) {
+                apply { pkt.emit(hdr.ethernet); }
+            }
+            "#,
+        );
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.kind == FindingKind::WriteInvalidHeader));
+    }
+}

@@ -1,0 +1,301 @@
+//! Constraint solving for path conditions.
+//!
+//! No SMT solver is available offline, so this is a hand-rolled decision
+//! procedure for conjunctions of bit-vector constraints:
+//!
+//! 1. **Exhaustive enumeration** when the atoms in the condition span at
+//!    most [`EXHAUSTIVE_BITS`] bits — complete (returns `Sat`/`Unsat`).
+//! 2. **Directed + random sampling** otherwise: constants mentioned in the
+//!    constraints (± 1), boundary values, then a deterministic PRNG sweep.
+//!    Finding a model proves `Sat`; exhausting the budget returns
+//!    `Unknown`, which callers treat as "possibly satisfiable" so that
+//!    reachability stays over-approximate (no bug is missed because the
+//!    solver gave up).
+//!
+//! This is far weaker than Z3 but sufficient for the SDNet-era programs the
+//! paper targets: their path conditions are equalities/masks over a handful
+//! of narrow header fields.
+
+use crate::sym::Sym;
+use std::collections::BTreeSet;
+
+/// Total atom bits under which enumeration is exhaustive.
+pub const EXHAUSTIVE_BITS: u32 = 20;
+
+/// Random samples tried before giving up.
+const SAMPLE_BUDGET: usize = 4096;
+
+/// Solver verdicts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sat {
+    /// A model exists (one witness assignment is included: atom id → value).
+    Sat(Vec<(usize, u128)>),
+    /// Proven unsatisfiable (exhaustive case only).
+    Unsat,
+    /// Gave up; treat as possibly satisfiable.
+    Unknown,
+}
+
+impl Sat {
+    /// True unless proven unsatisfiable.
+    pub fn possible(&self) -> bool {
+        !matches!(self, Sat::Unsat)
+    }
+}
+
+/// Widths of every atom, indexed by atom id.
+pub trait AtomWidths {
+    /// Width in bits of atom `id`.
+    fn atom_width(&self, id: usize) -> u16;
+}
+
+impl AtomWidths for Vec<u16> {
+    fn atom_width(&self, id: usize) -> u16 {
+        self[id]
+    }
+}
+
+/// Decide satisfiability of the conjunction of boolean expressions.
+pub fn solve(constraints: &[Sym], widths: &impl AtomWidths) -> Sat {
+    // Fast paths.
+    let mut residual = Vec::new();
+    for c in constraints {
+        match c.as_const() {
+            Some(0) => return Sat::Unsat,
+            Some(_) => {}
+            None => residual.push(c.clone()),
+        }
+    }
+    if residual.is_empty() {
+        return Sat::Sat(Vec::new());
+    }
+
+    let mut atom_set = BTreeSet::new();
+    for c in &residual {
+        c.atoms(&mut atom_set);
+    }
+    let atoms: Vec<usize> = atom_set.into_iter().collect();
+    let bit_counts: Vec<u16> = atoms.iter().map(|&a| widths.atom_width(a)).collect();
+    let total_bits: u32 = bit_counts.iter().map(|&w| u32::from(w)).sum();
+
+    let check = |values: &[u128]| -> bool {
+        let lookup = |id: usize| -> u128 {
+            atoms
+                .iter()
+                .position(|&a| a == id)
+                .map(|i| values[i])
+                .unwrap_or(0)
+        };
+        residual.iter().all(|c| c.eval(&lookup) != 0)
+    };
+
+    if total_bits <= EXHAUSTIVE_BITS {
+        // Enumerate the cross product.
+        let mut values = vec![0u128; atoms.len()];
+        return enumerate(&mut values, 0, &bit_counts, &check, &atoms);
+    }
+
+    // Directed sampling: interesting constants from the constraints.
+    let mut interesting: BTreeSet<u128> = BTreeSet::new();
+    for c in &residual {
+        collect_consts(c, &mut interesting);
+    }
+    interesting.insert(0);
+    interesting.insert(1);
+    let candidates: Vec<u128> = interesting
+        .iter()
+        .flat_map(|&v| [v.saturating_sub(1), v, v.wrapping_add(1)])
+        .collect();
+
+    // Try per-atom combinations of interesting values (bounded).
+    let k = candidates.len();
+    if k.pow(atoms.len().min(4) as u32) <= SAMPLE_BUDGET && atoms.len() <= 4 {
+        let mut values = vec![0u128; atoms.len()];
+        if try_combos(&mut values, 0, &candidates, &check) {
+            let witness = atoms.iter().copied().zip(values).collect();
+            return Sat::Sat(witness);
+        }
+    } else {
+        // Single sweep: same interesting value broadcast to all atoms.
+        for &v in &candidates {
+            let values = vec![v; atoms.len()];
+            if check(&values) {
+                let witness = atoms.iter().copied().zip(values).collect();
+                return Sat::Sat(witness);
+            }
+        }
+    }
+
+    // Deterministic xorshift sampling.
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    for _ in 0..SAMPLE_BUDGET {
+        let values: Vec<u128> = bit_counts
+            .iter()
+            .map(|&w| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let raw = (u128::from(state) << 64) | u128::from(state.wrapping_mul(0xD129_9F7A));
+                netdebug_p4::ir::truncate(raw, w)
+            })
+            .collect();
+        if check(&values) {
+            let witness = atoms.iter().copied().zip(values).collect();
+            return Sat::Sat(witness);
+        }
+    }
+    Sat::Unknown
+}
+
+fn enumerate(
+    values: &mut Vec<u128>,
+    idx: usize,
+    widths: &[u16],
+    check: &impl Fn(&[u128]) -> bool,
+    atoms: &[usize],
+) -> Sat {
+    if idx == values.len() {
+        return if check(values) {
+            Sat::Sat(atoms.iter().copied().zip(values.iter().copied()).collect())
+        } else {
+            Sat::Unsat
+        };
+    }
+    let max = netdebug_p4::ir::all_ones(widths[idx]);
+    let mut v = 0u128;
+    loop {
+        values[idx] = v;
+        if let Sat::Sat(w) = enumerate(values, idx + 1, widths, check, atoms) {
+            return Sat::Sat(w);
+        }
+        if v == max {
+            break;
+        }
+        v += 1;
+    }
+    Sat::Unsat
+}
+
+fn try_combos(
+    values: &mut Vec<u128>,
+    idx: usize,
+    candidates: &[u128],
+    check: &impl Fn(&[u128]) -> bool,
+) -> bool {
+    if idx == values.len() {
+        return check(values);
+    }
+    for &c in candidates {
+        values[idx] = c;
+        if try_combos(values, idx + 1, candidates, check) {
+            return true;
+        }
+    }
+    false
+}
+
+fn collect_consts(s: &Sym, out: &mut BTreeSet<u128>) {
+    match s {
+        Sym::Const { value, .. } => {
+            out.insert(*value);
+        }
+        Sym::Un { a, .. } | Sym::Cast { a, .. } => collect_consts(a, out),
+        Sym::Bin { a, b, .. } => {
+            collect_consts(a, out);
+            collect_consts(b, out);
+        }
+        Sym::Slice { base, .. } => collect_consts(base, out),
+        Sym::Atom { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdebug_p4::ast::BinOp;
+    use std::rc::Rc;
+
+    fn atom(id: usize, width: u16) -> Sym {
+        Sym::Atom { id, width }
+    }
+
+    fn eq(a: Sym, b: Sym) -> Sym {
+        Sym::Bin {
+            op: BinOp::Eq,
+            a: Rc::new(a),
+            b: Rc::new(b),
+            width: 1,
+        }
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let widths = vec![8u16];
+        assert_eq!(solve(&[Sym::konst(1, 1)], &widths), Sat::Sat(vec![]));
+        assert_eq!(solve(&[Sym::konst(0, 1)], &widths), Sat::Unsat);
+        assert_eq!(solve(&[], &widths), Sat::Sat(vec![]));
+    }
+
+    #[test]
+    fn exhaustive_small_domain() {
+        let widths = vec![8u16, 8];
+        // x == 5 && y == x + 1 is satisfiable.
+        let c1 = eq(atom(0, 8), Sym::konst(5, 8));
+        let c2 = eq(
+            atom(1, 8),
+            Sym::Bin {
+                op: BinOp::Add,
+                a: Rc::new(atom(0, 8)),
+                b: Rc::new(Sym::konst(1, 8)),
+                width: 8,
+            },
+        );
+        match solve(&[c1.clone(), c2], &widths) {
+            Sat::Sat(model) => {
+                assert!(model.contains(&(0, 5)));
+                assert!(model.contains(&(1, 6)));
+            }
+            other => panic!("{other:?}"),
+        }
+        // x == 5 && x == 6 is unsat — and we can prove it.
+        let c3 = eq(atom(0, 8), Sym::konst(6, 8));
+        assert_eq!(solve(&[c1, c3], &widths), Sat::Unsat);
+    }
+
+    #[test]
+    fn wide_domain_finds_directed_witness() {
+        let widths = vec![48u16];
+        // A 48-bit equality: enumeration impossible, directed sampling
+        // lands on the constant.
+        let c = eq(atom(0, 48), Sym::konst(0x0A0B_0C0D_0E0F, 48));
+        match solve(&[c], &widths) {
+            Sat::Sat(model) => assert_eq!(model[0], (0, 0x0A0B_0C0D_0E0F)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn wide_contradiction_is_unknown_not_sat() {
+        let widths = vec![48u16];
+        let c1 = eq(atom(0, 48), Sym::konst(1, 48));
+        let c2 = eq(atom(0, 48), Sym::konst(2, 48));
+        // Sampling cannot prove unsat; it must NOT claim sat.
+        let r = solve(&[c1, c2], &widths);
+        assert_eq!(r, Sat::Unknown);
+        assert!(r.possible(), "unknown treated as possibly-sat");
+    }
+
+    #[test]
+    fn mask_constraints() {
+        let widths = vec![16u16];
+        // x & 0xFF00 == 0x0800 — satisfiable (e.g. 0x0800).
+        let masked = Sym::Bin {
+            op: BinOp::And,
+            a: Rc::new(atom(0, 16)),
+            b: Rc::new(Sym::konst(0xFF00, 16)),
+            width: 16,
+        };
+        let c = eq(masked, Sym::konst(0x0800, 16));
+        assert!(matches!(solve(&[c], &widths), Sat::Sat(_)));
+    }
+}

@@ -1,0 +1,267 @@
+//! Symbolic values and the constraint store.
+//!
+//! A [`Sym`] is a bit-vector expression over *atoms* — the symbolic inputs
+//! of a packet (header fields as extracted, metadata initial values, the
+//! ingress port). Path conditions are conjunctions of boolean (`width == 1`)
+//! symbolic expressions.
+
+use netdebug_p4::ast::{BinOp, UnOp};
+use netdebug_p4::ir::truncate;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+/// A symbolic bit-vector expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sym {
+    /// A symbolic input atom.
+    Atom {
+        /// Atom index (into the executor's atom table).
+        id: usize,
+        /// Width in bits.
+        width: u16,
+    },
+    /// A concrete constant.
+    Const {
+        /// Value.
+        value: u128,
+        /// Width in bits.
+        width: u16,
+    },
+    /// Unary operation.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        a: Rc<Sym>,
+        /// Result width.
+        width: u16,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        a: Rc<Sym>,
+        /// Right operand.
+        b: Rc<Sym>,
+        /// Result width.
+        width: u16,
+    },
+    /// Bit slice (inclusive bounds).
+    Slice {
+        /// Base expression.
+        base: Rc<Sym>,
+        /// High bit.
+        hi: u16,
+        /// Low bit.
+        lo: u16,
+    },
+    /// Width cast.
+    Cast {
+        /// Source.
+        a: Rc<Sym>,
+        /// Target width.
+        width: u16,
+    },
+}
+
+impl Sym {
+    /// Constant constructor.
+    pub fn konst(value: u128, width: u16) -> Sym {
+        Sym::Const {
+            value: truncate(value, width),
+            width,
+        }
+    }
+
+    /// Result width.
+    pub fn width(&self) -> u16 {
+        match self {
+            Sym::Atom { width, .. }
+            | Sym::Const { width, .. }
+            | Sym::Un { width, .. }
+            | Sym::Bin { width, .. }
+            | Sym::Cast { width, .. } => *width,
+            Sym::Slice { hi, lo, .. } => hi - lo + 1,
+        }
+    }
+
+    /// If concrete, its value.
+    pub fn as_const(&self) -> Option<u128> {
+        match self {
+            Sym::Const { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// All atom ids appearing in this expression.
+    pub fn atoms(&self, out: &mut BTreeSet<usize>) {
+        match self {
+            Sym::Atom { id, .. } => {
+                out.insert(*id);
+            }
+            Sym::Const { .. } => {}
+            Sym::Un { a, .. } | Sym::Cast { a, .. } => a.atoms(out),
+            Sym::Bin { a, b, .. } => {
+                a.atoms(out);
+                b.atoms(out);
+            }
+            Sym::Slice { base, .. } => base.atoms(out),
+        }
+    }
+
+    /// Evaluate under a full assignment (atom id → value).
+    pub fn eval(&self, assignment: &dyn Fn(usize) -> u128) -> u128 {
+        match self {
+            Sym::Atom { id, width } => truncate(assignment(*id), *width),
+            Sym::Const { value, .. } => *value,
+            Sym::Un { op, a, width } => {
+                let v = a.eval(assignment);
+                match op {
+                    UnOp::Not => truncate(!v, *width),
+                    UnOp::Neg => truncate(v.wrapping_neg(), *width),
+                    UnOp::LNot => (v == 0) as u128,
+                }
+            }
+            Sym::Bin { op, a, b, width } => {
+                let x = a.eval(assignment);
+                let y = b.eval(assignment);
+                let w = *width;
+                match op {
+                    BinOp::Add => truncate(x.wrapping_add(y), w),
+                    BinOp::Sub => truncate(x.wrapping_sub(y), w),
+                    BinOp::Mul => truncate(x.wrapping_mul(y), w),
+                    BinOp::Div => {
+                        if y == 0 {
+                            0
+                        } else {
+                            truncate(x / y, w)
+                        }
+                    }
+                    BinOp::Mod => {
+                        if y == 0 {
+                            0
+                        } else {
+                            truncate(x % y, w)
+                        }
+                    }
+                    BinOp::And => x & y,
+                    BinOp::Or => x | y,
+                    BinOp::Xor => x ^ y,
+                    BinOp::Shl => truncate(x.checked_shl(y as u32).unwrap_or(0), w),
+                    BinOp::Shr => x.checked_shr(y as u32).unwrap_or(0),
+                    BinOp::Eq => (x == y) as u128,
+                    BinOp::Ne => (x != y) as u128,
+                    BinOp::Lt => (x < y) as u128,
+                    BinOp::Le => (x <= y) as u128,
+                    BinOp::Gt => (x > y) as u128,
+                    BinOp::Ge => (x >= y) as u128,
+                    BinOp::LAnd => (x != 0 && y != 0) as u128,
+                    BinOp::LOr => (x != 0 || y != 0) as u128,
+                    BinOp::Concat => {
+                        let bw = b.width();
+                        truncate((x << bw) | y, w)
+                    }
+                }
+            }
+            Sym::Slice { base, hi, lo } => truncate(base.eval(assignment) >> lo, hi - lo + 1),
+            Sym::Cast { a, width } => truncate(a.eval(assignment), *width),
+        }
+    }
+
+    /// Constant-fold the outermost layer where possible.
+    pub fn simplify(self) -> Sym {
+        match &self {
+            Sym::Un { op, a, width } => {
+                if let Some(v) = a.as_const() {
+                    let folded = match op {
+                        UnOp::Not => truncate(!v, *width),
+                        UnOp::Neg => truncate(v.wrapping_neg(), *width),
+                        UnOp::LNot => (v == 0) as u128,
+                    };
+                    return Sym::konst(folded, *width);
+                }
+                self
+            }
+            Sym::Bin { a, b, .. } => {
+                if a.as_const().is_some() && b.as_const().is_some() {
+                    let v = self.eval(&|_| 0);
+                    return Sym::konst(v, self.width());
+                }
+                self
+            }
+            Sym::Slice { base, hi, lo } => {
+                if let Some(v) = base.as_const() {
+                    return Sym::konst(v >> lo, hi - lo + 1);
+                }
+                self
+            }
+            Sym::Cast { a, width } => {
+                if let Some(v) = a.as_const() {
+                    return Sym::konst(v, *width);
+                }
+                self
+            }
+            _ => self,
+        }
+    }
+}
+
+/// Named description of one symbolic atom (for reporting counterexamples).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtomInfo {
+    /// Human-readable origin (e.g. `ethernet.etherType`).
+    pub name: String,
+    /// Width in bits.
+    pub width: u16,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    #[test]
+    fn eval_and_width() {
+        let a = Sym::Atom { id: 0, width: 8 };
+        let e = Sym::Bin {
+            op: BinOp::Add,
+            a: Rc::new(a),
+            b: Rc::new(Sym::konst(200, 8)),
+            width: 8,
+        };
+        assert_eq!(e.width(), 8);
+        assert_eq!(e.eval(&|_| 100), 44); // 300 wraps at 8 bits
+        let mut atoms = BTreeSet::new();
+        e.atoms(&mut atoms);
+        assert_eq!(atoms.into_iter().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn simplify_folds_constants() {
+        let e = Sym::Bin {
+            op: BinOp::Mul,
+            a: Rc::new(Sym::konst(6, 16)),
+            b: Rc::new(Sym::konst(7, 16)),
+            width: 16,
+        };
+        assert_eq!(e.simplify().as_const(), Some(42));
+        let s = Sym::Slice {
+            base: Rc::new(Sym::konst(0xAB, 8)),
+            hi: 7,
+            lo: 4,
+        };
+        assert_eq!(s.simplify().as_const(), Some(0xA));
+    }
+
+    #[test]
+    fn comparison_results_are_boolean() {
+        let e = Sym::Bin {
+            op: BinOp::Lt,
+            a: Rc::new(Sym::konst(3, 8)),
+            b: Rc::new(Sym::konst(5, 8)),
+            width: 1,
+        };
+        assert_eq!(e.eval(&|_| 0), 1);
+    }
+}

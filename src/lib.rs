@@ -1,0 +1,14 @@
+//! Umbrella crate for the NetDebug reproduction suite.
+//!
+//! Re-exports every workspace crate under one namespace so that examples and
+//! integration tests can `use netdebug_suite::*` without naming individual
+//! crates. See `README.md` for the architecture overview and `DESIGN.md` for
+//! the full system inventory.
+
+pub use netdebug;
+pub use netdebug_dataplane as dataplane;
+pub use netdebug_hw as hw;
+pub use netdebug_p4 as p4;
+pub use netdebug_packet as packet;
+pub use netdebug_tester as tester;
+pub use netdebug_verify as verify;

@@ -23,10 +23,7 @@ fn main() {
         ("sdnet-2018", Backend::sdnet_2018(), 256),
         (
             "sdnet+cap-bug",
-            Backend::sdnet_with_bugs(
-                "cap",
-                vec![BugSpec::TableCapacityTruncated { factor: 4 }],
-            ),
+            Backend::sdnet_with_bugs("cap", vec![BugSpec::TableCapacityTruncated { factor: 4 }]),
             256,
         ),
     ];

@@ -51,8 +51,7 @@ fn main() {
         }
         V1Switch(P2(), I2(), D2()) main;
     "#;
-    let report =
-        compare_programs(corpus::REFLECTOR, alt_reflector, &Backend::reference()).unwrap();
+    let report = compare_programs(corpus::REFLECTOR, alt_reflector, &Backend::reference()).unwrap();
     println!("{report}");
     assert!(report.behaviourally_equivalent());
 

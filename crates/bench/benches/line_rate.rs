@@ -100,9 +100,14 @@ fn line_rate_summary(_c: &mut Criterion) {
     };
     row("in-device checker (2 cyc @ 200 MHz)", hw_pps);
     row("host software: checker only", sw_checker_pps);
-    row("host software: spec replay + check",
-        1.0 / (1.0 / sw_checker_pps + 1.0 / sw_dataplane_pps));
-    println!("{:<38} {:>14.0}", "10G line rate, 64B frames", LINE_RATE_64B);
+    row(
+        "host software: spec replay + check",
+        1.0 / (1.0 / sw_checker_pps + 1.0 / sw_dataplane_pps),
+    );
+    println!(
+        "{:<38} {:>14.0}",
+        "10G line rate, 64B frames", LINE_RATE_64B
+    );
 
     println!("\nshape check (paper): only the in-device hardware checker has");
     println!("headroom over the 64B line rate on every lane; host-based");

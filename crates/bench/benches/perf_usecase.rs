@@ -44,11 +44,7 @@ fn main() {
             },
         )
     };
-    let in_device = report
-        .points
-        .iter()
-        .find(|p| p.frame_bytes == 256)
-        .unwrap();
+    let in_device = report.points.iter().find(|p| p.frame_bytes == 256).unwrap();
     println!(
         "{:<34} {:>10.1} ns",
         "external tester (incl. MAC/PHY):", external.latency_avg_ns

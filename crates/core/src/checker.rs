@@ -10,7 +10,7 @@
 //! the paper's prototype caught the SDNet reject bug.
 
 use crate::generator::{find_test_header, Expectation};
-use netdebug_hw::Outcome;
+use netdebug_hw::{Outcome, Processed};
 use netdebug_packet::testhdr::FLAG_EXPECT_DROP;
 use netdebug_packet::TestHeader;
 use serde::{Deserialize, Serialize};
@@ -260,11 +260,8 @@ impl Checker {
         // itself lets the hardware checker flag violations with no host
         // round trip — this is the paper's detection mechanism.
         if expect_drop {
-            self.violations.push(Violation::ForwardedButExpectedDrop {
-                stream,
-                seq,
-                port,
-            });
+            self.violations
+                .push(Violation::ForwardedButExpectedDrop { stream, seq, port });
             return;
         }
         if let Some(Expectation::Forward { port: Some(want) }) = self.expectations.get(&stream) {
@@ -276,6 +273,39 @@ impl Checker {
                     want: *want,
                 });
             }
+        }
+    }
+
+    /// Feed one whole injected window to the checker: `processed[i]` is
+    /// the device's outcome for stream `stream`'s packet `first_seq + i`.
+    ///
+    /// Equivalent to the per-packet [`Checker::observe`] /
+    /// [`Checker::observe_drop`] calls the session loop used to make, but
+    /// drop accounting resolves the stream's stats entry and expectation
+    /// once per window instead of once per packet.
+    pub fn observe_batch(&mut self, stream: u16, first_seq: u64, processed: &[Processed]) {
+        // Hoist the per-stream state lookups out of the drop loop; output
+        // packets self-identify via their test header and are dispatched
+        // individually (the data plane may have remapped streams).
+        let expect = self.expectations.get(&stream).copied();
+        let mut dropped = 0u64;
+        for (i, p) in processed.iter().enumerate() {
+            match &p.outcome {
+                Outcome::Dropped { .. } => {
+                    dropped += 1;
+                    if let Some(Expectation::Forward { .. }) = expect {
+                        self.violations.push(Violation::DroppedButExpectedForward {
+                            stream,
+                            seq: first_seq + i as u64,
+                            last_stage: p.last_stage.clone(),
+                        });
+                    }
+                }
+                outcome => self.observe(outcome, p.done_at_cycle, &p.last_stage),
+            }
+        }
+        if dropped > 0 {
+            self.streams.entry(stream).or_default().dropped += dropped;
         }
     }
 
@@ -323,14 +353,7 @@ mod tests {
         c.open_stream(1, Expectation::Forward { port: Some(2) }, 5);
         for (seq, ts, now) in [(0u64, 0u64, 50u64), (1, 100, 160), (3, 300, 420)] {
             let f = gen_frame(1, seq, ts, Expectation::Forward { port: Some(2) });
-            c.observe(
-                &Outcome::Tx {
-                    port: 2,
-                    data: f,
-                },
-                now,
-                "egress",
-            );
+            c.observe(&Outcome::Tx { port: 2, data: f }, now, "egress");
         }
         // Out-of-order arrival of seq 2 after 3.
         let f = gen_frame(1, 2, 200, Expectation::Forward { port: Some(2) });
@@ -432,7 +455,10 @@ mod tests {
             5,
             "egress",
         );
-        assert!(matches!(c.violations()[0], Violation::Unrecognised { port: 0 }));
+        assert!(matches!(
+            c.violations()[0],
+            Violation::Unrecognised { port: 0 }
+        ));
     }
 
     #[test]

@@ -71,19 +71,17 @@ pub fn diff_devices(a: &mut Device, b: &mut Device, probes: &[Probe]) -> DiffRep
                     // "mark_to_drop") even when the packet dies either way.
                     Some(format!("drop reasons differ: {ra} vs {rb}"))
                 } else if stages_a != stages_b {
-                    Some(format!(
-                        "both drop ({ra}) but traverse different stages"
-                    ))
+                    Some(format!("both drop ({ra}) but traverse different stages"))
                 } else {
                     None
                 }
             }
-            (Outcome::Dropped { reason }, Outcome::Tx { port, .. }) => Some(format!(
-                "A drops ({reason}), B forwards to port {port}"
-            )),
-            (Outcome::Tx { port, .. }, Outcome::Dropped { reason }) => Some(format!(
-                "A forwards to port {port}, B drops ({reason})"
-            )),
+            (Outcome::Dropped { reason }, Outcome::Tx { port, .. }) => {
+                Some(format!("A drops ({reason}), B forwards to port {port}"))
+            }
+            (Outcome::Tx { port, .. }, Outcome::Dropped { reason }) => {
+                Some(format!("A forwards to port {port}, B drops ({reason})"))
+            }
             (Outcome::Tx { port: pa, data: da }, Outcome::Tx { port: pb, data: db }) => {
                 if pa != pb {
                     Some(format!("egress ports differ: {pa} vs {pb}"))

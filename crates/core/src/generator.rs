@@ -148,6 +148,31 @@ impl Generator {
         }
     }
 
+    /// Build a whole window of a stream's frames in one call: sequence
+    /// numbers `first_seq .. first_seq + n`.
+    ///
+    /// Timestamps follow the injection schedule [`run_stream`] uses: the
+    /// device clock advances by one inter-packet gap *before* each
+    /// injection, so packet `k` of the window is stamped
+    /// `start_cycles + gap_cycles * (k + 1)` (which degenerates to
+    /// `start_cycles` for back-to-back streams). A batched window is
+    /// therefore byte-identical to generating the same packets one at a
+    /// time against a live device clock.
+    ///
+    /// [`run_stream`]: ../session/struct.NetDebug.html#method.run_stream
+    pub fn build_batch(
+        &mut self,
+        spec: &StreamSpec,
+        first_seq: u64,
+        n: u64,
+        start_cycles: u64,
+        gap_cycles: u64,
+    ) -> Vec<GeneratedPacket> {
+        (0..n)
+            .map(|k| self.build(spec, first_seq + k, start_cycles + gap_cycles * (k + 1)))
+            .collect()
+    }
+
     /// Inter-packet gap for a stream at a given core clock, in cycles.
     pub fn gap_cycles(spec: &StreamSpec, clock_hz: f64) -> u64 {
         match spec.rate_pps {
@@ -166,8 +191,7 @@ pub fn find_test_header(data: &[u8]) -> Option<usize> {
     if data.len() < TEST_HEADER_LEN {
         return None;
     }
-    (0..=data.len() - TEST_HEADER_LEN)
-        .find(|&off| TestHeader::new_checked(&data[off..]).is_ok())
+    (0..=data.len() - TEST_HEADER_LEN).find(|&off| TestHeader::new_checked(&data[off..]).is_ok())
 }
 
 #[cfg(test)]
@@ -207,7 +231,10 @@ mod tests {
         assert_eq!(h.stream(), 7);
         assert_eq!(h.seq(), 1);
         assert_eq!(h.ts_cycles(), 200);
-        assert_eq!(h.flags() & testhdr::FLAG_EXPECT_DROP, testhdr::FLAG_EXPECT_DROP);
+        assert_eq!(
+            h.flags() & testhdr::FLAG_EXPECT_DROP,
+            testhdr::FLAG_EXPECT_DROP
+        );
         assert_eq!(h.flags() & testhdr::FLAG_LAST, 0);
         assert!(h.verify_payload());
 

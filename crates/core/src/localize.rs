@@ -27,7 +27,11 @@ pub struct Localization {
 impl core::fmt::Display for Localization {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         if self.forwarded {
-            write!(f, "packet traversed the pipeline: {}", self.stages_reached.join(" -> "))
+            write!(
+                f,
+                "packet traversed the pipeline: {}",
+                self.stages_reached.join(" -> ")
+            )
         } else {
             write!(
                 f,
@@ -113,9 +117,7 @@ mod tests {
         let loc = localize(&mut dev, 0, &frame(4, Ipv4Address::new(10, 0, 0, 9)));
         assert!(loc.forwarded);
         assert_eq!(loc.deepest, "egress");
-        assert!(loc
-            .stages_reached
-            .contains(&"table:ipv4_lpm".to_string()));
+        assert!(loc.stages_reached.contains(&"table:ipv4_lpm".to_string()));
         assert!(loc.to_string().contains("traversed"));
     }
 
@@ -126,7 +128,9 @@ mod tests {
         assert!(!loc.forwarded);
         assert_eq!(loc.deepest, "parser:parse_ipv4");
         assert_eq!(loc.vanished_before.as_deref(), Some("table:ipv4_lpm"));
-        assert!(loc.to_string().contains("vanished after `parser:parse_ipv4`"));
+        assert!(loc
+            .to_string()
+            .contains("vanished after `parser:parse_ipv4`"));
     }
 
     #[test]

@@ -86,9 +86,7 @@ fn walk(
     match &state.transition {
         IrTransition::Accept => finish(bytes, path, false, probes),
         IrTransition::Reject => finish(bytes, path, true, probes),
-        IrTransition::Goto(next) => {
-            walk(program, *next, bytes, placed, path, probes, depth + 1)
-        }
+        IrTransition::Goto(next) => walk(program, *next, bytes, placed, path, probes, depth + 1),
         IrTransition::Select {
             keys,
             arms,
@@ -234,12 +232,7 @@ fn write_value(
 }
 
 /// Read the current value of a field-backed key from the packet bytes.
-fn read_key(
-    program: &ir::Program,
-    placed: &[Placed],
-    key: &IrExpr,
-    bytes: &[u8],
-) -> Option<u128> {
+fn read_key(program: &ir::Program, placed: &[Placed], key: &IrExpr, bytes: &[u8]) -> Option<u128> {
     let IrExpr::Field(h, f) = key else {
         return None;
     };
@@ -255,11 +248,7 @@ fn read_key(
 
 /// A value of the key's width matching none of the given patterns (used to
 /// steer the select's default edge).
-fn unmatched_value(
-    key: &IrExpr,
-    patterns: &[&IrPattern],
-    program: &ir::Program,
-) -> Option<u128> {
+fn unmatched_value(key: &IrExpr, patterns: &[&IrPattern], program: &ir::Program) -> Option<u128> {
     let width = key.width(program);
     let max = ir::all_ones(width);
     // Try a few candidates; packet fields are wide enough that one of these
@@ -321,8 +310,9 @@ mod tests {
         // Paths: eth-only, vlan-only, vlan+ipv4 (accept+reject), ipv4
         // (accept+reject) …
         assert!(probes.len() >= 5, "{}", probes.len());
-        assert!(probes.iter().any(|p| p.path.contains("parse_vlan")
-            && p.path.contains("parse_ipv4")));
+        assert!(probes
+            .iter()
+            .any(|p| p.path.contains("parse_vlan") && p.path.contains("parse_ipv4")));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use crate::checker::{Checker, StreamStats, Violation};
 use crate::generator::{Expectation, Generator, StreamSpec};
-use netdebug_hw::{Backend, Device, DeployError, Outcome};
+use netdebug_hw::{Backend, DeployError, Device};
 use serde::{Deserialize, Serialize};
 
 /// A NetDebug instance attached to one device.
@@ -52,30 +52,41 @@ impl NetDebug {
         &self.checker
     }
 
+    /// Packets generated, injected and checked per batch window in
+    /// [`NetDebug::run_stream`].
+    pub const STREAM_WINDOW: u64 = 256;
+
     /// Run one stream to completion.
+    ///
+    /// The stream is driven in windows of [`NetDebug::STREAM_WINDOW`]
+    /// packets: the generator stamps a whole window up front
+    /// ([`Generator::build_batch`]), the device ingests it through the
+    /// batched internal path ([`netdebug_hw::Device::inject_batch`]), and
+    /// the checker consumes the outcomes in one call
+    /// ([`Checker::observe_batch`]). Verdicts, statistics and violations
+    /// are identical to the historical packet-at-a-time loop — the batch
+    /// seam exists so each layer can amortise per-packet setup, and so
+    /// later work can shard or parallelise whole windows.
     pub fn run_stream(&mut self, spec: &StreamSpec) {
-        self.checker.open_stream(spec.stream, spec.expect, spec.count);
+        self.checker
+            .open_stream(spec.stream, spec.expect, spec.count);
         let gap = Generator::gap_cycles(spec, self.device.config().core_clock_hz);
         let mut first_ts = None;
         let mut last_done = 0u64;
-        for seq in 0..spec.count {
-            if gap > 0 {
-                self.device.advance(gap);
+        let mut seq = 0u64;
+        while seq < spec.count {
+            let n = Self::STREAM_WINDOW.min(spec.count - seq);
+            let window = self
+                .generator
+                .build_batch(spec, seq, n, self.device.now(), gap);
+            first_ts.get_or_insert(window[0].ts_cycles);
+            let frames: Vec<&[u8]> = window.iter().map(|p| p.data.as_slice()).collect();
+            let processed = self.device.inject_batch(spec.as_port, &frames, gap);
+            for p in &processed {
+                last_done = last_done.max(p.done_at_cycle);
             }
-            let pkt = self.generator.build(spec, seq, self.device.now());
-            first_ts.get_or_insert(pkt.ts_cycles);
-            let processed = self.device.inject(spec.as_port, &pkt.data);
-            last_done = last_done.max(processed.done_at_cycle);
-            match &processed.outcome {
-                Outcome::Dropped { .. } => {
-                    self.checker
-                        .observe_drop(spec.stream, seq, &processed.last_stage);
-                }
-                outcome => {
-                    self.checker
-                        .observe(outcome, processed.done_at_cycle, &processed.last_stage);
-                }
-            }
+            self.checker.observe_batch(spec.stream, seq, &processed);
+            seq += n;
         }
         if let Some(first) = first_ts {
             self.windows.insert(spec.stream, (first, last_done));
@@ -251,12 +262,20 @@ mod tests {
         assert!(
             matches!(
                 report.violations[0],
-                Violation::ForwardedButExpectedDrop { stream: 7, seq: 0, .. }
+                Violation::ForwardedButExpectedDrop {
+                    stream: 7,
+                    seq: 0,
+                    ..
+                }
             ),
             "detected on the first packet: {:?}",
             report.violations[0]
         );
-        assert_eq!(report.violations.len(), 10, "every malformed packet flagged");
+        assert_eq!(
+            report.violations.len(),
+            10,
+            "every malformed packet flagged"
+        );
     }
 
     #[test]

@@ -238,7 +238,13 @@ mod tests {
     #[test]
     fn sdnet_limits_located_with_diagnostics() {
         let report = probe_limits(&Backend::sdnet_2018());
-        let get = |name: &str| report.findings.iter().find(|f| f.dimension == name).unwrap();
+        let get = |name: &str| {
+            report
+                .findings
+                .iter()
+                .find(|f| f.dimension == name)
+                .unwrap()
+        };
         // 32 parser states supported; 48 fails.
         let ps = get("parser-states");
         assert_eq!(ps.supported, 32);

@@ -9,7 +9,7 @@
 
 use crate::differential::{diff_devices, DiffReport};
 use crate::probes::parser_path_probes;
-use netdebug_hw::{Backend, Device, DeployError};
+use netdebug_hw::{Backend, DeployError, Device};
 use serde::{Deserialize, Serialize};
 
 /// The full comparison verdict.
@@ -49,7 +49,11 @@ impl core::fmt::Display for ComparisonReport {
             }
         )?;
         for d in self.behaviour.divergences.iter().take(5) {
-            writeln!(f, "    probe[{}] {}: {}", d.probe_index, d.probe_path, d.detail)?;
+            writeln!(
+                f,
+                "    probe[{}] {}: {}",
+                d.probe_index, d.probe_path, d.detail
+            )?;
         }
         writeln!(
             f,
@@ -148,9 +152,12 @@ mod tests {
 
     #[test]
     fn reference_vs_sdnet_2018_differs_behaviourally() {
-        let report =
-            compare_backends(corpus::IPV4_FORWARD, &Backend::reference(), &Backend::sdnet_2018())
-                .unwrap();
+        let report = compare_backends(
+            corpus::IPV4_FORWARD,
+            &Backend::reference(),
+            &Backend::sdnet_2018(),
+        )
+        .unwrap();
         assert!(!report.behaviourally_equivalent());
         let text = report.to_string();
         assert!(text.contains("divergences"));
@@ -158,9 +165,12 @@ mod tests {
 
     #[test]
     fn reference_vs_fixed_sdnet_equivalent_but_latency_comparable() {
-        let report =
-            compare_backends(corpus::IPV4_FORWARD, &Backend::reference(), &Backend::sdnet_fixed())
-                .unwrap();
+        let report = compare_backends(
+            corpus::IPV4_FORWARD,
+            &Backend::reference(),
+            &Backend::sdnet_fixed(),
+        )
+        .unwrap();
         assert!(report.behaviourally_equivalent());
         assert!((report.latency_cycles.0 - report.latency_cycles.1).abs() < 1e-9);
         assert_eq!(report.resources.0, report.resources.1);
@@ -205,9 +215,10 @@ mod tests {
             "hdr.ethernet.dstAddr = hdr.ethernet.srcAddr;",
             "hdr.ethernet.dstAddr = tmp;",
         );
-        let report =
-            compare_programs(corpus::REFLECTOR, &broken, &Backend::reference()).unwrap();
+        let report = compare_programs(corpus::REFLECTOR, &broken, &Backend::reference()).unwrap();
         assert!(!report.behaviourally_equivalent());
-        assert!(report.behaviour.divergences[0].detail.contains("bytes differ"));
+        assert!(report.behaviour.divergences[0]
+            .detail
+            .contains("bytes differ"));
     }
 }

@@ -349,9 +349,7 @@ fn compiler_row() -> CoverageRow {
             &Backend::sdnet_2018(),
         );
         match row.conformance {
-            compiler_check::Conformance::SilentDivergence { first, .. } => {
-                first.contains("reject")
-            }
+            compiler_check::Conformance::SilentDivergence { first, .. } => first.contains("reject"),
             _ => false,
         }
     };
@@ -360,10 +358,7 @@ fn compiler_row() -> CoverageRow {
     let v3 = false;
     let e3 = false;
     let n3 = {
-        let report = compiler_check::check_corpus(
-            &corpus::corpus(),
-            &[Backend::sdnet_2018()],
-        );
+        let report = compiler_check::check_corpus(&corpus::corpus(), &[Backend::sdnet_2018()]);
         !report.silent_bugs().is_empty()
             && report
                 .rows
@@ -402,8 +397,7 @@ fn architecture_row() -> CoverageRow {
             ..Default::default()
         };
         let ir = netdebug_p4::compile(corpus::FEATURE_MANY_TABLES).unwrap();
-        let mut good =
-            Device::deploy_with_config(&Backend::reference(), &ir, cfg).unwrap();
+        let mut good = Device::deploy_with_config(&Backend::reference(), &ir, cfg).unwrap();
         let mut bad = Device::deploy_with_config(&trunc, &ir, cfg).unwrap();
         let probe = vec![7u8, 0, 0, 0];
         let mut vg = ExternalView::attach(&mut good);
@@ -419,20 +413,15 @@ fn architecture_row() -> CoverageRow {
     let e2 = false;
     let n2 = {
         let report = architecture::probe_limits(&Backend::sdnet_2018());
-        report
-            .findings
-            .iter()
-            .all(|f| f.first_failure.is_some())
+        report.findings.iter().all(|f| f.first_failure.is_some())
     };
 
     // Probe 3: expose silent table-capacity truncation at runtime.
     let v3 = false;
     let e3 = false; // no control-plane access from the wire
     let n3 = {
-        let backend = Backend::sdnet_with_bugs(
-            "cap",
-            vec![BugSpec::TableCapacityTruncated { factor: 4 }],
-        );
+        let backend =
+            Backend::sdnet_with_bugs("cap", vec![BugSpec::TableCapacityTruncated { factor: 4 }]);
         let (declared, effective) = architecture::probe_table_capacity(&backend, 64);
         effective < declared
     };

@@ -181,7 +181,10 @@ mod tests {
         }
         // Latency flat at line rate (no queue build-up).
         let p64 = &report.points[0];
-        assert!(p64.latency_cycles_max <= p64.latency_cycles_min + 2, "{p64:?}");
+        assert!(
+            p64.latency_cycles_max <= p64.latency_cycles_min + 2,
+            "{p64:?}"
+        );
         let text = report.to_string();
         assert!(text.contains("line-rate"));
     }

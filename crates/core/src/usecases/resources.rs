@@ -111,14 +111,7 @@ mod tests {
             assert!(!row.breakdown.components.is_empty());
         }
         // The ternary ACL dominates LUT cost; the reflector is the smallest.
-        let luts = |name: &str| {
-            report
-                .rows
-                .iter()
-                .find(|r| r.program == name)
-                .unwrap()
-                .luts
-        };
+        let luts = |name: &str| report.rows.iter().find(|r| r.program == name).unwrap().luts;
         assert!(luts("acl_firewall") > 10 * luts("reflector"));
         let text = report.to_string();
         assert!(text.contains("acl_firewall"));

@@ -152,7 +152,11 @@ mod tests {
         let parser = deltas.iter().find(|(n, _)| n == "parser:start").unwrap();
         assert_eq!(parser.1, 40);
         // Nothing is idle in the reflector.
-        assert!(timeline.idle_stages().is_empty(), "{:?}", timeline.idle_stages());
+        assert!(
+            timeline.idle_stages().is_empty(),
+            "{:?}",
+            timeline.idle_stages()
+        );
         // Egress MAC counters visible per port.
         let last = timeline.samples.last().unwrap();
         let port2 = last.ports.iter().find(|(p, _, _)| *p == 2).unwrap();

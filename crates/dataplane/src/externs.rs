@@ -84,17 +84,9 @@ impl MeterCell {
 /// One extern instance's runtime state.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 enum ExternCells {
-    Register {
-        width: u16,
-        cells: Vec<u128>,
-    },
-    Counter {
-        packets: Vec<u64>,
-        bytes: Vec<u64>,
-    },
-    Meter {
-        cells: Vec<MeterCell>,
-    },
+    Register { width: u16, cells: Vec<u128> },
+    Counter { packets: Vec<u64>, bytes: Vec<u64> },
+    Meter { cells: Vec<MeterCell> },
 }
 
 /// Runtime state for all externs of a program.

@@ -1,7 +1,8 @@
 //! The reference interpreter: P4-16 semantics for the pipeline IR.
 //!
 //! [`Dataplane`] owns a compiled program plus its runtime state (tables,
-//! registers, counters, meters) and processes one packet at a time:
+//! registers, counters, meters) and processes packets either one at a time
+//! ([`Dataplane::process`]) or in batches ([`Dataplane::process_batch`]):
 //!
 //! 1. **Parse**: run the FSM from `start`; `extract` consumes bytes and
 //!    marks headers valid; a `reject` transition — or running out of bytes —
@@ -12,6 +13,16 @@
 //!    a flag that a later `egress_spec` write clears);
 //! 3. **Deparse**: emit valid headers in deparse order, append the unparsed
 //!    payload.
+//!
+//! Execution is split into [`ExecCtx`]-style borrows internally: the
+//! immutable program is borrowed separately from the mutable table/extern
+//! state, so the hot path runs with **zero per-packet clones** of parser
+//! ops, control bodies, table keys or action bodies, and the unparsed
+//! payload is carried as a borrowed slice until the deparser copies it
+//! into the output frame. The batch path reuses one scratch [`Env`] across
+//! the whole batch, amortising per-packet setup; tracing is opt-out there
+//! (see [`Dataplane::set_tracing`]) so throughput runs skip event
+//! allocation entirely.
 //!
 //! Egress conventions (documented device-model behaviour):
 //! * `egress_spec` 0..510 — forward out of that port;
@@ -73,6 +84,10 @@ struct HeaderVal {
 }
 
 /// Per-packet execution environment.
+///
+/// All vectors are sized once per program and reset (not reallocated)
+/// between packets, so a batch touches the allocator only for output
+/// frames and traces.
 struct Env {
     headers: Vec<HeaderVal>,
     meta: Vec<u128>,
@@ -84,7 +99,63 @@ struct Env {
     ts_cycles: u128,
     drop_flag: bool,
     exited: bool,
+    /// Arguments of the action currently executing (reused buffer; table
+    /// applies cannot nest inside actions, so a flat buffer suffices).
     action_args: Vec<u128>,
+    /// Scratch for evaluated table/select keys (reused buffer).
+    key_scratch: Vec<u128>,
+}
+
+impl Env {
+    /// Allocate an environment shaped for `program`.
+    fn new(program: &ir::Program) -> Self {
+        Env {
+            headers: program
+                .headers
+                .iter()
+                .map(|h| HeaderVal {
+                    valid: false,
+                    fields: vec![0; h.fields.len()],
+                })
+                .collect(),
+            meta: vec![0; program.metadata.len()],
+            locals: vec![0; program.locals.len()],
+            ingress_port: 0,
+            egress_spec: 0,
+            egress_written: false,
+            packet_length: 0,
+            ts_cycles: 0,
+            drop_flag: false,
+            exited: false,
+            action_args: Vec::new(),
+            key_scratch: Vec::new(),
+        }
+    }
+
+    /// Reset for the next packet without releasing any allocation.
+    fn reset(&mut self, port: u16, packet_len: usize, now_cycles: u64) {
+        for h in &mut self.headers {
+            h.valid = false;
+            for f in &mut h.fields {
+                *f = 0;
+            }
+        }
+        for m in &mut self.meta {
+            *m = 0;
+        }
+        for l in &mut self.locals {
+            *l = 0;
+        }
+        self.ingress_port = u128::from(port);
+        self.egress_spec = 0;
+        self.egress_written = false;
+        self.packet_length = packet_len as u128;
+        self.ts_cycles = u128::from(now_cycles);
+        self.drop_flag = false;
+        self.exited = false;
+        self.action_args.clear();
+        self.key_scratch.clear();
+    }
 }
 
 /// A program plus its runtime state — one simulated data plane.
@@ -94,6 +165,18 @@ pub struct Dataplane {
     tables: Vec<TableState>,
     externs: ExternState,
     packets_processed: u64,
+    tracing: bool,
+}
+
+/// Split borrows for the execution hot path: the immutable program on one
+/// side, the mutable runtime state on the other. Holding the program
+/// through a plain shared reference is what lets the interpreter walk
+/// parser states, control bodies and action bodies without cloning them
+/// per packet (the pre-batch implementation cloned all three).
+struct ExecCtx<'p> {
+    program: &'p ir::Program,
+    tables: &'p mut [TableState],
+    externs: &'p mut ExternState,
 }
 
 impl Dataplane {
@@ -107,6 +190,7 @@ impl Dataplane {
             tables,
             externs,
             packets_processed: 0,
+            tracing: true,
         }
     }
 
@@ -125,6 +209,7 @@ impl Dataplane {
             tables,
             externs,
             packets_processed: 0,
+            tracing: true,
         }
     }
 
@@ -136,6 +221,22 @@ impl Dataplane {
     /// Packets processed since construction.
     pub fn packets_processed(&self) -> u64 {
         self.packets_processed
+    }
+
+    /// Whether [`Dataplane::process_batch`] records per-packet traces.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Turn batch-path tracing on or off.
+    ///
+    /// Tracing defaults to **on** (every packet gets a full [`Trace`], as
+    /// the single-packet [`Dataplane::process`] always has). Turning it off
+    /// is the fast path for throughput work: `process_batch` then returns
+    /// `None` traces and allocates nothing per packet beyond the output
+    /// frame.
+    pub fn set_tracing(&mut self, tracing: bool) {
+        self.tracing = tracing;
     }
 
     // ------------------------------------------------------------------
@@ -173,14 +274,10 @@ impl Dataplane {
         let aid = self.action_id(action)?;
         let entry = RuntimeEntry {
             patterns,
-            action: ir::ActionCall {
-                action: aid,
-                args,
-            },
+            action: ir::ActionCall { action: aid, args },
             priority,
         };
-        self.tables[tid]
-            .install(&self.program.tables[tid], &self.program.actions, entry)?;
+        self.tables[tid].install(&self.program.tables[tid], &self.program.actions, entry)?;
         Ok(())
     }
 
@@ -227,7 +324,12 @@ impl Dataplane {
     }
 
     /// Write a register cell from the control plane.
-    pub fn set_register(&mut self, name: &str, index: usize, value: u128) -> Result<(), ControlError> {
+    pub fn set_register(
+        &mut self,
+        name: &str,
+        index: usize,
+        value: u128,
+    ) -> Result<(), ControlError> {
         let id = self.extern_id(name)?;
         self.externs.register_write(id, index, value);
         Ok(())
@@ -264,8 +366,15 @@ impl Dataplane {
     /// Process a packet arriving on `port` at device time `now_cycles`,
     /// recording a full trace.
     pub fn process(&mut self, port: u16, data: &[u8], now_cycles: u64) -> (Verdict, Trace) {
+        self.packets_processed += 1;
+        let mut env = Env::new(&self.program);
+        let mut ctx = ExecCtx {
+            program: &self.program,
+            tables: &mut self.tables,
+            externs: &mut self.externs,
+        };
         let mut trace = Trace::default();
-        let verdict = self.run(port, data, now_cycles, Some(&mut trace));
+        let verdict = ctx.run(port, data, now_cycles, &mut env, Some(&mut trace));
         trace.push(TraceEvent::Final {
             verdict: format!("{verdict:?}"),
         });
@@ -274,38 +383,66 @@ impl Dataplane {
 
     /// Process without tracing (fast path for throughput benchmarks).
     pub fn process_untraced(&mut self, port: u16, data: &[u8], now_cycles: u64) -> Verdict {
-        self.run(port, data, now_cycles, None)
+        self.packets_processed += 1;
+        let mut env = Env::new(&self.program);
+        let mut ctx = ExecCtx {
+            program: &self.program,
+            tables: &mut self.tables,
+            externs: &mut self.externs,
+        };
+        ctx.run(port, data, now_cycles, &mut env, None)
     }
 
+    /// Process a whole batch of `(ingress port, frame)` pairs arriving at
+    /// device time `now_cycles`.
+    ///
+    /// Semantically identical to calling [`Dataplane::process`] once per
+    /// packet in order (table/extern state threads through the batch), but
+    /// the per-packet execution environment is allocated once and reused,
+    /// and when tracing is disabled ([`Dataplane::set_tracing`]) no trace
+    /// events are recorded at all. Each element of the result is the
+    /// packet's verdict plus its trace (`None` when tracing is off).
+    pub fn process_batch(
+        &mut self,
+        pkts: &[(u16, &[u8])],
+        now_cycles: u64,
+    ) -> Vec<(Verdict, Option<Trace>)> {
+        self.packets_processed += pkts.len() as u64;
+        let tracing = self.tracing;
+        let mut env = Env::new(&self.program);
+        let mut ctx = ExecCtx {
+            program: &self.program,
+            tables: &mut self.tables,
+            externs: &mut self.externs,
+        };
+        pkts.iter()
+            .map(|&(port, data)| {
+                if tracing {
+                    let mut trace = Trace::default();
+                    let verdict = ctx.run(port, data, now_cycles, &mut env, Some(&mut trace));
+                    trace.push(TraceEvent::Final {
+                        verdict: format!("{verdict:?}"),
+                    });
+                    (verdict, Some(trace))
+                } else {
+                    (ctx.run(port, data, now_cycles, &mut env, None), None)
+                }
+            })
+            .collect()
+    }
+}
+
+impl ExecCtx<'_> {
     fn run(
         &mut self,
         port: u16,
         data: &[u8],
         now_cycles: u64,
+        env: &mut Env,
         mut trace: Option<&mut Trace>,
     ) -> Verdict {
-        self.packets_processed += 1;
-        let mut env = Env {
-            headers: self
-                .program
-                .headers
-                .iter()
-                .map(|h| HeaderVal {
-                    valid: false,
-                    fields: vec![0; h.fields.len()],
-                })
-                .collect(),
-            meta: vec![0; self.program.metadata.len()],
-            locals: vec![0; self.program.locals.len()],
-            ingress_port: u128::from(port),
-            egress_spec: 0,
-            egress_written: false,
-            packet_length: data.len() as u128,
-            ts_cycles: u128::from(now_cycles),
-            drop_flag: false,
-            exited: false,
-            action_args: Vec::new(),
-        };
+        let prog = self.program;
+        env.reset(port, data.len(), now_cycles);
 
         // ---- Parse ----
         let mut cursor_bits = 0usize;
@@ -320,19 +457,16 @@ impl Dataplane {
                 }
                 return Verdict::Drop(DropReason::ParserReject);
             }
-            let st = &self.program.parser.states[state];
+            let st = &prog.parser.states[state];
             if let Some(t) = trace.as_deref_mut() {
                 t.push(TraceEvent::ParserState {
                     name: st.name.clone(),
                 });
             }
-            // Clone ops to avoid borrowing issues; parser states are small.
-            let ops = st.ops.clone();
-            let transition = st.transition.clone();
-            for op in &ops {
+            for op in &st.ops {
                 match op {
                     ir::ParserOp::Extract(hid) => {
-                        let layout = &self.program.headers[*hid];
+                        let layout = &prog.headers[*hid];
                         let width = layout.bit_width as usize;
                         if cursor_bits + width > total_bits {
                             if let Some(t) = trace.as_deref_mut() {
@@ -346,30 +480,24 @@ impl Dataplane {
                                 at_bit: cursor_bits,
                             });
                         }
-                        let fields: Vec<u128> = layout
-                            .fields
-                            .iter()
-                            .map(|f| {
-                                read_bits(
-                                    data,
-                                    cursor_bits + f.offset_bits as usize,
-                                    f.width_bits as usize,
-                                )
-                            })
-                            .collect();
-                        env.headers[*hid] = HeaderVal {
-                            valid: true,
-                            fields,
-                        };
+                        let hv = &mut env.headers[*hid];
+                        hv.valid = true;
+                        for (slot, f) in hv.fields.iter_mut().zip(&layout.fields) {
+                            *slot = read_bits(
+                                data,
+                                cursor_bits + f.offset_bits as usize,
+                                f.width_bits as usize,
+                            );
+                        }
                         cursor_bits += width;
                     }
                     ir::ParserOp::Assign(lv, e) => {
-                        let v = self.eval(e, &env, now_cycles);
-                        self.assign(lv, v, &mut env);
+                        let v = eval(prog, e, env);
+                        assign(prog, lv, v, env);
                     }
                 }
             }
-            let target = match &transition {
+            let target = match &st.transition {
                 IrTransition::Accept => TransTarget::Accept,
                 IrTransition::Reject => TransTarget::Reject,
                 IrTransition::Goto(s) => TransTarget::State(*s),
@@ -378,13 +506,16 @@ impl Dataplane {
                     arms,
                     default,
                 } => {
-                    let key_vals: Vec<u128> =
-                        keys.iter().map(|k| self.eval(k, &env, now_cycles)).collect();
+                    env.key_scratch.clear();
+                    for k in keys {
+                        let v = eval(prog, k, env);
+                        env.key_scratch.push(v);
+                    }
                     arms.iter()
                         .find(|arm| {
                             arm.patterns
                                 .iter()
-                                .zip(&key_vals)
+                                .zip(&env.key_scratch)
                                 .all(|(p, k)| p.matches(*k))
                         })
                         .map(|arm| arm.target)
@@ -407,12 +538,12 @@ impl Dataplane {
                 TransTarget::State(s) => state = s,
             }
         }
-        let payload_start = cursor_bits / 8;
-        let payload: Vec<u8> = data[payload_start.min(data.len())..].to_vec();
+        // The unparsed payload stays a borrowed slice; the deparser copies
+        // it straight into the output frame (no intermediate allocation).
+        let payload = &data[(cursor_bits / 8).min(data.len())..];
 
         // ---- Pipeline ----
-        let controls = self.program.controls.clone();
-        for control in &controls {
+        for control in &prog.controls {
             if env.exited {
                 break;
             }
@@ -421,7 +552,7 @@ impl Dataplane {
                     name: control.name.clone(),
                 });
             }
-            self.exec_block(&control.body, &mut env, now_cycles, &mut trace, data.len());
+            self.exec_block(&control.body, env, now_cycles, &mut trace, data.len());
         }
 
         // ---- Verdict + deparse ----
@@ -431,7 +562,7 @@ impl Dataplane {
         if !env.egress_written {
             return Verdict::Drop(DropReason::NoEgress);
         }
-        let out = self.deparse(&env, &payload, &mut trace);
+        let out = self.deparse(env, payload, &mut trace);
         if env.egress_spec == FLOOD_PORT {
             Verdict::Flood { data: out }
         } else if env.egress_spec > FLOOD_PORT {
@@ -445,19 +576,20 @@ impl Dataplane {
     }
 
     fn deparse(&self, env: &Env, payload: &[u8], trace: &mut Option<&mut Trace>) -> Vec<u8> {
+        let prog = self.program;
         let mut out_bits = 0usize;
-        for &hid in &self.program.deparse {
+        for &hid in &prog.deparse {
             if env.headers[hid].valid {
-                out_bits += self.program.headers[hid].bit_width as usize;
+                out_bits += prog.headers[hid].bit_width as usize;
             }
         }
         let mut out = vec![0u8; out_bits / 8 + payload.len()];
         let mut cursor = 0usize;
-        for &hid in &self.program.deparse {
+        for &hid in &prog.deparse {
             if !env.headers[hid].valid {
                 continue;
             }
-            let layout = &self.program.headers[hid];
+            let layout = &prog.headers[hid];
             if let Some(t) = trace.as_deref_mut() {
                 t.push(TraceEvent::Emit {
                     header: layout.name.clone(),
@@ -498,7 +630,7 @@ impl Dataplane {
                     then_branch,
                     else_branch,
                 } => {
-                    if self.eval(cond, env, now) != 0 {
+                    if eval(self.program, cond, env) != 0 {
                         self.exec_block(then_branch, env, now, trace, pkt_len);
                     } else {
                         self.exec_block(else_branch, env, now, trace, pkt_len);
@@ -524,36 +656,41 @@ impl Dataplane {
         trace: &mut Option<&mut Trace>,
         pkt_len: usize,
     ) {
-        let keys: Vec<u128> = self.program.tables[tid]
-            .keys
-            .iter()
-            .map(|k| k.expr.clone())
-            .collect::<Vec<_>>()
-            .iter()
-            .map(|e| self.eval(e, env, now))
-            .collect();
-        let looked = self.tables[tid].lookup(&keys).cloned();
-        let (call, hit) = match looked {
-            Some(entry) => (entry.action, true),
-            None => (self.program.tables[tid].default_action.clone(), false),
+        let prog = self.program;
+        let table = &prog.tables[tid];
+        env.key_scratch.clear();
+        for k in &table.keys {
+            let v = eval(prog, &k.expr, env);
+            env.key_scratch.push(v);
+        }
+        let (aid, hit) = match self.tables[tid].lookup(&env.key_scratch) {
+            Some(entry) => {
+                env.action_args.clear();
+                env.action_args.extend_from_slice(&entry.action.args);
+                (entry.action.action, true)
+            }
+            None => {
+                let default = &table.default_action;
+                env.action_args.clear();
+                env.action_args.extend_from_slice(&default.args);
+                (default.action, false)
+            }
         };
         if let Some(local) = hit_into {
             env.locals[local] = hit as u128;
         }
-        let action = self.program.actions[call.action].clone();
+        let action = &prog.actions[aid];
         if let Some(t) = trace.as_deref_mut() {
             t.push(TraceEvent::TableApply {
-                table: self.program.tables[tid].name.clone(),
-                keys,
+                table: table.name.clone(),
+                keys: env.key_scratch.clone(),
                 hit,
                 action: action.name.clone(),
             });
         }
-        let saved_args = std::mem::replace(&mut env.action_args, call.args.clone());
         for op in &action.ops {
             self.exec_op(op, env, now, trace, pkt_len);
         }
-        env.action_args = saved_args;
     }
 
     fn exec_op(
@@ -564,10 +701,11 @@ impl Dataplane {
         trace: &mut Option<&mut Trace>,
         pkt_len: usize,
     ) {
+        let prog = self.program;
         match op {
             Op::Assign(lv, e) => {
-                let v = self.eval(e, env, now);
-                self.assign(lv, v, env);
+                let v = eval(prog, e, env);
+                assign(prog, lv, v, env);
             }
             Op::SetValid(hid, valid) => {
                 env.headers[*hid].valid = *valid;
@@ -584,160 +722,143 @@ impl Dataplane {
                 env.drop_flag = true;
             }
             Op::CounterInc(id, idx) => {
-                let i = self.eval(idx, env, now) as usize;
+                let i = eval(prog, idx, env) as usize;
                 self.externs.counter_inc(*id, i, pkt_len);
             }
             Op::RegisterRead(lv, id, idx) => {
-                let i = self.eval(idx, env, now) as usize;
+                let i = eval(prog, idx, env) as usize;
                 let v = self.externs.register_read(*id, i);
-                self.assign(lv, v, env);
+                assign(prog, lv, v, env);
             }
             Op::RegisterWrite(id, idx, val) => {
-                let i = self.eval(idx, env, now) as usize;
-                let v = self.eval(val, env, now);
+                let i = eval(prog, idx, env) as usize;
+                let v = eval(prog, val, env);
                 self.externs.register_write(*id, i, v);
             }
             Op::MeterExecute(id, idx, lv) => {
-                let i = self.eval(idx, env, now) as usize;
+                let i = eval(prog, idx, env) as usize;
                 let colour = self.externs.meter_execute(*id, i, now);
-                self.assign(lv, colour, env);
+                assign(prog, lv, colour, env);
             }
             Op::NoOp => {}
         }
     }
+}
 
-    fn assign(&self, lv: &LValue, value: u128, env: &mut Env) {
-        match lv {
-            LValue::Field(h, f) => {
-                let width = self.program.headers[*h].fields[*f].width_bits;
-                env.headers[*h].fields[*f] = truncate(value, width);
+fn assign(prog: &ir::Program, lv: &LValue, value: u128, env: &mut Env) {
+    match lv {
+        LValue::Field(h, f) => {
+            let width = prog.headers[*h].fields[*f].width_bits;
+            env.headers[*h].fields[*f] = truncate(value, width);
+        }
+        LValue::Meta(m) => {
+            env.meta[*m] = truncate(value, prog.metadata[*m].width);
+        }
+        LValue::Std(s) => match s {
+            ir::StdField::EgressSpec => {
+                env.egress_spec = truncate(value, 9);
+                env.egress_written = true;
+                // v1model: a later egress write revives the packet.
+                env.drop_flag = false;
             }
-            LValue::Meta(m) => {
-                env.meta[*m] = truncate(value, self.program.metadata[*m].width);
+            ir::StdField::EgressPort | ir::StdField::IngressPort => {
+                // Read-only from the data plane; writes ignored.
             }
-            LValue::Std(s) => match s {
-                ir::StdField::EgressSpec => {
-                    env.egress_spec = truncate(value, 9);
-                    env.egress_written = true;
-                    // v1model: a later egress write revives the packet.
-                    env.drop_flag = false;
-                }
-                ir::StdField::EgressPort | ir::StdField::IngressPort => {
-                    // Read-only from the data plane; writes ignored.
-                }
-                ir::StdField::PacketLength => env.packet_length = truncate(value, 32),
-                ir::StdField::IngressTimestamp => env.ts_cycles = truncate(value, 48),
-            },
-            LValue::Local(l) => {
-                env.locals[*l] = truncate(value, self.program.locals[*l].width);
-            }
-            LValue::Slice(inner, hi, lo) => {
-                let current = self.read_lvalue(inner, env);
-                let slice_w = hi - lo + 1;
-                let mask = ir::all_ones(slice_w) << lo;
-                let new = (current & !mask) | ((truncate(value, slice_w)) << lo);
-                self.assign(inner, new, env);
-            }
+            ir::StdField::PacketLength => env.packet_length = truncate(value, 32),
+            ir::StdField::IngressTimestamp => env.ts_cycles = truncate(value, 48),
+        },
+        LValue::Local(l) => {
+            env.locals[*l] = truncate(value, prog.locals[*l].width);
+        }
+        LValue::Slice(inner, hi, lo) => {
+            let current = read_lvalue(inner, env);
+            let slice_w = hi - lo + 1;
+            let mask = ir::all_ones(slice_w) << lo;
+            let new = (current & !mask) | ((truncate(value, slice_w)) << lo);
+            assign(prog, inner, new, env);
         }
     }
+}
 
-    fn read_lvalue(&self, lv: &LValue, env: &Env) -> u128 {
-        match lv {
-            LValue::Field(h, f) => env.headers[*h].fields[*f],
-            LValue::Meta(m) => env.meta[*m],
-            LValue::Std(s) => match s {
-                ir::StdField::IngressPort => env.ingress_port,
-                ir::StdField::EgressSpec => env.egress_spec,
-                ir::StdField::EgressPort => env.egress_spec,
-                ir::StdField::PacketLength => env.packet_length,
-                ir::StdField::IngressTimestamp => env.ts_cycles,
-            },
-            LValue::Local(l) => env.locals[*l],
-            LValue::Slice(inner, hi, lo) => {
-                truncate(self.read_lvalue(inner, env) >> lo, hi - lo + 1)
-            }
-        }
+fn read_lvalue(lv: &LValue, env: &Env) -> u128 {
+    match lv {
+        LValue::Field(h, f) => env.headers[*h].fields[*f],
+        LValue::Meta(m) => env.meta[*m],
+        LValue::Std(s) => match s {
+            ir::StdField::IngressPort => env.ingress_port,
+            ir::StdField::EgressSpec => env.egress_spec,
+            ir::StdField::EgressPort => env.egress_spec,
+            ir::StdField::PacketLength => env.packet_length,
+            ir::StdField::IngressTimestamp => env.ts_cycles,
+        },
+        LValue::Local(l) => env.locals[*l],
+        LValue::Slice(inner, hi, lo) => truncate(read_lvalue(inner, env) >> lo, hi - lo + 1),
     }
+}
 
-    fn eval(&self, e: &IrExpr, env: &Env, now: u64) -> u128 {
-        let _ = now;
-        match e {
-            IrExpr::Const { value, .. } => *value,
-            IrExpr::Field(h, f) => {
-                if env.headers[*h].valid {
-                    env.headers[*h].fields[*f]
-                } else {
-                    // Reading an invalid header is undefined in P4; the
-                    // reference returns 0 deterministically.
-                    0
-                }
+fn eval(prog: &ir::Program, e: &IrExpr, env: &Env) -> u128 {
+    match e {
+        IrExpr::Const { value, .. } => *value,
+        IrExpr::Field(h, f) => {
+            if env.headers[*h].valid {
+                env.headers[*h].fields[*f]
+            } else {
+                // Reading an invalid header is undefined in P4; the
+                // reference returns 0 deterministically.
+                0
             }
-            IrExpr::Meta(m) => env.meta[*m],
-            IrExpr::Std(s) => match s {
-                ir::StdField::IngressPort => env.ingress_port,
-                ir::StdField::EgressSpec => env.egress_spec,
-                ir::StdField::EgressPort => env.egress_spec,
-                ir::StdField::PacketLength => env.packet_length,
-                ir::StdField::IngressTimestamp => env.ts_cycles,
-            },
-            IrExpr::Param { index, width } => {
-                truncate(env.action_args.get(*index).copied().unwrap_or(0), *width)
-            }
-            IrExpr::Local(l) => env.locals[*l],
-            IrExpr::IsValid(h) => env.headers[*h].valid as u128,
-            IrExpr::Un { op, a, width } => {
-                let v = self.eval(a, env, now);
-                match op {
-                    UnOp::Not => truncate(!v, *width),
-                    UnOp::Neg => truncate(v.wrapping_neg(), *width),
-                    UnOp::LNot => (v == 0) as u128,
-                }
-            }
-            IrExpr::Bin { op, a, b, width } => {
-                let x = self.eval(a, env, now);
-                let y = self.eval(b, env, now);
-                let w = *width;
-                match op {
-                    BinOp::Add => truncate(x.wrapping_add(y), w),
-                    BinOp::Sub => truncate(x.wrapping_sub(y), w),
-                    BinOp::Mul => truncate(x.wrapping_mul(y), w),
-                    BinOp::Div => {
-                        if y == 0 {
-                            0
-                        } else {
-                            truncate(x / y, w)
-                        }
-                    }
-                    BinOp::Mod => {
-                        if y == 0 {
-                            0
-                        } else {
-                            truncate(x % y, w)
-                        }
-                    }
-                    BinOp::And => x & y,
-                    BinOp::Or => x | y,
-                    BinOp::Xor => x ^ y,
-                    BinOp::Shl => truncate(x.checked_shl(y as u32).unwrap_or(0), w),
-                    BinOp::Shr => x.checked_shr(y as u32).unwrap_or(0),
-                    BinOp::Eq => (x == y) as u128,
-                    BinOp::Ne => (x != y) as u128,
-                    BinOp::Lt => (x < y) as u128,
-                    BinOp::Le => (x <= y) as u128,
-                    BinOp::Gt => (x > y) as u128,
-                    BinOp::Ge => (x >= y) as u128,
-                    BinOp::LAnd => (x != 0 && y != 0) as u128,
-                    BinOp::LOr => (x != 0 || y != 0) as u128,
-                    BinOp::Concat => {
-                        let bw = b.width(&self.program);
-                        truncate((x << bw) | y, w)
-                    }
-                }
-            }
-            IrExpr::Slice { base, hi, lo } => {
-                truncate(self.eval(base, env, now) >> lo, hi - lo + 1)
-            }
-            IrExpr::Cast { expr, width } => truncate(self.eval(expr, env, now), *width),
         }
+        IrExpr::Meta(m) => env.meta[*m],
+        IrExpr::Std(s) => match s {
+            ir::StdField::IngressPort => env.ingress_port,
+            ir::StdField::EgressSpec => env.egress_spec,
+            ir::StdField::EgressPort => env.egress_spec,
+            ir::StdField::PacketLength => env.packet_length,
+            ir::StdField::IngressTimestamp => env.ts_cycles,
+        },
+        IrExpr::Param { index, width } => {
+            truncate(env.action_args.get(*index).copied().unwrap_or(0), *width)
+        }
+        IrExpr::Local(l) => env.locals[*l],
+        IrExpr::IsValid(h) => env.headers[*h].valid as u128,
+        IrExpr::Un { op, a, width } => {
+            let v = eval(prog, a, env);
+            match op {
+                UnOp::Not => truncate(!v, *width),
+                UnOp::Neg => truncate(v.wrapping_neg(), *width),
+                UnOp::LNot => (v == 0) as u128,
+            }
+        }
+        IrExpr::Bin { op, a, b, width } => {
+            let x = eval(prog, a, env);
+            let y = eval(prog, b, env);
+            let w = *width;
+            match op {
+                BinOp::Add => truncate(x.wrapping_add(y), w),
+                BinOp::Sub => truncate(x.wrapping_sub(y), w),
+                BinOp::Mul => truncate(x.wrapping_mul(y), w),
+                BinOp::Div => truncate(x.checked_div(y).unwrap_or(0), w),
+                BinOp::Mod => truncate(x.checked_rem(y).unwrap_or(0), w),
+                BinOp::And => x & y,
+                BinOp::Or => x | y,
+                BinOp::Xor => x ^ y,
+                BinOp::Shl => truncate(x.checked_shl(y as u32).unwrap_or(0), w),
+                BinOp::Shr => x.checked_shr(y as u32).unwrap_or(0),
+                BinOp::Eq => (x == y) as u128,
+                BinOp::Ne => (x != y) as u128,
+                BinOp::Lt => (x < y) as u128,
+                BinOp::Le => (x <= y) as u128,
+                BinOp::Gt => (x > y) as u128,
+                BinOp::Ge => (x >= y) as u128,
+                BinOp::LAnd => (x != 0 && y != 0) as u128,
+                BinOp::LOr => (x != 0 || y != 0) as u128,
+                BinOp::Concat => {
+                    let bw = b.width(prog);
+                    truncate((x << bw) | y, w)
+                }
+            }
+        }
+        IrExpr::Slice { base, hi, lo } => truncate(eval(prog, base, env) >> lo, hi - lo + 1),
+        IrExpr::Cast { expr, width } => truncate(eval(prog, expr, env), *width),
     }
 }

@@ -233,7 +233,8 @@ mod tests {
     fn flow_counter_accumulates_bytes() {
         let ir = netdebug_p4::compile(corpus::FLOW_COUNTER).unwrap();
         let mut dp = Dataplane::new(ir);
-        dp.install_exact("fwd", vec![0], "forward", vec![1]).unwrap();
+        dp.install_exact("fwd", vec![0], "forward", vec![1])
+            .unwrap();
         let (s, d) = macs();
         let frame = PacketBuilder::ethernet(s, d).payload(&[0u8; 50]).build();
         let len = frame.len() as u128;
@@ -249,7 +250,8 @@ mod tests {
     fn rate_limiter_drops_red() {
         let ir = netdebug_p4::compile(corpus::RATE_LIMITER).unwrap();
         let mut dp = Dataplane::new(ir);
-        dp.install_exact("fwd", vec![0], "forward", vec![1]).unwrap();
+        dp.install_exact("fwd", vec![0], "forward", vec![1])
+            .unwrap();
         dp.configure_meter(
             "port_meter",
             0,

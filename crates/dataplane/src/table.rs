@@ -381,7 +381,11 @@ mod tests {
         ));
         // Range pattern on exact key.
         assert_eq!(
-            s.install(&t, &a, fwd_entry(vec![IrPattern::Range { lo: 0, hi: 9 }], 0)),
+            s.install(
+                &t,
+                &a,
+                fwd_entry(vec![IrPattern::Range { lo: 0, hi: 9 }], 0)
+            ),
             Err(TableError::BadPattern)
         );
         // Wrong arg count.

@@ -6,7 +6,104 @@ use netdebug_p4::ir::IrPattern;
 use netdebug_packet::{EthernetAddress, Ipv4Address, PacketBuilder};
 use proptest::prelude::*;
 
+/// A routable IPv4/UDP frame for the `ipv4_forward` program.
+fn routed_frame(dst: Ipv4Address, ttl: u8) -> Vec<u8> {
+    PacketBuilder::ethernet(
+        EthernetAddress::new(2, 0, 0, 0, 0, 1),
+        EthernetAddress::new(2, 0, 0, 0, 0, 2),
+    )
+    .ipv4(Ipv4Address::new(10, 0, 0, 1), dst)
+    .ttl(ttl)
+    .udp(1000, 2000)
+    .payload(b"payload")
+    .build()
+}
+
+/// A deployed router with two LPM routes, used by the batch equivalence
+/// properties (stateful: tables, counters and hit statistics all thread
+/// through packet processing).
+fn router() -> Dataplane {
+    let ir = netdebug_p4::compile(corpus::IPV4_FORWARD).unwrap();
+    let mut dp = Dataplane::new(ir);
+    dp.install_lpm("ipv4_lpm", 0x0A00_0000, 8, "ipv4_forward", vec![0xAA, 1])
+        .unwrap();
+    dp.install_lpm("ipv4_lpm", 0x0A01_0000, 16, "ipv4_forward", vec![0xBB, 2])
+        .unwrap();
+    dp
+}
+
 proptest! {
+    /// `process_batch` is byte-identical to N sequential `process` calls:
+    /// same verdicts (including rewritten output frames), same traces, and
+    /// the same runtime state (counters, table hit/miss statistics)
+    /// afterwards — for arbitrary interleavings of routable, unroutable,
+    /// malformed and garbage frames across ports and timestamps.
+    #[test]
+    fn batch_matches_sequential(
+        frames in proptest::collection::vec(
+            (0u16..4, 0u8..4, proptest::collection::vec(any::<u8>(), 0..96)), 1..24),
+        now in any::<u32>(),
+    ) {
+        // Decode each case into a frame: kind 0 = routable 10/8, kind 1 =
+        // routable 10.1/16, kind 2 = malformed version, kind 3 = raw soup.
+        let built: Vec<(u16, Vec<u8>)> = frames
+            .iter()
+            .map(|(port, kind, soup)| {
+                let frame = match kind {
+                    0 => {
+                        let dst = Ipv4Address::new(10, 0, 0, soup.first().copied().unwrap_or(9));
+                        routed_frame(dst, 64)
+                    }
+                    1 => routed_frame(Ipv4Address::new(10, 1, 2, 3), 64),
+                    2 => {
+                        let mut f = routed_frame(Ipv4Address::new(10, 0, 0, 5), 64);
+                        f[14] = 0x55; // version 5: parser must reject
+                        f
+                    }
+                    _ => soup.clone(),
+                };
+                (*port, frame)
+            })
+            .collect();
+        let pkts: Vec<(u16, &[u8])> = built.iter().map(|(p, f)| (*p, f.as_slice())).collect();
+        let now = u64::from(now);
+
+        let mut batch_dp = router();
+        let mut seq_dp = router();
+        let batch = batch_dp.process_batch(&pkts, now);
+        for (i, &(port, data)) in pkts.iter().enumerate() {
+            let (verdict, trace) = seq_dp.process(port, data, now);
+            prop_assert_eq!(&batch[i].0, &verdict, "verdict diverged at packet {}", i);
+            prop_assert_eq!(batch[i].1.as_ref(), Some(&trace), "trace diverged at packet {}", i);
+        }
+        prop_assert_eq!(batch_dp.packets_processed(), seq_dp.packets_processed());
+        prop_assert_eq!(
+            batch_dp.table_stats("ipv4_lpm").unwrap(),
+            seq_dp.table_stats("ipv4_lpm").unwrap()
+        );
+    }
+
+    /// With tracing opted out, the batch fast path returns `None` traces
+    /// but still produces exactly the sequential verdicts.
+    #[test]
+    fn untraced_batch_matches_sequential_verdicts(
+        dsts in proptest::collection::vec(any::<u32>(), 1..32),
+        port in 0u16..4,
+    ) {
+        let mut batch_dp = router();
+        batch_dp.set_tracing(false);
+        let mut seq_dp = router();
+        let built: Vec<Vec<u8>> = dsts
+            .iter()
+            .map(|d| routed_frame(Ipv4Address::from_u32(*d), 64))
+            .collect();
+        let pkts: Vec<(u16, &[u8])> = built.iter().map(|f| (port, f.as_slice())).collect();
+        let batch = batch_dp.process_batch(&pkts, 0);
+        for (i, &(port, data)) in pkts.iter().enumerate() {
+            prop_assert!(batch[i].1.is_none(), "fast path must not trace");
+            prop_assert_eq!(&batch[i].0, &seq_dp.process_untraced(port, data, 0));
+        }
+    }
     /// No corpus program panics on arbitrary input bytes, whatever port or
     /// timestamp they arrive with.
     #[test]

@@ -195,10 +195,11 @@ impl Backend {
         if !limits.supports_range_select {
             for state in &program.parser.states {
                 if let ir::IrTransition::Select { arms, .. } = &state.transition {
-                    if arms
-                        .iter()
-                        .any(|a| a.patterns.iter().any(|p| matches!(p, ir::IrPattern::Range { .. })))
-                    {
+                    if arms.iter().any(|a| {
+                        a.patterns
+                            .iter()
+                            .any(|p| matches!(p, ir::IrPattern::Range { .. }))
+                    }) {
                         errors.push(format!(
                             "parser state `{}` uses range select patterns, not supported by this target",
                             state.name
@@ -234,9 +235,7 @@ impl Backend {
         let capacities: Vec<u64> = program
             .tables
             .iter()
-            .map(|t| {
-                (t.size.min(limits.max_table_entries) / runtime.capacity_factor).max(1)
-            })
+            .map(|t| (t.size.min(limits.max_table_entries) / runtime.capacity_factor).max(1))
             .collect();
 
         let latency = LatencyModel::for_program(&transformed, runtime.extra_latency_cycles);
@@ -449,10 +448,8 @@ mod tests {
         let compiled = Backend::sdnet_2018().compile(&ir).unwrap();
         assert_eq!(compiled.capacities[0], 65_536, "clamped to target max");
 
-        let bugged = Backend::sdnet_with_bugs(
-            "trunc",
-            vec![BugSpec::TableCapacityTruncated { factor: 4 }],
-        );
+        let bugged =
+            Backend::sdnet_with_bugs("trunc", vec![BugSpec::TableCapacityTruncated { factor: 4 }]);
         let compiled = bugged.compile(&ir).unwrap();
         assert_eq!(compiled.capacities[0], 65_536 / 4);
     }

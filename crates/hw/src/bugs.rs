@@ -321,7 +321,10 @@ fn truncate_pattern(p: ir::IrPattern, width: u16) -> ir::IrPattern {
             value: t(value),
             mask: t(mask),
         },
-        ir::IrPattern::Range { lo, hi } => ir::IrPattern::Range { lo: t(lo), hi: t(hi) },
+        ir::IrPattern::Range { lo, hi } => ir::IrPattern::Range {
+            lo: t(lo),
+            hi: t(hi),
+        },
         ir::IrPattern::Any => ir::IrPattern::Any,
     }
 }
@@ -383,10 +386,7 @@ mod tests {
 
         // Well-formed packets behave identically — the bug is silent.
         let ok = frame(None);
-        assert_eq!(
-            reference.process(0, &ok, 0).0,
-            bugged.process(0, &ok, 0).0
-        );
+        assert_eq!(reference.process(0, &ok, 0).0, bugged.process(0, &ok, 0).0);
     }
 
     #[test]
@@ -438,7 +438,8 @@ mod tests {
         let mut bugged_ir = ir;
         apply_ir_bugs(&mut bugged_ir, &[BugSpec::MeterAlwaysGreen]);
         let mut dp = Dataplane::new(bugged_ir);
-        dp.install_exact("fwd", vec![0], "forward", vec![1]).unwrap();
+        dp.install_exact("fwd", vec![0], "forward", vec![1])
+            .unwrap();
         dp.configure_meter(
             "port_meter",
             0,

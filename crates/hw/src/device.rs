@@ -16,7 +16,7 @@
 //! *where* a packet disappeared.
 
 use crate::backend::{Backend, Compiled};
-use netdebug_dataplane::{Dataplane, DropReason, MeterConfig, Verdict};
+use netdebug_dataplane::{Dataplane, DropReason, MeterConfig, Trace, Verdict};
 use netdebug_p4::ir::IrPattern;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -151,13 +151,21 @@ pub struct Device {
     port_stats: Vec<PortStats>,
     stage_names: Vec<String>,
     stage_index: HashMap<String, usize>,
+    /// Tap index keyed by bare parser-state name (no `parser:` prefix), so
+    /// per-packet accounting needs no string formatting.
+    parser_tap: HashMap<String, usize>,
+    /// Tap index keyed by bare table name (no `table:` prefix).
+    table_tap: HashMap<String, usize>,
     stage_counts: Vec<u64>,
     drop_counts: HashMap<String, u64>,
 }
 
 impl Device {
     /// Compile `program` with `backend` and load it onto a default board.
-    pub fn deploy(backend: &Backend, program: &netdebug_p4::ir::Program) -> Result<Device, DeployError> {
+    pub fn deploy(
+        backend: &Backend,
+        program: &netdebug_p4::ir::Program,
+    ) -> Result<Device, DeployError> {
         Self::deploy_with_config(backend, program, DeviceConfig::default())
     }
 
@@ -191,10 +199,23 @@ impl Device {
         }
         stage_names.push("deparser".to_string());
         stage_names.push("egress".to_string());
-        let stage_index = stage_names
+        let stage_index: HashMap<String, usize> = stage_names
             .iter()
             .enumerate()
             .map(|(i, n)| (n.clone(), i))
+            .collect();
+        let parser_tap = compiled
+            .program
+            .parser
+            .states
+            .iter()
+            .map(|s| (s.name.clone(), stage_index[&format!("parser:{}", s.name)]))
+            .collect();
+        let table_tap = compiled
+            .program
+            .tables
+            .iter()
+            .map(|t| (t.name.clone(), stage_index[&format!("table:{}", t.name)]))
             .collect();
         let stage_counts = vec![0; stage_names.len()];
 
@@ -207,6 +228,8 @@ impl Device {
             pipe_next_start: 0,
             stage_names,
             stage_index,
+            parser_tap,
+            table_tap,
             stage_counts,
             drop_counts: HashMap::new(),
         })
@@ -286,6 +309,55 @@ impl Device {
         self.process_internal(as_port, data, 0.0, false)
     }
 
+    /// Internal path, batched: inject every frame as `as_port`, advancing
+    /// the device clock by `gap_cycles` before each injection (0 =
+    /// back-to-back).
+    ///
+    /// Back-to-back windows run through [`Dataplane::process_batch`], so
+    /// the per-packet execution environment is set up once for the whole
+    /// window; paced windows (`gap_cycles > 0`) necessarily serialise on
+    /// the clock and take the single-packet path per frame. Results are
+    /// identical to calling [`Device::inject`] in a loop either way.
+    pub fn inject_batch(
+        &mut self,
+        as_port: u16,
+        frames: &[&[u8]],
+        gap_cycles: u64,
+    ) -> Vec<Processed> {
+        if gap_cycles > 0 {
+            return frames
+                .iter()
+                .map(|f| {
+                    self.advance(gap_cycles);
+                    self.inject(as_port, f)
+                })
+                .collect();
+        }
+        // Sub-chunk the window so at most a cache-friendly handful of
+        // traces are live between processing and accounting.
+        const DEVICE_CHUNK: usize = 32;
+        let pkts: Vec<(u16, &[u8])> = frames.iter().map(|f| (as_port, *f)).collect();
+        let mut out = Vec::with_capacity(pkts.len());
+        for chunk in pkts.chunks(DEVICE_CHUNK) {
+            let results = self.dataplane.process_batch(chunk, self.now_cycles);
+            out.extend(results.into_iter().map(|(verdict, trace)| {
+                self.account(as_port, verdict, trace.as_ref(), 0.0, false)
+            }));
+        }
+        out
+    }
+
+    /// Whether the embedded data plane records traces on the batch path.
+    ///
+    /// Traces feed the stage tap counters and the per-packet latency
+    /// model, so they default to on (real hardware taps cannot be turned
+    /// off either). Disabling them models a stripped throughput-only
+    /// fast path: [`Device::inject_batch`] then skips tap accounting and
+    /// charges every packet the parser-less base latency.
+    pub fn set_batch_tracing(&mut self, tracing: bool) {
+        self.dataplane.set_tracing(tracing);
+    }
+
     fn process_internal(
         &mut self,
         port: u16,
@@ -294,25 +366,44 @@ impl Device {
         external: bool,
     ) -> Processed {
         let (verdict, trace) = self.dataplane.process(port, data, self.now_cycles);
+        self.account(port, verdict, Some(&trace), mac_in_ns, external)
+    }
 
-        // Tap counters from the trace.
-        let states = trace.states_visited();
-        let tables = trace.tables_applied();
-        let mut last_stage = "parser:start".to_string();
+    /// Shared post-verdict bookkeeping: stage taps, pipeline timing, port
+    /// statistics and drop counters. `trace` is `None` only on the
+    /// untraced batch fast path.
+    fn account(
+        &mut self,
+        port: u16,
+        verdict: Verdict,
+        trace: Option<&Trace>,
+        mac_in_ns: f64,
+        external: bool,
+    ) -> Processed {
+        // Tap counters from the trace. The bare-name tap indices keep the
+        // per-packet loop free of string formatting; `last_stage` is
+        // materialised once at the end.
+        let (states, tables) = match trace {
+            Some(t) => (t.states_visited(), t.tables_applied()),
+            None => (Vec::new(), Vec::new()),
+        };
+        let mut last_stage_tap: Option<usize> = None;
         for s in &states {
-            let key = format!("parser:{s}");
-            if let Some(&i) = self.stage_index.get(&key) {
+            if let Some(&i) = self.parser_tap.get(*s) {
                 self.stage_counts[i] += 1;
-                last_stage = key;
+                last_stage_tap = Some(i);
             }
         }
         for t in &tables {
-            let key = format!("table:{t}");
-            if let Some(&i) = self.stage_index.get(&key) {
+            if let Some(&i) = self.table_tap.get(*t) {
                 self.stage_counts[i] += 1;
-                last_stage = key;
+                last_stage_tap = Some(i);
             }
         }
+        let mut last_stage = match last_stage_tap {
+            Some(i) => self.stage_names[i].clone(),
+            None => "parser:start".to_string(),
+        };
 
         let pipeline_cycles = self.compiled.latency.packet_cycles(&states, &tables);
         // Pipelined execution: this packet starts once the pipeline frees
@@ -453,7 +544,11 @@ impl Device {
 
     /// Read a counter (the `CounterWidthWrapped` bug applies here, as the
     /// register bus is how counters leave the chip).
-    pub fn counter(&self, name: &str, index: usize) -> Result<(u64, u64), netdebug_dataplane::ControlError> {
+    pub fn counter(
+        &self,
+        name: &str,
+        index: usize,
+    ) -> Result<(u64, u64), netdebug_dataplane::ControlError> {
         let (pkts, bytes) = self.dataplane.counter(name, index)?;
         Ok(match self.compiled.runtime.counter_wrap_bits {
             Some(bits) if bits < 64 => {
@@ -465,7 +560,11 @@ impl Device {
     }
 
     /// Read a register cell.
-    pub fn register(&self, name: &str, index: usize) -> Result<u128, netdebug_dataplane::ControlError> {
+    pub fn register(
+        &self,
+        name: &str,
+        index: usize,
+    ) -> Result<u128, netdebug_dataplane::ControlError> {
         self.dataplane.register(name, index)
     }
 
@@ -490,7 +589,10 @@ impl Device {
     }
 
     /// Table statistics: (hits, misses, occupancy, capacity).
-    pub fn table_stats(&self, name: &str) -> Result<(u64, u64, usize, u64), netdebug_dataplane::ControlError> {
+    pub fn table_stats(
+        &self,
+        name: &str,
+    ) -> Result<(u64, u64, usize, u64), netdebug_dataplane::ControlError> {
         self.dataplane.table_stats(name)
     }
 
@@ -557,7 +659,9 @@ impl Device {
     /// Write a bus register. `0xFFFC` clears all statistics.
     pub fn write_reg(&mut self, addr: u32, _value: u64) {
         if addr == 0xFFFC {
-            self.port_stats.iter_mut().for_each(|s| *s = PortStats::default());
+            self.port_stats
+                .iter_mut()
+                .for_each(|s| *s = PortStats::default());
             self.stage_counts.iter_mut().for_each(|c| *c = 0);
             self.drop_counts.clear();
         }
@@ -748,7 +852,12 @@ mod tests {
             .unwrap();
             dev.install(
                 "acl",
-                vec![IrPattern::Any, IrPattern::Any, IrPattern::Any, IrPattern::Any],
+                vec![
+                    IrPattern::Any,
+                    IrPattern::Any,
+                    IrPattern::Any,
+                    IrPattern::Any,
+                ],
                 "drop",
                 vec![],
                 1,

@@ -33,5 +33,5 @@ pub mod resources;
 
 pub use backend::{ArchLimits, Backend, Compiled, LatencyModel, SdnetProfile};
 pub use bugs::{BugRuntime, BugSpec};
-pub use device::{Device, DeviceConfig, DeployError, Outcome, PortStats, Processed, MAC_FIXED_NS};
+pub use device::{DeployError, Device, DeviceConfig, Outcome, PortStats, Processed, MAC_FIXED_NS};
 pub use resources::{ResourceBudget, ResourceReport, SUME_BUDGET};

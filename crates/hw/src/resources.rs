@@ -227,7 +227,8 @@ fn op_uses_shifter(op: &ir::Op) -> bool {
                 node,
                 ir::IrExpr::Slice { .. }
                     | ir::IrExpr::Bin {
-                        op: netdebug_p4::ast::BinOp::Shl | netdebug_p4::ast::BinOp::Shr
+                        op: netdebug_p4::ast::BinOp::Shl
+                            | netdebug_p4::ast::BinOp::Shr
                             | netdebug_p4::ast::BinOp::Concat,
                         ..
                     }
@@ -238,9 +239,7 @@ fn op_uses_shifter(op: &ir::Op) -> bool {
         found
     }
     match op {
-        ir::Op::Assign(lv, e) => {
-            matches!(lv, ir::LValue::Slice(..)) || expr_shifts(e)
-        }
+        ir::Op::Assign(lv, e) => matches!(lv, ir::LValue::Slice(..)) || expr_shifts(e),
         ir::Op::RegisterWrite(_, idx, val) => expr_shifts(idx) || expr_shifts(val),
         ir::Op::RegisterRead(_, _, idx) | ir::Op::CounterInc(_, idx) => expr_shifts(idx),
         ir::Op::MeterExecute(_, idx, _) => expr_shifts(idx),
@@ -271,14 +270,12 @@ mod tests {
 
     #[test]
     fn bigger_tables_cost_more_bram() {
-        let small = netdebug_p4::compile(
-            &corpus::IPV4_FORWARD.replace("size = 1024;", "size = 64;"),
-        )
-        .unwrap();
-        let big = netdebug_p4::compile(
-            &corpus::IPV4_FORWARD.replace("size = 1024;", "size = 65536;"),
-        )
-        .unwrap();
+        let small =
+            netdebug_p4::compile(&corpus::IPV4_FORWARD.replace("size = 1024;", "size = 64;"))
+                .unwrap();
+        let big =
+            netdebug_p4::compile(&corpus::IPV4_FORWARD.replace("size = 1024;", "size = 65536;"))
+                .unwrap();
         assert!(estimate(&big).total_bram36() > estimate(&small).total_bram36());
     }
 

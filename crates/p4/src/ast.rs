@@ -1,10 +1,10 @@
 //! Abstract syntax tree for the P4-16 subset.
 //!
 //! The shape follows the P4-16 grammar closely enough that real SDNet-era
-//! programs (headers + parser with `accept`/`reject` + match-action controls
-//! + deparser) parse unchanged; exotic features (generics beyond `bit<N>`,
-//! header stacks, varbit) are intentionally out of scope and produce
-//! positioned errors instead of silent acceptance.
+//! programs (headers, parsers with `accept`/`reject`, match-action controls
+//! and deparsers) parse unchanged; exotic features (generics beyond
+//! `bit<N>`, header stacks, varbit) are intentionally out of scope and
+//! produce positioned errors instead of silent acceptance.
 
 use crate::span::Span;
 use serde::{Deserialize, Serialize};
@@ -274,9 +274,9 @@ impl ControlDecl {
     /// True if this control takes a `packet_out` parameter, i.e. is a
     /// deparser.
     pub fn is_deparser(&self) -> bool {
-        self.params.iter().any(|p| {
-            matches!(&p.ty.kind, TypeKind::Named(n) if n == "packet_out")
-        })
+        self.params
+            .iter()
+            .any(|p| matches!(&p.ty.kind, TypeKind::Named(n) if n == "packet_out"))
     }
 }
 

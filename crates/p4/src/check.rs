@@ -89,7 +89,10 @@ pub fn check(prog: &ast::Program) -> Result<CheckReport, Diag> {
             warnings.push(Diag {
                 severity: Severity::Warning,
                 span: Span::NONE,
-                message: format!("action `{}` is not reachable from any applied table", action.name),
+                message: format!(
+                    "action `{}` is not reachable from any applied table",
+                    action.name
+                ),
             });
         }
     }
@@ -193,12 +196,23 @@ mod tests {
         "#;
         let report = check(&parse(src).unwrap()).unwrap();
         let msgs: Vec<&str> = report.warnings.iter().map(|w| w.message.as_str()).collect();
-        assert!(msgs.iter().any(|m| m.contains("`orphan` is unreachable")), "{msgs:?}");
-        assert!(msgs.iter().any(|m| m.contains("`unused_table` is never applied")), "{msgs:?}");
         assert!(
-            msgs.iter().any(|m| m.contains("`unused_action` is not reachable")),
+            msgs.iter().any(|m| m.contains("`orphan` is unreachable")),
             "{msgs:?}"
         );
-        assert!(msgs.iter().any(|m| m.contains("`g` is never extracted")), "{msgs:?}");
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("`unused_table` is never applied")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("`unused_action` is not reachable")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter().any(|m| m.contains("`g` is never extracted")),
+            "{msgs:?}"
+        );
     }
 }

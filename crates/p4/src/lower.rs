@@ -65,20 +65,18 @@ impl<'a> Lowerer<'a> {
                 ast::Item::Typedef(t) => {
                     typedefs.insert(t.name.clone(), t.ty.kind.clone());
                 }
-                ast::Item::Header(h)
-                    if header_decls.insert(h.name.clone(), h).is_some() => {
-                        return Err(Diag::error(
-                            h.span,
-                            format!("duplicate header type `{}`", h.name),
-                        ));
-                    }
-                ast::Item::Struct(s)
-                    if struct_decls.insert(s.name.clone(), s).is_some() => {
-                        return Err(Diag::error(
-                            s.span,
-                            format!("duplicate struct type `{}`", s.name),
-                        ));
-                    }
+                ast::Item::Header(h) if header_decls.insert(h.name.clone(), h).is_some() => {
+                    return Err(Diag::error(
+                        h.span,
+                        format!("duplicate header type `{}`", h.name),
+                    ));
+                }
+                ast::Item::Struct(s) if struct_decls.insert(s.name.clone(), s).is_some() => {
+                    return Err(Diag::error(
+                        s.span,
+                        format!("duplicate struct type `{}`", s.name),
+                    ));
+                }
                 _ => {}
             }
         }
@@ -140,13 +138,11 @@ impl<'a> Lowerer<'a> {
                 value: *value as u128,
                 width: Some(1),
             }),
-            Expr::Path { segments, span } if segments.len() == 1 => self
-                .consts
-                .get(&segments[0])
-                .copied()
-                .ok_or_else(|| {
+            Expr::Path { segments, span } if segments.len() == 1 => {
+                self.consts.get(&segments[0]).copied().ok_or_else(|| {
                     Diag::error(*span, format!("`{}` is not a known constant", segments[0]))
-                }),
+                })
+            }
             Expr::Unary { op, expr, span } => {
                 let v = self.const_eval(expr)?;
                 let w = v.width.unwrap_or(128);
@@ -187,12 +183,42 @@ impl<'a> Lowerer<'a> {
                     BinOp::Xor => a.value ^ b.value,
                     BinOp::Shl => a.value.checked_shl(b.value as u32).unwrap_or(0),
                     BinOp::Shr => a.value.checked_shr(b.value as u32).unwrap_or(0),
-                    BinOp::Eq => return Ok(ConstVal { value: (a.value == b.value) as u128, width: Some(1) }),
-                    BinOp::Ne => return Ok(ConstVal { value: (a.value != b.value) as u128, width: Some(1) }),
-                    BinOp::Lt => return Ok(ConstVal { value: (a.value < b.value) as u128, width: Some(1) }),
-                    BinOp::Le => return Ok(ConstVal { value: (a.value <= b.value) as u128, width: Some(1) }),
-                    BinOp::Gt => return Ok(ConstVal { value: (a.value > b.value) as u128, width: Some(1) }),
-                    BinOp::Ge => return Ok(ConstVal { value: (a.value >= b.value) as u128, width: Some(1) }),
+                    BinOp::Eq => {
+                        return Ok(ConstVal {
+                            value: (a.value == b.value) as u128,
+                            width: Some(1),
+                        })
+                    }
+                    BinOp::Ne => {
+                        return Ok(ConstVal {
+                            value: (a.value != b.value) as u128,
+                            width: Some(1),
+                        })
+                    }
+                    BinOp::Lt => {
+                        return Ok(ConstVal {
+                            value: (a.value < b.value) as u128,
+                            width: Some(1),
+                        })
+                    }
+                    BinOp::Le => {
+                        return Ok(ConstVal {
+                            value: (a.value <= b.value) as u128,
+                            width: Some(1),
+                        })
+                    }
+                    BinOp::Gt => {
+                        return Ok(ConstVal {
+                            value: (a.value > b.value) as u128,
+                            width: Some(1),
+                        })
+                    }
+                    BinOp::Ge => {
+                        return Ok(ConstVal {
+                            value: (a.value >= b.value) as u128,
+                            width: Some(1),
+                        })
+                    }
                     BinOp::LAnd => (a.value != 0 && b.value != 0) as u128,
                     BinOp::LOr => (a.value != 0 || b.value != 0) as u128,
                     BinOp::Concat => {
@@ -454,9 +480,9 @@ impl<'a> Lowerer<'a> {
             return false;
         };
         !s.fields.is_empty()
-            && s.fields.iter().all(|f| {
-                matches!(&f.ty.kind, TypeKind::Named(n) if self.header_decls.contains_key(n))
-            })
+            && s.fields.iter().all(
+                |f| matches!(&f.ty.kind, TypeKind::Named(n) if self.header_decls.contains_key(n)),
+            )
     }
 
     fn add_extern(&mut self, e: &ast::ExternDecl) -> Result<(), Diag> {
@@ -565,12 +591,7 @@ impl<'a> Lowerer<'a> {
         Ok(())
     }
 
-    fn lower_action_stmt(
-        &mut self,
-        stmt: &Stmt,
-        ctx: &Ctx,
-        ops: &mut Vec<Op>,
-    ) -> Result<(), Diag> {
+    fn lower_action_stmt(&mut self, stmt: &Stmt, ctx: &Ctx, ops: &mut Vec<Op>) -> Result<(), Diag> {
         match stmt {
             Stmt::Assign { lhs, rhs, .. } => {
                 let lv = self.lower_lvalue(lhs, ctx)?;
@@ -613,9 +634,9 @@ impl<'a> Lowerer<'a> {
         ctx: &Ctx,
         span: Span,
     ) -> Result<Op, Diag> {
-        let segs = callee.as_path().ok_or_else(|| {
-            Diag::error(span, "call target must be a dotted path")
-        })?;
+        let segs = callee
+            .as_path()
+            .ok_or_else(|| Diag::error(span, "call target must be a dotted path"))?;
 
         // mark_to_drop() / mark_to_drop(std_meta)
         if segs.len() == 1 && segs[0] == "mark_to_drop" {
@@ -681,8 +702,16 @@ impl<'a> Lowerer<'a> {
             let name = segs[0].as_str();
             if matches!(
                 name,
-                "verify_checksum" | "update_checksum" | "hash" | "random" | "clone" | "resubmit"
-                    | "recirculate" | "truncate" | "digest" | "clone3"
+                "verify_checksum"
+                    | "update_checksum"
+                    | "hash"
+                    | "random"
+                    | "clone"
+                    | "resubmit"
+                    | "recirculate"
+                    | "truncate"
+                    | "digest"
+                    | "clone3"
             ) {
                 return Err(Diag::error(
                     span,
@@ -719,7 +748,10 @@ impl<'a> Lowerer<'a> {
         let mut action_ids = Vec::new();
         for aname in &t.actions {
             let aid = *self.action_ids.get(aname).ok_or_else(|| {
-                Diag::error(t.span, format!("table `{}` lists unknown action `{aname}`", t.name))
+                Diag::error(
+                    t.span,
+                    format!("table `{}` lists unknown action `{aname}`", t.name),
+                )
             })?;
             action_ids.push(aid);
         }
@@ -773,7 +805,10 @@ impl<'a> Lowerer<'a> {
                 patterns.push(self.lower_keyset(ks, key.width)?);
             }
             let aid = *self.action_ids.get(&entry.action).ok_or_else(|| {
-                Diag::error(entry.span, format!("unknown action `{}` in entry", entry.action))
+                Diag::error(
+                    entry.span,
+                    format!("unknown action `{}` in entry", entry.action),
+                )
             })?;
             let action = &self.out.actions[aid];
             if entry.args.len() != action.params.len() {
@@ -1123,9 +1158,9 @@ impl<'a> Lowerer<'a> {
                         let target = match case.target.as_str() {
                             "accept" => TransTarget::Accept,
                             "reject" => TransTarget::Reject,
-                            name => TransTarget::State(*state_ids.get(name).ok_or_else(
-                                || Diag::error(case.span, format!("unknown parser state `{name}`")),
-                            )?),
+                            name => TransTarget::State(*state_ids.get(name).ok_or_else(|| {
+                                Diag::error(case.span, format!("unknown parser state `{name}`"))
+                            })?),
                         };
                         arms.push(ir::SelectArm { patterns, target });
                     }
@@ -1155,9 +1190,8 @@ impl<'a> Lowerer<'a> {
                     let segs = callee.as_path().ok_or_else(|| {
                         Diag::error(*span, "deparser statements must be emit calls")
                     })?;
-                    let is_emit = segs.len() == 2
-                        && Some(&segs[0]) == ctx.pkt.as_ref()
-                        && segs[1] == "emit";
+                    let is_emit =
+                        segs.len() == 2 && Some(&segs[0]) == ctx.pkt.as_ref() && segs[1] == "emit";
                     if !is_emit {
                         return Err(Diag::error(
                             *span,
@@ -1167,9 +1201,9 @@ impl<'a> Lowerer<'a> {
                     if args.len() != 1 {
                         return Err(Diag::error(*span, "emit takes one argument"));
                     }
-                    let hsegs = args[0].as_path().ok_or_else(|| {
-                        Diag::error(*span, "emit argument must be a header path")
-                    })?;
+                    let hsegs = args[0]
+                        .as_path()
+                        .ok_or_else(|| Diag::error(*span, "emit argument must be a header path"))?;
                     let hid = self.resolve_header(hsegs, ctx, *span)?;
                     self.out.deparse.push(hid);
                 }
@@ -1199,16 +1233,12 @@ impl<'a> Lowerer<'a> {
     // ------------------------------------------------------------------
 
     /// Resolve `hdr.X` to a header id.
-    fn resolve_header(
-        &self,
-        segs: &[String],
-        ctx: &Ctx,
-        span: Span,
-    ) -> Result<ir::HeaderId, Diag> {
+    fn resolve_header(&self, segs: &[String], ctx: &Ctx, span: Span) -> Result<ir::HeaderId, Diag> {
         if segs.len() == 2 && Some(&segs[0]) == ctx.hdr.as_ref() {
-            self.header_ids.get(&segs[1]).copied().ok_or_else(|| {
-                Diag::error(span, format!("unknown header instance `{}`", segs[1]))
-            })
+            self.header_ids
+                .get(&segs[1])
+                .copied()
+                .ok_or_else(|| Diag::error(span, format!("unknown header instance `{}`", segs[1])))
         } else {
             Err(Diag::error(
                 span,
@@ -1219,9 +1249,10 @@ impl<'a> Lowerer<'a> {
 
     fn resolve_extern(&self, segs: &[String], span: Span) -> Result<ir::ExternId, Diag> {
         if segs.len() == 1 {
-            self.extern_ids.get(&segs[0]).copied().ok_or_else(|| {
-                Diag::error(span, format!("unknown extern instance `{}`", segs[0]))
-            })
+            self.extern_ids
+                .get(&segs[0])
+                .copied()
+                .ok_or_else(|| Diag::error(span, format!("unknown extern instance `{}`", segs[0])))
         } else {
             Err(Diag::error(
                 span,
@@ -1244,10 +1275,7 @@ impl<'a> Lowerer<'a> {
                 }
                 Ok(LValue::Slice(Box::new(inner), *hi, *lo))
             }
-            other => Err(Diag::error(
-                other.span(),
-                "expression is not assignable",
-            )),
+            other => Err(Diag::error(other.span(), "expression is not assignable")),
         }
     }
 
@@ -1261,12 +1289,14 @@ impl<'a> Lowerer<'a> {
             let hid = *self.header_ids.get(&segs[1]).ok_or_else(|| {
                 Diag::error(span, format!("unknown header instance `{}`", segs[1]))
             })?;
-            let fid = self.out.headers[hid].field_by_name(&segs[2]).ok_or_else(|| {
-                Diag::error(
-                    span,
-                    format!("header `{}` has no field `{}`", segs[1], segs[2]),
-                )
-            })?;
+            let fid = self.out.headers[hid]
+                .field_by_name(&segs[2])
+                .ok_or_else(|| {
+                    Diag::error(
+                        span,
+                        format!("header `{}` has no field `{}`", segs[1], segs[2]),
+                    )
+                })?;
             return Ok(LValue::Field(hid, fid));
         }
         if segs.len() == 2 && Some(&segs[0]) == ctx.meta.as_ref() {
@@ -1308,12 +1338,7 @@ impl<'a> Lowerer<'a> {
     /// Lower an expression. `expected` is the width imposed by context
     /// (assignment target, action parameter, cast); unsized literals adopt
     /// it, and mismatched sized operands are errors.
-    fn lower_expr(
-        &mut self,
-        e: &Expr,
-        ctx: &Ctx,
-        expected: Option<u16>,
-    ) -> Result<IrExpr, Diag> {
+    fn lower_expr(&mut self, e: &Expr, ctx: &Ctx, expected: Option<u16>) -> Result<IrExpr, Diag> {
         let ir = self.lower_expr_inner(e, ctx, expected)?;
         if let Some(w) = expected {
             let actual = ir.width(&self.out);
@@ -1536,12 +1561,14 @@ impl<'a> Lowerer<'a> {
             let hid = *self.header_ids.get(&segs[1]).ok_or_else(|| {
                 Diag::error(span, format!("unknown header instance `{}`", segs[1]))
             })?;
-            let fid = self.out.headers[hid].field_by_name(&segs[2]).ok_or_else(|| {
-                Diag::error(
-                    span,
-                    format!("header `{}` has no field `{}`", segs[1], segs[2]),
-                )
-            })?;
+            let fid = self.out.headers[hid]
+                .field_by_name(&segs[2])
+                .ok_or_else(|| {
+                    Diag::error(
+                        span,
+                        format!("header `{}` has no field `{}`", segs[1], segs[2]),
+                    )
+                })?;
             return Ok(IrExpr::Field(hid, fid));
         }
         // User metadata.
@@ -1793,7 +1820,14 @@ mod tests {
         }
         // ttl = ttl - 1 lowered with width 8.
         match &fwd.ops[1] {
-            Op::Assign(LValue::Field(1, _), IrExpr::Bin { op: BinOp::Sub, width: 8, .. }) => {}
+            Op::Assign(
+                LValue::Field(1, _),
+                IrExpr::Bin {
+                    op: BinOp::Sub,
+                    width: 8,
+                    ..
+                },
+            ) => {}
             other => panic!("unexpected op {other:?}"),
         }
     }
@@ -1879,7 +1913,13 @@ mod tests {
         );
         let body = &p.controls[0].body;
         match &body[0] {
-            IrStmt::Op(Op::Assign(LValue::Field(0, 0), IrExpr::Const { value: 42, width: 8 })) => {}
+            IrStmt::Op(Op::Assign(
+                LValue::Field(0, 0),
+                IrExpr::Const {
+                    value: 42,
+                    width: 8,
+                },
+            )) => {}
             other => panic!("expected inlined assign, got {other:?}"),
         }
     }
@@ -1967,7 +2007,10 @@ mod tests {
         let t = &p.tables[0];
         assert_eq!(t.const_entries.len(), 2);
         assert!(t.const_entries[0].priority > t.const_entries[1].priority);
-        assert!(matches!(t.const_entries[0].patterns[0], IrPattern::Mask { .. }));
+        assert!(matches!(
+            t.const_entries[0].patterns[0],
+            IrPattern::Mask { .. }
+        ));
         assert!(matches!(t.const_entries[1].patterns[0], IrPattern::Any));
     }
 }

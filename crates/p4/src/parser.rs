@@ -78,7 +78,11 @@ impl Parser {
         } else {
             Err(Diag::error(
                 self.span(),
-                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek().describe()
+                ),
             ))
         }
     }
@@ -497,7 +501,9 @@ impl Parser {
                     self.bump();
                     apply = Some(self.block()?);
                 }
-                TokenKind::Bit | TokenKind::Bool => locals.push(ControlLocal::Var(self.var_decl()?)),
+                TokenKind::Bit | TokenKind::Bool => {
+                    locals.push(ControlLocal::Var(self.var_decl()?))
+                }
                 other => {
                     return Err(Diag::error(
                         self.span(),
@@ -639,16 +645,15 @@ impl Parser {
                     self.expect(TokenKind::Eq)?;
                     let (aname, _) = self.expect_ident()?;
                     let mut args = Vec::new();
-                    if self.eat(&TokenKind::LParen)
-                        && !self.eat(&TokenKind::RParen) {
-                            loop {
-                                args.push(self.expr()?);
-                                if self.eat(&TokenKind::RParen) {
-                                    break;
-                                }
-                                self.expect(TokenKind::Comma)?;
+                    if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&TokenKind::RParen) {
+                                break;
                             }
+                            self.expect(TokenKind::Comma)?;
                         }
+                    }
                     self.expect(TokenKind::Semi)?;
                     default_action = Some((aname, args));
                 }
@@ -662,16 +667,15 @@ impl Parser {
                         self.expect(TokenKind::Colon)?;
                         let (aname, _) = self.expect_ident()?;
                         let mut args = Vec::new();
-                        if self.eat(&TokenKind::LParen)
-                            && !self.eat(&TokenKind::RParen) {
-                                loop {
-                                    args.push(self.expr()?);
-                                    if self.eat(&TokenKind::RParen) {
-                                        break;
-                                    }
-                                    self.expect(TokenKind::Comma)?;
+                        if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
+                            loop {
+                                args.push(self.expr()?);
+                                if self.eat(&TokenKind::RParen) {
+                                    break;
                                 }
+                                self.expect(TokenKind::Comma)?;
                             }
+                        }
                         self.expect(TokenKind::Semi)?;
                         entries.push(ConstEntry {
                             keysets,
@@ -719,12 +723,7 @@ impl Parser {
             let ty = self.type_ref()?;
             match ty.kind {
                 TypeKind::Bit(w) => width = w,
-                _ => {
-                    return Err(Diag::error(
-                        ty.span,
-                        "register element type must be bit<N>",
-                    ))
-                }
+                _ => return Err(Diag::error(ty.span, "register element type must be bit<N>")),
             }
             self.expect(TokenKind::Gt)?;
         }
@@ -1218,10 +1217,7 @@ mod tests {
         assert_eq!(table.keys[0].1, MatchKind::Lpm);
         assert_eq!(table.actions, vec!["ipv4_forward", "drop", "NoAction"]);
         assert_eq!(table.size, Some(1024));
-        assert_eq!(
-            table.default_action.as_ref().unwrap().0,
-            "drop".to_string()
-        );
+        assert_eq!(table.default_action.as_ref().unwrap().0, "drop".to_string());
 
         let deparser = prog.controls().nth(1).unwrap();
         assert!(deparser.is_deparser());
@@ -1229,16 +1225,17 @@ mod tests {
 
     #[test]
     fn dotted_paths_fold() {
-        let prog = parse(
-            "control C(inout headers_t h) { apply { h.a.b = h.c.d + 1; } }",
-        )
-        .unwrap();
+        let prog = parse("control C(inout headers_t h) { apply { h.a.b = h.c.d + 1; } }").unwrap();
         let c = prog.controls().next().unwrap();
         match &c.apply.stmts[0] {
             Stmt::Assign { lhs, rhs, .. } => {
                 assert_eq!(lhs.as_path().unwrap(), &["h", "a", "b"]);
                 match rhs {
-                    Expr::Binary { op: BinOp::Add, lhs, .. } => {
+                    Expr::Binary {
+                        op: BinOp::Add,
+                        lhs,
+                        ..
+                    } => {
                         assert_eq!(lhs.as_path().unwrap(), &["h", "c", "d"]);
                     }
                     other => panic!("expected add, got {other:?}"),
@@ -1296,10 +1293,8 @@ mod tests {
 
     #[test]
     fn casts_and_slices() {
-        let prog = parse(
-            "control C(inout h_t h) { apply { h.x = (bit<16>) h.y[11:4]; } }",
-        )
-        .unwrap();
+        let prog =
+            parse("control C(inout h_t h) { apply { h.x = (bit<16>) h.y[11:4]; } }").unwrap();
         let c = prog.controls().next().unwrap();
         match &c.apply.stmts[0] {
             Stmt::Assign { rhs, .. } => match rhs {
@@ -1327,10 +1322,7 @@ mod tests {
 
     #[test]
     fn annotations_are_skipped() {
-        let prog = parse(
-            r#"@name("x") @pragma(a, b(c)) header h_t { bit<8> f; }"#,
-        )
-        .unwrap();
+        let prog = parse(r#"@name("x") @pragma(a, b(c)) header h_t { bit<8> f; }"#).unwrap();
         assert_eq!(prog.headers().count(), 1);
     }
 

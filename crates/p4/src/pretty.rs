@@ -191,10 +191,7 @@ fn keysets(ks: &[KeySet]) -> String {
     if ks.len() == 1 {
         one(&ks[0])
     } else {
-        format!(
-            "({})",
-            ks.iter().map(one).collect::<Vec<_>>().join(", ")
-        )
+        format!("({})", ks.iter().map(one).collect::<Vec<_>>().join(", "))
     }
 }
 
@@ -324,7 +321,9 @@ fn expr_prec(e: &Expr, min: u8) -> String {
             format!("{}({})", expr(callee), args)
         }
         Expr::Member { base, member, .. } => format!("{}.{member}", expr(base)),
-        Expr::Unary { op, expr: inner, .. } => {
+        Expr::Unary {
+            op, expr: inner, ..
+        } => {
             let op = match op {
                 UnOp::Not => "~",
                 UnOp::LNot => "!",
@@ -347,7 +346,9 @@ fn expr_prec(e: &Expr, min: u8) -> String {
             }
         }
         Expr::Slice { base, hi, lo, .. } => format!("{}[{hi}:{lo}]", expr_prec(base, 11)),
-        Expr::Cast { ty: t, expr: inner, .. } => {
+        Expr::Cast {
+            ty: t, expr: inner, ..
+        } => {
             let body = format!("({}) {}", ty(t), expr_prec(inner, 11));
             if min > 0 {
                 format!("({body})")
@@ -410,9 +411,8 @@ mod tests {
     fn reparse_fixpoint() {
         let ast1 = parse(ROUND_TRIP).unwrap();
         let printed = pretty(&ast1);
-        let ast2 = parse(&printed).unwrap_or_else(|e| {
-            panic!("re-parse failed: {e}\n--- printed ---\n{printed}")
-        });
+        let ast2 = parse(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n--- printed ---\n{printed}"));
         let printed2 = pretty(&ast2);
         assert_eq!(printed, printed2, "pretty is not a fixpoint");
     }

@@ -24,21 +24,13 @@ fn lexer_diagnostics() {
 
 #[test]
 fn parser_diagnostics() {
-    expect_error(
-        "header h_t {\n  bit<8 a;\n}",
-        "expected `>`",
-        2,
-    );
+    expect_error("header h_t {\n  bit<8 a;\n}", "expected `>`", 2);
     expect_error(
         "parser P(packet_in p) {\n  state start { }\n}",
         "has no transition",
         2,
     );
-    expect_error(
-        "control C(inout h_t h) {\n}",
-        "missing an apply block",
-        1,
-    );
+    expect_error("control C(inout h_t h) {\n}", "missing an apply block", 1);
     expect_error("header h_t { bit<200> x; }", "bit width must be 1..=128", 1);
     expect_error(
         "control C(inout h_t h) {\n  table t { key = { h.x: fuzzy; } }\n  apply { }\n}",

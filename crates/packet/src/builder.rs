@@ -38,7 +38,10 @@ enum L3 {
 #[derive(Debug, Clone)]
 enum L4 {
     None,
-    Udp { src_port: u16, dst_port: u16 },
+    Udp {
+        src_port: u16,
+        dst_port: u16,
+    },
     Tcp {
         src_port: u16,
         dst_port: u16,
@@ -275,9 +278,7 @@ impl PacketBuilder {
         let ethertype;
         match self.l3 {
             L3::None => {
-                ethertype = self
-                    .ethertype_override
-                    .unwrap_or(EtherType::NetDebugTest);
+                ethertype = self.ethertype_override.unwrap_or(EtherType::NetDebugTest);
             }
             L3::Ipv4 {
                 src,
@@ -489,7 +490,10 @@ mod tests {
     #[test]
     fn padding_applies() {
         let (s, d) = macs();
-        let frame = PacketBuilder::ethernet(s, d).payload(b"x").pad_to(64).build();
+        let frame = PacketBuilder::ethernet(s, d)
+            .payload(b"x")
+            .pad_to(64)
+            .build();
         assert_eq!(frame.len(), 64);
     }
 

@@ -183,7 +183,11 @@ pub fn run_flow(view: &mut ExternalView<'_>, flow: &FlowSpec) -> FlowReport {
         lost: flow.count - received,
         per_port,
         latency_min_ns: if lat_n > 0 { lat_min } else { 0.0 },
-        latency_avg_ns: if lat_n > 0 { lat_sum / lat_n as f64 } else { 0.0 },
+        latency_avg_ns: if lat_n > 0 {
+            lat_sum / lat_n as f64
+        } else {
+            0.0
+        },
         latency_max_ns: lat_max,
         throughput_bps,
     }
@@ -263,9 +267,7 @@ pub fn check_forwarding(
             obs.outputs.iter().map(|(p, _)| *p).collect::<Vec<_>>()
         )),
         (Some((port, bytes)), false) => {
-            let Some((out_port, out_bytes)) =
-                obs.outputs.iter().find(|(p, _)| *p == port)
-            else {
+            let Some((out_port, out_bytes)) = obs.outputs.iter().find(|(p, _)| *p == port) else {
                 return Err(format!(
                     "expected output on port {port}, saw port(s) {:?}",
                     obs.outputs.iter().map(|(p, _)| *p).collect::<Vec<_>>()

@@ -17,9 +17,7 @@
 use crate::solver::{solve, Sat};
 use crate::sym::{AtomInfo, Sym};
 use netdebug_p4::ast::BinOp;
-use netdebug_p4::ir::{
-    self, IrExpr, IrStmt, IrTransition, LValue, Op, ParserOp, TransTarget,
-};
+use netdebug_p4::ir::{self, IrExpr, IrStmt, IrTransition, LValue, Op, ParserOp, TransTarget};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::rc::Rc;
@@ -180,7 +178,11 @@ impl<'p> Executor<'p> {
                 .program
                 .headers
                 .iter()
-                .map(|h| vec![Rc::new(Sym::konst(0, 1)); h.fields.len()])
+                .map(|h| {
+                    (0..h.fields.len())
+                        .map(|_| Rc::new(Sym::konst(0, 1)))
+                        .collect()
+                })
                 .collect(),
             meta: self
                 .program
@@ -254,10 +256,7 @@ impl<'p> Executor<'p> {
                         .fields
                         .iter()
                         .map(|f| {
-                            self.fresh_atom(
-                                format!("{}.{}", layout.name, f.name),
-                                f.width_bits,
-                            )
+                            self.fresh_atom(format!("{}.{}", layout.name, f.name), f.width_bits)
                         })
                         .collect();
                 }
@@ -271,7 +270,9 @@ impl<'p> Executor<'p> {
             IrTransition::Accept => self.enter_pipeline(state),
             IrTransition::Reject => self.finish_reject(state),
             IrTransition::Goto(next) => {
-                state.desc.push(self.program.parser.states[next].name.clone());
+                state
+                    .desc
+                    .push(self.program.parser.states[next].name.clone());
                 self.parse_state(next, state, depth + 1);
             }
             IrTransition::Select {
@@ -291,8 +292,10 @@ impl<'p> Executor<'p> {
                     branch.pc.push(cond.clone());
                     if solve(&branch.pc, &self.atom_widths()).possible() {
                         let mut b = branch;
-                        b.desc
-                            .push(format!("select[{}]", target_name(self.program, &arm.target)));
+                        b.desc.push(format!(
+                            "select[{}]",
+                            target_name(self.program, &arm.target)
+                        ));
                         self.follow_target(&arm.target, b, depth);
                     }
                     not_earlier.push(negate(cond));
@@ -415,9 +418,10 @@ impl<'p> Executor<'p> {
                     if let Some(l) = hit_into {
                         hit_state.locals[*l] = Rc::new(Sym::konst(1, 1));
                     }
-                    hit_state
-                        .desc
-                        .push(format!("{}:hit({})", t.name, self.program.actions[aid].name));
+                    hit_state.desc.push(format!(
+                        "{}:hit({})",
+                        t.name, self.program.actions[aid].name
+                    ));
                     self.run_action(aid, None, &mut hit_state);
                     let rest = body[idx + 1..].to_vec();
                     self.exec_stmts(&rest, 0, hit_state, done);
@@ -475,10 +479,7 @@ impl<'p> Executor<'p> {
                         .fields
                         .iter()
                         .map(|f| {
-                            self.fresh_atom(
-                                format!("{}.{}!", layout.name, f.name),
-                                f.width_bits,
-                            )
+                            self.fresh_atom(format!("{}.{}!", layout.name, f.name), f.width_bits)
                         })
                         .collect();
                 }
@@ -492,10 +493,8 @@ impl<'p> Executor<'p> {
             Op::RegisterRead(lv, ext, idx) => {
                 let _ = self.sym_of(idx, state);
                 let w = self.program.externs[*ext].width;
-                let v = self.fresh_atom(
-                    format!("register::{}", self.program.externs[*ext].name),
-                    w,
-                );
+                let v =
+                    self.fresh_atom(format!("register::{}", self.program.externs[*ext].name), w);
                 self.assign(lv, v, state);
             }
             Op::RegisterWrite(_, idx, val) => {
@@ -504,10 +503,7 @@ impl<'p> Executor<'p> {
             }
             Op::MeterExecute(ext, idx, lv) => {
                 let _ = self.sym_of(idx, state);
-                let v = self.fresh_atom(
-                    format!("meter::{}", self.program.externs[*ext].name),
-                    2,
-                );
+                let v = self.fresh_atom(format!("meter::{}", self.program.externs[*ext].name), 2);
                 self.assign(lv, v, state);
             }
             Op::NoOp => {}
@@ -554,9 +550,7 @@ impl<'p> Executor<'p> {
             IrExpr::Meta(m) => state.meta[*m].clone(),
             IrExpr::Std(s) => match s {
                 ir::StdField::IngressPort => Rc::new(Sym::Atom { id: 0, width: 9 }),
-                ir::StdField::EgressSpec | ir::StdField::EgressPort => {
-                    Rc::new(Sym::konst(0, 9))
-                }
+                ir::StdField::EgressSpec | ir::StdField::EgressPort => Rc::new(Sym::konst(0, 9)),
                 ir::StdField::PacketLength => self.fresh_atom("packet_length".into(), 32),
                 ir::StdField::IngressTimestamp => self.fresh_atom("timestamp".into(), 48),
             },
@@ -656,10 +650,7 @@ impl<'p> Executor<'p> {
                 };
                 let shifted = Sym::Bin {
                     op: BinOp::Shl,
-                    a: Rc::new(Sym::Cast {
-                        a: value,
-                        width: w,
-                    }),
+                    a: Rc::new(Sym::Cast { a: value, width: w }),
                     b: Rc::new(Sym::konst(u128::from(*lo), 16)),
                     width: w,
                 };
@@ -740,13 +731,11 @@ fn arms_condition(keys: &[Rc<Sym>], patterns: &[ir::IrPattern]) -> Sym {
     }
     conds
         .into_iter()
-        .reduce(|a, b| {
-            Sym::Bin {
-                op: BinOp::LAnd,
-                a: Rc::new(a),
-                b: Rc::new(b),
-                width: 1,
-            }
+        .reduce(|a, b| Sym::Bin {
+            op: BinOp::LAnd,
+            a: Rc::new(a),
+            b: Rc::new(b),
+            width: 1,
         })
         .unwrap_or_else(|| Sym::konst(1, 1))
         .simplify()

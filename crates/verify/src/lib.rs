@@ -89,8 +89,7 @@ mod tests {
     #[test]
     fn detects_read_of_invalid_header() {
         // hdr.ipv4 is read without a validity guard on the non-IPv4 path.
-        let report = run(
-            r#"
+        let report = run(r#"
             const bit<16> TYPE_IPV4 = 0x800;
             header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
             header ipv4_t { bit<8> ttl; bit<8> proto; bit<16> csum; bit<32> a; bit<32> b; }
@@ -118,15 +117,13 @@ mod tests {
             control D(packet_out pkt, in headers_t hdr) {
                 apply { pkt.emit(hdr.ethernet); pkt.emit(hdr.ipv4); }
             }
-            "#,
-        );
+            "#);
         assert!(!report.verified());
         assert!(
             report
                 .findings
                 .iter()
-                .any(|f| f.kind == FindingKind::ReadInvalidHeader
-                    && f.detail.contains("ipv4.ttl")),
+                .any(|f| f.kind == FindingKind::ReadInvalidHeader && f.detail.contains("ipv4.ttl")),
             "{:#?}",
             report.findings
         );
@@ -134,8 +131,7 @@ mod tests {
 
     #[test]
     fn guarded_read_is_clean() {
-        let report = run(
-            r#"
+        let report = run(r#"
             const bit<16> TYPE_IPV4 = 0x800;
             header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
             header ipv4_t { bit<8> ttl; }
@@ -164,15 +160,13 @@ mod tests {
             control D(packet_out pkt, in headers_t hdr) {
                 apply { pkt.emit(hdr.ethernet); pkt.emit(hdr.ipv4); }
             }
-            "#,
-        );
+            "#);
         assert!(report.verified(), "{:#?}", report.findings);
     }
 
     #[test]
     fn detects_missing_verdict() {
-        let report = run(
-            r#"
+        let report = run(r#"
             header h_t { bit<8> x; }
             struct headers_t { h_t h; }
             struct meta_t { bit<8> y; }
@@ -193,8 +187,7 @@ mod tests {
             control D(packet_out pkt, in headers_t hdr) {
                 apply { pkt.emit(hdr.h); }
             }
-            "#,
-        );
+            "#);
         assert!(report
             .findings
             .iter()
@@ -214,8 +207,7 @@ mod tests {
 
     #[test]
     fn infeasible_branches_are_pruned() {
-        let report = run(
-            r#"
+        let report = run(r#"
             header h_t { bit<8> x; }
             struct headers_t { h_t h; }
             struct meta_t { bit<8> y; }
@@ -248,8 +240,7 @@ mod tests {
             control D(packet_out pkt, in headers_t hdr) {
                 apply { pkt.emit(hdr.h); }
             }
-            "#,
-        );
+            "#);
         // The x==1 && x==2 path is infeasible; without pruning it would be
         // reported as NoVerdict.
         assert!(
@@ -263,8 +254,7 @@ mod tests {
     fn table_actions_all_explored() {
         // An action that writes an invalid header is only reachable through
         // a table hit — the "for all control planes" model must find it.
-        let report = run(
-            r#"
+        let report = run(r#"
             header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
             header ipv4_t { bit<8> ttl; }
             struct headers_t { ethernet_t ethernet; ipv4_t ipv4; }
@@ -289,8 +279,7 @@ mod tests {
             control D(packet_out pkt, in headers_t hdr) {
                 apply { pkt.emit(hdr.ethernet); }
             }
-            "#,
-        );
+            "#);
         assert!(report
             .findings
             .iter()

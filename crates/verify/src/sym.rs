@@ -131,20 +131,8 @@ impl Sym {
                     BinOp::Add => truncate(x.wrapping_add(y), w),
                     BinOp::Sub => truncate(x.wrapping_sub(y), w),
                     BinOp::Mul => truncate(x.wrapping_mul(y), w),
-                    BinOp::Div => {
-                        if y == 0 {
-                            0
-                        } else {
-                            truncate(x / y, w)
-                        }
-                    }
-                    BinOp::Mod => {
-                        if y == 0 {
-                            0
-                        } else {
-                            truncate(x % y, w)
-                        }
-                    }
+                    BinOp::Div => truncate(x.checked_div(y).unwrap_or(0), w),
+                    BinOp::Mod => truncate(x.checked_rem(y).unwrap_or(0), w),
                     BinOp::And => x & y,
                     BinOp::Or => x | y,
                     BinOp::Xor => x ^ y,

@@ -22,9 +22,8 @@ fn main() {
     let silent = report.silent_bugs();
     println!("silent mis-compilations found: {}", silent.len());
     for row in silent {
-        if let netdebug::usecases::compiler_check::Conformance::SilentDivergence {
-            first, ..
-        } = &row.conformance
+        if let netdebug::usecases::compiler_check::Conformance::SilentDivergence { first, .. } =
+            &row.conformance
         {
             println!("  {} on {}: {}", row.program, row.backend, first);
         }

@@ -63,7 +63,10 @@ fn main() -> std::io::Result<()> {
 
     println!("\nreference capture: only the 20 transmitted frames (all dropped");
     println!("by the parser, nothing came back).");
-    println!("sdnet-2018 capture: {} frames — every malformed packet came", buggy);
+    println!(
+        "sdnet-2018 capture: {} frames — every malformed packet came",
+        buggy
+    );
     println!("back out. Open the files in Wireshark to inspect the evidence.");
 
     assert_eq!(reference, 20);

@@ -64,8 +64,14 @@ fn main() {
         .unwrap()
         .latency_ns_avg;
     println!("latency for 256B frames:");
-    println!("  external tester (incl. MAC/PHY): {:>8.1} ns", flow.latency_avg_ns);
-    println!("  NetDebug (pipeline only):        {:>8.1} ns", in_device_ns);
+    println!(
+        "  external tester (incl. MAC/PHY): {:>8.1} ns",
+        flow.latency_avg_ns
+    );
+    println!(
+        "  NetDebug (pipeline only):        {:>8.1} ns",
+        in_device_ns
+    );
     println!(
         "  surrounding hardware overhead:   {:>8.1} ns\n",
         flow.latency_avg_ns - in_device_ns

@@ -41,11 +41,18 @@ fn main() {
     // --- Step 1: formal verification of the specification -------------
     let ir = netdebug_p4::compile(corpus::IPV4_FORWARD).unwrap();
     let report = verify(&ir, Options::default());
-    println!("[p4v-style verifier] paths explored: {}", report.paths_explored);
+    println!(
+        "[p4v-style verifier] paths explored: {}",
+        report.paths_explored
+    );
     println!(
         "[p4v-style verifier] findings: {} — the program is {}",
         report.findings.len(),
-        if report.verified() { "CORRECT" } else { "buggy" }
+        if report.verified() {
+            "CORRECT"
+        } else {
+            "buggy"
+        }
     );
     println!(
         "[p4v-style verifier] certifies {} parser reject path(s) drop packets\n",
@@ -89,7 +96,10 @@ fn main() {
         sweeps: vec![],
         expect: Expectation::Drop,
     }]);
-    println!("[netdebug] session verdict: {}", if session.passed { "PASS" } else { "FAIL" });
+    println!(
+        "[netdebug] session verdict: {}",
+        if session.passed { "PASS" } else { "FAIL" }
+    );
     println!(
         "[netdebug] violations: {} (first: {:?})",
         session.violations.len(),

@@ -41,7 +41,10 @@ fn main() {
 
     let timeline = monitor(&mut nd, &traffic, 8);
     println!("samples taken: {}", timeline.samples.len());
-    println!("\n{:<12} {:>10} {:>14} {:>14} {:>14}", "cycle", "injected", "parser:start", "ipv4_lpm", "egress");
+    println!(
+        "\n{:<12} {:>10} {:>14} {:>14} {:>14}",
+        "cycle", "injected", "parser:start", "ipv4_lpm", "egress"
+    );
     for s in &timeline.samples {
         let stage = |name: &str| {
             s.stages

@@ -1,0 +1,96 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Supports the `Criterion::bench_function` / `Bencher::iter` /
+//! `criterion_group!` / `criterion_main!` surface. Timing is a simple
+//! calibrated wall-clock loop (no statistics, no plots): run a warm-up to
+//! size the batch, then report mean ns/iter over a fixed measurement
+//! window on stdout.
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to each benchmark function.
+#[derive(Debug)]
+pub struct Criterion {
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Register and immediately run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            measurement: self.measurement,
+            report: None,
+        };
+        body(&mut b);
+        match b.report {
+            Some((iters, elapsed)) => {
+                let ns = elapsed.as_nanos() as f64 / iters as f64;
+                println!("bench {name:<40} {ns:>12.1} ns/iter ({iters} iters)");
+            }
+            None => println!("bench {name:<40} (no measurement)"),
+        }
+        self
+    }
+}
+
+/// Runs the closed-over workload and records its timing.
+#[derive(Debug)]
+pub struct Bencher {
+    measurement: Duration,
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Measure `f` until the measurement window fills.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: find roughly how many calls fit in 10ms.
+        let t0 = Instant::now();
+        let mut calls = 0u64;
+        while t0.elapsed() < Duration::from_millis(10) {
+            std::hint::black_box(f());
+            calls += 1;
+        }
+        let batch = calls.max(1);
+        let mut iters = 0u64;
+        let t0 = Instant::now();
+        while t0.elapsed() < self.measurement {
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            iters += batch;
+        }
+        self.report = Some((iters, t0.elapsed()));
+    }
+}
+
+/// Group benchmark functions under one runner fn, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `fn main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

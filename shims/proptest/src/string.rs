@@ -1,0 +1,135 @@
+//! Regex-subset string generation for `&str` strategies.
+//!
+//! Supports the patterns this workspace's tests actually use, in the
+//! general form `<atom><quantifier>`:
+//!
+//! * atoms: `\PC` (printable, no control characters), a `[...]` character
+//!   class with ranges and `\n`/`\t`/`\r`/`\\` escapes, or a literal
+//!   prefix;
+//! * quantifiers: `*` (0..=64), `+` (1..=64), `{m,n}` (m..=n inclusive),
+//!   or none (exactly the literal).
+//!
+//! Anything unrecognised falls back to printable ASCII soup, which is a
+//! safe over-approximation for "never panics" robustness properties.
+
+use crate::TestRng;
+
+/// Generate one string matching (the supported subset of) `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    match parse(pattern) {
+        Parsed::Literal(s) => s,
+        Parsed::Class { alphabet, min, max } => {
+            let len = rng.usize_inclusive(min, max);
+            (0..len)
+                .map(|_| alphabet[rng.below_u128(alphabet.len() as u128) as usize])
+                .collect()
+        }
+    }
+}
+
+fn printable() -> Vec<char> {
+    (0x20u8..=0x7e).map(char::from).collect()
+}
+
+/// A parsed pattern: either a verbatim literal or a sampled char class.
+enum Parsed {
+    Literal(String),
+    Class {
+        alphabet: Vec<char>,
+        min: usize,
+        max: usize,
+    },
+}
+
+fn parse(pattern: &str) -> Parsed {
+    let (atom, quant) = split_quantifier(pattern);
+    let alphabet = match atom {
+        r"\PC" => printable(),
+        cls if cls.starts_with('[') && cls.ends_with(']') => {
+            let set = char_class(&cls[1..cls.len() - 1]);
+            if set.is_empty() {
+                printable()
+            } else {
+                set
+            }
+        }
+        lit if !lit.is_empty() && !lit.contains(['[', '\\', '*', '+', '{']) => {
+            // A literal with no quantifier generates itself, verbatim.
+            return Parsed::Literal(lit.to_string());
+        }
+        _ => printable(),
+    };
+    let (min, max) = match quant {
+        Quant::Star => (0, 64),
+        Quant::Plus => (1, 64),
+        Quant::Counted(m, n) => (m, n),
+        Quant::None => (1, 1),
+    };
+    Parsed::Class { alphabet, min, max }
+}
+
+enum Quant {
+    None,
+    Star,
+    Plus,
+    Counted(usize, usize),
+}
+
+fn split_quantifier(pattern: &str) -> (&str, Quant) {
+    if let Some(stripped) = pattern.strip_suffix('*') {
+        return (stripped, Quant::Star);
+    }
+    if let Some(stripped) = pattern.strip_suffix('+') {
+        return (stripped, Quant::Plus);
+    }
+    if pattern.ends_with('}') {
+        if let Some(open) = pattern.rfind('{') {
+            let body = &pattern[open + 1..pattern.len() - 1];
+            let (m, n) = match body.split_once(',') {
+                Some((m, n)) => (m.trim().parse().ok(), n.trim().parse().ok()),
+                None => {
+                    let v = body.trim().parse().ok();
+                    (v, v)
+                }
+            };
+            if let (Some(m), Some(n)) = (m, n) {
+                return (&pattern[..open], Quant::Counted(m, n));
+            }
+        }
+    }
+    (pattern, Quant::None)
+}
+
+fn char_class(body: &str) -> Vec<char> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = body.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = match chars[i] {
+            '\\' if i + 1 < chars.len() => {
+                i += 1;
+                match chars[i] {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                }
+            }
+            other => other,
+        };
+        // Range `a-b` (a `-` that is neither first nor last).
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let hi = chars[i + 2];
+            for v in (c as u32)..=(hi as u32) {
+                if let Some(ch) = char::from_u32(v) {
+                    out.push(ch);
+                }
+            }
+            i += 3;
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out
+}

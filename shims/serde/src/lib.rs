@@ -1,0 +1,15 @@
+//! Minimal offline stand-in for the `serde` crate (see `shims/README.md`).
+//!
+//! Mirrors the real crate's shape: `Serialize`/`Deserialize` are both a
+//! trait (type namespace) and a derive macro (macro namespace), so
+//! `use serde::{Deserialize, Serialize};` followed by
+//! `#[derive(Serialize, Deserialize)]` resolves exactly as it does against
+//! serde proper.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

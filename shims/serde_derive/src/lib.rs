@@ -1,0 +1,20 @@
+//! No-op derive macros standing in for `serde_derive` (offline build).
+//!
+//! Nothing in this workspace serializes values at runtime; the derives only
+//! have to make `#[derive(Serialize, Deserialize)]` compile. Each derive
+//! expands to nothing, which is valid: the marker traits in the `serde`
+//! shim are never used as bounds.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; satisfies `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; satisfies `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

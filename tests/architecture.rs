@@ -106,10 +106,11 @@ fn register_bus_is_sufficient_for_collection() {
 /// ingress_port see the impersonated value.
 #[test]
 fn generator_impersonates_ports() {
-    let mut dev =
-        Device::deploy_source(&Backend::reference(), corpus::FLOW_COUNTER).unwrap();
-    dev.install_exact("fwd", vec![2], "forward", vec![3]).unwrap();
-    dev.install_exact("fwd", vec![0], "forward", vec![1]).unwrap();
+    let mut dev = Device::deploy_source(&Backend::reference(), corpus::FLOW_COUNTER).unwrap();
+    dev.install_exact("fwd", vec![2], "forward", vec![3])
+        .unwrap();
+    dev.install_exact("fwd", vec![0], "forward", vec![1])
+        .unwrap();
     let p = dev.inject(2, &frame());
     match p.outcome {
         netdebug_hw::Outcome::Tx { port, .. } => assert_eq!(port, 3),

@@ -20,7 +20,11 @@ fn buggy(bugs: Vec<BugSpec>) -> Backend {
 /// for every backend, bugged or not. (Run once; referenced by the cases.)
 #[test]
 fn verifier_is_blind_to_all_backend_bugs() {
-    for src in [corpus::IPV4_FORWARD, corpus::L2_SWITCH, corpus::FEATURE_MANY_TABLES] {
+    for src in [
+        corpus::IPV4_FORWARD,
+        corpus::L2_SWITCH,
+        corpus::FEATURE_MANY_TABLES,
+    ] {
         let ir = netdebug_p4::compile(src).unwrap();
         let report = verify(&ir, Options::default());
         // Whatever the backend later does, this is all the verifier sees.
@@ -62,7 +66,10 @@ fn catches_drop_primitive_ignored() {
         EthernetAddress::new(2, 0, 0, 0, 0, 1),
         EthernetAddress::new(2, 0, 0, 0, 0, 2),
     )
-    .ipv4(Ipv4Address::new(10, 0, 0, 1), Ipv4Address::new(192, 168, 0, 1))
+    .ipv4(
+        Ipv4Address::new(10, 0, 0, 1),
+        Ipv4Address::new(192, 168, 0, 1),
+    )
     .udp(1, 2)
     .build();
     pkt[14 + 8] = 7; // ttl fine; destination unroutable -> default drop()
@@ -179,7 +186,8 @@ fn catches_meter_always_green() {
     // Policing disabled: a paced meter lets everything through.
     let deploy = |backend: &Backend| {
         let mut dev = Device::deploy_source(backend, corpus::RATE_LIMITER).unwrap();
-        dev.install_exact("fwd", vec![0], "forward", vec![1]).unwrap();
+        dev.install_exact("fwd", vec![0], "forward", vec![1])
+            .unwrap();
         dev.configure_meter(
             "port_meter",
             0,
@@ -267,7 +275,12 @@ fn catches_priority_inverted() {
     .unwrap();
     dev.install(
         "acl",
-        vec![IrPattern::Any, IrPattern::Any, IrPattern::Any, IrPattern::Any],
+        vec![
+            IrPattern::Any,
+            IrPattern::Any,
+            IrPattern::Any,
+            IrPattern::Any,
+        ],
         "drop",
         vec![],
         1,

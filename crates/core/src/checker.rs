@@ -276,36 +276,30 @@ impl Checker {
         }
     }
 
+    /// Feed one device outcome for a known generated packet (stream
+    /// `stream`, sequence `seq`) to the checker.
+    ///
+    /// This is the streaming seam [`NetDebug::run_stream`] drives: the
+    /// device hands each [`Processed`] outcome to the checker as soon as
+    /// it is accounted, so no window of outcomes ever materialises.
+    /// Dropped packets are attributed directly (the generator knows what
+    /// it injected); surviving packets self-identify via their test
+    /// header, as the data plane may have rewritten them.
+    ///
+    /// [`NetDebug::run_stream`]: ../session/struct.NetDebug.html#method.run_stream
+    pub fn observe_processed(&mut self, stream: u16, seq: u64, p: &Processed) {
+        match &p.outcome {
+            Outcome::Dropped { .. } => self.observe_drop(stream, seq, &p.last_stage),
+            outcome => self.observe(outcome, p.done_at_cycle, &p.last_stage),
+        }
+    }
+
     /// Feed one whole injected window to the checker: `processed[i]` is
     /// the device's outcome for stream `stream`'s packet `first_seq + i`.
-    ///
-    /// Equivalent to the per-packet [`Checker::observe`] /
-    /// [`Checker::observe_drop`] calls the session loop used to make, but
-    /// drop accounting resolves the stream's stats entry and expectation
-    /// once per window instead of once per packet.
+    /// Equivalent to calling [`Checker::observe_processed`] per packet.
     pub fn observe_batch(&mut self, stream: u16, first_seq: u64, processed: &[Processed]) {
-        // Hoist the per-stream state lookups out of the drop loop; output
-        // packets self-identify via their test header and are dispatched
-        // individually (the data plane may have remapped streams).
-        let expect = self.expectations.get(&stream).copied();
-        let mut dropped = 0u64;
         for (i, p) in processed.iter().enumerate() {
-            match &p.outcome {
-                Outcome::Dropped { .. } => {
-                    dropped += 1;
-                    if let Some(Expectation::Forward { .. }) = expect {
-                        self.violations.push(Violation::DroppedButExpectedForward {
-                            stream,
-                            seq: first_seq + i as u64,
-                            last_stage: p.last_stage.clone(),
-                        });
-                    }
-                }
-                outcome => self.observe(outcome, p.done_at_cycle, &p.last_stage),
-            }
-        }
-        if dropped > 0 {
-            self.streams.entry(stream).or_default().dropped += dropped;
+            self.observe_processed(stream, first_seq + i as u64, p);
         }
     }
 

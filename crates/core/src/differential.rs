@@ -42,7 +42,7 @@ impl DiffReport {
     }
 }
 
-fn stages_reached(dev: &mut Device, port: u16, data: &[u8]) -> (Outcome, Vec<String>) {
+pub(crate) fn stages_reached(dev: &mut Device, port: u16, data: &[u8]) -> (Outcome, Vec<String>) {
     let before: Vec<u64> = dev.stage_counts().to_vec();
     let processed = dev.inject(port, data);
     let after: Vec<u64> = dev.stage_counts().to_vec();
@@ -56,6 +56,70 @@ fn stages_reached(dev: &mut Device, port: u16, data: &[u8]) -> (Outcome, Vec<Str
     (processed.outcome, stages)
 }
 
+/// Describe how two observed behaviours differ, or `None` when they agree.
+///
+/// `stages_*` carry each device's internal view (full stage sets for
+/// probe-at-a-time diffing, or just the last stage reached on the batched
+/// fleet path) — what lets a divergence be *localised*, not just detected.
+/// Shared by the pairwise [`diff_devices`] and the N-backend
+/// [`crate::fleet::DifferentialFleet`].
+pub(crate) fn outcome_divergence(
+    out_a: &Outcome,
+    out_b: &Outcome,
+    stages_a: &[String],
+    stages_b: &[String],
+) -> Option<String> {
+    match (out_a, out_b) {
+        (Outcome::Dropped { reason: ra }, Outcome::Dropped { reason: rb }) => {
+            if ra != rb {
+                // Internal visibility: the devices' drop counters name
+                // different reasons (e.g. "parser reject" vs
+                // "mark_to_drop") even when the packet dies either way.
+                Some(format!("drop reasons differ: {ra} vs {rb}"))
+            } else if stages_a != stages_b {
+                Some(format!("both drop ({ra}) but traverse different stages"))
+            } else {
+                None
+            }
+        }
+        (Outcome::Dropped { reason }, Outcome::Tx { port, .. }) => {
+            Some(format!("A drops ({reason}), B forwards to port {port}"))
+        }
+        (Outcome::Tx { port, .. }, Outcome::Dropped { reason }) => {
+            Some(format!("A forwards to port {port}, B drops ({reason})"))
+        }
+        (Outcome::Tx { port: pa, data: da }, Outcome::Tx { port: pb, data: db }) => {
+            if pa != pb {
+                Some(format!("egress ports differ: {pa} vs {pb}"))
+            } else if da != db {
+                Some(format!(
+                    "output bytes differ on port {pa} ({} vs {} bytes)",
+                    da.len(),
+                    db.len()
+                ))
+            } else if stages_a != stages_b {
+                Some("same output but different internal path".to_string())
+            } else {
+                None
+            }
+        }
+        (Outcome::Flood { data: da }, Outcome::Flood { data: db }) => {
+            if da != db {
+                Some(format!(
+                    "flooded bytes differ ({} vs {} bytes)",
+                    da.len(),
+                    db.len()
+                ))
+            } else if stages_a != stages_b {
+                Some("both flood but traverse different stages".to_string())
+            } else {
+                None
+            }
+        }
+        (x, y) => Some(format!("outcome kinds differ: {x:?} vs {y:?}")),
+    }
+}
+
 /// Run every probe through both devices and report divergences.
 pub fn diff_devices(a: &mut Device, b: &mut Device, probes: &[Probe]) -> DiffReport {
     let mut divergences = Vec::new();
@@ -63,49 +127,7 @@ pub fn diff_devices(a: &mut Device, b: &mut Device, probes: &[Probe]) -> DiffRep
     for (i, probe) in probes.iter().enumerate() {
         let (out_a, stages_a) = stages_reached(a, 0, &probe.data);
         let (out_b, stages_b) = stages_reached(b, 0, &probe.data);
-        let detail = match (&out_a, &out_b) {
-            (Outcome::Dropped { reason: ra }, Outcome::Dropped { reason: rb }) => {
-                if ra != rb {
-                    // Internal visibility: the devices' drop counters name
-                    // different reasons (e.g. "parser reject" vs
-                    // "mark_to_drop") even when the packet dies either way.
-                    Some(format!("drop reasons differ: {ra} vs {rb}"))
-                } else if stages_a != stages_b {
-                    Some(format!("both drop ({ra}) but traverse different stages"))
-                } else {
-                    None
-                }
-            }
-            (Outcome::Dropped { reason }, Outcome::Tx { port, .. }) => {
-                Some(format!("A drops ({reason}), B forwards to port {port}"))
-            }
-            (Outcome::Tx { port, .. }, Outcome::Dropped { reason }) => {
-                Some(format!("A forwards to port {port}, B drops ({reason})"))
-            }
-            (Outcome::Tx { port: pa, data: da }, Outcome::Tx { port: pb, data: db }) => {
-                if pa != pb {
-                    Some(format!("egress ports differ: {pa} vs {pb}"))
-                } else if da != db {
-                    Some(format!(
-                        "output bytes differ on port {pa} ({} vs {} bytes)",
-                        da.len(),
-                        db.len()
-                    ))
-                } else if stages_a != stages_b {
-                    Some("same output but different internal path".to_string())
-                } else {
-                    None
-                }
-            }
-            (Outcome::Flood { .. }, Outcome::Flood { .. }) => {
-                if stages_a != stages_b {
-                    Some("both flood but traverse different stages".to_string())
-                } else {
-                    None
-                }
-            }
-            (x, y) => Some(format!("outcome kinds differ: {x:?} vs {y:?}")),
-        };
+        let detail = outcome_divergence(&out_a, &out_b, &stages_a, &stages_b);
         match detail {
             Some(detail) => divergences.push(Divergence {
                 probe_index: i,

@@ -1,0 +1,378 @@
+//! Multi-device differential fleets.
+//!
+//! The N-backend generalisation of [`crate::differential`]: one generated
+//! window of test packets is fed — **concurrently, one OS thread per
+//! device** — to every deployment in the fleet, and the observed verdicts
+//! are diffed against the fleet's reference member (the first one added).
+//! This is the scenario the paper's comparison use-case gestures at and
+//! Parasol-style parameter sweeps need: the same stimulus against a
+//! reference build, a vendor toolchain, a patched toolchain and any number
+//! of fault-injected variants, in one run.
+//!
+//! Each device is an independent simulated board, so fleet execution is
+//! embarrassingly parallel; results are joined and diffed in member order,
+//! making reports deterministic regardless of thread scheduling.
+
+use crate::differential::{outcome_divergence, stages_reached};
+use crate::generator::{Generator, StreamSpec};
+use crate::probes::Probe;
+use netdebug_hw::{Device, Outcome};
+use serde::{Deserialize, Serialize};
+
+/// One divergence between a fleet member and the reference device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetDivergence {
+    /// Index of the packet (or probe) that exposed it.
+    pub index: usize,
+    /// Label of the diverging member.
+    pub member: String,
+    /// What differed, reference vs member.
+    pub detail: String,
+    /// Internal stages the reference traversed (full stage set on the
+    /// probe path, the last stage reached on the window path).
+    pub stages_reference: Vec<String>,
+    /// Internal stages the diverging member traversed.
+    pub stages_member: Vec<String>,
+}
+
+/// Result of running one stimulus across a whole fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Label of the reference member all others were diffed against.
+    pub reference: String,
+    /// All member labels, in fleet order.
+    pub members: Vec<String>,
+    /// Packets (or probes) in the stimulus.
+    pub packets: usize,
+    /// Packets on which **every** member agreed with the reference.
+    pub agreements: usize,
+    /// All divergences, ordered by packet index then member order.
+    pub divergences: Vec<FleetDivergence>,
+}
+
+impl FleetReport {
+    /// True when every member behaved identically to the reference.
+    pub fn equivalent(&self) -> bool {
+        self.divergences.is_empty()
+    }
+
+    /// Labels of members that diverged at least once.
+    pub fn diverging_members(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for d in &self.divergences {
+            if !out.contains(&d.member.as_str()) {
+                out.push(&d.member);
+            }
+        }
+        out
+    }
+}
+
+struct FleetMember {
+    label: String,
+    device: Device,
+}
+
+/// A set of deployed devices that receive identical stimuli.
+///
+/// The first member added is the **reference** (conventionally the
+/// [`netdebug_hw::Backend::reference`] build); every other member is
+/// diffed against it.
+#[derive(Default)]
+pub struct DifferentialFleet {
+    members: Vec<FleetMember>,
+}
+
+impl DifferentialFleet {
+    /// An empty fleet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a deployed device under a report label. The first member added
+    /// becomes the reference.
+    pub fn add(&mut self, label: impl Into<String>, device: Device) -> &mut Self {
+        self.members.push(FleetMember {
+            label: label.into(),
+            device,
+        });
+        self
+    }
+
+    /// Builder-style [`DifferentialFleet::add`].
+    pub fn with(mut self, label: impl Into<String>, device: Device) -> Self {
+        self.add(label, device);
+        self
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the fleet has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Member labels in fleet order.
+    pub fn labels(&self) -> Vec<&str> {
+        self.members.iter().map(|m| m.label.as_str()).collect()
+    }
+
+    /// Mutable access to a member's device (control-plane configuration —
+    /// e.g. installing the same routes on every member).
+    pub fn device_mut(&mut self, label: &str) -> Option<&mut Device> {
+        self.members
+            .iter_mut()
+            .find(|m| m.label == label)
+            .map(|m| &mut m.device)
+    }
+
+    /// Install the same table entries on every member via a closure.
+    pub fn configure_all(
+        &mut self,
+        mut f: impl FnMut(&mut Device) -> Result<(), netdebug_dataplane::ControlError>,
+    ) -> Result<(), netdebug_dataplane::ControlError> {
+        for m in &mut self.members {
+            f(&mut m.device)?;
+        }
+        Ok(())
+    }
+
+    /// Generate **one** window from `spec` and feed the identical frames
+    /// to every device concurrently (one scoped thread per member, each
+    /// running the batched internal path). Outcomes are joined in member
+    /// order and every member's packet-by-packet behaviour is diffed
+    /// against the reference; the member's last-stage taps localise any
+    /// divergence.
+    pub fn run_window(&mut self, spec: &StreamSpec) -> FleetReport {
+        let gap = self
+            .members
+            .first()
+            .map(|m| Generator::gap_cycles(spec, m.device.config().core_clock_hz))
+            .unwrap_or(0);
+        let window = Generator::new().build_batch(spec, 0, spec.count, 0, gap);
+        let frames: Vec<&[u8]> = window.iter().map(|p| p.data.as_slice()).collect();
+
+        let per_member: Vec<Vec<(Outcome, Vec<String>)>> = std::thread::scope(|scope| {
+            let workers: Vec<_> = self
+                .members
+                .iter_mut()
+                .map(|m| {
+                    let frames = &frames;
+                    scope.spawn(move || {
+                        m.device
+                            .inject_batch(spec.as_port, frames, gap)
+                            .into_iter()
+                            .map(|p| (p.outcome, vec![p.last_stage]))
+                            .collect()
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("fleet worker panicked"))
+                .collect()
+        });
+        self.diff(per_member, frames.len())
+    }
+
+    /// Run a probe set through every device concurrently and diff, with
+    /// full per-probe stage sets (the probe path injects one packet at a
+    /// time so each probe's tap delta is attributable).
+    pub fn diff_probes(&mut self, probes: &[Probe]) -> FleetReport {
+        let per_member: Vec<Vec<(Outcome, Vec<String>)>> = std::thread::scope(|scope| {
+            let workers: Vec<_> = self
+                .members
+                .iter_mut()
+                .map(|m| {
+                    scope.spawn(move || {
+                        probes
+                            .iter()
+                            .map(|p| stages_reached(&mut m.device, 0, &p.data))
+                            .collect()
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("fleet worker panicked"))
+                .collect()
+        });
+        self.diff(per_member, probes.len())
+    }
+
+    /// Diff joined per-member observations against the reference, in
+    /// member order (deterministic by construction).
+    fn diff(&self, per_member: Vec<Vec<(Outcome, Vec<String>)>>, packets: usize) -> FleetReport {
+        let members: Vec<String> = self.members.iter().map(|m| m.label.clone()).collect();
+        let reference = members.first().cloned().unwrap_or_default();
+        let mut divergences = Vec::new();
+        let mut agreements = 0usize;
+        if let Some((ref_results, rest)) = per_member.split_first() {
+            for i in 0..packets {
+                let (ref_out, ref_stages) = &ref_results[i];
+                let mut clean = true;
+                for (m, results) in rest.iter().enumerate() {
+                    let (out, stages) = &results[i];
+                    if let Some(detail) = outcome_divergence(ref_out, out, ref_stages, stages) {
+                        clean = false;
+                        divergences.push(FleetDivergence {
+                            index: i,
+                            member: members[m + 1].clone(),
+                            detail,
+                            stages_reference: ref_stages.clone(),
+                            stages_member: stages.clone(),
+                        });
+                    }
+                }
+                if clean {
+                    agreements += 1;
+                }
+            }
+        }
+        FleetReport {
+            reference,
+            members,
+            packets,
+            agreements,
+            divergences,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::Expectation;
+    use crate::probes::parser_path_probes;
+    use netdebug_hw::Backend;
+    use netdebug_p4::corpus;
+    use netdebug_packet::{EthernetAddress, Ipv4Address, PacketBuilder};
+
+    fn router(backend: &Backend) -> Device {
+        let mut dev = Device::deploy_source(backend, corpus::IPV4_FORWARD).unwrap();
+        dev.install_lpm("ipv4_lpm", 0x0A00_0000, 8, "ipv4_forward", vec![0xAA, 1])
+            .unwrap();
+        dev
+    }
+
+    fn frame(version: u8) -> Vec<u8> {
+        let mut f = PacketBuilder::ethernet(
+            EthernetAddress::new(2, 0, 0, 0, 0, 1),
+            EthernetAddress::new(2, 0, 0, 0, 0, 2),
+        )
+        .ipv4(Ipv4Address::new(10, 0, 0, 1), Ipv4Address::new(10, 0, 0, 9))
+        .udp(1, 2)
+        .build();
+        f[14] = (version << 4) | 5;
+        f
+    }
+
+    fn three_member_fleet() -> DifferentialFleet {
+        DifferentialFleet::new()
+            .with("reference", router(&Backend::reference()))
+            .with("sdnet-fixed", router(&Backend::sdnet_fixed()))
+            .with("sdnet-2018", router(&Backend::sdnet_2018()))
+    }
+
+    #[test]
+    fn fleet_catches_the_reject_bug_and_exonerates_the_fix() {
+        let mut fleet = three_member_fleet();
+        assert_eq!(fleet.len(), 3);
+        // Malformed version-5 packets: the reference and the fixed SDNet
+        // drop them, the 2018 SDNet silently forwards them.
+        let report = fleet.run_window(&StreamSpec::simple(1, frame(5), 12, Expectation::Any));
+        assert_eq!(report.packets, 12);
+        assert_eq!(report.reference, "reference");
+        assert!(!report.equivalent());
+        assert_eq!(report.agreements, 0, "every packet exposes the bug");
+        assert_eq!(report.diverging_members(), vec!["sdnet-2018"]);
+        for d in &report.divergences {
+            assert_eq!(d.member, "sdnet-2018");
+            assert!(d.detail.contains("forwards"), "{}", d.detail);
+        }
+    }
+
+    #[test]
+    fn fleet_agrees_on_well_formed_traffic() {
+        let mut fleet = three_member_fleet();
+        let report = fleet.run_window(&StreamSpec::simple(
+            2,
+            frame(4),
+            20,
+            Expectation::Forward { port: Some(1) },
+        ));
+        assert!(report.equivalent(), "{:#?}", report.divergences);
+        assert_eq!(report.agreements, 20);
+    }
+
+    #[test]
+    fn fleet_probe_diffing_localises_reject_paths() {
+        let ir = netdebug_p4::compile(corpus::IPV4_FORWARD).unwrap();
+        let probes = parser_path_probes(&ir);
+        let mut fleet = three_member_fleet();
+        let report = fleet.diff_probes(&probes);
+        assert!(!report.equivalent());
+        for d in &report.divergences {
+            assert!(
+                probes[d.index].hits_reject,
+                "only reject-path probes diverge: {d:?}"
+            );
+            assert_eq!(d.member, "sdnet-2018");
+        }
+    }
+
+    #[test]
+    fn sharded_members_report_identically() {
+        // Fleet reports are deterministic even when members themselves
+        // shard their batches across threads.
+        let mut plain = three_member_fleet();
+        let mut sharded = three_member_fleet();
+        for label in ["reference", "sdnet-fixed", "sdnet-2018"] {
+            sharded.device_mut(label).unwrap().set_shards(4);
+        }
+        let spec = StreamSpec::simple(3, frame(5), 32, Expectation::Any);
+        let a = plain.run_window(&spec);
+        let b = sharded.run_window(&spec);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_and_single_member_fleets_are_trivially_equivalent() {
+        let mut empty = DifferentialFleet::new();
+        assert!(empty.is_empty());
+        let spec = StreamSpec::simple(1, frame(4), 4, Expectation::Any);
+        assert!(empty.run_window(&spec).equivalent());
+        let mut solo = DifferentialFleet::new().with("only", router(&Backend::reference()));
+        let report = solo.run_window(&spec);
+        assert!(report.equivalent());
+        assert_eq!(report.agreements, 4);
+    }
+
+    #[test]
+    fn configure_all_reaches_every_member() {
+        let mut fleet = DifferentialFleet::new()
+            .with(
+                "a",
+                Device::deploy_source(&Backend::reference(), corpus::IPV4_FORWARD).unwrap(),
+            )
+            .with(
+                "b",
+                Device::deploy_source(&Backend::sdnet_fixed(), corpus::IPV4_FORWARD).unwrap(),
+            );
+        fleet
+            .configure_all(|d| {
+                d.install_lpm("ipv4_lpm", 0x0A00_0000, 8, "ipv4_forward", vec![0xAA, 1])
+            })
+            .unwrap();
+        let report = fleet.run_window(&StreamSpec::simple(
+            1,
+            frame(4),
+            8,
+            Expectation::Forward { port: Some(1) },
+        ));
+        assert!(report.equivalent());
+    }
+}

@@ -26,9 +26,13 @@
 //!   (a packet flagged *expect-drop* appearing at an output is how the
 //!   SDNet `reject` bug is caught);
 //! * [`session`] — the host-side controller tying them together;
-//! * [`localize`] — stage-level fault localisation from tap counters;
+//! * [`localize`](mod@localize) — stage-level fault localisation from tap
+//!   counters;
 //! * [`probes`] / [`differential`] — parser-path packet synthesis and
 //!   device-vs-device diffing;
+//! * [`fleet`] — N-backend differential fleets: one generated window fed
+//!   to every deployment concurrently, verdicts diffed against the
+//!   reference member;
 //! * [`usecases`] — one measurable driver per §3 use-case, plus the
 //!   Figure 2 coverage matrix.
 //!
@@ -67,6 +71,7 @@
 
 pub mod checker;
 pub mod differential;
+pub mod fleet;
 pub mod generator;
 pub mod localize;
 pub mod probes;
@@ -74,6 +79,7 @@ pub mod session;
 pub mod usecases;
 
 pub use checker::{Checker, StreamStats, Violation};
+pub use fleet::{DifferentialFleet, FleetDivergence, FleetReport};
 pub use generator::{Expectation, FieldSweep, Generator, StreamSpec};
 pub use localize::{localize, Localization};
 pub use session::{NetDebug, SessionReport};

@@ -61,12 +61,15 @@ impl NetDebug {
     /// The stream is driven in windows of [`NetDebug::STREAM_WINDOW`]
     /// packets: the generator stamps a whole window up front
     /// ([`Generator::build_batch`]), the device ingests it through the
-    /// batched internal path ([`netdebug_hw::Device::inject_batch`]), and
-    /// the checker consumes the outcomes in one call
-    /// ([`Checker::observe_batch`]). Verdicts, statistics and violations
-    /// are identical to the historical packet-at-a-time loop — the batch
-    /// seam exists so each layer can amortise per-packet setup, and so
-    /// later work can shard or parallelise whole windows.
+    /// streaming batched internal path
+    /// ([`netdebug_hw::Device::inject_batch_with`]), and each outcome is
+    /// handed to the checker ([`Checker::observe_processed`]) the moment
+    /// the device accounts it — no window of outcomes is ever
+    /// materialised. Back-to-back windows additionally shard across OS
+    /// threads when the device is configured with `shards > 1`
+    /// ([`netdebug_hw::DeviceConfig::shards`]) and the deployed program is
+    /// parallel-safe. Verdicts, statistics and violations are identical to
+    /// the historical packet-at-a-time loop on every path.
     pub fn run_stream(&mut self, spec: &StreamSpec) {
         self.checker
             .open_stream(spec.stream, spec.expect, spec.count);
@@ -81,16 +84,25 @@ impl NetDebug {
                 .build_batch(spec, seq, n, self.device.now(), gap);
             first_ts.get_or_insert(window[0].ts_cycles);
             let frames: Vec<&[u8]> = window.iter().map(|p| p.data.as_slice()).collect();
-            let processed = self.device.inject_batch(spec.as_port, &frames, gap);
-            for p in &processed {
-                last_done = last_done.max(p.done_at_cycle);
-            }
-            self.checker.observe_batch(spec.stream, seq, &processed);
+            let checker = &mut self.checker;
+            self.device
+                .inject_batch_with(spec.as_port, &frames, gap, |i, p| {
+                    last_done = last_done.max(p.done_at_cycle);
+                    checker.observe_processed(spec.stream, seq + i as u64, &p);
+                });
             seq += n;
         }
         if let Some(first) = first_ts {
             self.windows.insert(spec.stream, (first, last_done));
         }
+    }
+
+    /// Configure the device's batched injection to shard across `shards`
+    /// worker threads (see [`netdebug_hw::DeviceConfig::shards`]). Streams
+    /// driven by [`NetDebug::run_stream`] pick this up on their next
+    /// window.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.device.set_shards(shards);
     }
 
     /// The wall-clock window a completed stream spanned, in device cycles.

@@ -14,15 +14,20 @@
 //! 3. **Deparse**: emit valid headers in deparse order, append the unparsed
 //!    payload.
 //!
-//! Execution is split into [`ExecCtx`]-style borrows internally: the
-//! immutable program is borrowed separately from the mutable table/extern
-//! state, so the hot path runs with **zero per-packet clones** of parser
-//! ops, control bodies, table keys or action bodies, and the unparsed
-//! payload is carried as a borrowed slice until the deparser copies it
-//! into the output frame. The batch path reuses one scratch [`Env`] across
-//! the whole batch, amortising per-packet setup; tracing is opt-out there
-//! (see [`Dataplane::set_tracing`]) so throughput runs skip event
-//! allocation entirely.
+//! Execution is split into `ExecCtx`-style borrows internally: the
+//! read-mostly state (program IR, table entry lists) is borrowed shared,
+//! the per-shard mutable state (table statistics, extern cells) is
+//! borrowed exclusively, so the hot path runs with **zero per-packet
+//! clones** of parser ops, control bodies, table keys or action bodies,
+//! and the unparsed payload is carried as a borrowed slice until the
+//! deparser copies it into the output frame. The batch path reuses one
+//! scratch `Env` across the whole batch, amortising per-packet setup;
+//! tracing is opt-out there (see [`Dataplane::set_tracing`]) so throughput
+//! runs skip event allocation entirely. The same read/write split is what
+//! lets [`Dataplane::process_batch_parallel`] shard a batch across OS
+//! threads (shared entries, per-shard stats merged commutatively on join)
+//! and [`Dataplane::process_batch_with`] stream traces through a
+//! [`TraceSink`] without materialising them.
 //!
 //! Egress conventions (documented device-model behaviour):
 //! * `egress_spec` 0..510 — forward out of that port;
@@ -31,8 +36,8 @@
 
 use crate::bits::{read_bits, write_bits};
 use crate::externs::{ExternState, MeterConfig};
-use crate::table::{lpm_pattern, RuntimeEntry, TableError, TableState};
-use crate::trace::{DropReason, Trace, TraceEvent, Verdict};
+use crate::table::{lpm_pattern, RuntimeEntry, TableError, TableState, TableStats};
+use crate::trace::{DropReason, Trace, TraceEvent, TraceSink, Verdict};
 use netdebug_p4::ast::{BinOp, UnOp};
 use netdebug_p4::ir::{
     self, truncate, IrExpr, IrPattern, IrStmt, IrTransition, LValue, Op, TransTarget,
@@ -159,23 +164,40 @@ impl Env {
 }
 
 /// A program plus its runtime state — one simulated data plane.
+///
+/// The state is deliberately split along the read/write axis:
+///
+/// * **read-mostly** — the compiled program and the table entry lists
+///   (`tables`); the packet path only reads them, the control plane only
+///   writes them between batches. Parallel shards share these by
+///   reference.
+/// * **per-shard mutable** — table hit/miss statistics (`table_stats`) and
+///   extern state (`externs`); counters merge commutatively on shard join,
+///   registers/meters force the sequential fallback when written (see
+///   [`Dataplane::process_batch_parallel`]).
 #[derive(Debug, Clone)]
 pub struct Dataplane {
     program: ir::Program,
     tables: Vec<TableState>,
+    table_stats: Vec<TableStats>,
     externs: ExternState,
     packets_processed: u64,
     tracing: bool,
+    /// Cached `Program::parallel_safe` — the program is immutable here.
+    parallel_safe: bool,
 }
 
-/// Split borrows for the execution hot path: the immutable program on one
-/// side, the mutable runtime state on the other. Holding the program
-/// through a plain shared reference is what lets the interpreter walk
-/// parser states, control bodies and action bodies without cloning them
-/// per packet (the pre-batch implementation cloned all three).
+/// Split borrows for the execution hot path: the immutable program and
+/// table entries on one side, the mutable runtime state on the other.
+/// Holding the program through a plain shared reference is what lets the
+/// interpreter walk parser states, control bodies and action bodies
+/// without cloning them per packet, and holding the table entry lists
+/// through `&[TableState]` is what lets parallel shards share them while
+/// each owns its own statistics and extern state.
 struct ExecCtx<'p> {
     program: &'p ir::Program,
-    tables: &'p mut [TableState],
+    tables: &'p [TableState],
+    table_stats: &'p mut [TableStats],
     externs: &'p mut ExternState,
 }
 
@@ -184,14 +206,7 @@ impl Dataplane {
     /// installed, externs zeroed).
     pub fn new(program: ir::Program) -> Self {
         let tables = program.tables.iter().map(TableState::new).collect();
-        let externs = ExternState::new(&program.externs);
-        Dataplane {
-            program,
-            tables,
-            externs,
-            packets_processed: 0,
-            tracing: true,
-        }
+        Self::assemble(program, tables)
     }
 
     /// Instantiate with per-table capacity overrides (used by hardware
@@ -203,14 +218,30 @@ impl Dataplane {
             .zip(capacities)
             .map(|(t, cap)| TableState::with_capacity(t, *cap))
             .collect();
+        Self::assemble(program, tables)
+    }
+
+    fn assemble(program: ir::Program, tables: Vec<TableState>) -> Self {
         let externs = ExternState::new(&program.externs);
+        let table_stats = vec![TableStats::default(); program.tables.len()];
+        let parallel_safe = program.parallel_safe();
         Dataplane {
             program,
             tables,
+            table_stats,
             externs,
             packets_processed: 0,
             tracing: true,
+            parallel_safe,
         }
+    }
+
+    /// Whether batches of this program may be sharded across threads with
+    /// bit-identical results (no register writes, no meter executions).
+    /// When false, [`Dataplane::process_batch_parallel`] silently takes the
+    /// sequential path.
+    pub fn parallel_safe(&self) -> bool {
+        self.parallel_safe
     }
 
     /// The compiled program.
@@ -351,7 +382,8 @@ impl Dataplane {
     pub fn table_stats(&self, name: &str) -> Result<(u64, u64, usize, u64), ControlError> {
         let tid = self.table_id(name)?;
         let t = &self.tables[tid];
-        Ok((t.hits, t.misses, t.len(), t.capacity()))
+        let s = &self.table_stats[tid];
+        Ok((s.hits, s.misses, t.len(), t.capacity()))
     }
 
     /// Direct access to a table's runtime state (used by backends).
@@ -370,14 +402,12 @@ impl Dataplane {
         let mut env = Env::new(&self.program);
         let mut ctx = ExecCtx {
             program: &self.program,
-            tables: &mut self.tables,
+            tables: &self.tables,
+            table_stats: &mut self.table_stats,
             externs: &mut self.externs,
         };
         let mut trace = Trace::default();
-        let verdict = ctx.run(port, data, now_cycles, &mut env, Some(&mut trace));
-        trace.push(TraceEvent::Final {
-            verdict: format!("{verdict:?}"),
-        });
+        let verdict = ctx.run_traced(port, data, now_cycles, &mut env, &mut trace);
         (verdict, trace)
     }
 
@@ -387,7 +417,8 @@ impl Dataplane {
         let mut env = Env::new(&self.program);
         let mut ctx = ExecCtx {
             program: &self.program,
-            tables: &mut self.tables,
+            tables: &self.tables,
+            table_stats: &mut self.table_stats,
             externs: &mut self.externs,
         };
         ctx.run(port, data, now_cycles, &mut env, None)
@@ -412,17 +443,15 @@ impl Dataplane {
         let mut env = Env::new(&self.program);
         let mut ctx = ExecCtx {
             program: &self.program,
-            tables: &mut self.tables,
+            tables: &self.tables,
+            table_stats: &mut self.table_stats,
             externs: &mut self.externs,
         };
         pkts.iter()
             .map(|&(port, data)| {
                 if tracing {
                     let mut trace = Trace::default();
-                    let verdict = ctx.run(port, data, now_cycles, &mut env, Some(&mut trace));
-                    trace.push(TraceEvent::Final {
-                        verdict: format!("{verdict:?}"),
-                    });
+                    let verdict = ctx.run_traced(port, data, now_cycles, &mut env, &mut trace);
                     (verdict, Some(trace))
                 } else {
                     (ctx.run(port, data, now_cycles, &mut env, None), None)
@@ -430,9 +459,163 @@ impl Dataplane {
             })
             .collect()
     }
+
+    /// Process a batch, streaming each packet's trace into `sink` instead
+    /// of materialising it.
+    ///
+    /// One trace buffer is allocated for the whole batch and reused: the
+    /// sink borrows it per packet (clone to keep). Verdicts come back in
+    /// batch order. When tracing is disabled ([`Dataplane::set_tracing`])
+    /// the sink still sees every packet, with an empty trace. Semantically
+    /// identical to [`Dataplane::process_batch`] — this is the
+    /// zero-allocation spine under traced device batching.
+    pub fn process_batch_with(
+        &mut self,
+        pkts: &[(u16, &[u8])],
+        now_cycles: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Vec<Verdict> {
+        self.packets_processed += pkts.len() as u64;
+        let tracing = self.tracing;
+        let mut env = Env::new(&self.program);
+        let mut ctx = ExecCtx {
+            program: &self.program,
+            tables: &self.tables,
+            table_stats: &mut self.table_stats,
+            externs: &mut self.externs,
+        };
+        let mut trace = Trace::default();
+        pkts.iter()
+            .enumerate()
+            .map(|(i, &(port, data))| {
+                let verdict = if tracing {
+                    ctx.run_traced(port, data, now_cycles, &mut env, &mut trace)
+                } else {
+                    trace.events.clear();
+                    ctx.run(port, data, now_cycles, &mut env, None)
+                };
+                sink.observe(i, &verdict, &trace);
+                verdict
+            })
+            .collect()
+    }
+
+    /// Process a batch sharded across `shards` OS threads.
+    ///
+    /// The batch is split into `shards` contiguous chunks; each worker
+    /// shares the program and table entries read-only and owns its shard's
+    /// mutable state — zeroed [`TableStats`] and an [`ExternState`] clone
+    /// with zeroed counters ([`ExternState::shard_clone`]). On join the
+    /// shard results are concatenated in shard order and the statistics
+    /// merged commutatively (counter sums, hit/miss sums), so repeated
+    /// runs produce identical state regardless of thread scheduling.
+    ///
+    /// Results are **bit-identical** to [`Dataplane::process_batch`]: when
+    /// the program is not [`Dataplane::parallel_safe`] (it writes registers
+    /// or executes meters — order-dependent state), or `shards <= 1`, or
+    /// the batch is smaller than one packet per shard, this silently takes
+    /// the sequential path instead.
+    pub fn process_batch_parallel(
+        &mut self,
+        pkts: &[(u16, &[u8])],
+        now_cycles: u64,
+        shards: usize,
+    ) -> Vec<(Verdict, Option<Trace>)> {
+        if shards <= 1 || !self.parallel_safe || pkts.len() < shards {
+            return self.process_batch(pkts, now_cycles);
+        }
+        self.packets_processed += pkts.len() as u64;
+        let tracing = self.tracing;
+        let program = &self.program;
+        let tables = &self.tables[..];
+        let chunk = pkts.len().div_ceil(shards);
+        let base_externs = &self.externs;
+
+        let shard_results: Vec<ShardResult> = std::thread::scope(|scope| {
+            let workers: Vec<_> = pkts
+                .chunks(chunk)
+                .map(|chunk_pkts| {
+                    scope.spawn(move || {
+                        let mut stats = vec![TableStats::default(); tables.len()];
+                        let mut externs = base_externs.shard_clone();
+                        let mut ctx = ExecCtx {
+                            program,
+                            tables,
+                            table_stats: &mut stats,
+                            externs: &mut externs,
+                        };
+                        let mut env = Env::new(program);
+                        let results = chunk_pkts
+                            .iter()
+                            .map(|&(port, data)| {
+                                if tracing {
+                                    let mut trace = Trace::default();
+                                    let verdict = ctx
+                                        .run_traced(port, data, now_cycles, &mut env, &mut trace);
+                                    (verdict, Some(trace))
+                                } else {
+                                    (ctx.run(port, data, now_cycles, &mut env, None), None)
+                                }
+                            })
+                            .collect();
+                        ShardResult {
+                            results,
+                            stats,
+                            externs,
+                        }
+                    })
+                })
+                .collect();
+            // Join in spawn order: the merge below is deterministic by
+            // construction (and the merged quantities are commutative
+            // sums, so scheduling cannot perturb the outcome either way).
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("shard worker panicked"))
+                .collect()
+        });
+
+        let mut out = Vec::with_capacity(pkts.len());
+        for shard in shard_results {
+            out.extend(shard.results);
+            for (mine, theirs) in self.table_stats.iter_mut().zip(&shard.stats) {
+                mine.absorb(theirs);
+            }
+            self.externs.absorb_counters(&shard.externs);
+        }
+        out
+    }
+}
+
+/// What one parallel shard hands back on join.
+struct ShardResult {
+    results: Vec<(Verdict, Option<Trace>)>,
+    stats: Vec<TableStats>,
+    externs: ExternState,
 }
 
 impl ExecCtx<'_> {
+    /// Run one packet with full tracing: clears `trace`, records every
+    /// event and appends the final verdict summary. The single
+    /// finalisation point shared by every traced path — single-packet,
+    /// batch, streaming and parallel shards — which is what keeps their
+    /// traces bit-identical (the equivalence the proptests pin down).
+    fn run_traced(
+        &mut self,
+        port: u16,
+        data: &[u8],
+        now_cycles: u64,
+        env: &mut Env,
+        trace: &mut Trace,
+    ) -> Verdict {
+        trace.events.clear();
+        let verdict = self.run(port, data, now_cycles, env, Some(trace));
+        trace.push(TraceEvent::Final {
+            verdict: format!("{verdict:?}"),
+        });
+        verdict
+    }
+
     fn run(
         &mut self,
         port: u16,
@@ -676,6 +859,7 @@ impl ExecCtx<'_> {
                 (default.action, false)
             }
         };
+        self.table_stats[tid].record(hit);
         if let Some(local) = hit_into {
             env.locals[local] = hit as u128;
         }

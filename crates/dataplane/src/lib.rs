@@ -33,8 +33,8 @@ pub mod trace;
 
 pub use externs::MeterConfig;
 pub use interp::{ControlError, Dataplane, FLOOD_PORT};
-pub use table::{lpm_pattern, RuntimeEntry, TableError, TableState};
-pub use trace::{DropReason, Trace, TraceEvent, Verdict};
+pub use table::{lpm_pattern, RuntimeEntry, TableError, TableState, TableStats};
+pub use trace::{CollectSink, DropReason, NullSink, Trace, TraceEvent, TraceSink, Verdict};
 
 #[cfg(test)]
 mod tests {

@@ -69,17 +69,48 @@ pub struct RuntimeEntry {
     pub priority: i32,
 }
 
-/// Runtime state of one table.
+/// Hit/miss statistics for one table.
+///
+/// Kept separate from [`TableState`] so the entry list can be shared
+/// read-only across parallel shards while each shard accumulates its own
+/// statistics; shard stats merge commutatively on join.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableStats {
+    /// Lookup hit counter.
+    pub hits: u64,
+    /// Lookup miss counter.
+    pub misses: u64,
+}
+
+impl TableStats {
+    /// Record one lookup outcome.
+    pub fn record(&mut self, hit: bool) {
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+    }
+
+    /// Fold another shard's statistics in (commutative sum).
+    pub fn absorb(&mut self, other: &TableStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+/// Runtime state of one table: the installed entry list.
+///
+/// Entries are **read-mostly**: the control plane installs them between
+/// batches, the packet path only reads them ([`TableState::lookup`] takes
+/// `&self`), which is what lets parallel shards share one entry list.
+/// Lookup statistics live in [`TableStats`], owned by the caller.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TableState {
     /// Entries sorted by descending priority.
     entries: Vec<RuntimeEntry>,
     /// Capacity from the IR (may be further limited by a backend).
     capacity: u64,
-    /// Lookup hit counter.
-    pub hits: u64,
-    /// Lookup miss counter.
-    pub misses: u64,
 }
 
 impl TableState {
@@ -100,12 +131,7 @@ impl TableState {
             })
             .collect();
         entries.sort_by_key(|e| core::cmp::Reverse(e.priority));
-        TableState {
-            entries,
-            capacity,
-            hits: 0,
-            misses: 0,
-        }
+        TableState { entries, capacity }
     }
 
     /// Number of installed entries.
@@ -178,17 +204,13 @@ impl TableState {
     }
 
     /// Look up the given key values; returns the matched entry.
-    pub fn lookup(&mut self, keys: &[u128]) -> Option<&RuntimeEntry> {
-        let found = self
-            .entries
+    ///
+    /// Pure read — callers record the outcome in their own [`TableStats`]
+    /// (per-shard on the parallel path).
+    pub fn lookup(&self, keys: &[u128]) -> Option<&RuntimeEntry> {
+        self.entries
             .iter()
-            .find(|e| e.patterns.iter().zip(keys).all(|(p, k)| p.matches(*k)));
-        if found.is_some() {
-            self.hits += 1;
-        } else {
-            self.misses += 1;
-        }
-        found
+            .find(|e| e.patterns.iter().zip(keys).all(|(p, k)| p.matches(*k)))
     }
 
     /// Iterate installed entries in priority order.
@@ -266,10 +288,19 @@ mod tests {
         let mut s = TableState::new(&t);
         s.install(&t, &a, fwd_entry(vec![IrPattern::Value(42)], 0))
             .unwrap();
-        assert!(s.lookup(&[42]).is_some());
-        assert!(s.lookup(&[43]).is_none());
-        assert_eq!(s.hits, 1);
-        assert_eq!(s.misses, 1);
+        let mut stats = TableStats::default();
+        stats.record(s.lookup(&[42]).is_some());
+        stats.record(s.lookup(&[43]).is_some());
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn stats_absorb_is_a_sum() {
+        let mut a = TableStats { hits: 3, misses: 1 };
+        let b = TableStats { hits: 2, misses: 5 };
+        a.absorb(&b);
+        assert_eq!(a, TableStats { hits: 5, misses: 6 });
     }
 
     #[test]

@@ -166,6 +166,44 @@ impl Trace {
     }
 }
 
+/// A streaming consumer of batch-path results.
+///
+/// `Dataplane::process_batch_with` records each packet's trace into **one
+/// reused buffer** and hands it to the sink by reference, so traced batch
+/// runs allocate nothing per packet beyond the output frame: tap
+/// accounting, checkers and log writers can all consume events in place.
+/// A sink that needs to keep a trace must clone it (see [`CollectSink`]).
+pub trait TraceSink {
+    /// Observe packet `index`'s verdict and trace.
+    ///
+    /// The trace borrow is only valid for the duration of the call — the
+    /// buffer is cleared and reused for the next packet. When tracing is
+    /// disabled on the data plane the trace is empty.
+    fn observe(&mut self, index: usize, verdict: &Verdict, trace: &Trace);
+}
+
+/// A sink that ignores everything (pure-throughput runs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn observe(&mut self, _index: usize, _verdict: &Verdict, _trace: &Trace) {}
+}
+
+/// A sink that clones every trace into a vector — the compatibility shim
+/// behind APIs that still return materialised `Vec<Trace>` results.
+#[derive(Debug, Clone, Default)]
+pub struct CollectSink {
+    /// Collected traces, one per observed packet, in batch order.
+    pub traces: Vec<Trace>,
+}
+
+impl TraceSink for CollectSink {
+    fn observe(&mut self, _index: usize, _verdict: &Verdict, trace: &Trace) {
+        self.traces.push(trace.clone());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

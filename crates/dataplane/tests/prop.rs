@@ -104,6 +104,140 @@ proptest! {
             prop_assert_eq!(&batch[i].0, &seq_dp.process_untraced(port, data, 0));
         }
     }
+    /// `process_batch_parallel` is bit-identical to `process_batch` for
+    /// every shard count 1..=8 on a parallel-safe program (no register
+    /// writes): same verdicts, same traces, and the same merged runtime
+    /// state (table hit/miss statistics) afterwards — for arbitrary
+    /// interleavings of routable, unroutable, malformed and garbage frames.
+    #[test]
+    fn parallel_matches_sequential(
+        frames in proptest::collection::vec(
+            (0u16..4, 0u8..4, proptest::collection::vec(any::<u8>(), 0..96)), 1..48),
+        shards in 1usize..=8,
+        now in any::<u32>(),
+        tracing in any::<bool>(),
+    ) {
+        let built: Vec<(u16, Vec<u8>)> = frames
+            .iter()
+            .map(|(port, kind, soup)| {
+                let frame = match kind {
+                    0 => {
+                        let dst = Ipv4Address::new(10, 0, 0, soup.first().copied().unwrap_or(9));
+                        routed_frame(dst, 64)
+                    }
+                    1 => routed_frame(Ipv4Address::new(10, 1, 2, 3), 64),
+                    2 => {
+                        let mut f = routed_frame(Ipv4Address::new(10, 0, 0, 5), 64);
+                        f[14] = 0x55; // version 5: parser must reject
+                        f
+                    }
+                    _ => soup.clone(),
+                };
+                (*port, frame)
+            })
+            .collect();
+        let pkts: Vec<(u16, &[u8])> = built.iter().map(|(p, f)| (*p, f.as_slice())).collect();
+        let now = u64::from(now);
+
+        let mut par_dp = router();
+        let mut seq_dp = router();
+        prop_assert!(par_dp.parallel_safe(), "ipv4_forward writes no registers");
+        par_dp.set_tracing(tracing);
+        seq_dp.set_tracing(tracing);
+        let par = par_dp.process_batch_parallel(&pkts, now, shards);
+        let seq = seq_dp.process_batch(&pkts, now);
+        prop_assert_eq!(par.len(), seq.len());
+        for (i, (p, s)) in par.iter().zip(&seq).enumerate() {
+            prop_assert_eq!(p, s, "packet {} diverged with {} shards", i, shards);
+        }
+        prop_assert_eq!(par_dp.packets_processed(), seq_dp.packets_processed());
+        prop_assert_eq!(
+            par_dp.table_stats("ipv4_lpm").unwrap(),
+            seq_dp.table_stats("ipv4_lpm").unwrap()
+        );
+    }
+
+    /// Counter merges across shard joins are exact: a counter-carrying
+    /// program (`l2_switch`'s per-port rx counter) accumulates identical
+    /// packet/byte totals whether the batch ran on 1 thread or N.
+    #[test]
+    fn parallel_counter_merge_is_exact(
+        dsts in proptest::collection::vec((any::<u8>(), 0u16..4), 1..64),
+        shards in 1usize..=8,
+    ) {
+        let deploy = || {
+            let ir = netdebug_p4::compile(corpus::L2_SWITCH).unwrap();
+            let mut dp = Dataplane::new(ir);
+            dp.install_exact("dmac", vec![0x0200_0000_0002], "forward", vec![3])
+                .unwrap();
+            dp
+        };
+        let built: Vec<(u16, Vec<u8>)> = dsts
+            .iter()
+            .map(|(last, port)| {
+                // Half the MACs hit the installed entry, the rest flood.
+                let dst = EthernetAddress::new(2, 0, 0, 0, 0, *last);
+                let f = PacketBuilder::ethernet(
+                    EthernetAddress::new(2, 0, 0, 0, 0, 1), dst)
+                    .payload(b"x")
+                    .build();
+                (*port, f)
+            })
+            .collect();
+        let pkts: Vec<(u16, &[u8])> = built.iter().map(|(p, f)| (*p, f.as_slice())).collect();
+
+        let mut par_dp = deploy();
+        let mut seq_dp = deploy();
+        prop_assert!(par_dp.parallel_safe());
+        let par = par_dp.process_batch_parallel(&pkts, 7, shards);
+        let seq = seq_dp.process_batch(&pkts, 7);
+        prop_assert_eq!(par, seq);
+        for port in 0..4 {
+            prop_assert_eq!(
+                par_dp.counter("port_rx", port).unwrap(),
+                seq_dp.counter("port_rx", port).unwrap(),
+                "port_rx[{}] diverged with {} shards", port, shards
+            );
+        }
+        prop_assert_eq!(
+            par_dp.table_stats("dmac").unwrap(),
+            seq_dp.table_stats("dmac").unwrap()
+        );
+    }
+
+    /// Programs with register writes fall back to the sequential path and
+    /// therefore stay bit-identical too — including the final register
+    /// state, which only an order-preserving execution can guarantee.
+    #[test]
+    fn register_writers_parallel_still_sequential_semantics(
+        n in 1usize..48,
+        shards in 2usize..=8,
+    ) {
+        let deploy = || {
+            let ir = netdebug_p4::compile(corpus::FLOW_COUNTER).unwrap();
+            let mut dp = Dataplane::new(ir);
+            dp.install_exact("fwd", vec![0], "forward", vec![1]).unwrap();
+            dp
+        };
+        let frame = PacketBuilder::ethernet(
+            EthernetAddress::new(2, 0, 0, 0, 0, 1),
+            EthernetAddress::new(2, 0, 0, 0, 0, 2),
+        )
+        .payload(&[0u8; 40])
+        .build();
+        let pkts: Vec<(u16, &[u8])> = (0..n).map(|_| (0u16, frame.as_slice())).collect();
+        let mut par_dp = deploy();
+        let mut seq_dp = deploy();
+        prop_assert!(!par_dp.parallel_safe(), "flow_counter writes registers");
+        let par = par_dp.process_batch_parallel(&pkts, 0, shards);
+        let seq = seq_dp.process_batch(&pkts, 0);
+        prop_assert_eq!(par, seq);
+        prop_assert_eq!(
+            par_dp.register("rx_bytes", 0).unwrap(),
+            seq_dp.register("rx_bytes", 0).unwrap()
+        );
+    }
+
     /// No corpus program panics on arbitrary input bytes, whatever port or
     /// timestamp they arrive with.
     #[test]
@@ -272,4 +406,51 @@ proptest! {
         };
         prop_assert!(p.matches(u128::from(prefix) & mask));
     }
+}
+
+/// The sequential-fallback predicate: programs whose packet path mutates
+/// order-dependent state (register writes, meter executions) must refuse
+/// sharding; pure match-action/counter programs must allow it.
+#[test]
+fn parallel_safety_classification() {
+    let safe = ["ipv4_forward", "l2_switch", "reflector", "acl_firewall"];
+    let unsafe_ = ["flow_counter", "rate_limiter"];
+    for prog in netdebug_p4::corpus::corpus() {
+        let ir = netdebug_p4::compile(prog.source).unwrap();
+        let dp = Dataplane::new(ir);
+        if safe.contains(&prog.name) {
+            assert!(dp.parallel_safe(), "{} must shard", prog.name);
+        }
+        if unsafe_.contains(&prog.name) {
+            assert!(!dp.parallel_safe(), "{} must fall back", prog.name);
+        }
+    }
+}
+
+/// A register-writing program fed through `process_batch_parallel` takes
+/// the sequential fallback: order-dependent register state comes out
+/// exactly as the one-at-a-time oracle produces it, which sharded
+/// execution could not guarantee.
+#[test]
+fn register_writing_program_takes_sequential_fallback() {
+    let ir = netdebug_p4::compile(corpus::FLOW_COUNTER).unwrap();
+    let mut dp = Dataplane::new(ir);
+    dp.install_exact("fwd", vec![0], "forward", vec![1])
+        .unwrap();
+    assert!(!dp.parallel_safe());
+    let frame = PacketBuilder::ethernet(
+        EthernetAddress::new(2, 0, 0, 0, 0, 1),
+        EthernetAddress::new(2, 0, 0, 0, 0, 2),
+    )
+    .payload(&[0u8; 50])
+    .build();
+    let pkts: Vec<(u16, &[u8])> = (0..10).map(|_| (0u16, frame.as_slice())).collect();
+    let results = dp.process_batch_parallel(&pkts, 0, 8);
+    assert!(results.iter().all(|(v, _)| v.is_forwarded()));
+    // Sequential semantics: every packet's bytes accumulated, in order.
+    assert_eq!(
+        dp.register("rx_bytes", 0).unwrap(),
+        10 * frame.len() as u128
+    );
+    assert_eq!(dp.counter("rx_pkts", 0).unwrap().0, 10);
 }

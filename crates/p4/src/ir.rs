@@ -85,6 +85,33 @@ impl Program {
     pub fn max_parsed_bits(&self) -> u32 {
         self.headers.iter().map(|h| h.bit_width).sum()
     }
+
+    /// True when per-packet execution is free of order-dependent state
+    /// mutation, so a batch may be partitioned across parallel shards and
+    /// still produce bit-identical results: counters only accumulate
+    /// (commutative), registers are only *read* (control-plane state shared
+    /// read-only), and no meter executes (token buckets consume tokens in
+    /// packet order). A `register.write` or `meter.execute` anywhere in an
+    /// action or control body makes the program order-dependent and forces
+    /// the sequential batch path.
+    pub fn parallel_safe(&self) -> bool {
+        fn op_safe(op: &Op) -> bool {
+            !matches!(op, Op::RegisterWrite(..) | Op::MeterExecute(..))
+        }
+        fn stmts_safe(body: &[IrStmt]) -> bool {
+            body.iter().all(|s| match s {
+                IrStmt::Op(op) => op_safe(op),
+                IrStmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => stmts_safe(then_branch) && stmts_safe(else_branch),
+                IrStmt::ApplyTable { .. } | IrStmt::Exit => true,
+            })
+        }
+        self.actions.iter().all(|a| a.ops.iter().all(op_safe))
+            && self.controls.iter().all(|c| stmts_safe(&c.body))
+    }
 }
 
 /// Wire layout of one header instance.

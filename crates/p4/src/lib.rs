@@ -1,6 +1,6 @@
 //! Hand-rolled P4-16 front end for the NetDebug reproduction.
 //!
-//! Pipeline: [`lexer`] → [`parser`] → [`ast`] → ([`check`]) → [`lower`] →
+//! Pipeline: [`lexer`] → [`parser`] → [`ast`] → ([`check`](mod@check)) → [`lower`] →
 //! [`ir`]. The [`corpus`] module ships the data-plane programs used by the
 //! experiments, and [`pretty`] prints ASTs back to source.
 //!

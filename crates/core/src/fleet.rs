@@ -73,6 +73,10 @@ struct FleetMember {
     device: Device,
 }
 
+/// One member's per-packet observations: the outcome plus the stage set
+/// used to localise divergences.
+type MemberObservations = Vec<(Outcome, Vec<String>)>;
+
 /// A set of deployed devices that receive identical stimuli.
 ///
 /// The first member added is the **reference** (conventionally the
@@ -147,35 +151,77 @@ impl DifferentialFleet {
     /// against the reference; the member's last-stage taps localise any
     /// divergence.
     pub fn run_window(&mut self, spec: &StreamSpec) -> FleetReport {
+        self.run_churn(spec, &crate::churn::ChurnSchedule::new(), spec.count.max(1))
+            .expect("an empty churn schedule cannot fail")
+    }
+
+    /// Run a churned stream across the fleet: the stimulus is cut into
+    /// `window`-packet windows and, before window `w`, every member
+    /// applies the identical [`crate::churn::ChurnSchedule`] ops keyed to
+    /// `w` through its epoch-snapshot control plane — so rule churn lands
+    /// at the same stream offset on every member and their verdicts stay
+    /// comparable packet by packet. Members still run concurrently (one
+    /// scoped thread each, batched injection, sharded when configured).
+    /// A schedule keying an op to a window the stream never runs is
+    /// rejected up front
+    /// ([`crate::churn::ChurnError::UnreachableWindow`]); the first
+    /// rejected control-plane op on any member aborts the run.
+    pub fn run_churn(
+        &mut self,
+        spec: &StreamSpec,
+        schedule: &crate::churn::ChurnSchedule,
+        window: u64,
+    ) -> Result<FleetReport, crate::churn::ChurnError> {
+        let window = window.max(1);
+        schedule.validate(spec.count.div_ceil(window))?;
         let gap = self
             .members
             .first()
             .map(|m| Generator::gap_cycles(spec, m.device.config().core_clock_hz))
             .unwrap_or(0);
-        let window = Generator::new().build_batch(spec, 0, spec.count, 0, gap);
-        let frames: Vec<&[u8]> = window.iter().map(|p| p.data.as_slice()).collect();
+        // One generator builds every window: all members see identical
+        // frames at identical stream offsets.
+        let mut generator = Generator::new();
+        let mut windows = Vec::new();
+        let mut seq = 0u64;
+        while seq < spec.count {
+            let n = window.min(spec.count - seq);
+            windows.push(generator.build_batch(spec, seq, n, 0, gap));
+            seq += n;
+        }
 
-        let per_member: Vec<Vec<(Outcome, Vec<String>)>> = std::thread::scope(|scope| {
-            let workers: Vec<_> = self
-                .members
-                .iter_mut()
-                .map(|m| {
-                    let frames = &frames;
-                    scope.spawn(move || {
-                        m.device
-                            .inject_batch(spec.as_port, frames, gap)
-                            .into_iter()
-                            .map(|p| (p.outcome, vec![p.last_stage]))
-                            .collect()
+        let per_member: Vec<Result<MemberObservations, netdebug_dataplane::ControlError>> =
+            std::thread::scope(|scope| {
+                let workers: Vec<_> = self
+                    .members
+                    .iter_mut()
+                    .map(|m| {
+                        let windows = &windows;
+                        scope.spawn(move || {
+                            let mut out = Vec::new();
+                            for (w, win) in windows.iter().enumerate() {
+                                schedule.apply_for_window(w as u64, &mut m.device)?;
+                                let frames: Vec<&[u8]> =
+                                    win.iter().map(|p| p.data.as_slice()).collect();
+                                out.extend(
+                                    m.device
+                                        .inject_batch(spec.as_port, &frames, gap)
+                                        .into_iter()
+                                        .map(|p| (p.outcome, vec![p.last_stage])),
+                                );
+                            }
+                            Ok(out)
+                        })
                     })
-                })
-                .collect();
-            workers
-                .into_iter()
-                .map(|w| w.join().expect("fleet worker panicked"))
-                .collect()
-        });
-        self.diff(per_member, frames.len())
+                    .collect();
+                workers
+                    .into_iter()
+                    .map(|w| w.join().expect("fleet worker panicked"))
+                    .collect()
+            });
+        let per_member = per_member.into_iter().collect::<Result<Vec<_>, _>>()?;
+        let packets = per_member.first().map(|r| r.len()).unwrap_or(0);
+        Ok(self.diff(per_member, packets))
     }
 
     /// Run a probe set through every device concurrently and diff, with

@@ -33,6 +33,9 @@
 //! * [`fleet`] — N-backend differential fleets: one generated window fed
 //!   to every deployment concurrently, verdicts diffed against the
 //!   reference member;
+//! * [`churn`] — rule churn under load: scripted control-plane mutations
+//!   interleaved with traffic windows (epoch-snapshot tables keep the
+//!   traffic on the parallel path throughout);
 //! * [`usecases`] — one measurable driver per §3 use-case, plus the
 //!   Figure 2 coverage matrix.
 //!
@@ -70,6 +73,7 @@
 #![warn(missing_docs)]
 
 pub mod checker;
+pub mod churn;
 pub mod differential;
 pub mod fleet;
 pub mod generator;

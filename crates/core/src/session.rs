@@ -71,13 +71,40 @@ impl NetDebug {
     /// parallel-safe. Verdicts, statistics and violations are identical to
     /// the historical packet-at-a-time loop on every path.
     pub fn run_stream(&mut self, spec: &StreamSpec) {
+        self.run_stream_churn(spec, &crate::churn::ChurnSchedule::new())
+            .expect("an empty churn schedule cannot fail");
+    }
+
+    /// Run one stream with **rule churn**: before each
+    /// [`NetDebug::STREAM_WINDOW`]-packet window, every
+    /// [`crate::churn::ChurnOp`] the schedule keys to that window index is
+    /// published through the device's epoch-snapshot control plane. The
+    /// traffic keeps flowing through the batched (and, with
+    /// [`NetDebug::set_shards`], parallel) path throughout — installs
+    /// land as atomic epoch publications between windows, never by
+    /// falling back to sequential execution.
+    ///
+    /// A schedule keying an op to a window this stream will never run is
+    /// rejected up front ([`crate::churn::ChurnError::UnreachableWindow`])
+    /// — otherwise the op would silently never publish and the run would
+    /// report plain traffic as a churn scenario. Control-plane rejections
+    /// propagate from the first failing op (traffic injected up to that
+    /// point has already been checked).
+    pub fn run_stream_churn(
+        &mut self,
+        spec: &StreamSpec,
+        schedule: &crate::churn::ChurnSchedule,
+    ) -> Result<(), crate::churn::ChurnError> {
+        schedule.validate(spec.count.div_ceil(Self::STREAM_WINDOW))?;
         self.checker
             .open_stream(spec.stream, spec.expect, spec.count);
         let gap = Generator::gap_cycles(spec, self.device.config().core_clock_hz);
         let mut first_ts = None;
         let mut last_done = 0u64;
         let mut seq = 0u64;
+        let mut window_idx = 0u64;
         while seq < spec.count {
+            schedule.apply_for_window(window_idx, &mut self.device)?;
             let n = Self::STREAM_WINDOW.min(spec.count - seq);
             let window = self
                 .generator
@@ -91,10 +118,12 @@ impl NetDebug {
                     checker.observe_processed(spec.stream, seq + i as u64, &p);
                 });
             seq += n;
+            window_idx += 1;
         }
         if let Some(first) = first_ts {
             self.windows.insert(spec.stream, (first, last_done));
         }
+        Ok(())
     }
 
     /// Configure the device's batched injection to shard across `shards`

@@ -181,10 +181,12 @@ impl ExternState {
         }
     }
 
-    /// Clone this state for a parallel shard: registers and meter state are
-    /// carried over (registers may be *read* by the shard; meters are never
-    /// executed on the parallel path — see `Program::parallel_safe`), while
-    /// counters start from zero so each shard accumulates a pure delta.
+    /// Clone this state for a parallel shard: registers and meter state
+    /// are carried over (registers may be *read* by the shard; meter cells
+    /// are only executed by the shard that *owns* them under the
+    /// meter-partitioned path — see `Program::parallel_class` — and flow
+    /// back via [`ExternState::adopt_meter_cell`]), while counters start
+    /// from zero so each shard accumulates a pure delta.
     pub fn shard_clone(&self) -> ExternState {
         let instances = self
             .instances
@@ -201,8 +203,9 @@ impl ExternState {
     }
 
     /// Fold a shard's counter deltas back in (commutative sum). Registers
-    /// and meters are left untouched: under the parallel-safe precondition
-    /// the shard cannot have modified them.
+    /// and meters are left untouched: registers cannot have been written
+    /// on any parallel path, and meter cells flow back separately through
+    /// [`ExternState::adopt_meter_cell`] under per-shard cell ownership.
     pub fn absorb_counters(&mut self, shard: &ExternState) {
         for (mine, theirs) in self.instances.iter_mut().zip(&shard.instances) {
             if let (
@@ -219,6 +222,29 @@ impl ExternState {
                 for (b, d) in bytes.iter_mut().zip(db) {
                     *b += d;
                 }
+            }
+        }
+    }
+
+    /// Copy one meter cell's full state (config, token levels, last
+    /// execution cycle) from a shard back into this state.
+    ///
+    /// Used by the meter-partitioned parallel path: the batch partitioning
+    /// guarantees every meter cell was executed by at most one shard, so
+    /// adopting each shard's owned cells reproduces the sequential
+    /// per-cell token-bucket evolution exactly. Out-of-range indices (a
+    /// runtime `meter.execute` past the declared size mutates nothing) and
+    /// non-meter externs are no-ops.
+    pub fn adopt_meter_cell(&mut self, shard: &ExternState, id: usize, index: usize) {
+        let Some(ExternCells::Meter { cells: theirs }) = shard.instances.get(id) else {
+            return;
+        };
+        let Some(theirs) = theirs.get(index) else {
+            return;
+        };
+        if let Some(ExternCells::Meter { cells }) = self.instances.get_mut(id) {
+            if let Some(mine) = cells.get_mut(index) {
+                *mine = theirs.clone();
             }
         }
     }

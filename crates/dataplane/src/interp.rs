@@ -35,51 +35,22 @@
 //! * no write to `egress_spec` — drop (`NoEgress`).
 
 use crate::bits::{read_bits, write_bits};
+use crate::control::{ControlError, ControlPlane};
 use crate::externs::{ExternState, MeterConfig};
-use crate::table::{lpm_pattern, RuntimeEntry, TableError, TableState, TableStats};
+use crate::table::{EntrySnapshot, TableState, TableStats};
 use crate::trace::{DropReason, Trace, TraceEvent, TraceSink, Verdict};
 use netdebug_p4::ast::{BinOp, UnOp};
 use netdebug_p4::ir::{
-    self, truncate, IrExpr, IrPattern, IrStmt, IrTransition, LValue, Op, TransTarget,
+    self, truncate, IrExpr, IrPattern, IrStmt, IrTransition, LValue, Op, ParallelClass, TransTarget,
 };
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The flood "port" value in `egress_spec`.
 pub const FLOOD_PORT: u128 = 511;
 
 /// Maximum parser states visited per packet before declaring a loop.
 const PARSER_STATE_BUDGET: usize = 256;
-
-/// Errors from the control-plane API.
-#[derive(Debug, Clone, PartialEq)]
-pub enum ControlError {
-    /// No such table.
-    NoSuchTable(String),
-    /// No such action.
-    NoSuchAction(String),
-    /// No such extern instance.
-    NoSuchExtern(String),
-    /// Entry rejected.
-    Table(TableError),
-}
-
-impl core::fmt::Display for ControlError {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        match self {
-            ControlError::NoSuchTable(n) => write!(f, "no such table `{n}`"),
-            ControlError::NoSuchAction(n) => write!(f, "no such action `{n}`"),
-            ControlError::NoSuchExtern(n) => write!(f, "no such extern `{n}`"),
-            ControlError::Table(e) => write!(f, "{e}"),
-        }
-    }
-}
-
-impl std::error::Error for ControlError {}
-
-impl From<TableError> for ControlError {
-    fn from(e: TableError) -> Self {
-        ControlError::Table(e)
-    }
-}
 
 /// Runtime value of one header instance.
 #[derive(Debug, Clone)]
@@ -167,36 +138,108 @@ impl Env {
 ///
 /// The state is deliberately split along the read/write axis:
 ///
-/// * **read-mostly** — the compiled program and the table entry lists
-///   (`tables`); the packet path only reads them, the control plane only
-///   writes them between batches. Parallel shards share these by
-///   reference.
+/// * **read-mostly** — the compiled program (immutable, behind an `Arc`)
+///   and the table entry lists: each table publishes an immutable
+///   [`EntrySnapshot`] that the packet path pins per batch, while the
+///   control plane — possibly from another thread, through a detached
+///   [`ControlPlane`] handle — publishes successor snapshots atomically.
+///   Parallel shards share the pinned snapshots by reference; mid-batch
+///   installs never touch them.
 /// * **per-shard mutable** — table hit/miss statistics (`table_stats`) and
 ///   extern state (`externs`); counters merge commutatively on shard join,
-///   registers/meters force the sequential fallback when written (see
-///   [`Dataplane::process_batch_parallel`]).
-#[derive(Debug, Clone)]
+///   meter cells merge by per-shard cell ownership on the
+///   meter-partitioned path, and register writers force the sequential
+///   fallback (see [`Dataplane::process_batch_parallel`]).
+#[derive(Debug)]
 pub struct Dataplane {
-    program: ir::Program,
-    tables: Vec<TableState>,
+    program: Arc<ir::Program>,
+    tables: Arc<Vec<TableState>>,
     table_stats: Vec<TableStats>,
     externs: ExternState,
     packets_processed: u64,
+    /// Batches that actually ran sharded (parallel path taken, not the
+    /// sequential fallback) — observability for tests and benches.
+    sharded_batches: u64,
     tracing: bool,
-    /// Cached `Program::parallel_safe` — the program is immutable here.
-    parallel_safe: bool,
+    /// Cached `Program::parallel_class` — the program is immutable here.
+    parallel_class: ParallelClass,
+    /// Cached `Program::meter_sites` for the meter-partitioning pre-pass
+    /// (empty unless `parallel_class` is `MeterPartitionable`).
+    meter_sites: Vec<(usize, IrExpr)>,
+    /// Whether any meter index expression reads packet contents (header
+    /// fields, validity, parser-assigned metadata/locals). When false —
+    /// e.g. a meter keyed purely on the ingress port — the pre-pass skips
+    /// the parser replay entirely.
+    meter_sites_read_packet: bool,
+    /// Publication generation shared with every [`ControlPlane`] handle:
+    /// bumped after each snapshot publication. The packet path re-pins
+    /// `pin_cache` only when it moves, so steady-state processing pays
+    /// one atomic load per pin point instead of a lock per table.
+    generation: Arc<AtomicU64>,
+    /// The pinned snapshots as of `pin_gen` (lazily refreshed).
+    pin_cache: Vec<Arc<EntrySnapshot>>,
+    /// Generation `pin_cache` was pinned at (0 = never pinned).
+    pin_gen: u64,
+    /// Shared with every [`ControlPlane`] handle: held across each
+    /// publication and across a multi-table re-pin, so a pinned snapshot
+    /// *set* always corresponds to a prefix of the publication order —
+    /// never an interleaving that mixes a later mutation without an
+    /// earlier one.
+    publish_lock: Arc<std::sync::Mutex<()>>,
+}
+
+impl Clone for Dataplane {
+    /// Deep-copies the runtime state: the clone gets its own table cells
+    /// and publication counter (sharing the immutable current snapshots
+    /// is safe — mutation always publishes fresh ones) so control-plane
+    /// handles and installs on one copy never leak into the other. The
+    /// compiled program is shared. The table snapshots are captured under
+    /// the publication lock, so even a clone taken during concurrent
+    /// multi-table churn observes a publication-order prefix, never a
+    /// torn cross-table cut.
+    fn clone(&self) -> Self {
+        let (tables, generation) = {
+            let _guard = self.publish_lock.lock().expect("publish lock poisoned");
+            (
+                Arc::new(
+                    self.tables
+                        .iter()
+                        .map(TableState::clone)
+                        .collect::<Vec<_>>(),
+                ),
+                Arc::new(AtomicU64::new(self.generation.load(Ordering::Acquire))),
+            )
+        };
+        Dataplane {
+            program: Arc::clone(&self.program),
+            tables,
+            table_stats: self.table_stats.clone(),
+            externs: self.externs.clone(),
+            packets_processed: self.packets_processed,
+            sharded_batches: self.sharded_batches,
+            tracing: self.tracing,
+            parallel_class: self.parallel_class,
+            meter_sites: self.meter_sites.clone(),
+            meter_sites_read_packet: self.meter_sites_read_packet,
+            generation,
+            pin_cache: self.pin_cache.clone(),
+            pin_gen: self.pin_gen,
+            publish_lock: Arc::new(std::sync::Mutex::new(())),
+        }
+    }
 }
 
 /// Split borrows for the execution hot path: the immutable program and
-/// table entries on one side, the mutable runtime state on the other.
-/// Holding the program through a plain shared reference is what lets the
-/// interpreter walk parser states, control bodies and action bodies
-/// without cloning them per packet, and holding the table entry lists
-/// through `&[TableState]` is what lets parallel shards share them while
-/// each owns its own statistics and extern state.
+/// pinned table snapshots on one side, the mutable runtime state on the
+/// other. Holding the program through a plain shared reference is what
+/// lets the interpreter walk parser states, control bodies and action
+/// bodies without cloning them per packet, and holding the entry lists
+/// through pinned `&[Arc<EntrySnapshot>]` is what lets parallel shards
+/// share them — and lets the control plane publish new epochs mid-batch
+/// without perturbing in-flight packets.
 struct ExecCtx<'p> {
     program: &'p ir::Program,
-    tables: &'p [TableState],
+    tables: &'p [Arc<EntrySnapshot>],
     table_stats: &'p mut [TableStats],
     externs: &'p mut ExternState,
 }
@@ -224,24 +267,58 @@ impl Dataplane {
     fn assemble(program: ir::Program, tables: Vec<TableState>) -> Self {
         let externs = ExternState::new(&program.externs);
         let table_stats = vec![TableStats::default(); program.tables.len()];
-        let parallel_safe = program.parallel_safe();
+        let parallel_class = program.parallel_class();
+        let meter_sites = if parallel_class == ParallelClass::MeterPartitionable {
+            program.meter_sites()
+        } else {
+            Vec::new()
+        };
+        let meter_sites_read_packet = program.meter_pre_pass_needs_parse();
         Dataplane {
-            program,
-            tables,
+            program: Arc::new(program),
+            tables: Arc::new(tables),
             table_stats,
             externs,
             packets_processed: 0,
+            sharded_batches: 0,
             tracing: true,
-            parallel_safe,
+            parallel_class,
+            meter_sites,
+            meter_sites_read_packet,
+            generation: Arc::new(AtomicU64::new(1)),
+            pin_cache: Vec::new(),
+            pin_gen: 0,
+            publish_lock: Arc::new(std::sync::Mutex::new(())),
         }
     }
 
-    /// Whether batches of this program may be sharded across threads with
-    /// bit-identical results (no register writes, no meter executions).
-    /// When false, [`Dataplane::process_batch_parallel`] silently takes the
-    /// sequential path.
+    /// Whether batches of this program may be split into arbitrary
+    /// contiguous chunks across threads ([`ParallelClass::Safe`]). Meter
+    /// programs are *also* shardable (by meter-cell partitioning) — see
+    /// [`Dataplane::parallel_class`] for the full picture.
     pub fn parallel_safe(&self) -> bool {
-        self.parallel_safe
+        self.parallel_class == ParallelClass::Safe
+    }
+
+    /// How [`Dataplane::process_batch_parallel`] may shard this program's
+    /// batches (cached [`netdebug_p4::ir::Program::parallel_class`]).
+    pub fn parallel_class(&self) -> ParallelClass {
+        self.parallel_class
+    }
+
+    /// A detached control-plane handle: clone it onto any thread and
+    /// install/remove/clear entries **while batches run**; every mutation
+    /// publishes a new table epoch atomically, and in-flight shards keep
+    /// the snapshot they pinned. Priority semantics are the data plane's
+    /// own (hardware-bug transforms such as priority inversion live in
+    /// `netdebug-hw`'s `Device::install`, not here).
+    pub fn control_plane(&self) -> ControlPlane {
+        ControlPlane::new(
+            Arc::clone(&self.program),
+            Arc::clone(&self.tables),
+            Arc::clone(&self.generation),
+            Arc::clone(&self.publish_lock),
+        )
     }
 
     /// The compiled program.
@@ -252,6 +329,12 @@ impl Dataplane {
     /// Packets processed since construction.
     pub fn packets_processed(&self) -> u64 {
         self.packets_processed
+    }
+
+    /// Batches that actually executed on the sharded parallel path (i.e.
+    /// did not take the sequential fallback) since construction.
+    pub fn sharded_batches(&self) -> u64 {
+        self.sharded_batches
     }
 
     /// Whether [`Dataplane::process_batch`] records per-packet traces.
@@ -274,25 +357,15 @@ impl Dataplane {
     // Control-plane API
     // ------------------------------------------------------------------
 
-    fn table_id(&self, name: &str) -> Result<usize, ControlError> {
-        self.program
-            .table_by_name(name)
-            .ok_or_else(|| ControlError::NoSuchTable(name.to_string()))
-    }
-
-    fn action_id(&self, name: &str) -> Result<usize, ControlError> {
-        self.program
-            .action_by_name(name)
-            .ok_or_else(|| ControlError::NoSuchAction(name.to_string()))
-    }
-
     fn extern_id(&self, name: &str) -> Result<usize, ControlError> {
         self.program
             .extern_by_name(name)
             .ok_or_else(|| ControlError::NoSuchExtern(name.to_string()))
     }
 
-    /// Install an arbitrary entry.
+    /// Install an arbitrary entry (publishes a new table epoch; see
+    /// [`Dataplane::control_plane`] for the detached, mid-batch-capable
+    /// handle these methods delegate to).
     pub fn install(
         &mut self,
         table: &str,
@@ -301,14 +374,8 @@ impl Dataplane {
         args: Vec<u128>,
         priority: i32,
     ) -> Result<(), ControlError> {
-        let tid = self.table_id(table)?;
-        let aid = self.action_id(action)?;
-        let entry = RuntimeEntry {
-            patterns,
-            action: ir::ActionCall { action: aid, args },
-            priority,
-        };
-        self.tables[tid].install(&self.program.tables[tid], &self.program.actions, entry)?;
+        self.control_plane()
+            .install(table, patterns, action, args, priority)?;
         Ok(())
     }
 
@@ -320,8 +387,9 @@ impl Dataplane {
         action: &str,
         args: Vec<u128>,
     ) -> Result<(), ControlError> {
-        let patterns = keys.into_iter().map(IrPattern::Value).collect();
-        self.install(table, patterns, action, args, 0)
+        self.control_plane()
+            .install_exact(table, keys, action, args)?;
+        Ok(())
     }
 
     /// Install an LPM entry on a single-key LPM table (priority = prefix
@@ -334,14 +402,9 @@ impl Dataplane {
         action: &str,
         args: Vec<u128>,
     ) -> Result<(), ControlError> {
-        let tid = self.table_id(table)?;
-        let width = self.program.tables[tid]
-            .keys
-            .first()
-            .map(|k| k.width)
-            .unwrap_or(32);
-        let pattern = lpm_pattern(prefix, prefix_len, width);
-        self.install(table, vec![pattern], action, args, i32::from(prefix_len))
+        self.control_plane()
+            .install_lpm(table, prefix, prefix_len, action, args)?;
+        Ok(())
     }
 
     /// Read a counter cell: (packets, bytes).
@@ -380,15 +443,38 @@ impl Dataplane {
 
     /// Hit/miss/occupancy statistics for a table.
     pub fn table_stats(&self, name: &str) -> Result<(u64, u64, usize, u64), ControlError> {
-        let tid = self.table_id(name)?;
+        let tid = self
+            .program
+            .table_by_name(name)
+            .ok_or_else(|| ControlError::NoSuchTable(name.to_string()))?;
         let t = &self.tables[tid];
         let s = &self.table_stats[tid];
         Ok((s.hits, s.misses, t.len(), t.capacity()))
     }
 
-    /// Direct access to a table's runtime state (used by backends).
-    pub fn table_state_mut(&mut self, index: usize) -> &mut TableState {
-        &mut self.tables[index]
+    /// Refresh the pinned snapshots in `pin_cache` if any publication
+    /// happened since they were last pinned. This is the single
+    /// epoch-pinning point of every packet path: consulted once per batch
+    /// on the batch paths (one coherent table state per window) and once
+    /// per packet on the single-packet paths (each packet observes the
+    /// epochs current at its injection instant). Steady state — no churn
+    /// in flight — costs one atomic load; only an actual publication pays
+    /// the per-table lock-and-clone re-pin. The generation is bumped
+    /// *after* the snapshot swap, so observing a new generation always
+    /// means the new snapshots are visible (re-pinning at a stale
+    /// generation merely re-pins once more on the next call).
+    fn refresh_pins(&mut self) {
+        if self.generation.load(Ordering::Acquire) == self.pin_gen {
+            return;
+        }
+        // Re-pin under the publication lock: no mutation can land between
+        // the first and the last table's pin, so the pinned set is always
+        // a publication-order prefix — even for multi-table churn.
+        let _guard = self.publish_lock.lock().expect("publish lock poisoned");
+        self.pin_cache.clear();
+        self.pin_cache
+            .extend(self.tables.iter().map(|t| t.snapshot()));
+        self.pin_gen = self.generation.load(Ordering::Acquire);
     }
 
     // ------------------------------------------------------------------
@@ -399,10 +485,12 @@ impl Dataplane {
     /// recording a full trace.
     pub fn process(&mut self, port: u16, data: &[u8], now_cycles: u64) -> (Verdict, Trace) {
         self.packets_processed += 1;
+        self.refresh_pins();
+        let pinned = &self.pin_cache;
         let mut env = Env::new(&self.program);
         let mut ctx = ExecCtx {
             program: &self.program,
-            tables: &self.tables,
+            tables: pinned,
             table_stats: &mut self.table_stats,
             externs: &mut self.externs,
         };
@@ -414,10 +502,12 @@ impl Dataplane {
     /// Process without tracing (fast path for throughput benchmarks).
     pub fn process_untraced(&mut self, port: u16, data: &[u8], now_cycles: u64) -> Verdict {
         self.packets_processed += 1;
+        self.refresh_pins();
+        let pinned = &self.pin_cache;
         let mut env = Env::new(&self.program);
         let mut ctx = ExecCtx {
             program: &self.program,
-            tables: &self.tables,
+            tables: pinned,
             table_stats: &mut self.table_stats,
             externs: &mut self.externs,
         };
@@ -440,10 +530,12 @@ impl Dataplane {
     ) -> Vec<(Verdict, Option<Trace>)> {
         self.packets_processed += pkts.len() as u64;
         let tracing = self.tracing;
+        self.refresh_pins();
+        let pinned = &self.pin_cache;
         let mut env = Env::new(&self.program);
         let mut ctx = ExecCtx {
             program: &self.program,
-            tables: &self.tables,
+            tables: pinned,
             table_stats: &mut self.table_stats,
             externs: &mut self.externs,
         };
@@ -477,10 +569,12 @@ impl Dataplane {
     ) -> Vec<Verdict> {
         self.packets_processed += pkts.len() as u64;
         let tracing = self.tracing;
+        self.refresh_pins();
+        let pinned = &self.pin_cache;
         let mut env = Env::new(&self.program);
         let mut ctx = ExecCtx {
             program: &self.program,
-            tables: &self.tables,
+            tables: pinned,
             table_stats: &mut self.table_stats,
             externs: &mut self.externs,
         };
@@ -500,69 +594,82 @@ impl Dataplane {
             .collect()
     }
 
-    /// Process a batch sharded across `shards` OS threads.
+    /// Process a batch sharded across up to `shards` OS threads.
     ///
-    /// The batch is split into `shards` contiguous chunks; each worker
-    /// shares the program and table entries read-only and owns its shard's
-    /// mutable state — zeroed [`TableStats`] and an [`ExternState`] clone
-    /// with zeroed counters ([`ExternState::shard_clone`]). On join the
-    /// shard results are concatenated in shard order and the statistics
-    /// merged commutatively (counter sums, hit/miss sums), so repeated
-    /// runs produce identical state regardless of thread scheduling.
+    /// Every worker shares the program and the **pinned** table snapshots
+    /// read-only (control-plane installs landing mid-batch publish new
+    /// epochs without touching the pins) and owns its shard's mutable
+    /// state — zeroed [`TableStats`] and an [`ExternState`] clone with
+    /// zeroed counters ([`ExternState::shard_clone`]). On join the
+    /// statistics merge commutatively (counter sums, hit/miss sums), so
+    /// repeated runs produce identical state regardless of thread
+    /// scheduling. How the batch splits follows
+    /// [`Dataplane::parallel_class`]:
     ///
-    /// Results are **bit-identical** to [`Dataplane::process_batch`]: when
-    /// the program is not [`Dataplane::parallel_safe`] (it writes registers
-    /// or executes meters — order-dependent state), or `shards <= 1`, or
-    /// the batch is smaller than one packet per shard, this silently takes
-    /// the sequential path instead.
+    /// * [`ParallelClass::Safe`] — contiguous balanced chunks (ceil/floor
+    ///   split; every spawned shard receives at least one packet).
+    /// * [`ParallelClass::MeterPartitionable`] — a pre-pass replays the
+    ///   parser to evaluate each packet's meter-cell indices, then packets
+    ///   are partitioned so that all packets touching a given meter cell
+    ///   land on the same shard (batch order preserved within a shard, and
+    ///   hence within every cell). Each shard's meter cells evolve exactly
+    ///   as they would sequentially; on join the owned cells are copied
+    ///   back and the results scattered into batch order.
+    /// * [`ParallelClass::Sequential`] (register writers), `shards <= 1`,
+    ///   or a batch of fewer than 2 packets — the sequential path runs
+    ///   instead.
+    ///
+    /// Results are **bit-identical** to [`Dataplane::process_batch`] on
+    /// every path; [`Dataplane::sharded_batches`] reports whether the
+    /// parallel engine actually ran.
     pub fn process_batch_parallel(
         &mut self,
         pkts: &[(u16, &[u8])],
         now_cycles: u64,
         shards: usize,
     ) -> Vec<(Verdict, Option<Trace>)> {
-        if shards <= 1 || !self.parallel_safe || pkts.len() < shards {
+        let shards = shards.min(pkts.len());
+        if shards <= 1 || self.parallel_class == ParallelClass::Sequential {
             return self.process_batch(pkts, now_cycles);
         }
+        match self.parallel_class {
+            ParallelClass::Safe => self.parallel_contiguous(pkts, now_cycles, shards),
+            ParallelClass::MeterPartitionable => {
+                self.parallel_meter_partitioned(pkts, now_cycles, shards)
+            }
+            ParallelClass::Sequential => unreachable!("handled above"),
+        }
+    }
+
+    /// The `Safe` parallel path: contiguous balanced chunks.
+    fn parallel_contiguous(
+        &mut self,
+        pkts: &[(u16, &[u8])],
+        now_cycles: u64,
+        shards: usize,
+    ) -> Vec<(Verdict, Option<Trace>)> {
         self.packets_processed += pkts.len() as u64;
+        self.sharded_batches += 1;
         let tracing = self.tracing;
-        let program = &self.program;
-        let tables = &self.tables[..];
-        let chunk = pkts.len().div_ceil(shards);
+        self.refresh_pins();
+        let program: &ir::Program = &self.program;
+        let pinned = &self.pin_cache;
         let base_externs = &self.externs;
 
         let shard_results: Vec<ShardResult> = std::thread::scope(|scope| {
-            let workers: Vec<_> = pkts
-                .chunks(chunk)
-                .map(|chunk_pkts| {
+            let workers: Vec<_> = chunk_ranges(pkts.len(), shards)
+                .into_iter()
+                .map(|range| {
+                    let chunk_pkts = &pkts[range];
                     scope.spawn(move || {
-                        let mut stats = vec![TableStats::default(); tables.len()];
-                        let mut externs = base_externs.shard_clone();
-                        let mut ctx = ExecCtx {
+                        run_shard(
                             program,
-                            tables,
-                            table_stats: &mut stats,
-                            externs: &mut externs,
-                        };
-                        let mut env = Env::new(program);
-                        let results = chunk_pkts
-                            .iter()
-                            .map(|&(port, data)| {
-                                if tracing {
-                                    let mut trace = Trace::default();
-                                    let verdict = ctx
-                                        .run_traced(port, data, now_cycles, &mut env, &mut trace);
-                                    (verdict, Some(trace))
-                                } else {
-                                    (ctx.run(port, data, now_cycles, &mut env, None), None)
-                                }
-                            })
-                            .collect();
-                        ShardResult {
-                            results,
-                            stats,
-                            externs,
-                        }
+                            pinned,
+                            base_externs,
+                            chunk_pkts.iter().copied(),
+                            tracing,
+                            now_cycles,
+                        )
                     })
                 })
                 .collect();
@@ -584,6 +691,223 @@ impl Dataplane {
             self.externs.absorb_counters(&shard.externs);
         }
         out
+    }
+
+    /// The `MeterPartitionable` parallel path: pre-evaluate meter cells,
+    /// partition by cell, run shards on index lists, scatter back.
+    fn parallel_meter_partitioned(
+        &mut self,
+        pkts: &[(u16, &[u8])],
+        now_cycles: u64,
+        shards: usize,
+    ) -> Vec<(Verdict, Option<Trace>)> {
+        let cells = self.meter_cells_for_batch(pkts, now_cycles);
+        let shard_indices = partition_by_cells(&cells, shards);
+        if shard_indices.len() <= 1 {
+            // Every packet shares one meter-cell component: sharding would
+            // put the whole batch on one thread anyway.
+            return self.process_batch(pkts, now_cycles);
+        }
+        self.packets_processed += pkts.len() as u64;
+        self.sharded_batches += 1;
+        let tracing = self.tracing;
+        self.refresh_pins();
+        let program: &ir::Program = &self.program;
+        let pinned = &self.pin_cache;
+        let base_externs = &self.externs;
+
+        let shard_results: Vec<ShardResult> = std::thread::scope(|scope| {
+            let workers: Vec<_> = shard_indices
+                .iter()
+                .map(|indices| {
+                    scope.spawn(move || {
+                        run_shard(
+                            program,
+                            pinned,
+                            base_externs,
+                            indices.iter().map(|&i| pkts[i]),
+                            tracing,
+                            now_cycles,
+                        )
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("shard worker panicked"))
+                .collect()
+        });
+
+        // Scatter results back to batch order and merge state. Each meter
+        // cell is owned by exactly one shard (the partitioning invariant),
+        // so copying owned cells back reproduces the sequential per-cell
+        // token-bucket evolution exactly.
+        let mut slots: Vec<Option<(Verdict, Option<Trace>)>> = Vec::new();
+        slots.resize_with(pkts.len(), || None);
+        for (indices, shard) in shard_indices.iter().zip(shard_results) {
+            for (&i, res) in indices.iter().zip(shard.results) {
+                slots[i] = Some(res);
+            }
+            for (mine, theirs) in self.table_stats.iter_mut().zip(&shard.stats) {
+                mine.absorb(theirs);
+            }
+            self.externs.absorb_counters(&shard.externs);
+            let owned: std::collections::BTreeSet<(usize, usize)> = indices
+                .iter()
+                .flat_map(|&i| cells[i].iter().copied())
+                .collect();
+            for &(id, idx) in &owned {
+                self.externs.adopt_meter_cell(&shard.externs, id, idx);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every packet assigned to exactly one shard"))
+            .collect()
+    }
+
+    /// Pre-pass for the meter-partitioned path: replay the parser for each
+    /// packet (no table applies, no extern effects, no statistics) and
+    /// evaluate every meter site's index expression. Sound because
+    /// `MeterPartitionable` classification guarantees the indices depend
+    /// only on parser-determined state.
+    fn meter_cells_for_batch(
+        &self,
+        pkts: &[(u16, &[u8])],
+        now_cycles: u64,
+    ) -> Vec<Vec<(usize, usize)>> {
+        let prog: &ir::Program = &self.program;
+        let mut env = Env::new(prog);
+        pkts.iter()
+            .map(|&(port, data)| {
+                env.reset(port, data.len(), now_cycles);
+                // Indices that never read packet contents (e.g. a meter
+                // keyed on the ingress port) need no parser replay at all.
+                if self.meter_sites_read_packet {
+                    let mut no_trace: Option<&mut Trace> = None;
+                    // A rejected parse means no meter ever executes for
+                    // this packet; the (deterministic) partially-parsed
+                    // evaluation below merely over-constrains placement.
+                    let _ = parse_packet(prog, data, &mut env, &mut no_trace);
+                }
+                self.meter_sites
+                    .iter()
+                    .map(|(id, idx)| (*id, eval(prog, idx, &env) as usize))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Contiguous balanced split of `len` items into exactly `shards`
+/// non-empty ranges (requires `shards <= len`): the first `len % shards`
+/// ranges take one extra item. No shard ever receives zero packets, even
+/// when `len` is barely above `shards`.
+fn chunk_ranges(len: usize, shards: usize) -> Vec<core::ops::Range<usize>> {
+    let base = len / shards;
+    let rem = len % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let size = base + usize::from(s < rem);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// Partition packet indices into at most `shards` non-empty lists such
+/// that all packets touching the same meter cell share a list, preserving
+/// batch order within each list. Packets are connected into components via
+/// union-find over shared cells; components are placed (in order of first
+/// appearance) onto the currently least-loaded shard, which is
+/// deterministic by construction.
+fn partition_by_cells(cells: &[Vec<(usize, usize)>], shards: usize) -> Vec<Vec<usize>> {
+    let n = cells.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut cell_owner: std::collections::HashMap<(usize, usize), usize> =
+        std::collections::HashMap::new();
+    for (i, pkt_cells) in cells.iter().enumerate() {
+        for cell in pkt_cells {
+            match cell_owner.entry(*cell) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let a = find(&mut parent, i);
+                    let b = find(&mut parent, *e.get());
+                    // Union by lower root for determinism.
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    parent[hi] = lo;
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(i);
+                }
+            }
+        }
+    }
+    let mut comp_size: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        *comp_size.entry(root).or_default() += 1;
+    }
+    let mut comp_shard: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut load = vec![0usize; shards];
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); shards];
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        let shard = *comp_shard.entry(root).or_insert_with(|| {
+            let s = (0..shards)
+                .min_by_key(|&s| (load[s], s))
+                .expect("shards > 0");
+            load[s] += comp_size[&root];
+            s
+        });
+        out[shard].push(i);
+    }
+    out.retain(|v| !v.is_empty());
+    out
+}
+
+/// Run one shard's packet list against pinned snapshots with freshly
+/// zeroed per-shard statistics and a shard-cloned extern state. Shared by
+/// the contiguous and the meter-partitioned parallel paths.
+fn run_shard<'a>(
+    program: &ir::Program,
+    pinned: &[Arc<EntrySnapshot>],
+    base_externs: &ExternState,
+    pkts: impl Iterator<Item = (u16, &'a [u8])>,
+    tracing: bool,
+    now_cycles: u64,
+) -> ShardResult {
+    let mut stats = vec![TableStats::default(); pinned.len()];
+    let mut externs = base_externs.shard_clone();
+    let mut ctx = ExecCtx {
+        program,
+        tables: pinned,
+        table_stats: &mut stats,
+        externs: &mut externs,
+    };
+    let mut env = Env::new(program);
+    let results = pkts
+        .map(|(port, data)| {
+            if tracing {
+                let mut trace = Trace::default();
+                let verdict = ctx.run_traced(port, data, now_cycles, &mut env, &mut trace);
+                (verdict, Some(trace))
+            } else {
+                (ctx.run(port, data, now_cycles, &mut env, None), None)
+            }
+        })
+        .collect();
+    ShardResult {
+        results,
+        stats,
+        externs,
     }
 }
 
@@ -628,102 +952,13 @@ impl ExecCtx<'_> {
         env.reset(port, data.len(), now_cycles);
 
         // ---- Parse ----
-        let mut cursor_bits = 0usize;
-        let total_bits = data.len() * 8;
-        let mut state = 0usize;
-        let mut visited = 0usize;
-        loop {
-            visited += 1;
-            if visited > PARSER_STATE_BUDGET {
-                if let Some(t) = trace.as_deref_mut() {
-                    t.push(TraceEvent::ParserReject);
-                }
-                return Verdict::Drop(DropReason::ParserReject);
-            }
-            let st = &prog.parser.states[state];
-            if let Some(t) = trace.as_deref_mut() {
-                t.push(TraceEvent::ParserState {
-                    name: st.name.clone(),
-                });
-            }
-            for op in &st.ops {
-                match op {
-                    ir::ParserOp::Extract(hid) => {
-                        let layout = &prog.headers[*hid];
-                        let width = layout.bit_width as usize;
-                        if cursor_bits + width > total_bits {
-                            if let Some(t) = trace.as_deref_mut() {
-                                t.push(TraceEvent::ParserReject);
-                            }
-                            return Verdict::Drop(DropReason::PacketTooShort);
-                        }
-                        if let Some(t) = trace.as_deref_mut() {
-                            t.push(TraceEvent::Extract {
-                                header: layout.name.clone(),
-                                at_bit: cursor_bits,
-                            });
-                        }
-                        let hv = &mut env.headers[*hid];
-                        hv.valid = true;
-                        for (slot, f) in hv.fields.iter_mut().zip(&layout.fields) {
-                            *slot = read_bits(
-                                data,
-                                cursor_bits + f.offset_bits as usize,
-                                f.width_bits as usize,
-                            );
-                        }
-                        cursor_bits += width;
-                    }
-                    ir::ParserOp::Assign(lv, e) => {
-                        let v = eval(prog, e, env);
-                        assign(prog, lv, v, env);
-                    }
-                }
-            }
-            let target = match &st.transition {
-                IrTransition::Accept => TransTarget::Accept,
-                IrTransition::Reject => TransTarget::Reject,
-                IrTransition::Goto(s) => TransTarget::State(*s),
-                IrTransition::Select {
-                    keys,
-                    arms,
-                    default,
-                } => {
-                    env.key_scratch.clear();
-                    for k in keys {
-                        let v = eval(prog, k, env);
-                        env.key_scratch.push(v);
-                    }
-                    arms.iter()
-                        .find(|arm| {
-                            arm.patterns
-                                .iter()
-                                .zip(&env.key_scratch)
-                                .all(|(p, k)| p.matches(*k))
-                        })
-                        .map(|arm| arm.target)
-                        .unwrap_or(*default)
-                }
-            };
-            match target {
-                TransTarget::Accept => {
-                    if let Some(t) = trace.as_deref_mut() {
-                        t.push(TraceEvent::ParserAccept);
-                    }
-                    break;
-                }
-                TransTarget::Reject => {
-                    if let Some(t) = trace.as_deref_mut() {
-                        t.push(TraceEvent::ParserReject);
-                    }
-                    return Verdict::Drop(DropReason::ParserReject);
-                }
-                TransTarget::State(s) => state = s,
-            }
-        }
+        let payload_start = match parse_packet(prog, data, env, &mut trace) {
+            Ok(offset) => offset,
+            Err(reason) => return Verdict::Drop(reason),
+        };
         // The unparsed payload stays a borrowed slice; the deparser copies
         // it straight into the output frame (no intermediate allocation).
-        let payload = &data[(cursor_bits / 8).min(data.len())..];
+        let payload = &data[payload_start..];
 
         // ---- Pipeline ----
         for control in &prog.controls {
@@ -925,6 +1160,113 @@ impl ExecCtx<'_> {
                 assign(prog, lv, colour, env);
             }
             Op::NoOp => {}
+        }
+    }
+}
+
+/// Run the parser FSM over `data`, filling `env`'s headers/metadata.
+/// Returns the byte offset of the unparsed payload on accept, or the drop
+/// reason on reject. `env` must have been [`Env::reset`] first.
+///
+/// Pure with respect to tables, externs and statistics — which is why the
+/// meter-partitioning pre-pass can replay it safely ahead of execution.
+fn parse_packet(
+    prog: &ir::Program,
+    data: &[u8],
+    env: &mut Env,
+    trace: &mut Option<&mut Trace>,
+) -> Result<usize, DropReason> {
+    let mut cursor_bits = 0usize;
+    let total_bits = data.len() * 8;
+    let mut state = 0usize;
+    let mut visited = 0usize;
+    loop {
+        visited += 1;
+        if visited > PARSER_STATE_BUDGET {
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(TraceEvent::ParserReject);
+            }
+            return Err(DropReason::ParserReject);
+        }
+        let st = &prog.parser.states[state];
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(TraceEvent::ParserState {
+                name: st.name.clone(),
+            });
+        }
+        for op in &st.ops {
+            match op {
+                ir::ParserOp::Extract(hid) => {
+                    let layout = &prog.headers[*hid];
+                    let width = layout.bit_width as usize;
+                    if cursor_bits + width > total_bits {
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.push(TraceEvent::ParserReject);
+                        }
+                        return Err(DropReason::PacketTooShort);
+                    }
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.push(TraceEvent::Extract {
+                            header: layout.name.clone(),
+                            at_bit: cursor_bits,
+                        });
+                    }
+                    let hv = &mut env.headers[*hid];
+                    hv.valid = true;
+                    for (slot, f) in hv.fields.iter_mut().zip(&layout.fields) {
+                        *slot = read_bits(
+                            data,
+                            cursor_bits + f.offset_bits as usize,
+                            f.width_bits as usize,
+                        );
+                    }
+                    cursor_bits += width;
+                }
+                ir::ParserOp::Assign(lv, e) => {
+                    let v = eval(prog, e, env);
+                    assign(prog, lv, v, env);
+                }
+            }
+        }
+        let target = match &st.transition {
+            IrTransition::Accept => TransTarget::Accept,
+            IrTransition::Reject => TransTarget::Reject,
+            IrTransition::Goto(s) => TransTarget::State(*s),
+            IrTransition::Select {
+                keys,
+                arms,
+                default,
+            } => {
+                env.key_scratch.clear();
+                for k in keys {
+                    let v = eval(prog, k, env);
+                    env.key_scratch.push(v);
+                }
+                arms.iter()
+                    .find(|arm| {
+                        arm.patterns
+                            .iter()
+                            .zip(&env.key_scratch)
+                            .all(|(p, k)| p.matches(*k))
+                    })
+                    .map(|arm| arm.target)
+                    .unwrap_or(*default)
+            }
+        };
+        match target {
+            TransTarget::Accept => {
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(TraceEvent::ParserAccept);
+                }
+                return Ok((cursor_bits / 8).min(data.len()));
+            }
+            TransTarget::Reject => {
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(TraceEvent::ParserReject);
+                }
+                return Err(DropReason::ParserReject);
+            }
+            TransTarget::State(s) => state = s,
         }
     }
 }

@@ -26,14 +26,16 @@
 #![warn(missing_docs)]
 
 pub mod bits;
+pub mod control;
 pub mod externs;
 pub mod interp;
 pub mod table;
 pub mod trace;
 
+pub use control::{ControlError, ControlPlane};
 pub use externs::MeterConfig;
-pub use interp::{ControlError, Dataplane, FLOOD_PORT};
-pub use table::{lpm_pattern, RuntimeEntry, TableError, TableState, TableStats};
+pub use interp::{Dataplane, FLOOD_PORT};
+pub use table::{lpm_pattern, EntrySnapshot, RuntimeEntry, TableError, TableState, TableStats};
 pub use trace::{CollectSink, DropReason, NullSink, Trace, TraceEvent, TraceSink, Verdict};
 
 #[cfg(test)]

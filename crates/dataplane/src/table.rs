@@ -1,4 +1,4 @@
-//! Runtime match-action table state.
+//! Runtime match-action table state, published as **epoch snapshots**.
 //!
 //! Tables hold [`RuntimeEntry`]s installed either at compile time (const
 //! entries) or through the control-plane API. Lookup is match-kind aware:
@@ -6,10 +6,20 @@
 //! ternary/range tables resolve by explicit priority. A single sorted entry
 //! list implements all three — LPM priority is the prefix length, exact
 //! entries cannot overlap, ternary priorities come from the caller.
+//!
+//! The entry list itself is **immutable once published**: a [`TableState`]
+//! holds an [`Arc`]`<`[`EntrySnapshot`]`>` and every control-plane
+//! mutation (`install`/`remove`/`clear`) builds a fresh entry list and
+//! swaps the `Arc` atomically, bumping the snapshot's epoch. Readers pin a
+//! snapshot once (per packet on the single-packet path, per batch on the
+//! batch paths) and keep reading it no matter what the control plane does
+//! concurrently — which is what lets installs land *mid-batch* without
+//! pausing, locking against, or serialising the parallel packet path.
 
 use netdebug_p4::ast::MatchKind;
 use netdebug_p4::ir::{self, ActionCall, IrPattern};
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex};
 
 /// Errors from control-plane table manipulation.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -99,18 +109,78 @@ impl TableStats {
     }
 }
 
-/// Runtime state of one table: the installed entry list.
+/// One immutable, epoch-stamped published entry list.
 ///
-/// Entries are **read-mostly**: the control plane installs them between
-/// batches, the packet path only reads them ([`TableState::lookup`] takes
-/// `&self`), which is what lets parallel shards share one entry list.
-/// Lookup statistics live in [`TableStats`], owned by the caller.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct TableState {
+/// Snapshots are never mutated after publication: the packet path pins one
+/// with an [`Arc`] clone and reads it lock-free for as long as it likes,
+/// while the control plane publishes successors through
+/// [`TableState::install`]/[`TableState::remove`]/[`TableState::clear`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntrySnapshot {
+    /// Publication sequence number: 0 for the const-entry snapshot, +1 per
+    /// control-plane mutation.
+    epoch: u64,
     /// Entries sorted by descending priority.
     entries: Vec<RuntimeEntry>,
+}
+
+impl EntrySnapshot {
+    /// The epoch this snapshot was published at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of installed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up the given key values; returns the matched entry.
+    ///
+    /// Pure read — callers record the outcome in their own [`TableStats`]
+    /// (per-shard on the parallel path).
+    pub fn lookup(&self, keys: &[u128]) -> Option<&RuntimeEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.patterns.iter().zip(keys).all(|(p, k)| p.matches(*k)))
+    }
+
+    /// Iterate installed entries in priority order.
+    pub fn entries(&self) -> impl Iterator<Item = &RuntimeEntry> {
+        self.entries.iter()
+    }
+}
+
+/// Runtime state of one table: the current [`EntrySnapshot`] plus the
+/// configured capacity.
+///
+/// All mutation goes through `&self` (the snapshot pointer sits behind a
+/// mutex that only the control plane ever contends on): the packet path
+/// never locks per lookup, it pins the current snapshot once via
+/// [`TableState::snapshot`] and works off that. Lookup statistics live in
+/// [`TableStats`], owned by the caller. `Clone` shares the current
+/// snapshot (snapshots are immutable — a later mutation on either copy
+/// publishes a fresh one) but gives the clone its own publication cell.
+#[derive(Debug)]
+pub struct TableState {
+    /// Currently published snapshot; swapped whole on every mutation.
+    snapshot: Mutex<Arc<EntrySnapshot>>,
     /// Capacity from the IR (may be further limited by a backend).
     capacity: u64,
+}
+
+impl Clone for TableState {
+    fn clone(&self) -> Self {
+        TableState {
+            snapshot: Mutex::new(self.snapshot()),
+            capacity: self.capacity,
+        }
+    }
 }
 
 impl TableState {
@@ -131,17 +201,35 @@ impl TableState {
             })
             .collect();
         entries.sort_by_key(|e| core::cmp::Reverse(e.priority));
-        TableState { entries, capacity }
+        TableState {
+            snapshot: Mutex::new(Arc::new(EntrySnapshot { epoch: 0, entries })),
+            capacity,
+        }
     }
 
-    /// Number of installed entries.
+    /// Pin the currently published snapshot. The returned `Arc` stays
+    /// valid (and unchanged) however many epochs the control plane
+    /// publishes afterwards.
+    pub fn snapshot(&self) -> Arc<EntrySnapshot> {
+        self.snapshot
+            .lock()
+            .expect("table snapshot poisoned")
+            .clone()
+    }
+
+    /// The currently published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch
+    }
+
+    /// Number of installed entries (in the current snapshot).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.snapshot().len()
     }
 
-    /// True if no entries are installed.
+    /// True if no entries are installed (in the current snapshot).
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.snapshot().is_empty()
     }
 
     /// The configured capacity.
@@ -149,18 +237,14 @@ impl TableState {
         self.capacity
     }
 
-    /// Install an entry, validating against the table's IR declaration.
+    /// Install an entry, validating against the table's IR declaration,
+    /// and publish the successor snapshot. Returns the new epoch.
     pub fn install(
-        &mut self,
+        &self,
         table: &ir::TableIr,
         actions: &[ir::ActionIr],
         entry: RuntimeEntry,
-    ) -> Result<(), TableError> {
-        if self.entries.len() as u64 >= self.capacity {
-            return Err(TableError::Full {
-                capacity: self.capacity,
-            });
-        }
+    ) -> Result<u64, TableError> {
         if entry.patterns.len() != table.keys.len() {
             return Err(TableError::KeyCountMismatch {
                 got: entry.patterns.len(),
@@ -191,31 +275,54 @@ impl TableState {
                 return Err(TableError::BadPattern);
             }
         }
-        let pos = self
+        let mut current = self.snapshot.lock().expect("table snapshot poisoned");
+        if current.entries.len() as u64 >= self.capacity {
+            return Err(TableError::Full {
+                capacity: self.capacity,
+            });
+        }
+        let mut entries = current.entries.clone();
+        let pos = entries.partition_point(|e| e.priority >= entry.priority);
+        entries.insert(pos, entry);
+        let epoch = current.epoch + 1;
+        *current = Arc::new(EntrySnapshot { epoch, entries });
+        Ok(epoch)
+    }
+
+    /// Remove the first installed entry with exactly these patterns and
+    /// priority; publishes a successor snapshot and returns its epoch, or
+    /// `None` if no such entry exists (no epoch is spent).
+    pub fn remove(&self, patterns: &[IrPattern], priority: i32) -> Option<u64> {
+        let mut current = self.snapshot.lock().expect("table snapshot poisoned");
+        let pos = current
             .entries
-            .partition_point(|e| e.priority >= entry.priority);
-        self.entries.insert(pos, entry);
-        Ok(())
-    }
-
-    /// Remove all installed entries (const entries included).
-    pub fn clear(&mut self) {
-        self.entries.clear();
-    }
-
-    /// Look up the given key values; returns the matched entry.
-    ///
-    /// Pure read — callers record the outcome in their own [`TableStats`]
-    /// (per-shard on the parallel path).
-    pub fn lookup(&self, keys: &[u128]) -> Option<&RuntimeEntry> {
-        self.entries
             .iter()
-            .find(|e| e.patterns.iter().zip(keys).all(|(p, k)| p.matches(*k)))
+            .position(|e| e.priority == priority && e.patterns == patterns)?;
+        let mut entries = current.entries.clone();
+        entries.remove(pos);
+        let epoch = current.epoch + 1;
+        *current = Arc::new(EntrySnapshot { epoch, entries });
+        Some(epoch)
     }
 
-    /// Iterate installed entries in priority order.
-    pub fn entries(&self) -> impl Iterator<Item = &RuntimeEntry> {
-        self.entries.iter()
+    /// Remove all installed entries (const entries included) and publish
+    /// the empty successor snapshot. Returns the new epoch.
+    pub fn clear(&self) -> u64 {
+        let mut current = self.snapshot.lock().expect("table snapshot poisoned");
+        let epoch = current.epoch + 1;
+        *current = Arc::new(EntrySnapshot {
+            epoch,
+            entries: Vec::new(),
+        });
+        epoch
+    }
+
+    /// Look up against the *current* snapshot, cloning the matched entry.
+    ///
+    /// Convenience for control-plane introspection and tests; the packet
+    /// path pins a snapshot instead and uses [`EntrySnapshot::lookup`].
+    pub fn lookup(&self, keys: &[u128]) -> Option<RuntimeEntry> {
+        self.snapshot().lookup(keys).cloned()
     }
 }
 
@@ -285,7 +392,7 @@ mod tests {
     #[test]
     fn exact_lookup() {
         let (t, a) = table_ir(MatchKind::Exact, 4);
-        let mut s = TableState::new(&t);
+        let s = TableState::new(&t);
         s.install(&t, &a, fwd_entry(vec![IrPattern::Value(42)], 0))
             .unwrap();
         let mut stats = TableStats::default();
@@ -306,7 +413,7 @@ mod tests {
     #[test]
     fn lpm_longest_prefix_wins() {
         let (t, a) = table_ir(MatchKind::Lpm, 8);
-        let mut s = TableState::new(&t);
+        let s = TableState::new(&t);
         // 10.0.0.0/8 -> priority 8, 10.1.0.0/16 -> priority 16.
         let p8 = lpm_pattern(0x0A00_0000, 8, 32);
         let p16 = lpm_pattern(0x0A01_0000, 16, 32);
@@ -349,7 +456,7 @@ mod tests {
     #[test]
     fn ternary_priority_order() {
         let (t, a) = table_ir(MatchKind::Ternary, 8);
-        let mut s = TableState::new(&t);
+        let s = TableState::new(&t);
         s.install(
             &t,
             &a,
@@ -386,7 +493,7 @@ mod tests {
     #[test]
     fn capacity_enforced() {
         let (t, a) = table_ir(MatchKind::Exact, 2);
-        let mut s = TableState::new(&t);
+        let s = TableState::new(&t);
         s.install(&t, &a, fwd_entry(vec![IrPattern::Value(1)], 0))
             .unwrap();
         s.install(&t, &a, fwd_entry(vec![IrPattern::Value(2)], 0))
@@ -400,7 +507,7 @@ mod tests {
     #[test]
     fn validation_errors() {
         let (t, a) = table_ir(MatchKind::Exact, 8);
-        let mut s = TableState::new(&t);
+        let s = TableState::new(&t);
         // Wrong pattern count.
         assert!(matches!(
             s.install(
@@ -448,5 +555,79 @@ mod tests {
             IrPattern::Mask { mask, .. } => assert_eq!(mask, 0xFFFF_FFFF),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn epochs_advance_per_mutation() {
+        let (t, a) = table_ir(MatchKind::Exact, 4);
+        let s = TableState::new(&t);
+        assert_eq!(s.epoch(), 0);
+        let e1 = s
+            .install(&t, &a, fwd_entry(vec![IrPattern::Value(1)], 0))
+            .unwrap();
+        assert_eq!(e1, 1);
+        let e2 = s
+            .install(&t, &a, fwd_entry(vec![IrPattern::Value(2)], 0))
+            .unwrap();
+        assert_eq!(e2, 2);
+        // Removing a non-existent entry spends no epoch.
+        assert_eq!(s.remove(&[IrPattern::Value(9)], 0), None);
+        assert_eq!(s.epoch(), 2);
+        assert_eq!(s.remove(&[IrPattern::Value(1)], 0), Some(3));
+        assert!(s.lookup(&[1]).is_none());
+        assert!(s.lookup(&[2]).is_some());
+        assert_eq!(s.clear(), 4);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn pinned_snapshot_survives_later_epochs() {
+        let (t, a) = table_ir(MatchKind::Exact, 4);
+        let s = TableState::new(&t);
+        s.install(&t, &a, fwd_entry(vec![IrPattern::Value(1)], 0))
+            .unwrap();
+        let pinned = s.snapshot();
+        // Mutate underneath the pin: install, remove, clear.
+        s.install(&t, &a, fwd_entry(vec![IrPattern::Value(2)], 0))
+            .unwrap();
+        s.clear();
+        // The pin still reads the epoch-1 world, bit for bit.
+        assert_eq!(pinned.epoch(), 1);
+        assert_eq!(pinned.len(), 1);
+        assert!(pinned.lookup(&[1]).is_some());
+        assert!(pinned.lookup(&[2]).is_none());
+        // The live table reads the epoch-3 world.
+        assert_eq!(s.epoch(), 3);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn clone_shares_snapshot_but_not_publications() {
+        let (t, a) = table_ir(MatchKind::Exact, 4);
+        let s = TableState::new(&t);
+        s.install(&t, &a, fwd_entry(vec![IrPattern::Value(1)], 0))
+            .unwrap();
+        let c = s.clone();
+        assert!(Arc::ptr_eq(&s.snapshot(), &c.snapshot()));
+        // Publishing on the clone leaves the original untouched.
+        c.install(&t, &a, fwd_entry(vec![IrPattern::Value(2)], 0))
+            .unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn full_table_rejects_atomically() {
+        let (t, a) = table_ir(MatchKind::Exact, 1);
+        let s = TableState::new(&t);
+        s.install(&t, &a, fwd_entry(vec![IrPattern::Value(1)], 0))
+            .unwrap();
+        let before = s.epoch();
+        let err = s
+            .install(&t, &a, fwd_entry(vec![IrPattern::Value(2)], 0))
+            .unwrap_err();
+        assert_eq!(err, TableError::Full { capacity: 1 });
+        // A rejected install publishes nothing.
+        assert_eq!(s.epoch(), before);
     }
 }

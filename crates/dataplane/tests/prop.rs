@@ -1,10 +1,11 @@
 //! Property-based tests for the reference interpreter.
 
-use netdebug_dataplane::{lpm_pattern, Dataplane, Verdict};
+use netdebug_dataplane::{lpm_pattern, Dataplane, MeterConfig, Verdict};
 use netdebug_p4::corpus;
-use netdebug_p4::ir::IrPattern;
+use netdebug_p4::ir::{IrPattern, ParallelClass};
 use netdebug_packet::{EthernetAddress, Ipv4Address, PacketBuilder};
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 /// A routable IPv4/UDP frame for the `ipv4_forward` program.
 fn routed_frame(dst: Ipv4Address, ttl: u8) -> Vec<u8> {
@@ -203,6 +204,212 @@ proptest! {
             par_dp.table_stats("dmac").unwrap(),
             seq_dp.table_stats("dmac").unwrap()
         );
+    }
+
+    /// A meter-executing program (`rate_limiter`: per-port srTCM policing,
+    /// red packets dropped) runs through `process_batch_parallel` **on the
+    /// sharded path** — no sequential fallback — with results bit-identical
+    /// to `process_batch` for every shard count 1..=8: same verdicts (the
+    /// meter colours decide drops, so any per-cell reordering would show),
+    /// same traces, same merged meter/counter/statistics state after.
+    #[test]
+    fn meter_program_shards_bit_identically(
+        pkt_ports in proptest::collection::vec(0u16..4, 2..64),
+        cir in 1u64..400,
+        cbs in 1u64..6,
+        shards in 1usize..=8,
+        now in 0u64..1_000_000,
+        tracing in any::<bool>(),
+    ) {
+        let deploy = || {
+            let ir = netdebug_p4::compile(corpus::RATE_LIMITER).unwrap();
+            let mut dp = Dataplane::new(ir);
+            for port in 0..4u128 {
+                dp.install_exact("fwd", vec![port], "forward", vec![(port + 1) % 4])
+                    .unwrap();
+                // Tight buckets so colours actually progress under load.
+                dp.configure_meter("port_meter", port as usize, MeterConfig {
+                    cir_per_mcycle: cir,
+                    cbs,
+                    pir_per_mcycle: cir * 2,
+                    pbs: cbs * 2,
+                }).unwrap();
+            }
+            dp
+        };
+        let frame = PacketBuilder::ethernet(
+            EthernetAddress::new(2, 0, 0, 0, 0, 1),
+            EthernetAddress::new(2, 0, 0, 0, 0, 2),
+        )
+        .payload(b"meterme")
+        .build();
+        // Force at least two meter cells so the partitioner has work.
+        let mut ports = pkt_ports.clone();
+        ports[0] = 0;
+        ports[1] = 1;
+        let pkts: Vec<(u16, &[u8])> = ports.iter().map(|p| (*p, frame.as_slice())).collect();
+
+        let mut par_dp = deploy();
+        let mut seq_dp = deploy();
+        prop_assert_eq!(par_dp.parallel_class(), ParallelClass::MeterPartitionable);
+        par_dp.set_tracing(tracing);
+        seq_dp.set_tracing(tracing);
+        let par = par_dp.process_batch_parallel(&pkts, now, shards);
+        let seq = seq_dp.process_batch(&pkts, now);
+        prop_assert_eq!(par.len(), seq.len());
+        for (i, (p, s)) in par.iter().zip(&seq).enumerate() {
+            prop_assert_eq!(p, s, "packet {} diverged with {} shards", i, shards);
+        }
+        if shards >= 2 {
+            prop_assert_eq!(
+                par_dp.sharded_batches(), 1,
+                "meter program must take the sharded path, not the fallback"
+            );
+        }
+        prop_assert_eq!(par_dp.packets_processed(), seq_dp.packets_processed());
+        prop_assert_eq!(
+            par_dp.table_stats("fwd").unwrap(),
+            seq_dp.table_stats("fwd").unwrap()
+        );
+        // The merged meter state is the sequential one: replaying more
+        // traffic after the join stays bit-identical too.
+        let replay: Vec<(u16, &[u8])> = (0..8u16).map(|i| (i % 4, frame.as_slice())).collect();
+        prop_assert_eq!(
+            par_dp.process_batch(&replay, now + 10),
+            seq_dp.process_batch(&replay, now + 10),
+            "post-join meter state diverged"
+        );
+    }
+
+    /// Mid-batch rule churn is epoch-atomic: installing between windows on
+    /// the sequential path produces bit-identical results to publishing
+    /// the same epoch (through the detached `ControlPlane` handle) before
+    /// the parallel window, for every shard count 1..=8.
+    #[test]
+    fn install_between_windows_matches_epoch_publication(
+        frames in proptest::collection::vec(
+            (0u16..4, 0u8..4, proptest::collection::vec(any::<u8>(), 0..64)), 2..32),
+        split in 1usize..31,
+        shards in 1usize..=8,
+        now in any::<u32>(),
+    ) {
+        let built: Vec<(u16, Vec<u8>)> = frames
+            .iter()
+            .map(|(port, kind, soup)| {
+                let frame = match kind {
+                    0 => {
+                        let dst = Ipv4Address::new(10, 0, 0, soup.first().copied().unwrap_or(9));
+                        routed_frame(dst, 64)
+                    }
+                    1 => routed_frame(Ipv4Address::new(10, 1, 2, 3), 64),
+                    2 => {
+                        let mut f = routed_frame(Ipv4Address::new(10, 0, 0, 5), 64);
+                        f[14] = 0x55;
+                        f
+                    }
+                    _ => soup.clone(),
+                };
+                (*port, frame)
+            })
+            .collect();
+        let pkts: Vec<(u16, &[u8])> = built.iter().map(|(p, f)| (*p, f.as_slice())).collect();
+        let split = split.min(pkts.len() - 1).max(1);
+        let (w1, w2) = pkts.split_at(split);
+        let now = u64::from(now);
+
+        // Both sides start with only the /8 route; the /16 route lands
+        // between the windows.
+        let deploy = || {
+            let ir = netdebug_p4::compile(corpus::IPV4_FORWARD).unwrap();
+            let mut dp = Dataplane::new(ir);
+            dp.install_lpm("ipv4_lpm", 0x0A00_0000, 8, "ipv4_forward", vec![0xAA, 1])
+                .unwrap();
+            dp
+        };
+        let mut seq_dp = deploy();
+        let seq1 = seq_dp.process_batch(w1, now);
+        seq_dp.install_lpm("ipv4_lpm", 0x0A01_0000, 16, "ipv4_forward", vec![0xBB, 2])
+            .unwrap();
+        let seq2 = seq_dp.process_batch(w2, now);
+
+        let mut par_dp = deploy();
+        let cp = par_dp.control_plane();
+        prop_assert_eq!(cp.epoch("ipv4_lpm").unwrap(), 1, "deploy-time install = epoch 1");
+        let par1 = par_dp.process_batch_parallel(w1, now, shards);
+        let epoch = cp
+            .install_lpm("ipv4_lpm", 0x0A01_0000, 16, "ipv4_forward", vec![0xBB, 2])
+            .unwrap();
+        prop_assert_eq!(epoch, 2, "handle publication bumps the epoch");
+        let par2 = par_dp.process_batch_parallel(w2, now, shards);
+
+        prop_assert_eq!(&par1, &seq1, "pre-install window diverged");
+        prop_assert_eq!(&par2, &seq2, "post-install window diverged");
+        prop_assert_eq!(
+            par_dp.table_stats("ipv4_lpm").unwrap(),
+            seq_dp.table_stats("ipv4_lpm").unwrap()
+        );
+    }
+
+    /// Shard-join merges are deterministic and shard-count-invariant with
+    /// the snapshot tables: for every shard count 1..=8 the verdict-level
+    /// drop counts (by reason), the `TableStats::absorb`-merged hit/miss
+    /// statistics and the per-cell counters all equal the sequential
+    /// outcome — the merge is a commutative sum, so the split cannot show.
+    #[test]
+    fn shard_merges_are_count_invariant(
+        frames in proptest::collection::vec(
+            (0u16..4, 0u8..4, proptest::collection::vec(any::<u8>(), 0..64)), 1..48),
+        now in any::<u32>(),
+    ) {
+        let built: Vec<(u16, Vec<u8>)> = frames
+            .iter()
+            .map(|(port, kind, soup)| {
+                let frame = match kind {
+                    0 => {
+                        let dst = Ipv4Address::new(10, 0, 0, soup.first().copied().unwrap_or(9));
+                        routed_frame(dst, 64)
+                    }
+                    1 => routed_frame(Ipv4Address::new(10, 1, 2, 3), 64),
+                    2 => {
+                        let mut f = routed_frame(Ipv4Address::new(10, 0, 0, 5), 64);
+                        f[14] = 0x55;
+                        f
+                    }
+                    _ => soup.clone(),
+                };
+                (*port, frame)
+            })
+            .collect();
+        let pkts: Vec<(u16, &[u8])> = built.iter().map(|(p, f)| (*p, f.as_slice())).collect();
+        let now = u64::from(now);
+
+        let drop_histogram = |results: &[(Verdict, Option<netdebug_dataplane::Trace>)]| {
+            let mut h: BTreeMap<String, u64> = BTreeMap::new();
+            for (v, _) in results {
+                if let Verdict::Drop(reason) = v {
+                    *h.entry(reason.to_string()).or_default() += 1;
+                }
+            }
+            h
+        };
+
+        let mut seq_dp = router();
+        let seq = seq_dp.process_batch(&pkts, now);
+        let seq_drops = drop_histogram(&seq);
+        let seq_stats = seq_dp.table_stats("ipv4_lpm").unwrap();
+
+        for shards in 1usize..=8 {
+            let mut dp = router();
+            let par = dp.process_batch_parallel(&pkts, now, shards);
+            prop_assert_eq!(
+                drop_histogram(&par), seq_drops.clone(),
+                "drop counts diverged at {} shards", shards
+            );
+            prop_assert_eq!(
+                dp.table_stats("ipv4_lpm").unwrap(), seq_stats,
+                "absorbed table stats diverged at {} shards", shards
+            );
+        }
     }
 
     /// Programs with register writes fall back to the sequential path and
@@ -408,22 +615,207 @@ proptest! {
     }
 }
 
-/// The sequential-fallback predicate: programs whose packet path mutates
-/// order-dependent state (register writes, meter executions) must refuse
-/// sharding; pure match-action/counter programs must allow it.
+/// The three-way sharding classification: pure match-action/counter
+/// programs split anywhere; meter programs with pre-evaluable cell
+/// indices shard by meter-cell partition; register writers are the only
+/// programs left on the sequential fallback.
 #[test]
 fn parallel_safety_classification() {
     let safe = ["ipv4_forward", "l2_switch", "reflector", "acl_firewall"];
-    let unsafe_ = ["flow_counter", "rate_limiter"];
+    let meter_partitionable = ["rate_limiter"];
+    let sequential = ["flow_counter"];
     for prog in netdebug_p4::corpus::corpus() {
         let ir = netdebug_p4::compile(prog.source).unwrap();
         let dp = Dataplane::new(ir);
         if safe.contains(&prog.name) {
-            assert!(dp.parallel_safe(), "{} must shard", prog.name);
+            assert_eq!(
+                dp.parallel_class(),
+                ParallelClass::Safe,
+                "{} must shard anywhere",
+                prog.name
+            );
+            assert!(dp.parallel_safe());
         }
-        if unsafe_.contains(&prog.name) {
-            assert!(!dp.parallel_safe(), "{} must fall back", prog.name);
+        if meter_partitionable.contains(&prog.name) {
+            assert_eq!(
+                dp.parallel_class(),
+                ParallelClass::MeterPartitionable,
+                "{} must shard by meter cell",
+                prog.name
+            );
+            assert!(!dp.parallel_safe(), "meter programs are not Safe-class");
         }
+        if sequential.contains(&prog.name) {
+            assert_eq!(
+                dp.parallel_class(),
+                ParallelClass::Sequential,
+                "{} must fall back",
+                prog.name
+            );
+        }
+    }
+}
+
+/// A policer whose **parser assigns standard metadata from packet
+/// contents** and whose meter is indexed by that standard field: the
+/// pre-pass must replay the parser (reset-only evaluation would compute
+/// wrong cells and break the per-cell partition invariant).
+const PARSER_STD_METER: &str = r#"
+    header ethernet_t {
+        bit<48> dstAddr;
+        bit<48> srcAddr;
+        bit<16> etherType;
+    }
+    struct headers_t { ethernet_t ethernet; }
+    struct metadata_t { bit<2> color; }
+    parser PsParser(packet_in pkt, out headers_t hdr,
+                    inout metadata_t meta,
+                    inout standard_metadata_t standard_metadata) {
+        state start {
+            pkt.extract(hdr.ethernet);
+            standard_metadata.packet_length = (bit<32>) hdr.ethernet.etherType;
+            transition accept;
+        }
+    }
+    control PsIngress(inout headers_t hdr, inout metadata_t meta,
+                      inout standard_metadata_t standard_metadata) {
+        meter(4) m;
+        apply {
+            m.execute(standard_metadata.packet_length, meta.color);
+            if (meta.color == 2) {
+                mark_to_drop();
+            } else {
+                standard_metadata.egress_spec = 1;
+            }
+        }
+    }
+    control PsDeparser(packet_out pkt, in headers_t hdr) {
+        apply { pkt.emit(hdr.ethernet); }
+    }
+    V1Switch(PsParser(), PsIngress(), PsDeparser()) main;
+"#;
+
+/// Regression: a meter indexed by parser-*assigned* standard metadata.
+/// Packets on different ports share meter cells (the cell comes from the
+/// etherType, not the port), so a pre-pass that skipped the parser replay
+/// would partition by the wrong key, split one real cell across shards,
+/// and diverge from the sequential path.
+#[test]
+fn meter_on_parser_assigned_std_shards_bit_identically() {
+    let deploy = || {
+        let ir = netdebug_p4::compile(PARSER_STD_METER).unwrap();
+        let mut dp = Dataplane::new(ir);
+        for cell in 0..4 {
+            dp.configure_meter(
+                "m",
+                cell,
+                MeterConfig {
+                    cir_per_mcycle: 100,
+                    cbs: 2,
+                    pir_per_mcycle: 200,
+                    pbs: 4,
+                },
+            )
+            .unwrap();
+        }
+        dp
+    };
+    // etherType cycles 4 meter cells while the port cycles independently:
+    // reset-only cell evaluation (frame length + port) would both split
+    // real cells across shards and merge distinct ones.
+    let mixed: Vec<Vec<u8>> = (0..48u16)
+        .map(|i| {
+            let mut f = vec![0u8; 16];
+            f[13] = (i % 4) as u8;
+            f[15] = i as u8;
+            f
+        })
+        .collect();
+    let pkts: Vec<(u16, &[u8])> = mixed
+        .iter()
+        .enumerate()
+        .map(|(i, f)| ((i % 3) as u16, f.as_slice()))
+        .collect();
+
+    let mut seq_dp = deploy();
+    let seq = seq_dp.process_batch(&pkts, 5);
+    assert!(
+        seq.iter().any(|(v, _)| matches!(v, Verdict::Drop(_))),
+        "tight meters must go red under same-cell bursts"
+    );
+    for shards in 1usize..=8 {
+        let mut par_dp = deploy();
+        assert_eq!(par_dp.parallel_class(), ParallelClass::MeterPartitionable);
+        let par = par_dp.process_batch_parallel(&pkts, 5, shards);
+        assert_eq!(par, seq, "diverged at {shards} shards");
+        if shards >= 2 {
+            assert_eq!(par_dp.sharded_batches(), 1, "must not fall back");
+        }
+    }
+}
+
+/// A control-plane thread hammering installs *while* a parallel batch is
+/// in flight: memory-safe, every packet gets a verdict consistent with
+/// *some* published epoch (the pinned one), and the batch after the joins
+/// observes the final epoch.
+#[test]
+fn concurrent_installs_mid_batch_are_epoch_atomic() {
+    let ir = netdebug_p4::compile(corpus::IPV4_FORWARD).unwrap();
+    let mut dp = Dataplane::new(ir);
+    dp.install_lpm("ipv4_lpm", 0x0A00_0000, 8, "ipv4_forward", vec![0xAA, 1])
+        .unwrap();
+    let cp = dp.control_plane();
+
+    let frames: Vec<Vec<u8>> = (0..512)
+        .map(|i| routed_frame(Ipv4Address::new(10, 1, 0, (i % 250) as u8), 64))
+        .collect();
+    let pkts: Vec<(u16, &[u8])> = frames.iter().map(|f| (0u16, f.as_slice())).collect();
+
+    // 10.1/16 packets match the /8 route (port 1) before the churn thread
+    // publishes the /16 route (port 2). Whatever interleaving the OS
+    // picks, the *batch* pinned one snapshot: all packets of one batch
+    // must agree on the epoch they saw.
+    let results = std::thread::scope(|scope| {
+        let churn = scope.spawn(move || {
+            for i in 0..64u128 {
+                cp.install_lpm("ipv4_lpm", 0x0A01_0000, 16, "ipv4_forward", vec![0xBB, 2])
+                    .unwrap();
+                cp.remove("ipv4_lpm", &[lpm_pattern(0x0A01_0000, 16, 32)], 16)
+                    .unwrap()
+                    .unwrap();
+                std::hint::black_box(i);
+            }
+            // Leave the /16 route installed.
+            cp.install_lpm("ipv4_lpm", 0x0A01_0000, 16, "ipv4_forward", vec![0xBB, 2])
+                .unwrap()
+        });
+        let results = dp.process_batch_parallel(&pkts, 0, 4);
+        let final_epoch = churn.join().expect("churn thread panicked");
+        assert_eq!(final_epoch, 1 + 64 * 2 + 1);
+        results
+    });
+
+    // Every packet forwarded (both routes forward), to port 1 or 2
+    // depending on which snapshot the batch pinned — but uniformly, since
+    // the whole batch pinned exactly once.
+    let ports: Vec<u16> = results
+        .iter()
+        .map(|(v, _)| match v {
+            Verdict::Forward { port, .. } => *port,
+            other => panic!("expected forward, got {other:?}"),
+        })
+        .collect();
+    assert!(
+        ports.iter().all(|&p| p == ports[0]),
+        "one batch, one pinned epoch: mixed egress ports {ports:?}"
+    );
+    // The next batch observes the final epoch: /16 wins, port 2.
+    let after = dp.process_batch_parallel(&pkts[..4], 0, 2);
+    for (v, _) in &after {
+        assert!(
+            matches!(v, Verdict::Forward { port: 2, .. }),
+            "post-churn batch must see the /16 route: {v:?}"
+        );
     }
 }
 
@@ -446,6 +838,7 @@ fn register_writing_program_takes_sequential_fallback() {
     .build();
     let pkts: Vec<(u16, &[u8])> = (0..10).map(|_| (0u16, frame.as_slice())).collect();
     let results = dp.process_batch_parallel(&pkts, 0, 8);
+    assert_eq!(dp.sharded_batches(), 0, "register writers must not shard");
     assert!(results.iter().all(|(v, _)| v.is_forwarded()));
     // Sequential semantics: every packet's bytes accumulated, in order.
     assert_eq!(

@@ -32,8 +32,9 @@ pub struct DeviceConfig {
     pub link_gbps: f64,
     /// Worker shards for batched internal injection: back-to-back windows
     /// in [`Device::inject_batch`] are partitioned across this many OS
-    /// threads when the deployed program is parallel-safe (see
-    /// [`netdebug_dataplane::Dataplane::parallel_safe`]). `1` (the
+    /// threads when the deployed program is shardable — split anywhere, or
+    /// partitioned by meter cell (see
+    /// [`netdebug_dataplane::Dataplane::parallel_class`]). `1` (the
     /// default) keeps the streaming single-thread path.
     pub shards: usize,
 }
@@ -326,6 +327,13 @@ impl Device {
         self.config.shards = shards.max(1);
     }
 
+    /// Batches the embedded data plane actually ran on the sharded
+    /// parallel path (no sequential fallback) — see
+    /// [`netdebug_dataplane::Dataplane::sharded_batches`].
+    pub fn sharded_batches(&self) -> u64 {
+        self.dataplane.sharded_batches()
+    }
+
     // ------------------------------------------------------------------
     // Datapaths
     // ------------------------------------------------------------------
@@ -379,7 +387,9 @@ impl Device {
     ///
     /// Back-to-back windows (`gap_cycles == 0`) run through the data
     /// plane's batch engine: with `DeviceConfig::shards > 1` and a
-    /// parallel-safe program the window is sharded across OS threads
+    /// shardable program (anywhere-splittable or meter-partitionable —
+    /// register writers take the sequential fallback) the window is
+    /// sharded across OS threads
     /// ([`Dataplane::process_batch_parallel`]); otherwise it streams
     /// through one reused trace buffer
     /// ([`Dataplane::process_batch_with`]), so tap accounting allocates
@@ -475,9 +485,52 @@ impl Device {
         )
     }
 
+    /// Internal batched path with **concurrent control-plane churn**: runs
+    /// `mutate` on its own OS thread — handed a detached
+    /// [`netdebug_dataplane::ControlPlane`] — while the window streams
+    /// through the device. Table mutations land as atomic epoch
+    /// publications, and the parallel path never falls back to sequential
+    /// execution on account of the churn.
+    ///
+    /// With `gap_cycles == 0` the window runs through the batch engine,
+    /// which pins its snapshots **once**: every packet of the window
+    /// observes one coherent table state and installs are never torn
+    /// across it. A paced window (`gap_cycles > 0`) necessarily injects
+    /// packet-at-a-time on the clock, so each packet pins the snapshots
+    /// current at its injection instant — mutations then land *between*
+    /// packets (still atomically, never torn within a packet), which is
+    /// exactly what rule churn against a paced stream means physically.
+    ///
+    /// Returns the window's outcomes (in window order, exactly as
+    /// [`Device::inject_batch`] would) and the mutator's result.
+    pub fn inject_batch_concurrent<R: Send>(
+        &mut self,
+        as_port: u16,
+        frames: &[&[u8]],
+        gap_cycles: u64,
+        mutate: impl FnOnce(netdebug_dataplane::ControlPlane) -> R + Send,
+    ) -> (Vec<Processed>, R) {
+        let handle = self.dataplane.control_plane();
+        std::thread::scope(|scope| {
+            let mutator = scope.spawn(move || mutate(handle));
+            let out = self.inject_batch(as_port, frames, gap_cycles);
+            (out, mutator.join().expect("control-plane mutator panicked"))
+        })
+    }
+
     // ------------------------------------------------------------------
     // Control plane
     // ------------------------------------------------------------------
+
+    /// A detached control-plane handle onto the deployed data plane:
+    /// clonable, thread-safe, and usable **while batches are in flight**
+    /// (see [`Device::inject_batch_concurrent`]). Mutations through the
+    /// handle speak to the true data plane — backend bug transforms such
+    /// as [`crate::bugs::BugSpec::PriorityInverted`] model the vendor
+    /// *driver* stack and therefore apply only to [`Device::install`].
+    pub fn control_plane(&self) -> netdebug_dataplane::ControlPlane {
+        self.dataplane.control_plane()
+    }
 
     fn effective_priority(&self, priority: i32) -> i32 {
         if self.compiled.runtime.invert_priorities {
@@ -1056,6 +1109,164 @@ mod tests {
         let c = again.inject_batch(0, &frames, 0);
         assert_eq!(b, c);
         assert_eq!(sharded.drop_counts(), again.drop_counts());
+    }
+
+    /// A policer metering on a *header field* (the low etherType bits),
+    /// so one injected window spreads over several meter cells and the
+    /// meter-partitioned parallel path genuinely engages (injection
+    /// impersonates a single ingress port, which would collapse a
+    /// port-keyed meter like `rate_limiter` into one cell/one component).
+    const FLOW_POLICER: &str = r#"
+        header ethernet_t {
+            bit<48> dstAddr;
+            bit<48> srcAddr;
+            bit<16> etherType;
+        }
+        struct headers_t { ethernet_t ethernet; }
+        struct metadata_t { bit<2> color; }
+        parser FpParser(packet_in pkt, out headers_t hdr,
+                        inout metadata_t meta,
+                        inout standard_metadata_t standard_metadata) {
+            state start {
+                pkt.extract(hdr.ethernet);
+                transition accept;
+            }
+        }
+        control FpIngress(inout headers_t hdr, inout metadata_t meta,
+                          inout standard_metadata_t standard_metadata) {
+            meter(4) flow_meter;
+            apply {
+                flow_meter.execute((bit<32>) hdr.ethernet.etherType, meta.color);
+                if (meta.color == 2) {
+                    mark_to_drop();
+                } else {
+                    standard_metadata.egress_spec = 1;
+                }
+            }
+        }
+        control FpDeparser(packet_out pkt, in headers_t hdr) {
+            apply { pkt.emit(hdr.ethernet); }
+        }
+        V1Switch(FpParser(), FpIngress(), FpDeparser()) main;
+    "#;
+
+    #[test]
+    fn metered_program_shards_at_device_level() {
+        // With the meter-partitioned path the sharded device must match
+        // the streaming device bit for bit — outcomes, taps, drop
+        // counters — and must actually shard, not fall back.
+        let deploy_fp = |shards: usize| {
+            let mut dev = Device::deploy_source(&Backend::reference(), FLOW_POLICER).unwrap();
+            for cell in 0..4 {
+                dev.configure_meter(
+                    "flow_meter",
+                    cell,
+                    netdebug_dataplane::MeterConfig {
+                        cir_per_mcycle: 100,
+                        cbs: 3,
+                        pir_per_mcycle: 200,
+                        pbs: 6,
+                    },
+                )
+                .unwrap();
+            }
+            dev.set_shards(shards);
+            dev
+        };
+        // Raw ethernet frames whose etherType cycles the 4 meter cells.
+        let mixed: Vec<Vec<u8>> = (0..64u16)
+            .map(|i| {
+                let mut f = vec![0u8; 16];
+                f[..6].copy_from_slice(&[2, 0, 0, 0, 0, 2]);
+                f[6..12].copy_from_slice(&[2, 0, 0, 0, 0, 1]);
+                f[13] = (i % 4) as u8; // etherType low byte = meter cell
+                f
+            })
+            .collect();
+        let frames: Vec<&[u8]> = mixed.iter().map(|f| f.as_slice()).collect();
+        let mut streaming = deploy_fp(1);
+        let mut sharded = deploy_fp(4);
+        // Each cell sees a same-cell burst that saturates into red drops;
+        // any per-cell reorder or double-execution would change the
+        // colour sequence and show up here.
+        let a = streaming.inject_batch(0, &frames, 0);
+        let b = sharded.inject_batch(0, &frames, 0);
+        assert_eq!(a, b, "metered outcomes must be bit-identical");
+        assert_eq!(streaming.sharded_batches(), 0);
+        assert_eq!(
+            sharded.sharded_batches(),
+            1,
+            "the window must take the meter-partitioned path, not the fallback"
+        );
+        assert_eq!(streaming.drop_counts(), sharded.drop_counts());
+        assert_eq!(streaming.stage_counts(), sharded.stage_counts());
+        assert!(
+            a.iter().any(|p| !p.outcome.transmitted()),
+            "tight meters must go red under same-cell bursts"
+        );
+        assert!(
+            a.iter().any(|p| p.outcome.transmitted()),
+            "early packets in each cell burst stay green"
+        );
+    }
+
+    #[test]
+    fn concurrent_install_lands_mid_batch() {
+        let mut dev = deploy(&Backend::reference());
+        dev.set_shards(4);
+        let frame = ipv4(Ipv4Address::new(10, 1, 0, 7), 4);
+        let frames: Vec<&[u8]> = (0..256).map(|_| frame.as_slice()).collect();
+        // Before churn: 10.1.0.7 matches only the /8 route (port 1).
+        let (outcomes, epoch) = dev.inject_batch_concurrent(0, &frames, 0, |cp| {
+            cp.install_lpm("ipv4_lpm", 0x0A01_0000, 16, "ipv4_forward", vec![0xBB, 2])
+                .unwrap()
+        });
+        assert_eq!(epoch, 2, "deploy install was epoch 1, churn is epoch 2");
+        assert_eq!(outcomes.len(), 256);
+        // The window pinned one snapshot: uniform egress, port 1 or 2.
+        let first = match &outcomes[0].outcome {
+            Outcome::Tx { port, .. } => *port,
+            other => panic!("expected Tx, got {other:?}"),
+        };
+        assert!(first == 1 || first == 2);
+        for p in &outcomes {
+            assert!(
+                matches!(&p.outcome, Outcome::Tx { port, .. } if *port == first),
+                "mixed epochs within one window: {:?}",
+                p.outcome
+            );
+        }
+        // The next window observes the published /16 route.
+        let after = dev.inject_batch(0, &frames[..4], 0);
+        for p in &after {
+            assert!(matches!(&p.outcome, Outcome::Tx { port: 2, .. }));
+        }
+    }
+
+    #[test]
+    fn control_plane_handle_bypasses_driver_bugs() {
+        // The priority-inversion bug models the vendor driver stack:
+        // Device::install applies it, the raw handle speaks to the silicon.
+        let ir = netdebug_p4::compile(corpus::IPV4_FORWARD).unwrap();
+        let backend = Backend::SdnetSim(crate::backend::SdnetProfile {
+            name: "prio".to_string(),
+            bugs: vec![crate::bugs::BugSpec::PriorityInverted],
+            limits: crate::backend::ArchLimits::UNLIMITED,
+        });
+        let mut dev = Device::deploy(&backend, &ir).unwrap();
+        dev.control_plane()
+            .install_lpm("ipv4_lpm", 0x0A00_0000, 8, "ipv4_forward", vec![0xAA, 1])
+            .unwrap();
+        dev.control_plane()
+            .install_lpm("ipv4_lpm", 0x0A01_0000, 16, "ipv4_forward", vec![0xBB, 2])
+            .unwrap();
+        // Handle-installed priorities are un-inverted: /16 still wins.
+        let p = dev.inject(0, &ipv4(Ipv4Address::new(10, 1, 0, 9), 4));
+        assert!(
+            matches!(p.outcome, Outcome::Tx { port: 2, .. }),
+            "handle installs must not be priority-inverted: {:?}",
+            p.outcome
+        );
     }
 
     #[test]

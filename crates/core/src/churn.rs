@@ -13,6 +13,15 @@
 //! and [`crate::fleet::DifferentialFleet::run_churn`] drives a whole
 //! fleet, applying the identical schedule to every member so their
 //! verdicts stay comparable window by window.
+//!
+//! Every scheduled publication also **recompiles the target table's
+//! lookup index** (exact hash / LPM buckets — see
+//! `netdebug_dataplane::LookupIndex`): the compile cost lands on the
+//! control-plane side of the epoch swap, so churned tables keep their
+//! O(1)/bucketed applies on the packet path and the in-flight window's
+//! flattened `TableView`s still read the index generation they pinned —
+//! shard-invariance under churn is property-tested against exactly this
+//! republication path.
 
 use netdebug_dataplane::ControlError;
 use netdebug_hw::Device;

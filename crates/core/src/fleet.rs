@@ -11,7 +11,12 @@
 //!
 //! Each device is an independent simulated board, so fleet execution is
 //! embarrassingly parallel; results are joined and diffed in member order,
-//! making reports deterministic regardless of thread scheduling.
+//! making reports deterministic regardless of thread scheduling. Each
+//! member's tables carry their own compiled lookup indexes (published
+//! per epoch, see `netdebug_dataplane::LookupIndex`), so churned fleet
+//! runs ([`DifferentialFleet::run_churn`]) recompile per member and per
+//! publication — divergence between members is always a semantic
+//! difference, never a shared-index artefact.
 
 use crate::differential::{outcome_divergence, stages_reached};
 use crate::generator::{Generator, StreamSpec};

@@ -121,4 +121,64 @@ proptest! {
         let b = netdebug::probes::parser_path_probes(&ir);
         prop_assert_eq!(a, b);
     }
+
+    /// Indexed lookups stay shard-invariant under arbitrary
+    /// `ChurnSchedule`s: every scheduled publication recompiles the
+    /// exact-hash index of `l2_switch`'s dmac table between windows, and
+    /// the churned stream's checker statistics must be identical at every
+    /// shard count 1..=8.
+    #[test]
+    fn churned_index_republication_is_shard_invariant(
+        raw_ops in proptest::collection::vec((0u64..3, 0u8..3, 0u8..4), 0..10),
+        dst in 0u8..4,
+        shards in 2usize..=8,
+    ) {
+        use netdebug::churn::{ChurnOp, ChurnSchedule};
+        let mut schedule = ChurnSchedule::new();
+        for &(window, op_sel, mac) in &raw_ops {
+            let key = 0x0200_0000_0000u128 + u128::from(mac);
+            let op = match op_sel {
+                0 => ChurnOp::Exact {
+                    table: "dmac".into(),
+                    keys: vec![key],
+                    action: "forward".into(),
+                    args: vec![u128::from(mac % 4)],
+                },
+                // Removing an absent entry is a scheduled no-op; clears
+                // republish the empty index.
+                1 => ChurnOp::Remove {
+                    table: "dmac".into(),
+                    patterns: vec![netdebug_p4::ir::IrPattern::Value(key)],
+                    priority: 0,
+                },
+                _ => ChurnOp::Clear { table: "dmac".into() },
+            };
+            schedule = schedule.before_window(window, op);
+        }
+        let template = PacketBuilder::ethernet(
+            EthernetAddress::new(2, 0, 0, 0, 0, 1),
+            EthernetAddress::new(2, 0, 0, 0, 0, dst),
+        )
+        .payload(b"churned-index")
+        .build();
+        let run = |shards: usize| {
+            let mut nd = NetDebug::deploy(&Backend::reference(), corpus::L2_SWITCH).unwrap();
+            nd.set_shards(shards);
+            let spec = StreamSpec::simple(
+                1,
+                template.clone(),
+                3 * NetDebug::STREAM_WINDOW,
+                Expectation::Any,
+            );
+            nd.run_stream_churn(&spec, &schedule).unwrap();
+            nd.checker().streams()[&1].clone()
+        };
+        let sequential = run(1);
+        prop_assert_eq!(
+            &sequential,
+            &run(shards),
+            "churned exact-index stream diverged at {} shards",
+            shards
+        );
+    }
 }

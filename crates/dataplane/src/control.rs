@@ -9,13 +9,20 @@
 //! publishes a fresh [`crate::EntrySnapshot`] atomically, in-flight
 //! shards keep reading the snapshot they pinned at batch start, and the
 //! next batch (or the next sequential packet) observes the new epochs.
+//!
+//! Publication is also the **index compile point**: every published
+//! snapshot carries a [`crate::LookupIndex`] built from the table's
+//! declared [`netdebug_p4::ir::KeySignature`] (exact → hash, LPM →
+//! prefix-length buckets, anything else → priority scan), so the packet
+//! path never pays per-lookup compilation and the control plane pays it
+//! once per mutation — off the packet threads entirely.
 //! Mutations never force the packet path off the parallel engine; the
 //! only synchronisation between the two is the brief publication lock a
 //! pin point takes when (and only when) a publication actually landed
 //! since it last pinned.
 
 use crate::table::{RuntimeEntry, TableError, TableState};
-use netdebug_p4::ir::{self, IrPattern};
+use netdebug_p4::ir::{self, IrPattern, KeySignature};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -216,5 +223,12 @@ impl ControlPlane {
         let tid = self.table_id(table)?;
         let t = &self.tables[tid];
         Ok((t.len(), t.capacity()))
+    }
+
+    /// The key signature a table's lookup indexes compile from — which
+    /// structure ([`crate::LookupIndex`]) every publication builds.
+    pub fn key_signature(&self, table: &str) -> Result<KeySignature, ControlError> {
+        let tid = self.table_id(table)?;
+        Ok(self.tables[tid].key_signature())
     }
 }

@@ -37,7 +37,7 @@
 use crate::bits::{read_bits, write_bits};
 use crate::control::{ControlError, ControlPlane};
 use crate::externs::{ExternState, MeterConfig};
-use crate::table::{EntrySnapshot, TableState, TableStats};
+use crate::table::{EntrySnapshot, RuntimeEntry, TableState, TableStats, TableView};
 use crate::trace::{DropReason, Trace, TraceEvent, TraceSink, Verdict};
 use netdebug_p4::ast::{BinOp, UnOp};
 use netdebug_p4::ir::{
@@ -230,18 +230,52 @@ impl Clone for Dataplane {
 }
 
 /// Split borrows for the execution hot path: the immutable program and
-/// pinned table snapshots on one side, the mutable runtime state on the
+/// flattened table views on one side, the mutable runtime state on the
 /// other. Holding the program through a plain shared reference is what
 /// lets the interpreter walk parser states, control bodies and action
-/// bodies without cloning them per packet, and holding the entry lists
-/// through pinned `&[Arc<EntrySnapshot>]` is what lets parallel shards
-/// share them — and lets the control plane publish new epochs mid-batch
-/// without perturbing in-flight packets.
+/// bodies without cloning them per packet, and holding the pinned entry
+/// state through `&[TableView]` — resolved **once per batch** from the
+/// pinned `Arc<EntrySnapshot>`s — is what makes a table apply one slice
+/// index plus an index probe, no per-apply `Arc` dereference, while
+/// parallel shards share the views read-only and the control plane
+/// publishes new epochs mid-batch without perturbing in-flight packets.
 struct ExecCtx<'p> {
     program: &'p ir::Program,
-    tables: &'p [Arc<EntrySnapshot>],
+    tables: TablesRef<'p>,
     table_stats: &'p mut [TableStats],
     externs: &'p mut ExternState,
+}
+
+/// How an execution context reaches the pinned table state.
+///
+/// The batch paths resolve the pins into a flat [`TableView`] array once
+/// per batch (amortised over hundreds of packets); the single-packet
+/// paths keep the pinned `Arc` slice directly — a one-packet call has
+/// nothing to amortise a view array against, and the seed's per-apply
+/// cost there was exactly one `Arc` dereference anyway.
+#[derive(Clone, Copy)]
+enum TablesRef<'p> {
+    /// Per-batch flattened views: one slice index per apply.
+    Views(&'p [TableView<'p>]),
+    /// Pinned snapshots: one `Arc` dereference per apply.
+    Pinned(&'p [Arc<EntrySnapshot>]),
+}
+
+impl<'p> TablesRef<'p> {
+    #[inline]
+    fn lookup(&self, tid: usize, keys: &[u128]) -> Option<&'p RuntimeEntry> {
+        match self {
+            TablesRef::Views(views) => views[tid].lookup(keys),
+            TablesRef::Pinned(pinned) => pinned[tid].lookup(keys),
+        }
+    }
+}
+
+/// Resolve pinned snapshots into the per-batch flat [`TableView`] array.
+/// Free function (not a method) so callers can keep disjoint borrows of
+/// the other `Dataplane` fields while the views live.
+fn resolve_views(pinned: &[Arc<EntrySnapshot>]) -> Vec<TableView<'_>> {
+    pinned.iter().map(|s| s.view()).collect()
 }
 
 impl Dataplane {
@@ -486,11 +520,10 @@ impl Dataplane {
     pub fn process(&mut self, port: u16, data: &[u8], now_cycles: u64) -> (Verdict, Trace) {
         self.packets_processed += 1;
         self.refresh_pins();
-        let pinned = &self.pin_cache;
         let mut env = Env::new(&self.program);
         let mut ctx = ExecCtx {
             program: &self.program,
-            tables: pinned,
+            tables: TablesRef::Pinned(&self.pin_cache),
             table_stats: &mut self.table_stats,
             externs: &mut self.externs,
         };
@@ -503,11 +536,10 @@ impl Dataplane {
     pub fn process_untraced(&mut self, port: u16, data: &[u8], now_cycles: u64) -> Verdict {
         self.packets_processed += 1;
         self.refresh_pins();
-        let pinned = &self.pin_cache;
         let mut env = Env::new(&self.program);
         let mut ctx = ExecCtx {
             program: &self.program,
-            tables: pinned,
+            tables: TablesRef::Pinned(&self.pin_cache),
             table_stats: &mut self.table_stats,
             externs: &mut self.externs,
         };
@@ -531,11 +563,11 @@ impl Dataplane {
         self.packets_processed += pkts.len() as u64;
         let tracing = self.tracing;
         self.refresh_pins();
-        let pinned = &self.pin_cache;
+        let views = resolve_views(&self.pin_cache);
         let mut env = Env::new(&self.program);
         let mut ctx = ExecCtx {
             program: &self.program,
-            tables: pinned,
+            tables: TablesRef::Views(&views),
             table_stats: &mut self.table_stats,
             externs: &mut self.externs,
         };
@@ -570,11 +602,11 @@ impl Dataplane {
         self.packets_processed += pkts.len() as u64;
         let tracing = self.tracing;
         self.refresh_pins();
-        let pinned = &self.pin_cache;
+        let views = resolve_views(&self.pin_cache);
         let mut env = Env::new(&self.program);
         let mut ctx = ExecCtx {
             program: &self.program,
-            tables: pinned,
+            tables: TablesRef::Views(&views),
             table_stats: &mut self.table_stats,
             externs: &mut self.externs,
         };
@@ -653,7 +685,8 @@ impl Dataplane {
         let tracing = self.tracing;
         self.refresh_pins();
         let program: &ir::Program = &self.program;
-        let pinned = &self.pin_cache;
+        let views = resolve_views(&self.pin_cache);
+        let pinned: &[TableView] = &views;
         let base_externs = &self.externs;
 
         let shard_results: Vec<ShardResult> = std::thread::scope(|scope| {
@@ -713,7 +746,8 @@ impl Dataplane {
         let tracing = self.tracing;
         self.refresh_pins();
         let program: &ir::Program = &self.program;
-        let pinned = &self.pin_cache;
+        let views = resolve_views(&self.pin_cache);
+        let pinned: &[TableView] = &views;
         let base_externs = &self.externs;
 
         let shard_results: Vec<ShardResult> = std::thread::scope(|scope| {
@@ -873,12 +907,14 @@ fn partition_by_cells(cells: &[Vec<(usize, usize)>], shards: usize) -> Vec<Vec<u
     out
 }
 
-/// Run one shard's packet list against pinned snapshots with freshly
-/// zeroed per-shard statistics and a shard-cloned extern state. Shared by
-/// the contiguous and the meter-partitioned parallel paths.
+/// Run one shard's packet list against the batch's flattened table views
+/// with freshly zeroed per-shard statistics and a shard-cloned extern
+/// state. Shared by the contiguous and the meter-partitioned parallel
+/// paths; the views borrow snapshots pinned before the spawn, so every
+/// shard reads one coherent epoch set whatever the control plane does.
 fn run_shard<'a>(
     program: &ir::Program,
-    pinned: &[Arc<EntrySnapshot>],
+    pinned: &[TableView<'_>],
     base_externs: &ExternState,
     pkts: impl Iterator<Item = (u16, &'a [u8])>,
     tracing: bool,
@@ -888,7 +924,7 @@ fn run_shard<'a>(
     let mut externs = base_externs.shard_clone();
     let mut ctx = ExecCtx {
         program,
-        tables: pinned,
+        tables: TablesRef::Views(pinned),
         table_stats: &mut stats,
         externs: &mut externs,
     };
@@ -1081,7 +1117,7 @@ impl ExecCtx<'_> {
             let v = eval(prog, &k.expr, env);
             env.key_scratch.push(v);
         }
-        let (aid, hit) = match self.tables[tid].lookup(&env.key_scratch) {
+        let (aid, hit) = match self.tables.lookup(tid, &env.key_scratch) {
             Some(entry) => {
                 env.action_args.clear();
                 env.action_args.extend_from_slice(&entry.action.args);

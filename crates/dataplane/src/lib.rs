@@ -35,7 +35,10 @@ pub mod trace;
 pub use control::{ControlError, ControlPlane};
 pub use externs::MeterConfig;
 pub use interp::{Dataplane, FLOOD_PORT};
-pub use table::{lpm_pattern, EntrySnapshot, RuntimeEntry, TableError, TableState, TableStats};
+pub use table::{
+    lpm_pattern, EntryRef, EntrySnapshot, LookupIndex, RuntimeEntry, TableError, TableState,
+    TableStats, TableView,
+};
 pub use trace::{CollectSink, DropReason, NullSink, Trace, TraceEvent, TraceSink, Verdict};
 
 #[cfg(test)]

@@ -1,8 +1,11 @@
 //! Property-based tests for the reference interpreter.
 
-use netdebug_dataplane::{lpm_pattern, Dataplane, MeterConfig, Verdict};
+use netdebug_dataplane::{
+    lpm_pattern, Dataplane, EntrySnapshot, MeterConfig, RuntimeEntry, TableState, Verdict,
+};
+use netdebug_p4::ast::MatchKind;
 use netdebug_p4::corpus;
-use netdebug_p4::ir::{IrPattern, ParallelClass};
+use netdebug_p4::ir::{ActionCall, ActionIr, IrExpr, IrPattern, ParallelClass, TableIr, TableKey};
 use netdebug_packet::{EthernetAddress, Ipv4Address, PacketBuilder};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -612,6 +615,226 @@ proptest! {
             (u128::from(u32::MAX) << (32 - len)) & u128::from(u32::MAX)
         };
         prop_assert!(p.matches(u128::from(prefix) & mask));
+    }
+}
+
+/// A standalone table of the given key kinds with room for every
+/// generated entry, for the index-vs-scan equivalence properties.
+fn standalone_table(kinds: &[MatchKind]) -> (TableIr, Vec<ActionIr>) {
+    let actions = vec![ActionIr {
+        name: "fwd".into(),
+        control: "I".into(),
+        params: vec![("port".into(), 9)],
+        ops: vec![],
+    }];
+    let table = TableIr {
+        name: "t".into(),
+        control: "I".into(),
+        keys: kinds
+            .iter()
+            .map(|&kind| TableKey {
+                expr: IrExpr::konst(0, 32),
+                kind,
+                width: 32,
+            })
+            .collect(),
+        actions: vec![0],
+        default_action: ActionCall {
+            action: 0,
+            args: vec![0],
+        },
+        size: 4096,
+        const_entries: vec![],
+    };
+    (table, actions)
+}
+
+/// The seed semantics, written independently of the library: first full
+/// match over the priority-sorted entry list.
+fn scan_oracle<'a>(snap: &'a EntrySnapshot, keys: &[u128]) -> Option<&'a RuntimeEntry> {
+    snap.entries()
+        .find(|e| e.patterns.iter().zip(keys).all(|(p, k)| p.matches(*k)))
+}
+
+/// Check the compiled index against the oracle for a stream of key
+/// probes, including the degenerate empty probe.
+fn assert_index_matches_oracle(
+    snap: &EntrySnapshot,
+    probes: &[Vec<u128>],
+) -> Result<(), TestCaseError> {
+    for keys in probes {
+        prop_assert_eq!(
+            snap.lookup(keys),
+            scan_oracle(snap, keys),
+            "index diverged from scan at keys {:?} (epoch {})",
+            keys,
+            snap.epoch()
+        );
+    }
+    prop_assert_eq!(snap.lookup(&[]), scan_oracle(snap, &[]));
+    Ok(())
+}
+
+proptest! {
+    /// The compiled lookup index is bit-identical to the seed linear scan
+    /// for arbitrary single-key entry sets of every match kind —
+    /// duplicate keys, priority ties (earlier install wins, pinned in
+    /// `table.rs` unit tests), unconventional LPM priorities — and for
+    /// arbitrary key streams, across install/remove/clear republications
+    /// (each of which recompiles the index).
+    #[test]
+    fn index_matches_scan_for_arbitrary_entries(
+        kind_sel in 0u8..3,
+        raw in proptest::collection::vec((0u8..6, any::<u32>(), any::<u32>(), 0u8..4), 1..48),
+        raw_keys in proptest::collection::vec(any::<u32>(), 1..24),
+        removals in 0usize..8,
+    ) {
+        let kind = [MatchKind::Exact, MatchKind::Lpm, MatchKind::Ternary][kind_sel as usize];
+        let (t, a) = standalone_table(&[kind]);
+        let s = TableState::new(&t);
+        let mut installed: Vec<(IrPattern, i32)> = Vec::new();
+        for &(sel, x, y, p) in &raw {
+            // Small domains force duplicate keys and priority ties.
+            let (pattern, priority) = match kind {
+                MatchKind::Exact => (IrPattern::Value(u128::from(x % 24)), i32::from(p)),
+                MatchKind::Lpm => {
+                    let len = (y % 33) as u16;
+                    let pattern = lpm_pattern(u128::from(x), len, 32);
+                    // Mostly the install_lpm convention (priority = prefix
+                    // length, uniform-mask buckets); sometimes an arbitrary
+                    // priority, which mixes masks within one level and must
+                    // demote that bucket to the scan.
+                    let priority = if sel % 3 == 0 { i32::from(p) } else { i32::from(len) };
+                    (pattern, priority)
+                }
+                _ => {
+                    let pattern = match sel % 3 {
+                        0 => IrPattern::Value(u128::from(x % 24)),
+                        1 => IrPattern::Mask {
+                            value: u128::from(x),
+                            mask: u128::from(y % 16) * 0x0101,
+                        },
+                        _ => IrPattern::Any,
+                    };
+                    (pattern, i32::from(p))
+                }
+            };
+            s.install(
+                &t,
+                &a,
+                RuntimeEntry {
+                    patterns: vec![pattern],
+                    action: ActionCall { action: 0, args: vec![u128::from(x)] },
+                    priority,
+                },
+            )
+            .unwrap();
+            installed.push((pattern, priority));
+        }
+        // Probe with the raw keys plus the small exact domain (hits).
+        let probes: Vec<Vec<u128>> = raw_keys
+            .iter()
+            .map(|k| vec![u128::from(*k)])
+            .chain((0..24).map(|k| vec![k]))
+            .collect();
+        assert_index_matches_oracle(&s.snapshot(), &probes)?;
+
+        // Republication: removals recompile the index; equivalence holds
+        // at every epoch.
+        for (pattern, priority) in installed.iter().take(removals) {
+            s.remove(&[*pattern], *priority);
+        }
+        assert_index_matches_oracle(&s.snapshot(), &probes)?;
+        s.clear();
+        assert_index_matches_oracle(&s.snapshot(), &probes)?;
+    }
+
+    /// Multi-key all-exact tables (the packed-tuple hash) agree with the
+    /// scan for arbitrary tuples, duplicates and ties.
+    #[test]
+    fn multi_key_exact_index_matches_scan(
+        raw in proptest::collection::vec((0u32..6, 0u32..6, 0u8..3), 1..32),
+        raw_keys in proptest::collection::vec((0u32..8, 0u32..8), 1..24),
+    ) {
+        let (t, a) = standalone_table(&[MatchKind::Exact, MatchKind::Exact]);
+        let s = TableState::new(&t);
+        for &(x, y, p) in &raw {
+            s.install(
+                &t,
+                &a,
+                RuntimeEntry {
+                    patterns: vec![
+                        IrPattern::Value(u128::from(x)),
+                        IrPattern::Value(u128::from(y)),
+                    ],
+                    action: ActionCall { action: 0, args: vec![u128::from(x * 8 + y)] },
+                    priority: i32::from(p),
+                },
+            )
+            .unwrap();
+        }
+        let probes: Vec<Vec<u128>> = raw_keys
+            .iter()
+            .map(|&(x, y)| vec![u128::from(x), u128::from(y)])
+            // Short probes fall back to the scan's zip semantics.
+            .chain(raw_keys.iter().map(|&(x, _)| vec![u128::from(x)]))
+            .collect();
+        assert_index_matches_oracle(&s.snapshot(), &probes)?;
+    }
+
+    /// The flattened per-batch views stay equivalent end to end: an
+    /// exact-indexed program (`l2_switch`) processed in parallel at
+    /// 1..=8 shards matches the sequential path bit for bit, before and
+    /// after an epoch republication lands between the windows.
+    #[test]
+    fn exact_index_parallel_and_republication_equivalence(
+        macs in proptest::collection::vec(0u8..32, 1..24),
+        stream in proptest::collection::vec((0u8..48, 0u16..4), 1..48),
+        shards in 1usize..=8,
+    ) {
+        let deploy = |macs: &[u8]| {
+            let ir = netdebug_p4::compile(corpus::L2_SWITCH).unwrap();
+            let mut dp = Dataplane::new(ir);
+            for m in macs {
+                // Duplicate installs are fine: first in priority order wins
+                // on both paths.
+                dp.install_exact("dmac", vec![0x0200_0000_0000 + u128::from(*m)],
+                    "forward", vec![u128::from(*m % 4)]).unwrap();
+            }
+            dp
+        };
+        let built: Vec<(u16, Vec<u8>)> = stream
+            .iter()
+            .map(|&(m, port)| {
+                let f = PacketBuilder::ethernet(
+                    EthernetAddress::new(2, 0, 0, 0, 0, 1),
+                    EthernetAddress::new(2, 0, 0, 0, 0, m),
+                )
+                .payload(b"x")
+                .build();
+                (port, f)
+            })
+            .collect();
+        let pkts: Vec<(u16, &[u8])> = built.iter().map(|(p, f)| (*p, f.as_slice())).collect();
+
+        let mut par_dp = deploy(&macs);
+        let mut seq_dp = deploy(&macs);
+        prop_assert_eq!(par_dp.process_batch_parallel(&pkts, 0, shards),
+            seq_dp.process_batch(&pkts, 0));
+
+        // Republication between the windows: remove one entry, add one.
+        for dp in [&mut par_dp, &mut seq_dp] {
+            let cp = dp.control_plane();
+            cp.remove("dmac",
+                &[IrPattern::Value(0x0200_0000_0000 + u128::from(macs[0]))], 0).unwrap();
+            cp.install_exact("dmac", vec![0x0200_0000_0000 + 40], "forward", vec![1]).unwrap();
+        }
+        prop_assert_eq!(par_dp.process_batch_parallel(&pkts, 1, shards),
+            seq_dp.process_batch(&pkts, 1));
+        prop_assert_eq!(
+            par_dp.table_stats("dmac").unwrap(),
+            seq_dp.table_stats("dmac").unwrap()
+        );
     }
 }
 

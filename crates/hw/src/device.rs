@@ -1244,6 +1244,44 @@ mod tests {
     }
 
     #[test]
+    fn exact_index_stays_epoch_atomic_mid_batch() {
+        // The batch path flattens its pinned snapshots into per-batch
+        // table views; a concurrent install into a hash-indexed exact
+        // table (l2_switch's dmac) publishes a recompiled index mid-batch
+        // and must never tear the window: every packet of the sharded
+        // window resolves against one index generation.
+        let ir = netdebug_p4::compile(corpus::L2_SWITCH).unwrap();
+        let mut dev = Device::deploy(&Backend::reference(), &ir).unwrap();
+        dev.set_shards(4);
+        let dst = 0x0200_0000_0007u128;
+        let frame = PacketBuilder::ethernet(
+            EthernetAddress::new(2, 0, 0, 0, 0, 1),
+            EthernetAddress::new(2, 0, 0, 0, 0, 7),
+        )
+        .payload(b"epoch")
+        .build();
+        let frames: Vec<&[u8]> = (0..256).map(|_| frame.as_slice()).collect();
+        // Before the install the destination is unknown (flood); after,
+        // the dmac hash forwards to port 3.
+        let (outcomes, _) = dev.inject_batch_concurrent(0, &frames, 0, |cp| {
+            cp.install_exact("dmac", vec![dst], "forward", vec![3])
+                .unwrap()
+        });
+        let forwarded = matches!(outcomes[0].outcome, Outcome::Tx { port: 3, .. });
+        for p in &outcomes {
+            match (&p.outcome, forwarded) {
+                (Outcome::Tx { port: 3, .. }, true) | (Outcome::Flood { .. }, false) => {}
+                other => panic!("mixed index generations within one window: {other:?}"),
+            }
+        }
+        // The next window observes the republished hash index.
+        let after = dev.inject_batch(0, &frames[..4], 0);
+        for p in &after {
+            assert!(matches!(&p.outcome, Outcome::Tx { port: 3, .. }));
+        }
+    }
+
+    #[test]
     fn control_plane_handle_bypasses_driver_bugs() {
         // The priority-inversion bug models the vendor driver stack:
         // Device::install applies it, the raw handle speaks to the silicon.

@@ -598,6 +598,39 @@ pub struct TableKey {
     pub width: u16,
 }
 
+/// How a table's declared key signature compiles into a lookup structure.
+///
+/// Real targets compile match kinds into hardware-shaped memories — exact
+/// keys into hash units, LPM keys into prefix tries/TCAM slices, ternary
+/// keys into priority TCAMs. The reference data plane mirrors that at
+/// snapshot-publication time (see `netdebug-dataplane`'s `LookupIndex`):
+/// the signature, known statically from the key declarations, picks the
+/// structure once per table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KeySignature {
+    /// Every key is `exact`: entries are point tuples, lookup can hash.
+    AllExact,
+    /// Exactly one key and it is `lpm`: entries are prefixes, lookup
+    /// probes descending prefix lengths (longest prefix first).
+    SingleLpm,
+    /// Anything else — ternary or range keys, or mixed kinds: resolved by
+    /// a priority-ordered scan.
+    Generic,
+}
+
+impl TableIr {
+    /// Classify this table's key signature for lookup-index compilation.
+    pub fn key_signature(&self) -> KeySignature {
+        if self.keys.iter().all(|k| k.kind == MatchKind::Exact) {
+            KeySignature::AllExact
+        } else if self.keys.len() == 1 && self.keys[0].kind == MatchKind::Lpm {
+            KeySignature::SingleLpm
+        } else {
+            KeySignature::Generic
+        }
+    }
+}
+
 /// An action invocation with bound arguments.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ActionCall {
@@ -844,6 +877,55 @@ mod tests {
         assert!(IrPattern::Range { lo: 3, hi: 9 }.matches(9));
         assert!(!IrPattern::Range { lo: 3, hi: 9 }.matches(10));
         assert!(IrPattern::Any.matches(u128::MAX));
+    }
+
+    #[test]
+    fn key_signatures_classify() {
+        let key = |kind| TableKey {
+            expr: IrExpr::konst(0, 32),
+            kind,
+            width: 32,
+        };
+        let table = |keys| TableIr {
+            name: "t".into(),
+            control: "I".into(),
+            keys,
+            actions: vec![0],
+            default_action: ActionCall {
+                action: 0,
+                args: vec![],
+            },
+            size: 16,
+            const_entries: vec![],
+        };
+        use crate::ast::MatchKind::*;
+        assert_eq!(
+            table(vec![key(Exact)]).key_signature(),
+            KeySignature::AllExact
+        );
+        assert_eq!(
+            table(vec![key(Exact), key(Exact)]).key_signature(),
+            KeySignature::AllExact
+        );
+        assert_eq!(
+            table(vec![key(Lpm)]).key_signature(),
+            KeySignature::SingleLpm
+        );
+        // LPM only compiles to the prefix structure when it is the sole key.
+        assert_eq!(
+            table(vec![key(Exact), key(Lpm)]).key_signature(),
+            KeySignature::Generic
+        );
+        assert_eq!(
+            table(vec![key(Ternary)]).key_signature(),
+            KeySignature::Generic
+        );
+        assert_eq!(
+            table(vec![key(Range)]).key_signature(),
+            KeySignature::Generic
+        );
+        // A keyless table is vacuously all-exact (first entry always wins).
+        assert_eq!(table(vec![]).key_signature(), KeySignature::AllExact);
     }
 
     #[test]

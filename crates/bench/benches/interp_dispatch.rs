@@ -1,0 +1,182 @@
+//! Experiment E13 — flat bytecode dispatch vs the tree-walking oracle.
+//!
+//! PR 5 compiles the pipeline IR to a flat instruction array at load time
+//! (`netdebug-dataplane`'s `compile` module) and makes that engine the
+//! default, keeping the tree-walker as the reference oracle behind
+//! `Dataplane::set_engine(Engine::Reference)`. This bench measures the
+//! dispatch seam itself on `l2_switch` — parse + exact-hash table apply +
+//! counter + deparse per packet — sweeping {reference, compiled} ×
+//! {1, 4} shards × {traced, untraced} `process_batch` /
+//! `process_batch_parallel`, plus the single-packet `process_untraced`
+//! path. Numbers land in `BENCH_dispatch.json`.
+//!
+//! Smoke assertions (the headline of the PR that introduced compilation):
+//! the compiled engine must sustain **≥ 1.3×** the reference engine's
+//! untraced single-shard `process_batch` throughput, and must not lose to
+//! the reference on the traced path. Shard-count rows are recorded for
+//! context; on single-core CI hosts they serialise, so no cross-shard
+//! assertion is made here (`parallel_scaling` owns that shape).
+
+use netdebug_bench::banner;
+use netdebug_dataplane::{Dataplane, Engine};
+use netdebug_p4::corpus;
+use netdebug_packet::{EthernetAddress, PacketBuilder};
+use std::time::Instant;
+
+const BATCH: usize = 1024;
+/// Minimum wall time per measured cell, seconds (three passes, best-of).
+const MIN_MEASURE_S: f64 = 0.25;
+const PASSES: usize = 3;
+
+fn switch_dataplane(engine: Engine) -> Dataplane {
+    let ir = netdebug_p4::compile(corpus::L2_SWITCH).unwrap();
+    let mut dp = Dataplane::new(ir);
+    dp.set_engine(engine);
+    dp.install_exact("dmac", vec![0x0200_0000_0002], "forward", vec![3])
+        .unwrap();
+    dp
+}
+
+fn engine_name(e: Engine) -> &'static str {
+    match e {
+        Engine::Reference => "reference",
+        Engine::Compiled => "compiled",
+    }
+}
+
+/// Best-of-`PASSES` sustained packet rate for one configuration.
+fn measure(engine: Engine, shards: usize, traced: bool, pkts: &[(u16, &[u8])]) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..PASSES {
+        let mut dp = switch_dataplane(engine);
+        dp.set_tracing(traced);
+        // Warm up: pin snapshots, resolve views, spawn pool workers.
+        std::hint::black_box(dp.process_batch_parallel(pkts, 0, shards));
+        let mut n = 0usize;
+        let t0 = Instant::now();
+        while t0.elapsed().as_secs_f64() < MIN_MEASURE_S {
+            if shards > 1 {
+                std::hint::black_box(dp.process_batch_parallel(pkts, 0, shards));
+            } else {
+                std::hint::black_box(dp.process_batch(pkts, 0));
+            }
+            n += pkts.len();
+        }
+        best = best.max(n as f64 / t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Best-of-`PASSES` single-packet `process_untraced` rate.
+fn measure_single(engine: Engine, frame: &[u8]) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..PASSES {
+        let mut dp = switch_dataplane(engine);
+        dp.set_tracing(false);
+        std::hint::black_box(dp.process_untraced(0, frame, 0));
+        let mut n = 0usize;
+        let t0 = Instant::now();
+        while t0.elapsed().as_secs_f64() < MIN_MEASURE_S {
+            for _ in 0..256 {
+                std::hint::black_box(dp.process_untraced(0, frame, 0));
+            }
+            n += 256;
+        }
+        best = best.max(n as f64 / t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    banner("E13: flat bytecode dispatch vs tree-walking oracle (l2_switch)");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let frame = PacketBuilder::ethernet(
+        EthernetAddress::new(2, 0, 0, 0, 0, 1),
+        EthernetAddress::new(2, 0, 0, 0, 0, 2),
+    )
+    .payload(b"dispatch-bench")
+    .build();
+    let pkts: Vec<(u16, &[u8])> = (0..BATCH)
+        .map(|i| ((i % 4) as u16, frame.as_slice()))
+        .collect();
+
+    let mut json_rows: Vec<String> = Vec::new();
+    let mut rates = std::collections::BTreeMap::new();
+    println!(
+        "{:<44} {:>14} {:>12}",
+        "configuration", "sustained pps", "vs ref"
+    );
+    for engine in [Engine::Reference, Engine::Compiled] {
+        for shards in [1usize, 4] {
+            for traced in [false, true] {
+                let rate = measure(engine, shards, traced, &pkts);
+                rates.insert((engine_name(engine), shards, traced), rate);
+                let vs = rate
+                    / rates
+                        .get(&("reference", shards, traced))
+                        .copied()
+                        .unwrap_or(rate);
+                println!(
+                    "{:<44} {rate:>14.0} {vs:>11.2}x",
+                    format!(
+                        "{} process_batch ({} shard{}, {})",
+                        engine_name(engine),
+                        shards,
+                        if shards == 1 { "" } else { "s" },
+                        if traced { "traced" } else { "untraced" }
+                    )
+                );
+                json_rows.push(format!(
+                    "    {{\"engine\": \"{}\", \"shards\": {shards}, \"traced\": {traced}, \"pps\": {rate:.0}}}",
+                    engine_name(engine)
+                ));
+            }
+        }
+        let single = measure_single(engine, &frame);
+        rates.insert((engine_name(engine), 0, false), single);
+        println!(
+            "{:<44} {single:>14.0}",
+            format!("{} process_untraced (single packet)", engine_name(engine))
+        );
+        json_rows.push(format!(
+            "    {{\"engine\": \"{}\", \"shards\": 0, \"traced\": false, \"pps\": {single:.0}}}",
+            engine_name(engine)
+        ));
+    }
+
+    let ref_fast = rates[&("reference", 1, false)];
+    let comp_fast = rates[&("compiled", 1, false)];
+    let ref_traced = rates[&("reference", 1, true)];
+    let comp_traced = rates[&("compiled", 1, true)];
+    let speedup = comp_fast / ref_fast;
+    println!("\ncompiled/reference speedup (1 shard, untraced): {speedup:.2}x");
+    println!(
+        "compiled/reference speedup (1 shard, traced):   {:.2}x",
+        comp_traced / ref_traced
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"interp_dispatch\",\n  \"program\": \"l2_switch\",\n  \"batch\": {BATCH},\n  \"cores\": {cores},\n  \"speedup_untraced_1shard\": {speedup:.3},\n  \"results\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dispatch.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => println!("\ncould not write {path}: {e}"),
+    }
+
+    // Smoke checks: losing the compiled engine's edge (or silently routing
+    // the default path back through the tree-walker) fails CI loudly.
+    assert!(
+        speedup >= 1.3,
+        "compiled engine must sustain >= 1.3x the reference on untraced \
+         process_batch: {comp_fast:.0} vs {ref_fast:.0} pps ({speedup:.2}x)"
+    );
+    assert!(
+        comp_traced >= ref_traced * 0.95,
+        "compiled engine must not lose to the reference on the traced path: \
+         {comp_traced:.0} vs {ref_traced:.0} pps"
+    );
+}

@@ -134,6 +134,15 @@ impl NetDebug {
         self.device.set_shards(shards);
     }
 
+    /// Switch the device's packet-execution engine (see
+    /// [`netdebug_dataplane::Engine`]): the flat compiled engine is the
+    /// default on every path; [`netdebug_dataplane::Engine::Reference`]
+    /// selects the tree-walking oracle, which the parity property tests
+    /// use for differential self-validation of whole NetDebug sessions.
+    pub fn set_engine(&mut self, engine: netdebug_dataplane::Engine) {
+        self.device.set_engine(engine);
+    }
+
     /// The wall-clock window a completed stream spanned, in device cycles.
     pub fn stream_window(&self, stream: u16) -> Option<(u64, u64)> {
         self.windows.get(&stream).copied()

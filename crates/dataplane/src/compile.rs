@@ -1,0 +1,1080 @@
+//! Load-time bytecode compilation of the pipeline IR.
+//!
+//! The tree-walking interpreter in [`crate::interp`] *defines* the
+//! semantics of this reproduction, but it pays for that clarity on every
+//! packet: recursive [`IrExpr`] evaluation, enum dispatch per statement,
+//! and a pointer chase per parser state. [`CompiledProgram::compile`]
+//! lowers an [`ir::Program`] **once at load time** into a single flat
+//! instruction array ([`OpCode`]) executed by `exec`, a tight
+//! non-recursive loop over a program counter:
+//!
+//! * expressions become stack-machine opcodes (operand widths, concat
+//!   shifts and slice masks pre-resolved);
+//! * control flow — `if`/`else`, parser `select`, `exit` — becomes jumps
+//!   with absolute, pre-patched targets;
+//! * table applies become one [`OpCode::Apply`] that evaluates nothing:
+//!   keys are already on the stack, the matched action's body is entered
+//!   by jumping to its pre-compiled address (actions cannot apply tables,
+//!   so a single link register replaces a call stack);
+//! * header extraction and deparsing run from per-header
+//!   `HeaderPlan`s; byte-aligned headers (Ethernet, VLAN, tunnel
+//!   shims…) move whole bytes instead of shifting bit-by-bit, the way a
+//!   real target's deparser crossbar would, while bit-packed headers
+//!   (IPv4's nibbles) keep the exact `read_bits`/`write_bits` path;
+//! * every trace-visible name (parser states, headers, controls, tables,
+//!   actions) is interned as an `Arc<str>` at compile time, so traced
+//!   execution clones pointers, never strings.
+//!
+//! The compiled engine is **bit-identical** to the tree-walker by
+//! construction and by property test (see `tests/prop.rs`): same
+//! verdicts, same traces, same statistics and extern state, packet by
+//! packet. The tree-walker stays on as the reference oracle —
+//! [`crate::Engine::Reference`] — mirroring the
+//! reference-interpreter-as-ground-truth methodology the paper applies
+//! to hardware: the fast data plane is itself a validated data plane.
+
+use crate::bits::{read_bits, write_bits};
+use crate::externs::ExternState;
+use crate::interp::{Env, TablesRef, FLOOD_PORT, PARSER_STATE_BUDGET};
+use crate::table::TableStats;
+use crate::trace::{DropReason, Trace, TraceEvent, TraceName, Verdict};
+use netdebug_p4::ast::{BinOp, UnOp};
+use netdebug_p4::ir::{
+    self, all_ones, truncate, IrExpr, IrPattern, IrStmt, IrTransition, LValue, Op, StdField,
+    TransTarget,
+};
+
+/// Sentinel for "no hit-capture local" in [`OpCode::Apply`].
+const NO_HIT_LOCAL: u32 = u32::MAX;
+
+/// One instruction of the flat engine.
+///
+/// Operand-free where possible; all ids, widths, shifts and jump targets
+/// are resolved at compile time. Expression opcodes operate on the
+/// per-packet value stack (`Env::stack`); statement opcodes mutate the
+/// packet environment, tables and externs exactly as the tree-walker's
+/// corresponding match arms do.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OpCode {
+    // -------- expression stack --------
+    /// Push a constant.
+    Const(u128),
+    /// Push a header field (0 when the header is invalid, as the
+    /// reference `eval` defines for reads of invalid headers).
+    LoadField(u32, u32),
+    /// Push a header field without the validity check (the
+    /// read-modify-write half of a slice assignment, mirroring the
+    /// reference `read_lvalue`).
+    LoadFieldRaw(u32, u32),
+    /// Push a user-metadata field.
+    LoadMeta(u32),
+    /// Push a standard-metadata field.
+    LoadStd(StdField),
+    /// Push an action runtime parameter, truncated to its width.
+    LoadParam(u32, u16),
+    /// Push a local.
+    LoadLocal(u32),
+    /// Push a header's validity bit.
+    LoadIsValid(u32),
+    /// Unary operation on the top of stack.
+    Un(UnOp, u16),
+    /// Binary operation (top = rhs); `Concat` compiles to [`OpCode::Concat`].
+    Bin(BinOp, u16),
+    /// `a ++ b` with the rhs width pre-resolved to a shift.
+    Concat(u16, u16),
+    /// Bit slice `[hi:lo]` of the top of stack.
+    SliceE(u16, u16),
+    /// Truncate/zero-extend the top of stack to a width.
+    CastE(u16),
+    /// Slice read-modify-write merge: pops the current value, then the
+    /// new slice value, pushes the merged word.
+    SliceMerge(u16, u16),
+
+    // -------- stores --------
+    /// Pop into a header field (truncated to the field width).
+    StoreField(u32, u32, u16),
+    /// Pop into a metadata field.
+    StoreMeta(u32, u16),
+    /// Pop into a local.
+    StoreLocal(u32, u16),
+    /// Pop into `egress_spec`: truncate to 9 bits, mark egress written,
+    /// clear the drop flag (v1model revive semantics).
+    StoreEgressSpec,
+    /// Pop into `packet_length` (32 bits).
+    StorePacketLength,
+    /// Pop into the ingress timestamp (48 bits).
+    StoreTimestamp,
+    /// Pop and discard (writes to read-only standard fields).
+    Pop,
+
+    // -------- control flow --------
+    /// Unconditional jump.
+    Jump(u32),
+    /// Pop; jump when zero.
+    BranchIfZero(u32),
+    /// Return from an action body to the link register.
+    Return,
+    /// `exit`: record the trace event and jump to the pipeline epilogue.
+    Exit(u32),
+
+    // -------- tables / externs / primitives --------
+    /// Apply table `tid`: pops `nkeys` evaluated keys, looks up through
+    /// the pinned table state, records statistics and the optional
+    /// hit-capture local, traces, then jumps into the matched (or
+    /// default) action body with the link register set.
+    Apply {
+        /// Table id.
+        tid: u32,
+        /// Number of keys on the stack.
+        nkeys: u16,
+        /// Local receiving hit=1/miss=0, or `u32::MAX` for none.
+        hit_into: u32,
+    },
+    /// `mark_to_drop()`.
+    MarkDrop,
+    /// `setValid()` / `setInvalid()` (invalidation zeroes the fields).
+    SetValidHdr(u32, bool),
+    /// `counter.count(idx)`: pops the cell index.
+    CounterInc(u32),
+    /// `register.read(dst, idx)`: pops the index, pushes the cell value
+    /// (a store opcode follows).
+    RegisterRead(u32),
+    /// `register.write(idx, value)`: pops the value, then the index.
+    RegisterWrite(u32),
+    /// `meter.execute(idx, dst)`: pops the index, pushes the colour.
+    MeterExecute(u32),
+
+    // -------- parser --------
+    /// Enter parser state: budget check plus trace.
+    StateEnter(u32),
+    /// Extract a header at the cursor (bounds-checked; short packets
+    /// drop with `PacketTooShort`, exactly as P4-16 requires).
+    Extract(u32),
+    /// Multi-way select: pops the keys, matches the arm patterns in
+    /// order, jumps to the winning target (default on no match).
+    Select(u32),
+    /// Parser accept: record the payload offset, fall through to the
+    /// pipeline.
+    Accept,
+    /// Parser reject: drop the packet.
+    Reject,
+    /// Enter a control block (trace only).
+    ControlEnter(u32),
+    /// Pipeline epilogue: drop checks, deparse, verdict. Terminal.
+    Finish,
+}
+
+/// One compiled `select` dispatch table.
+#[derive(Debug, Clone)]
+struct CompiledSelect {
+    /// Keys popped from the stack.
+    nkeys: usize,
+    /// `(patterns, target pc)` tried in order; first full match wins.
+    arms: Vec<(Vec<IrPattern>, u32)>,
+    /// Target pc when no arm matches.
+    default: u32,
+}
+
+/// Byte-aligned half of a [`FieldPlan`], pre-resolved so extraction and
+/// deparsing of aligned headers move whole bytes.
+#[derive(Debug, Clone, Copy)]
+struct FieldPlan {
+    /// Offset from the header start, bits.
+    offset_bits: u32,
+    /// Width, bits.
+    width_bits: u16,
+    /// Offset from the header start, whole bytes (valid when aligned).
+    byte_off: u32,
+    /// Width in whole bytes (valid when aligned).
+    byte_len: u16,
+}
+
+/// Extraction/emission plan for one header instance.
+#[derive(Debug, Clone)]
+struct HeaderPlan {
+    /// Total width in bits.
+    bit_width: u32,
+    /// Field moves in declaration order.
+    fields: Vec<FieldPlan>,
+    /// Every field (and the total) is byte-aligned: whole-byte moves.
+    byte_aligned: bool,
+}
+
+/// An [`ir::Program`] lowered to the flat instruction array, plus the
+/// side tables the executor indexes: select dispatch, header plans,
+/// per-table default actions, action entry points and interned names.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    code: Vec<OpCode>,
+    /// Entry pc of each action body (`Return`-terminated).
+    action_pcs: Vec<u32>,
+    selects: Vec<CompiledSelect>,
+    headers: Vec<HeaderPlan>,
+    /// Deparse order (header ids).
+    deparse: Vec<u32>,
+    /// Per-table default action id + bound args + declared key count.
+    table_defaults: Vec<(u32, Vec<u128>)>,
+    /// Interned names, indexed by the corresponding IR id.
+    state_names: Vec<TraceName>,
+    control_names: Vec<TraceName>,
+    table_names: Vec<TraceName>,
+    action_names: Vec<TraceName>,
+    header_names: Vec<TraceName>,
+}
+
+impl CompiledProgram {
+    /// Lower `prog` into the flat engine. Called once per
+    /// [`crate::Dataplane`] construction; the result is immutable and
+    /// shared (`Arc`) across clones, shards and pool workers.
+    pub fn compile(prog: &ir::Program) -> CompiledProgram {
+        Compiler::new(prog).run()
+    }
+
+    /// Number of flat instructions (observability for tests/benches).
+    pub fn code_len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Interned parser-state names (shared with the reference engine so
+    /// both engines' traces clone the same pointers).
+    pub(crate) fn state_name(&self, sid: usize) -> &TraceName {
+        &self.state_names[sid]
+    }
+
+    pub(crate) fn control_name(&self, cid: usize) -> &TraceName {
+        &self.control_names[cid]
+    }
+
+    pub(crate) fn table_name(&self, tid: usize) -> &TraceName {
+        &self.table_names[tid]
+    }
+
+    pub(crate) fn action_name(&self, aid: usize) -> &TraceName {
+        &self.action_names[aid]
+    }
+
+    pub(crate) fn header_name(&self, hid: usize) -> &TraceName {
+        &self.header_names[hid]
+    }
+}
+
+/// Where a pending jump patch lands.
+enum FixLoc {
+    /// `code[i]`'s jump target.
+    Code(usize),
+    /// `selects[s].arms[a]`'s target.
+    Arm(usize, usize),
+    /// `selects[s].default`.
+    Default(usize),
+}
+
+struct Compiler<'p> {
+    prog: &'p ir::Program,
+    code: Vec<OpCode>,
+    selects: Vec<CompiledSelect>,
+    /// Parser-transition patches resolved once all state pcs are known.
+    fixups: Vec<(FixLoc, TransTarget)>,
+    /// `Exit` opcodes patched to the epilogue pc.
+    exit_fixups: Vec<usize>,
+}
+
+impl<'p> Compiler<'p> {
+    fn new(prog: &'p ir::Program) -> Self {
+        Compiler {
+            prog,
+            code: Vec::new(),
+            selects: Vec::new(),
+            fixups: Vec::new(),
+            exit_fixups: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> CompiledProgram {
+        let prog = self.prog;
+
+        // ---- Parser states (state 0 = `start` = pc 0). ----
+        let mut state_pcs = vec![0u32; prog.parser.states.len()];
+        for (sid, st) in prog.parser.states.iter().enumerate() {
+            state_pcs[sid] = self.code.len() as u32;
+            self.code.push(OpCode::StateEnter(sid as u32));
+            for op in &st.ops {
+                match op {
+                    ir::ParserOp::Extract(hid) => self.code.push(OpCode::Extract(*hid as u32)),
+                    ir::ParserOp::Assign(lv, e) => {
+                        self.emit_expr(e);
+                        self.emit_store(lv);
+                    }
+                }
+            }
+            match &st.transition {
+                IrTransition::Accept => self.emit_jump(TransTarget::Accept),
+                IrTransition::Reject => self.emit_jump(TransTarget::Reject),
+                IrTransition::Goto(s) => self.emit_jump(TransTarget::State(*s)),
+                IrTransition::Select {
+                    keys,
+                    arms,
+                    default,
+                } => {
+                    for k in keys {
+                        self.emit_expr(k);
+                    }
+                    let sel = self.selects.len();
+                    self.selects.push(CompiledSelect {
+                        nkeys: keys.len(),
+                        arms: arms
+                            .iter()
+                            .map(|arm| (arm.patterns.clone(), u32::MAX))
+                            .collect(),
+                        default: u32::MAX,
+                    });
+                    for (a, arm) in arms.iter().enumerate() {
+                        self.fixups.push((FixLoc::Arm(sel, a), arm.target));
+                    }
+                    self.fixups.push((FixLoc::Default(sel), *default));
+                    self.code.push(OpCode::Select(sel as u32));
+                }
+            }
+        }
+
+        // ---- Shared parser exits. ----
+        let reject_pc = self.code.len() as u32;
+        self.code.push(OpCode::Reject);
+        let accept_pc = self.code.len() as u32;
+        self.code.push(OpCode::Accept);
+        // `Accept` falls through into the first control.
+
+        // ---- Pipeline controls, in execution order. ----
+        for (cid, control) in prog.controls.iter().enumerate() {
+            self.code.push(OpCode::ControlEnter(cid as u32));
+            self.emit_block(&control.body);
+        }
+        let finish_pc = self.code.len() as u32;
+        self.code.push(OpCode::Finish);
+
+        // ---- Action bodies (shared across tables; entered via Apply). ----
+        let mut action_pcs = vec![0u32; prog.actions.len()];
+        for (aid, action) in prog.actions.iter().enumerate() {
+            action_pcs[aid] = self.code.len() as u32;
+            for op in &action.ops {
+                self.emit_op(op);
+            }
+            self.code.push(OpCode::Return);
+        }
+
+        // ---- Patch parser transitions and exits. ----
+        let resolve = |t: TransTarget| -> u32 {
+            match t {
+                TransTarget::Accept => accept_pc,
+                TransTarget::Reject => reject_pc,
+                TransTarget::State(s) => state_pcs[s],
+            }
+        };
+        for (loc, target) in std::mem::take(&mut self.fixups) {
+            let pc = resolve(target);
+            match loc {
+                FixLoc::Code(i) => match &mut self.code[i] {
+                    OpCode::Jump(t) => *t = pc,
+                    other => unreachable!("fixup on non-jump {other:?}"),
+                },
+                FixLoc::Arm(s, a) => self.selects[s].arms[a].1 = pc,
+                FixLoc::Default(s) => self.selects[s].default = pc,
+            }
+        }
+        for i in std::mem::take(&mut self.exit_fixups) {
+            match &mut self.code[i] {
+                OpCode::Exit(t) => *t = finish_pc,
+                other => unreachable!("exit fixup on {other:?}"),
+            }
+        }
+
+        // ---- Side tables. ----
+        let headers = prog
+            .headers
+            .iter()
+            .map(|h| HeaderPlan {
+                bit_width: h.bit_width,
+                byte_aligned: h.is_byte_aligned(),
+                fields: h
+                    .fields
+                    .iter()
+                    .map(|f| FieldPlan {
+                        offset_bits: f.offset_bits,
+                        width_bits: f.width_bits,
+                        byte_off: f.offset_bits / 8,
+                        byte_len: f.width_bits / 8,
+                    })
+                    .collect(),
+            })
+            .collect();
+        let intern = |s: &str| -> TraceName { s.into() };
+        CompiledProgram {
+            code: self.code,
+            action_pcs,
+            selects: self.selects,
+            headers,
+            deparse: prog.deparse.iter().map(|&h| h as u32).collect(),
+            table_defaults: prog
+                .tables
+                .iter()
+                .map(|t| {
+                    (
+                        t.default_action.action as u32,
+                        t.default_action.args.clone(),
+                    )
+                })
+                .collect(),
+            state_names: prog.parser.states.iter().map(|s| intern(&s.name)).collect(),
+            control_names: prog.controls.iter().map(|c| intern(&c.name)).collect(),
+            table_names: prog.tables.iter().map(|t| intern(&t.name)).collect(),
+            action_names: prog.actions.iter().map(|a| intern(&a.name)).collect(),
+            header_names: prog.headers.iter().map(|h| intern(&h.name)).collect(),
+        }
+    }
+
+    /// Emit a jump whose target is a parser transition (patched later).
+    fn emit_jump(&mut self, target: TransTarget) {
+        self.fixups.push((FixLoc::Code(self.code.len()), target));
+        self.code.push(OpCode::Jump(u32::MAX));
+    }
+
+    fn emit_block(&mut self, body: &[IrStmt]) {
+        for stmt in body {
+            match stmt {
+                IrStmt::ApplyTable { table, hit_into } => {
+                    let keys = &self.prog.tables[*table].keys;
+                    for k in keys {
+                        self.emit_expr(&k.expr);
+                    }
+                    self.code.push(OpCode::Apply {
+                        tid: *table as u32,
+                        nkeys: keys.len() as u16,
+                        hit_into: hit_into.map_or(NO_HIT_LOCAL, |l| l as u32),
+                    });
+                }
+                IrStmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
+                    self.emit_expr(cond);
+                    let br = self.code.len();
+                    self.code.push(OpCode::BranchIfZero(u32::MAX));
+                    self.emit_block(then_branch);
+                    if else_branch.is_empty() {
+                        let end = self.code.len() as u32;
+                        self.patch_jump(br, end);
+                    } else {
+                        let jmp = self.code.len();
+                        self.code.push(OpCode::Jump(u32::MAX));
+                        let else_pc = self.code.len() as u32;
+                        self.patch_jump(br, else_pc);
+                        self.emit_block(else_branch);
+                        let end = self.code.len() as u32;
+                        self.patch_jump(jmp, end);
+                    }
+                }
+                IrStmt::Op(op) => self.emit_op(op),
+                IrStmt::Exit => {
+                    self.exit_fixups.push(self.code.len());
+                    self.code.push(OpCode::Exit(u32::MAX));
+                }
+            }
+        }
+    }
+
+    fn patch_jump(&mut self, at: usize, target: u32) {
+        match &mut self.code[at] {
+            OpCode::Jump(t) | OpCode::BranchIfZero(t) => *t = target,
+            other => unreachable!("patch on non-jump {other:?}"),
+        }
+    }
+
+    fn emit_op(&mut self, op: &Op) {
+        match op {
+            Op::Assign(lv, e) => {
+                self.emit_expr(e);
+                self.emit_store(lv);
+            }
+            Op::SetValid(hid, valid) => self.code.push(OpCode::SetValidHdr(*hid as u32, *valid)),
+            Op::Drop => self.code.push(OpCode::MarkDrop),
+            Op::CounterInc(id, idx) => {
+                self.emit_expr(idx);
+                self.code.push(OpCode::CounterInc(*id as u32));
+            }
+            Op::RegisterRead(lv, id, idx) => {
+                self.emit_expr(idx);
+                self.code.push(OpCode::RegisterRead(*id as u32));
+                self.emit_store(lv);
+            }
+            Op::RegisterWrite(id, idx, val) => {
+                self.emit_expr(idx);
+                self.emit_expr(val);
+                self.code.push(OpCode::RegisterWrite(*id as u32));
+            }
+            Op::MeterExecute(id, idx, lv) => {
+                self.emit_expr(idx);
+                self.code.push(OpCode::MeterExecute(*id as u32));
+                self.emit_store(lv);
+            }
+            Op::NoOp => {}
+        }
+    }
+
+    fn emit_expr(&mut self, e: &IrExpr) {
+        match e {
+            IrExpr::Const { value, .. } => self.code.push(OpCode::Const(*value)),
+            IrExpr::Field(h, f) => self.code.push(OpCode::LoadField(*h as u32, *f as u32)),
+            IrExpr::Meta(m) => self.code.push(OpCode::LoadMeta(*m as u32)),
+            IrExpr::Std(s) => self.code.push(OpCode::LoadStd(*s)),
+            IrExpr::Param { index, width } => {
+                self.code.push(OpCode::LoadParam(*index as u32, *width))
+            }
+            IrExpr::Local(l) => self.code.push(OpCode::LoadLocal(*l as u32)),
+            IrExpr::IsValid(h) => self.code.push(OpCode::LoadIsValid(*h as u32)),
+            IrExpr::Un { op, a, width } => {
+                self.emit_expr(a);
+                self.code.push(OpCode::Un(*op, *width));
+            }
+            IrExpr::Bin {
+                op: BinOp::Concat,
+                a,
+                b,
+                width,
+            } => {
+                self.emit_expr(a);
+                self.emit_expr(b);
+                self.code.push(OpCode::Concat(b.width(self.prog), *width));
+            }
+            IrExpr::Bin { op, a, b, width } => {
+                self.emit_expr(a);
+                self.emit_expr(b);
+                self.code.push(OpCode::Bin(*op, *width));
+            }
+            IrExpr::Slice { base, hi, lo } => {
+                self.emit_expr(base);
+                self.code.push(OpCode::SliceE(*hi, *lo));
+            }
+            IrExpr::Cast { expr, width } => {
+                self.emit_expr(expr);
+                self.code.push(OpCode::CastE(*width));
+            }
+        }
+    }
+
+    /// Pop the top of stack into `lv`, replicating the reference
+    /// `assign` — including the read-modify-write recursion for slices.
+    fn emit_store(&mut self, lv: &LValue) {
+        match lv {
+            LValue::Field(h, f) => {
+                let width = self.prog.headers[*h].fields[*f].width_bits;
+                self.code
+                    .push(OpCode::StoreField(*h as u32, *f as u32, width));
+            }
+            LValue::Meta(m) => {
+                let width = self.prog.metadata[*m].width;
+                self.code.push(OpCode::StoreMeta(*m as u32, width));
+            }
+            LValue::Std(s) => match s {
+                StdField::EgressSpec => self.code.push(OpCode::StoreEgressSpec),
+                StdField::EgressPort | StdField::IngressPort => self.code.push(OpCode::Pop),
+                StdField::PacketLength => self.code.push(OpCode::StorePacketLength),
+                StdField::IngressTimestamp => self.code.push(OpCode::StoreTimestamp),
+            },
+            LValue::Local(l) => {
+                let width = self.prog.locals[*l].width;
+                self.code.push(OpCode::StoreLocal(*l as u32, width));
+            }
+            LValue::Slice(inner, hi, lo) => {
+                self.emit_read_lvalue(inner);
+                self.code.push(OpCode::SliceMerge(*hi, *lo));
+                self.emit_store(inner);
+            }
+        }
+    }
+
+    /// Push the current value of `lv` (reference `read_lvalue`: **no**
+    /// validity check on header fields).
+    fn emit_read_lvalue(&mut self, lv: &LValue) {
+        match lv {
+            LValue::Field(h, f) => self.code.push(OpCode::LoadFieldRaw(*h as u32, *f as u32)),
+            LValue::Meta(m) => self.code.push(OpCode::LoadMeta(*m as u32)),
+            LValue::Std(s) => self.code.push(OpCode::LoadStd(*s)),
+            LValue::Local(l) => self.code.push(OpCode::LoadLocal(*l as u32)),
+            LValue::Slice(inner, hi, lo) => {
+                self.emit_read_lvalue(inner);
+                self.code.push(OpCode::SliceE(*hi, *lo));
+            }
+        }
+    }
+}
+
+/// Run one packet through the flat engine.
+///
+/// The single non-recursive dispatch loop behind every compiled-engine
+/// path (single packet, batch, parallel shard, pool worker). Semantics —
+/// including trace event order, drop reasons, statistics updates and
+/// extern effects — replicate the tree-walker arm for arm; the parity
+/// property tests in `tests/prop.rs` pin the equivalence over the whole
+/// program corpus.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn exec(
+    cp: &CompiledProgram,
+    tables: TablesRef<'_>,
+    table_stats: &mut [TableStats],
+    externs: &mut ExternState,
+    env: &mut Env,
+    port: u16,
+    data: &[u8],
+    now_cycles: u64,
+    mut trace: Option<&mut Trace>,
+) -> Verdict {
+    env.reset(port, data.len(), now_cycles);
+    env.stack.clear();
+    let code = &cp.code[..];
+    let total_bits = data.len() * 8;
+    let mut pc = 0usize;
+    let mut link = 0usize;
+    let mut cursor_bits = 0usize;
+    let mut payload_start = 0usize;
+    let mut visited = 0usize;
+    loop {
+        match code[pc] {
+            // -------- expression stack --------
+            OpCode::Const(v) => env.stack.push(v),
+            OpCode::LoadField(h, f) => {
+                let hv = &env.headers[h as usize];
+                env.stack
+                    .push(if hv.valid { hv.fields[f as usize] } else { 0 });
+            }
+            OpCode::LoadFieldRaw(h, f) => {
+                env.stack.push(env.headers[h as usize].fields[f as usize]);
+            }
+            OpCode::LoadMeta(m) => env.stack.push(env.meta[m as usize]),
+            OpCode::LoadStd(s) => env.stack.push(match s {
+                StdField::IngressPort => env.ingress_port,
+                StdField::EgressSpec | StdField::EgressPort => env.egress_spec,
+                StdField::PacketLength => env.packet_length,
+                StdField::IngressTimestamp => env.ts_cycles,
+            }),
+            OpCode::LoadParam(i, width) => {
+                let v = env.action_args.get(i as usize).copied().unwrap_or(0);
+                env.stack.push(truncate(v, width));
+            }
+            OpCode::LoadLocal(l) => env.stack.push(env.locals[l as usize]),
+            OpCode::LoadIsValid(h) => env.stack.push(env.headers[h as usize].valid as u128),
+            OpCode::Un(op, width) => {
+                let v = env.stack.last_mut().expect("un operand");
+                *v = match op {
+                    UnOp::Not => truncate(!*v, width),
+                    UnOp::Neg => truncate(v.wrapping_neg(), width),
+                    UnOp::LNot => (*v == 0) as u128,
+                };
+            }
+            OpCode::Bin(op, w) => {
+                let y = env.stack.pop().expect("bin rhs");
+                let x = env.stack.last_mut().expect("bin lhs");
+                *x = bin_op(op, *x, y, w);
+            }
+            OpCode::Concat(shift, width) => {
+                let y = env.stack.pop().expect("concat rhs");
+                let x = env.stack.last_mut().expect("concat lhs");
+                *x = truncate((*x << shift) | y, width);
+            }
+            OpCode::SliceE(hi, lo) => {
+                let v = env.stack.last_mut().expect("slice base");
+                *v = truncate(*v >> lo, hi - lo + 1);
+            }
+            OpCode::CastE(width) => {
+                let v = env.stack.last_mut().expect("cast operand");
+                *v = truncate(*v, width);
+            }
+            OpCode::SliceMerge(hi, lo) => {
+                let current = env.stack.pop().expect("slice current");
+                let v = env.stack.last_mut().expect("slice value");
+                let w = hi - lo + 1;
+                let mask = all_ones(w) << lo;
+                *v = (current & !mask) | (truncate(*v, w) << lo);
+            }
+
+            // -------- stores --------
+            OpCode::StoreField(h, f, width) => {
+                let v = env.stack.pop().expect("store value");
+                env.headers[h as usize].fields[f as usize] = truncate(v, width);
+            }
+            OpCode::StoreMeta(m, width) => {
+                let v = env.stack.pop().expect("store value");
+                env.meta[m as usize] = truncate(v, width);
+            }
+            OpCode::StoreLocal(l, width) => {
+                let v = env.stack.pop().expect("store value");
+                env.locals[l as usize] = truncate(v, width);
+            }
+            OpCode::StoreEgressSpec => {
+                let v = env.stack.pop().expect("store value");
+                env.egress_spec = truncate(v, 9);
+                env.egress_written = true;
+                // v1model: a later egress write revives the packet.
+                env.drop_flag = false;
+            }
+            OpCode::StorePacketLength => {
+                let v = env.stack.pop().expect("store value");
+                env.packet_length = truncate(v, 32);
+            }
+            OpCode::StoreTimestamp => {
+                let v = env.stack.pop().expect("store value");
+                env.ts_cycles = truncate(v, 48);
+            }
+            OpCode::Pop => {
+                env.stack.pop();
+            }
+
+            // -------- control flow --------
+            OpCode::Jump(t) => {
+                pc = t as usize;
+                continue;
+            }
+            OpCode::BranchIfZero(t) => {
+                if env.stack.pop().expect("branch cond") == 0 {
+                    pc = t as usize;
+                    continue;
+                }
+            }
+            OpCode::Return => {
+                pc = link;
+                continue;
+            }
+            OpCode::Exit(t) => {
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.push(TraceEvent::Exit);
+                }
+                pc = t as usize;
+                continue;
+            }
+
+            // -------- tables / externs --------
+            OpCode::Apply {
+                tid,
+                nkeys,
+                hit_into,
+            } => {
+                let tid = tid as usize;
+                let base = env.stack.len() - nkeys as usize;
+                env.key_scratch.clear();
+                for i in base..env.stack.len() {
+                    let v = env.stack[i];
+                    env.key_scratch.push(v);
+                }
+                env.stack.truncate(base);
+                let (aid, hit) = match tables.lookup(tid, &env.key_scratch) {
+                    Some(entry) => {
+                        env.action_args.clear();
+                        env.action_args.extend_from_slice(&entry.action.args);
+                        (entry.action.action, true)
+                    }
+                    None => {
+                        let (aid, args) = &cp.table_defaults[tid];
+                        env.action_args.clear();
+                        env.action_args.extend_from_slice(args);
+                        (*aid as usize, false)
+                    }
+                };
+                table_stats[tid].record(hit);
+                if hit_into != NO_HIT_LOCAL {
+                    env.locals[hit_into as usize] = hit as u128;
+                }
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.push(TraceEvent::TableApply {
+                        table: cp.table_names[tid].clone(),
+                        keys: env.key_scratch.clone(),
+                        hit,
+                        action: cp.action_names[aid].clone(),
+                    });
+                }
+                link = pc + 1;
+                pc = cp.action_pcs[aid] as usize;
+                continue;
+            }
+            OpCode::MarkDrop => {
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.push(TraceEvent::MarkToDrop);
+                }
+                env.drop_flag = true;
+            }
+            OpCode::SetValidHdr(h, valid) => {
+                let hv = &mut env.headers[h as usize];
+                hv.valid = valid;
+                if !valid {
+                    for f in &mut hv.fields {
+                        *f = 0;
+                    }
+                }
+            }
+            OpCode::CounterInc(id) => {
+                let i = env.stack.pop().expect("counter index") as usize;
+                externs.counter_inc(id as usize, i, data.len());
+            }
+            OpCode::RegisterRead(id) => {
+                let i = env.stack.pop().expect("register index") as usize;
+                let v = externs.register_read(id as usize, i);
+                env.stack.push(v);
+            }
+            OpCode::RegisterWrite(id) => {
+                let v = env.stack.pop().expect("register value");
+                let i = env.stack.pop().expect("register index") as usize;
+                externs.register_write(id as usize, i, v);
+            }
+            OpCode::MeterExecute(id) => {
+                let i = env.stack.pop().expect("meter index") as usize;
+                let colour = externs.meter_execute(id as usize, i, now_cycles);
+                env.stack.push(colour);
+            }
+
+            // -------- parser --------
+            OpCode::StateEnter(sid) => {
+                visited += 1;
+                if visited > PARSER_STATE_BUDGET {
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.push(TraceEvent::ParserReject);
+                    }
+                    return Verdict::Drop(DropReason::ParserReject);
+                }
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.push(TraceEvent::ParserState {
+                        name: cp.state_names[sid as usize].clone(),
+                    });
+                }
+            }
+            OpCode::Extract(hid) => {
+                let hid = hid as usize;
+                let plan = &cp.headers[hid];
+                let width = plan.bit_width as usize;
+                if cursor_bits + width > total_bits {
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.push(TraceEvent::ParserReject);
+                    }
+                    return Verdict::Drop(DropReason::PacketTooShort);
+                }
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.push(TraceEvent::Extract {
+                        header: cp.header_names[hid].clone(),
+                        at_bit: cursor_bits,
+                    });
+                }
+                let hv = &mut env.headers[hid];
+                hv.valid = true;
+                if plan.byte_aligned && cursor_bits.is_multiple_of(8) {
+                    let base = cursor_bits / 8;
+                    for (slot, f) in hv.fields.iter_mut().zip(&plan.fields) {
+                        let off = base + f.byte_off as usize;
+                        let mut v = 0u128;
+                        for &b in &data[off..off + f.byte_len as usize] {
+                            v = (v << 8) | u128::from(b);
+                        }
+                        *slot = v;
+                    }
+                } else {
+                    for (slot, f) in hv.fields.iter_mut().zip(&plan.fields) {
+                        *slot = read_bits(
+                            data,
+                            cursor_bits + f.offset_bits as usize,
+                            f.width_bits as usize,
+                        );
+                    }
+                }
+                cursor_bits += width;
+            }
+            OpCode::Select(sel) => {
+                let s = &cp.selects[sel as usize];
+                let base = env.stack.len() - s.nkeys;
+                let keys = &env.stack[base..];
+                let target = s
+                    .arms
+                    .iter()
+                    .find(|(patterns, _)| patterns.iter().zip(keys).all(|(p, k)| p.matches(*k)))
+                    .map(|&(_, t)| t)
+                    .unwrap_or(s.default);
+                env.stack.truncate(base);
+                pc = target as usize;
+                continue;
+            }
+            OpCode::Accept => {
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.push(TraceEvent::ParserAccept);
+                }
+                payload_start = (cursor_bits / 8).min(data.len());
+            }
+            OpCode::Reject => {
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.push(TraceEvent::ParserReject);
+                }
+                return Verdict::Drop(DropReason::ParserReject);
+            }
+            OpCode::ControlEnter(cid) => {
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.push(TraceEvent::ControlEnter {
+                        name: cp.control_names[cid as usize].clone(),
+                    });
+                }
+            }
+            OpCode::Finish => {
+                if env.drop_flag {
+                    return Verdict::Drop(DropReason::ActionDrop);
+                }
+                if !env.egress_written {
+                    return Verdict::Drop(DropReason::NoEgress);
+                }
+                let out = deparse(cp, env, &data[payload_start..], &mut trace);
+                return if env.egress_spec == FLOOD_PORT {
+                    Verdict::Flood { data: out }
+                } else if env.egress_spec > FLOOD_PORT {
+                    Verdict::Drop(DropReason::BadEgress)
+                } else {
+                    Verdict::Forward {
+                        port: env.egress_spec as u16,
+                        data: out,
+                    }
+                };
+            }
+        }
+        pc += 1;
+    }
+}
+
+/// Binary operator semantics, shared verbatim with the reference `eval`.
+#[inline]
+fn bin_op(op: BinOp, x: u128, y: u128, w: u16) -> u128 {
+    match op {
+        BinOp::Add => truncate(x.wrapping_add(y), w),
+        BinOp::Sub => truncate(x.wrapping_sub(y), w),
+        BinOp::Mul => truncate(x.wrapping_mul(y), w),
+        BinOp::Div => truncate(x.checked_div(y).unwrap_or(0), w),
+        BinOp::Mod => truncate(x.checked_rem(y).unwrap_or(0), w),
+        BinOp::And => x & y,
+        BinOp::Or => x | y,
+        BinOp::Xor => x ^ y,
+        BinOp::Shl => truncate(x.checked_shl(y as u32).unwrap_or(0), w),
+        BinOp::Shr => x.checked_shr(y as u32).unwrap_or(0),
+        BinOp::Eq => (x == y) as u128,
+        BinOp::Ne => (x != y) as u128,
+        BinOp::Lt => (x < y) as u128,
+        BinOp::Le => (x <= y) as u128,
+        BinOp::Gt => (x > y) as u128,
+        BinOp::Ge => (x >= y) as u128,
+        BinOp::LAnd => (x != 0 && y != 0) as u128,
+        BinOp::LOr => (x != 0 || y != 0) as u128,
+        BinOp::Concat => unreachable!("Concat compiles to OpCode::Concat"),
+    }
+}
+
+/// Emit valid headers in deparse order from the compiled plans, then the
+/// payload. Byte-identical to the reference deparser: aligned headers
+/// take whole-byte stores, everything else the exact `write_bits` path.
+fn deparse(
+    cp: &CompiledProgram,
+    env: &Env,
+    payload: &[u8],
+    trace: &mut Option<&mut Trace>,
+) -> Vec<u8> {
+    let mut out_bits = 0usize;
+    for &hid in &cp.deparse {
+        if env.headers[hid as usize].valid {
+            out_bits += cp.headers[hid as usize].bit_width as usize;
+        }
+    }
+    let mut out = vec![0u8; out_bits / 8 + payload.len()];
+    let mut cursor = 0usize;
+    for &hid in &cp.deparse {
+        let hid = hid as usize;
+        if !env.headers[hid].valid {
+            continue;
+        }
+        let plan = &cp.headers[hid];
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(TraceEvent::Emit {
+                header: cp.header_names[hid].clone(),
+            });
+        }
+        if plan.byte_aligned && cursor.is_multiple_of(8) {
+            let base = cursor / 8;
+            for (f, value) in plan.fields.iter().zip(&env.headers[hid].fields) {
+                let off = base + f.byte_off as usize;
+                let len = f.byte_len as usize;
+                let mut v = *value;
+                for i in (0..len).rev() {
+                    out[off + i] = v as u8;
+                    v >>= 8;
+                }
+            }
+        } else {
+            for (f, value) in plan.fields.iter().zip(&env.headers[hid].fields) {
+                write_bits(
+                    &mut out,
+                    cursor + f.offset_bits as usize,
+                    f.width_bits as usize,
+                    *value,
+                );
+            }
+        }
+        cursor += plan.bit_width as usize;
+    }
+    out[cursor / 8..].copy_from_slice(payload);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdebug_p4::corpus;
+
+    /// Every corpus program lowers to a flat program whose action table
+    /// and name tables line up with the IR.
+    #[test]
+    fn corpus_compiles_flat() {
+        for prog in corpus::corpus() {
+            let ir = netdebug_p4::compile(prog.source).unwrap();
+            let cp = CompiledProgram::compile(&ir);
+            assert!(cp.code_len() > 0, "{}: empty code", prog.name);
+            assert_eq!(cp.action_pcs.len(), ir.actions.len(), "{}", prog.name);
+            assert_eq!(cp.table_names.len(), ir.tables.len(), "{}", prog.name);
+            assert_eq!(
+                cp.state_names.len(),
+                ir.parser.states.len(),
+                "{}",
+                prog.name
+            );
+            // Every jump/branch/action target lands inside the code.
+            let len = cp.code_len() as u32;
+            for op in &cp.code {
+                match *op {
+                    OpCode::Jump(t) | OpCode::BranchIfZero(t) | OpCode::Exit(t) => {
+                        assert!(t < len, "{}: target {t} out of range", prog.name)
+                    }
+                    _ => {}
+                }
+            }
+            for sel in &cp.selects {
+                assert!(sel.default < len, "{}: select default", prog.name);
+                for (_, t) in &sel.arms {
+                    assert!(*t < len, "{}: select arm", prog.name);
+                }
+            }
+            for &a in &cp.action_pcs {
+                assert!(a < len, "{}: action pc", prog.name);
+            }
+        }
+    }
+
+    /// Byte-aligned planning: Ethernet moves whole bytes, IPv4 keeps the
+    /// bit path (nibble fields).
+    #[test]
+    fn header_plans_classify_alignment() {
+        let ir = netdebug_p4::compile(corpus::IPV4_FORWARD).unwrap();
+        let cp = CompiledProgram::compile(&ir);
+        let eth = ir.header_by_name("ethernet").unwrap();
+        let ipv4 = ir.header_by_name("ipv4").unwrap();
+        assert!(cp.headers[eth].byte_aligned);
+        assert!(!cp.headers[ipv4].byte_aligned);
+        assert_eq!(cp.headers[eth].fields[2].byte_off, 12);
+        assert_eq!(cp.headers[eth].fields[2].byte_len, 2);
+    }
+}

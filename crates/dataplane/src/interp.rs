@@ -1,7 +1,7 @@
-//! The reference interpreter: P4-16 semantics for the pipeline IR.
+//! The execution engines: P4-16 semantics for the pipeline IR.
 //!
 //! [`Dataplane`] owns a compiled program plus its runtime state (tables,
-//! registers, counters, meters) and processes packets either one at a time
+//! registers, counters, meters) and processes packets one at a time
 //! ([`Dataplane::process`]) or in batches ([`Dataplane::process_batch`]):
 //!
 //! 1. **Parse**: run the FSM from `start`; `extract` consumes bytes and
@@ -14,20 +14,36 @@
 //! 3. **Deparse**: emit valid headers in deparse order, append the unparsed
 //!    payload.
 //!
+//! Two engines implement these semantics and are **bit-identical** by
+//! property test ([`Engine`], switched with [`Dataplane::set_engine`]):
+//!
+//! * [`Engine::Compiled`] (the default) — at load time the program is
+//!   lowered to a flat instruction array ([`crate::compile`]) executed by
+//!   a tight non-recursive loop: pre-resolved jumps instead of recursive
+//!   statement walks, a value stack instead of expression-tree recursion,
+//!   whole-byte header moves where the layout allows. This is the fast
+//!   path every batch and fleet driver takes.
+//! * [`Engine::Reference`] — the original tree-walking interpreter, kept
+//!   as the executable specification. It is the differential oracle the
+//!   parity property tests run the compiled engine against (same
+//!   verdicts, traces, statistics and extern state on every packet), the
+//!   same role the paper gives its reference model against hardware.
+//!
 //! Execution is split into `ExecCtx`-style borrows internally: the
-//! read-mostly state (program IR, table entry lists) is borrowed shared,
-//! the per-shard mutable state (table statistics, extern cells) is
-//! borrowed exclusively, so the hot path runs with **zero per-packet
-//! clones** of parser ops, control bodies, table keys or action bodies,
-//! and the unparsed payload is carried as a borrowed slice until the
-//! deparser copies it into the output frame. The batch path reuses one
-//! scratch `Env` across the whole batch, amortising per-packet setup;
-//! tracing is opt-out there (see [`Dataplane::set_tracing`]) so throughput
-//! runs skip event allocation entirely. The same read/write split is what
-//! lets [`Dataplane::process_batch_parallel`] shard a batch across OS
-//! threads (shared entries, per-shard stats merged commutatively on join)
-//! and [`Dataplane::process_batch_with`] stream traces through a
-//! [`TraceSink`] without materialising them.
+//! read-mostly state (program IR, compiled code, table entry lists) is
+//! borrowed shared, the per-shard mutable state (table statistics, extern
+//! cells) is borrowed exclusively, so the hot path runs with **zero
+//! per-packet clones** of parser ops, control bodies, table keys or
+//! action bodies, and the unparsed payload is carried as a borrowed slice
+//! until the deparser copies it into the output frame. All packet paths
+//! reuse one per-dataplane scratch `Env`; tracing is opt-out on the batch
+//! paths (see [`Dataplane::set_tracing`]) so throughput runs skip event
+//! allocation entirely. The same read/write split is what lets
+//! [`Dataplane::process_batch_parallel`] shard a batch across a
+//! **persistent worker pool** (`crate::pool` — shard-pinned threads
+//! spawned once, reused every batch; shared entries, per-shard stats
+//! merged commutatively on join) and [`Dataplane::process_batch_with`]
+//! stream traces through a [`TraceSink`] without materialising them.
 //!
 //! Egress conventions (documented device-model behaviour):
 //! * `egress_spec` 0..510 — forward out of that port;
@@ -35,13 +51,15 @@
 //! * no write to `egress_spec` — drop (`NoEgress`).
 
 use crate::bits::{read_bits, write_bits};
+use crate::compile::{self, CompiledProgram};
 use crate::control::{ControlError, ControlPlane};
 use crate::externs::{ExternState, MeterConfig};
+use crate::pool::{Job, PacketArena, ShardSpan, WorkerPool};
 use crate::table::{EntrySnapshot, RuntimeEntry, TableState, TableStats, TableView};
 use crate::trace::{DropReason, Trace, TraceEvent, TraceSink, Verdict};
 use netdebug_p4::ast::{BinOp, UnOp};
 use netdebug_p4::ir::{
-    self, truncate, IrExpr, IrPattern, IrStmt, IrTransition, LValue, Op, ParallelClass, TransTarget,
+    self, truncate, IrExpr, IrStmt, IrTransition, LValue, Op, ParallelClass, TransTarget,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -50,41 +68,63 @@ use std::sync::Arc;
 pub const FLOOD_PORT: u128 = 511;
 
 /// Maximum parser states visited per packet before declaring a loop.
-const PARSER_STATE_BUDGET: usize = 256;
+pub(crate) const PARSER_STATE_BUDGET: usize = 256;
+
+/// Which execution engine runs the packet paths.
+///
+/// Both engines implement identical semantics — the parity property
+/// tests in `tests/prop.rs` pin verdicts, traces, statistics and extern
+/// state bit-for-bit over the program corpus — so the switch trades
+/// nothing but speed for auditability:
+///
+/// * [`Engine::Compiled`]: the flat bytecode engine compiled at load
+///   time ([`crate::compile`]); the default everywhere.
+/// * [`Engine::Reference`]: the tree-walking interpreter, retained as
+///   the executable specification and differential oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// Tree-walking reference interpreter (the specification oracle).
+    Reference,
+    /// Flat load-time-compiled bytecode engine (the fast default).
+    Compiled,
+}
 
 /// Runtime value of one header instance.
 #[derive(Debug, Clone)]
-struct HeaderVal {
-    valid: bool,
-    fields: Vec<u128>,
+pub(crate) struct HeaderVal {
+    pub(crate) valid: bool,
+    pub(crate) fields: Vec<u128>,
 }
 
-/// Per-packet execution environment.
+/// Per-packet execution environment, shared by both engines.
 ///
 /// All vectors are sized once per program and reset (not reallocated)
 /// between packets, so a batch touches the allocator only for output
 /// frames and traces.
-struct Env {
-    headers: Vec<HeaderVal>,
-    meta: Vec<u128>,
-    locals: Vec<u128>,
-    ingress_port: u128,
-    egress_spec: u128,
-    egress_written: bool,
-    packet_length: u128,
-    ts_cycles: u128,
-    drop_flag: bool,
-    exited: bool,
+#[derive(Debug)]
+pub(crate) struct Env {
+    pub(crate) headers: Vec<HeaderVal>,
+    pub(crate) meta: Vec<u128>,
+    pub(crate) locals: Vec<u128>,
+    pub(crate) ingress_port: u128,
+    pub(crate) egress_spec: u128,
+    pub(crate) egress_written: bool,
+    pub(crate) packet_length: u128,
+    pub(crate) ts_cycles: u128,
+    pub(crate) drop_flag: bool,
+    pub(crate) exited: bool,
     /// Arguments of the action currently executing (reused buffer; table
     /// applies cannot nest inside actions, so a flat buffer suffices).
-    action_args: Vec<u128>,
+    pub(crate) action_args: Vec<u128>,
     /// Scratch for evaluated table/select keys (reused buffer).
-    key_scratch: Vec<u128>,
+    pub(crate) key_scratch: Vec<u128>,
+    /// The compiled engine's value stack (reused buffer).
+    pub(crate) stack: Vec<u128>,
 }
 
 impl Env {
     /// Allocate an environment shaped for `program`.
-    fn new(program: &ir::Program) -> Self {
+    pub(crate) fn new(program: &ir::Program) -> Self {
         Env {
             headers: program
                 .headers
@@ -105,11 +145,12 @@ impl Env {
             exited: false,
             action_args: Vec::new(),
             key_scratch: Vec::new(),
+            stack: Vec::new(),
         }
     }
 
     /// Reset for the next packet without releasing any allocation.
-    fn reset(&mut self, port: u16, packet_len: usize, now_cycles: u64) {
+    pub(crate) fn reset(&mut self, port: u16, packet_len: usize, now_cycles: u64) {
         for h in &mut self.headers {
             h.valid = false;
             for f in &mut h.fields {
@@ -134,17 +175,33 @@ impl Env {
     }
 }
 
+/// Reusable buffers for the meter-partitioning pre-pass: the union-find
+/// parent array, the cell→first-packet map, the component size and
+/// placement maps, and the per-shard load counters. Hoisted out of
+/// `partition_by_cells` so the steady state of a metered stream reuses
+/// one allocation set per data plane instead of three `HashMap`s (plus
+/// two `Vec`s) per batch.
+#[derive(Debug, Default)]
+struct MeterScratch {
+    parent: Vec<usize>,
+    cell_owner: std::collections::HashMap<(usize, usize), usize>,
+    comp_size: std::collections::HashMap<usize, usize>,
+    comp_shard: std::collections::HashMap<usize, usize>,
+    load: Vec<usize>,
+}
+
 /// A program plus its runtime state — one simulated data plane.
 ///
 /// The state is deliberately split along the read/write axis:
 ///
-/// * **read-mostly** — the compiled program (immutable, behind an `Arc`)
-///   and the table entry lists: each table publishes an immutable
-///   [`EntrySnapshot`] that the packet path pins per batch, while the
-///   control plane — possibly from another thread, through a detached
-///   [`ControlPlane`] handle — publishes successor snapshots atomically.
-///   Parallel shards share the pinned snapshots by reference; mid-batch
-///   installs never touch them.
+/// * **read-mostly** — the program (immutable, behind an `Arc`), its
+///   load-time-compiled bytecode ([`CompiledProgram`], also `Arc`-shared
+///   with pool workers and clones) and the table entry lists: each table
+///   publishes an immutable [`EntrySnapshot`] that the packet path pins
+///   per batch, while the control plane — possibly from another thread,
+///   through a detached [`ControlPlane`] handle — publishes successor
+///   snapshots atomically. Parallel shards share the pinned snapshots by
+///   reference; mid-batch installs never touch them.
 /// * **per-shard mutable** — table hit/miss statistics (`table_stats`) and
 ///   extern state (`externs`); counters merge commutatively on shard join,
 ///   meter cells merge by per-shard cell ownership on the
@@ -153,6 +210,11 @@ impl Env {
 #[derive(Debug)]
 pub struct Dataplane {
     program: Arc<ir::Program>,
+    /// The flat bytecode the default engine executes (compiled once at
+    /// construction, shared with clones and pool workers).
+    compiled: Arc<CompiledProgram>,
+    /// Which engine the packet paths run ([`Engine::Compiled`] default).
+    engine: Engine,
     tables: Arc<Vec<TableState>>,
     table_stats: Vec<TableStats>,
     externs: ExternState,
@@ -186,6 +248,17 @@ pub struct Dataplane {
     /// never an interleaving that mixes a later mutation without an
     /// earlier one.
     publish_lock: Arc<std::sync::Mutex<()>>,
+    /// The per-packet execution environment, allocated once and reused
+    /// by every packet path (single-packet and batch alike).
+    env_scratch: Env,
+    /// Meter pre-pass scratch (see [`MeterScratch`]).
+    meter_scratch: MeterScratch,
+    /// Persistent shard workers, spawned lazily by the first parallel
+    /// batch and reused for every one after (not cloned; a clone spawns
+    /// its own on first use).
+    pool: Option<WorkerPool>,
+    /// Recycled packet arena for the pool paths (see `crate::pool`).
+    arena_slot: Option<PacketArena>,
 }
 
 impl Clone for Dataplane {
@@ -193,10 +266,11 @@ impl Clone for Dataplane {
     /// and publication counter (sharing the immutable current snapshots
     /// is safe — mutation always publishes fresh ones) so control-plane
     /// handles and installs on one copy never leak into the other. The
-    /// compiled program is shared. The table snapshots are captured under
-    /// the publication lock, so even a clone taken during concurrent
-    /// multi-table churn observes a publication-order prefix, never a
-    /// torn cross-table cut.
+    /// compiled program and bytecode are shared; the worker pool is not
+    /// (the clone spawns its own lazily). The table snapshots are
+    /// captured under the publication lock, so even a clone taken during
+    /// concurrent multi-table churn observes a publication-order prefix,
+    /// never a torn cross-table cut.
     fn clone(&self) -> Self {
         let (tables, generation) = {
             let _guard = self.publish_lock.lock().expect("publish lock poisoned");
@@ -212,6 +286,8 @@ impl Clone for Dataplane {
         };
         Dataplane {
             program: Arc::clone(&self.program),
+            compiled: Arc::clone(&self.compiled),
+            engine: self.engine,
             tables,
             table_stats: self.table_stats.clone(),
             externs: self.externs.clone(),
@@ -225,25 +301,32 @@ impl Clone for Dataplane {
             pin_cache: self.pin_cache.clone(),
             pin_gen: self.pin_gen,
             publish_lock: Arc::new(std::sync::Mutex::new(())),
+            env_scratch: Env::new(&self.program),
+            meter_scratch: MeterScratch::default(),
+            pool: None,
+            arena_slot: None,
         }
     }
 }
 
-/// Split borrows for the execution hot path: the immutable program and
-/// flattened table views on one side, the mutable runtime state on the
-/// other. Holding the program through a plain shared reference is what
-/// lets the interpreter walk parser states, control bodies and action
-/// bodies without cloning them per packet, and holding the pinned entry
-/// state through `&[TableView]` — resolved **once per batch** from the
-/// pinned `Arc<EntrySnapshot>`s — is what makes a table apply one slice
-/// index plus an index probe, no per-apply `Arc` dereference, while
-/// parallel shards share the views read-only and the control plane
-/// publishes new epochs mid-batch without perturbing in-flight packets.
-struct ExecCtx<'p> {
-    program: &'p ir::Program,
-    tables: TablesRef<'p>,
-    table_stats: &'p mut [TableStats],
-    externs: &'p mut ExternState,
+/// Split borrows for the execution hot path: the immutable program (IR
+/// and compiled bytecode) and flattened table views on one side, the
+/// mutable runtime state on the other. Holding the program through plain
+/// shared references is what lets both engines walk parser states,
+/// control bodies and action bodies without cloning them per packet, and
+/// holding the pinned entry state through `&[TableView]` — resolved
+/// **once per batch** from the pinned `Arc<EntrySnapshot>`s — is what
+/// makes a table apply one slice index plus an index probe, no per-apply
+/// `Arc` dereference, while parallel shards share the views read-only
+/// and the control plane publishes new epochs mid-batch without
+/// perturbing in-flight packets.
+pub(crate) struct ExecCtx<'p> {
+    pub(crate) program: &'p ir::Program,
+    pub(crate) compiled: &'p CompiledProgram,
+    pub(crate) engine: Engine,
+    pub(crate) tables: TablesRef<'p>,
+    pub(crate) table_stats: &'p mut [TableStats],
+    pub(crate) externs: &'p mut ExternState,
 }
 
 /// How an execution context reaches the pinned table state.
@@ -254,7 +337,7 @@ struct ExecCtx<'p> {
 /// nothing to amortise a view array against, and the seed's per-apply
 /// cost there was exactly one `Arc` dereference anyway.
 #[derive(Clone, Copy)]
-enum TablesRef<'p> {
+pub(crate) enum TablesRef<'p> {
     /// Per-batch flattened views: one slice index per apply.
     Views(&'p [TableView<'p>]),
     /// Pinned snapshots: one `Arc` dereference per apply.
@@ -263,7 +346,7 @@ enum TablesRef<'p> {
 
 impl<'p> TablesRef<'p> {
     #[inline]
-    fn lookup(&self, tid: usize, keys: &[u128]) -> Option<&'p RuntimeEntry> {
+    pub(crate) fn lookup(&self, tid: usize, keys: &[u128]) -> Option<&'p RuntimeEntry> {
         match self {
             TablesRef::Views(views) => views[tid].lookup(keys),
             TablesRef::Pinned(pinned) => pinned[tid].lookup(keys),
@@ -308,8 +391,12 @@ impl Dataplane {
             Vec::new()
         };
         let meter_sites_read_packet = program.meter_pre_pass_needs_parse();
+        let compiled = Arc::new(CompiledProgram::compile(&program));
+        let env_scratch = Env::new(&program);
         Dataplane {
             program: Arc::new(program),
+            compiled,
+            engine: Engine::Compiled,
             tables: Arc::new(tables),
             table_stats,
             externs,
@@ -323,6 +410,10 @@ impl Dataplane {
             pin_cache: Vec::new(),
             pin_gen: 0,
             publish_lock: Arc::new(std::sync::Mutex::new(())),
+            env_scratch,
+            meter_scratch: MeterScratch::default(),
+            pool: None,
+            arena_slot: None,
         }
     }
 
@@ -338,6 +429,23 @@ impl Dataplane {
     /// batches (cached [`netdebug_p4::ir::Program::parallel_class`]).
     pub fn parallel_class(&self) -> ParallelClass {
         self.parallel_class
+    }
+
+    /// Which engine the packet paths execute ([`Engine::Compiled`] unless
+    /// switched).
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Switch the execution engine.
+    ///
+    /// [`Engine::Compiled`] is the default on every path (single-packet,
+    /// batch, parallel, streaming). [`Engine::Reference`] selects the
+    /// tree-walking oracle — differential self-validation runs the same
+    /// traffic through both and asserts bit-identical verdicts, traces,
+    /// statistics and extern state (see the parity property tests).
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
     }
 
     /// A detached control-plane handle: clone it onto any thread and
@@ -360,6 +468,11 @@ impl Dataplane {
         &self.program
     }
 
+    /// The load-time-compiled bytecode the default engine executes.
+    pub fn compiled_program(&self) -> &CompiledProgram {
+        &self.compiled
+    }
+
     /// Packets processed since construction.
     pub fn packets_processed(&self) -> u64 {
         self.packets_processed
@@ -369,6 +482,12 @@ impl Dataplane {
     /// did not take the sequential fallback) since construction.
     pub fn sharded_batches(&self) -> u64 {
         self.sharded_batches
+    }
+
+    /// Live worker threads in the persistent shard pool (0 until the
+    /// first parallel batch spawns them) — observability for tests.
+    pub fn pool_workers(&self) -> usize {
+        self.pool.as_ref().map_or(0, |p| p.worker_count())
     }
 
     /// Whether [`Dataplane::process_batch`] records per-packet traces.
@@ -403,7 +522,7 @@ impl Dataplane {
     pub fn install(
         &mut self,
         table: &str,
-        patterns: Vec<IrPattern>,
+        patterns: Vec<ir::IrPattern>,
         action: &str,
         args: Vec<u128>,
         priority: i32,
@@ -520,15 +639,16 @@ impl Dataplane {
     pub fn process(&mut self, port: u16, data: &[u8], now_cycles: u64) -> (Verdict, Trace) {
         self.packets_processed += 1;
         self.refresh_pins();
-        let mut env = Env::new(&self.program);
         let mut ctx = ExecCtx {
             program: &self.program,
+            compiled: &self.compiled,
+            engine: self.engine,
             tables: TablesRef::Pinned(&self.pin_cache),
             table_stats: &mut self.table_stats,
             externs: &mut self.externs,
         };
         let mut trace = Trace::default();
-        let verdict = ctx.run_traced(port, data, now_cycles, &mut env, &mut trace);
+        let verdict = ctx.run_traced(port, data, now_cycles, &mut self.env_scratch, &mut trace);
         (verdict, trace)
     }
 
@@ -536,14 +656,15 @@ impl Dataplane {
     pub fn process_untraced(&mut self, port: u16, data: &[u8], now_cycles: u64) -> Verdict {
         self.packets_processed += 1;
         self.refresh_pins();
-        let mut env = Env::new(&self.program);
         let mut ctx = ExecCtx {
             program: &self.program,
+            compiled: &self.compiled,
+            engine: self.engine,
             tables: TablesRef::Pinned(&self.pin_cache),
             table_stats: &mut self.table_stats,
             externs: &mut self.externs,
         };
-        ctx.run(port, data, now_cycles, &mut env, None)
+        ctx.run(port, data, now_cycles, &mut self.env_scratch, None)
     }
 
     /// Process a whole batch of `(ingress port, frame)` pairs arriving at
@@ -564,21 +685,28 @@ impl Dataplane {
         let tracing = self.tracing;
         self.refresh_pins();
         let views = resolve_views(&self.pin_cache);
-        let mut env = Env::new(&self.program);
+        let env = &mut self.env_scratch;
         let mut ctx = ExecCtx {
             program: &self.program,
+            compiled: &self.compiled,
+            engine: self.engine,
             tables: TablesRef::Views(&views),
             table_stats: &mut self.table_stats,
             externs: &mut self.externs,
         };
+        // Returned traces must be owned, but each packet's event vector
+        // can be pre-sized from its predecessor: steady-state traced
+        // batches grow each vector at most once.
+        let mut cap = 0usize;
         pkts.iter()
             .map(|&(port, data)| {
                 if tracing {
-                    let mut trace = Trace::default();
-                    let verdict = ctx.run_traced(port, data, now_cycles, &mut env, &mut trace);
+                    let mut trace = Trace::with_capacity(cap);
+                    let verdict = ctx.run_traced(port, data, now_cycles, env, &mut trace);
+                    cap = trace.events.len();
                     (verdict, Some(trace))
                 } else {
-                    (ctx.run(port, data, now_cycles, &mut env, None), None)
+                    (ctx.run(port, data, now_cycles, env, None), None)
                 }
             })
             .collect()
@@ -603,9 +731,11 @@ impl Dataplane {
         let tracing = self.tracing;
         self.refresh_pins();
         let views = resolve_views(&self.pin_cache);
-        let mut env = Env::new(&self.program);
+        let env = &mut self.env_scratch;
         let mut ctx = ExecCtx {
             program: &self.program,
+            compiled: &self.compiled,
+            engine: self.engine,
             tables: TablesRef::Views(&views),
             table_stats: &mut self.table_stats,
             externs: &mut self.externs,
@@ -615,10 +745,10 @@ impl Dataplane {
             .enumerate()
             .map(|(i, &(port, data))| {
                 let verdict = if tracing {
-                    ctx.run_traced(port, data, now_cycles, &mut env, &mut trace)
+                    ctx.run_traced(port, data, now_cycles, env, &mut trace)
                 } else {
                     trace.events.clear();
-                    ctx.run(port, data, now_cycles, &mut env, None)
+                    ctx.run(port, data, now_cycles, env, None)
                 };
                 sink.observe(i, &verdict, &trace);
                 verdict
@@ -626,9 +756,14 @@ impl Dataplane {
             .collect()
     }
 
-    /// Process a batch sharded across up to `shards` OS threads.
+    /// Process a batch sharded across up to `shards` worker threads of
+    /// the persistent pool.
     ///
-    /// Every worker shares the program and the **pinned** table snapshots
+    /// Workers are spawned **once** (lazily, by the first parallel batch)
+    /// and reused for every batch after — `crate::pool` — so the steady
+    /// state pays no thread spawn/join; the batch's frames are copied
+    /// once into a recycled arena the workers share. Every worker shares
+    /// the program, compiled bytecode and the **pinned** table snapshots
     /// read-only (control-plane installs landing mid-batch publish new
     /// epochs without touching the pins) and owns its shard's mutable
     /// state — zeroed [`TableStats`] and an [`ExternState`] clone with
@@ -652,8 +787,9 @@ impl Dataplane {
     ///   instead.
     ///
     /// Results are **bit-identical** to [`Dataplane::process_batch`] on
-    /// every path; [`Dataplane::sharded_batches`] reports whether the
-    /// parallel engine actually ran.
+    /// every path and under either [`Engine`];
+    /// [`Dataplane::sharded_batches`] reports whether the parallel engine
+    /// actually ran.
     pub fn process_batch_parallel(
         &mut self,
         pkts: &[(u16, &[u8])],
@@ -673,6 +809,48 @@ impl Dataplane {
         }
     }
 
+    /// Copy the batch into the recycled arena and build one pool job per
+    /// shard span. `refresh_pins` must have run (the jobs share the
+    /// current pin set).
+    fn build_jobs(
+        &mut self,
+        pkts: &[(u16, &[u8])],
+        now_cycles: u64,
+        spans: Vec<ShardSpan>,
+    ) -> (Arc<PacketArena>, Vec<Job>) {
+        let mut arena = self.arena_slot.take().unwrap_or_default();
+        arena.fill(pkts);
+        let arena = Arc::new(arena);
+        let pins = Arc::new(self.pin_cache.clone());
+        let jobs = spans
+            .into_iter()
+            .map(|span| Job {
+                program: Arc::clone(&self.program),
+                compiled: Arc::clone(&self.compiled),
+                pins: Arc::clone(&pins),
+                arena: Arc::clone(&arena),
+                span,
+                externs: self.externs.shard_clone(),
+                tracing: self.tracing,
+                engine: self.engine,
+                now_cycles,
+            })
+            .collect();
+        (arena, jobs)
+    }
+
+    /// Run the jobs on the persistent pool and reclaim the arena buffer
+    /// for the next batch.
+    fn dispatch_jobs(&mut self, arena: Arc<PacketArena>, jobs: Vec<Job>) -> Vec<ShardResult> {
+        let results = self.pool.get_or_insert_with(WorkerPool::new).run(jobs);
+        // Every worker dropped its handle before reporting, so the arena
+        // is ours again — recycle its buffers.
+        if let Ok(arena) = Arc::try_unwrap(arena) {
+            self.arena_slot = Some(arena);
+        }
+        results
+    }
+
     /// The `Safe` parallel path: contiguous balanced chunks.
     fn parallel_contiguous(
         &mut self,
@@ -682,38 +860,13 @@ impl Dataplane {
     ) -> Vec<(Verdict, Option<Trace>)> {
         self.packets_processed += pkts.len() as u64;
         self.sharded_batches += 1;
-        let tracing = self.tracing;
         self.refresh_pins();
-        let program: &ir::Program = &self.program;
-        let views = resolve_views(&self.pin_cache);
-        let pinned: &[TableView] = &views;
-        let base_externs = &self.externs;
-
-        let shard_results: Vec<ShardResult> = std::thread::scope(|scope| {
-            let workers: Vec<_> = chunk_ranges(pkts.len(), shards)
-                .into_iter()
-                .map(|range| {
-                    let chunk_pkts = &pkts[range];
-                    scope.spawn(move || {
-                        run_shard(
-                            program,
-                            pinned,
-                            base_externs,
-                            chunk_pkts.iter().copied(),
-                            tracing,
-                            now_cycles,
-                        )
-                    })
-                })
-                .collect();
-            // Join in spawn order: the merge below is deterministic by
-            // construction (and the merged quantities are commutative
-            // sums, so scheduling cannot perturb the outcome either way).
-            workers
-                .into_iter()
-                .map(|w| w.join().expect("shard worker panicked"))
-                .collect()
-        });
+        let spans = chunk_ranges(pkts.len(), shards)
+            .into_iter()
+            .map(ShardSpan::Contiguous)
+            .collect();
+        let (arena, jobs) = self.build_jobs(pkts, now_cycles, spans);
+        let shard_results = self.dispatch_jobs(arena, jobs);
 
         let mut out = Vec::with_capacity(pkts.len());
         for shard in shard_results {
@@ -735,7 +888,7 @@ impl Dataplane {
         shards: usize,
     ) -> Vec<(Verdict, Option<Trace>)> {
         let cells = self.meter_cells_for_batch(pkts, now_cycles);
-        let shard_indices = partition_by_cells(&cells, shards);
+        let shard_indices = partition_by_cells(&mut self.meter_scratch, &cells, shards);
         if shard_indices.len() <= 1 {
             // Every packet shares one meter-cell component: sharding would
             // put the whole batch on one thread anyway.
@@ -743,34 +896,13 @@ impl Dataplane {
         }
         self.packets_processed += pkts.len() as u64;
         self.sharded_batches += 1;
-        let tracing = self.tracing;
         self.refresh_pins();
-        let program: &ir::Program = &self.program;
-        let views = resolve_views(&self.pin_cache);
-        let pinned: &[TableView] = &views;
-        let base_externs = &self.externs;
-
-        let shard_results: Vec<ShardResult> = std::thread::scope(|scope| {
-            let workers: Vec<_> = shard_indices
-                .iter()
-                .map(|indices| {
-                    scope.spawn(move || {
-                        run_shard(
-                            program,
-                            pinned,
-                            base_externs,
-                            indices.iter().map(|&i| pkts[i]),
-                            tracing,
-                            now_cycles,
-                        )
-                    })
-                })
-                .collect();
-            workers
-                .into_iter()
-                .map(|w| w.join().expect("shard worker panicked"))
-                .collect()
-        });
+        let spans = shard_indices
+            .iter()
+            .map(|indices| ShardSpan::Indexed(indices.clone()))
+            .collect();
+        let (arena, jobs) = self.build_jobs(pkts, now_cycles, spans);
+        let shard_results = self.dispatch_jobs(arena, jobs);
 
         // Scatter results back to batch order and merge state. Each meter
         // cell is owned by exactly one shard (the partitioning invariant),
@@ -804,14 +936,17 @@ impl Dataplane {
     /// packet (no table applies, no extern effects, no statistics) and
     /// evaluate every meter site's index expression. Sound because
     /// `MeterPartitionable` classification guarantees the indices depend
-    /// only on parser-determined state.
+    /// only on parser-determined state. Always runs the reference parser
+    /// regardless of [`Engine`] — partitioning only decides *placement*,
+    /// so both engines shard identically by construction.
     fn meter_cells_for_batch(
-        &self,
+        &mut self,
         pkts: &[(u16, &[u8])],
         now_cycles: u64,
     ) -> Vec<Vec<(usize, usize)>> {
         let prog: &ir::Program = &self.program;
-        let mut env = Env::new(prog);
+        let cp: &CompiledProgram = &self.compiled;
+        let env = &mut self.env_scratch;
         pkts.iter()
             .map(|&(port, data)| {
                 env.reset(port, data.len(), now_cycles);
@@ -822,11 +957,11 @@ impl Dataplane {
                     // A rejected parse means no meter ever executes for
                     // this packet; the (deterministic) partially-parsed
                     // evaluation below merely over-constrains placement.
-                    let _ = parse_packet(prog, data, &mut env, &mut no_trace);
+                    let _ = parse_packet(prog, cp, data, env, &mut no_trace);
                 }
                 self.meter_sites
                     .iter()
-                    .map(|(id, idx)| (*id, eval(prog, idx, &env) as usize))
+                    .map(|(id, idx)| (*id, eval(prog, idx, env) as usize))
                     .collect()
             })
             .collect()
@@ -855,10 +990,17 @@ fn chunk_ranges(len: usize, shards: usize) -> Vec<core::ops::Range<usize>> {
 /// batch order within each list. Packets are connected into components via
 /// union-find over shared cells; components are placed (in order of first
 /// appearance) onto the currently least-loaded shard, which is
-/// deterministic by construction.
-fn partition_by_cells(cells: &[Vec<(usize, usize)>], shards: usize) -> Vec<Vec<usize>> {
+/// deterministic by construction. All working storage lives in the
+/// caller's [`MeterScratch`] and is reused batch to batch.
+fn partition_by_cells(
+    scratch: &mut MeterScratch,
+    cells: &[Vec<(usize, usize)>],
+    shards: usize,
+) -> Vec<Vec<usize>> {
     let n = cells.len();
-    let mut parent: Vec<usize> = (0..n).collect();
+    let parent = &mut scratch.parent;
+    parent.clear();
+    parent.extend(0..n);
     fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
@@ -866,14 +1008,14 @@ fn partition_by_cells(cells: &[Vec<(usize, usize)>], shards: usize) -> Vec<Vec<u
         }
         x
     }
-    let mut cell_owner: std::collections::HashMap<(usize, usize), usize> =
-        std::collections::HashMap::new();
+    let cell_owner = &mut scratch.cell_owner;
+    cell_owner.clear();
     for (i, pkt_cells) in cells.iter().enumerate() {
         for cell in pkt_cells {
             match cell_owner.entry(*cell) {
                 std::collections::hash_map::Entry::Occupied(e) => {
-                    let a = find(&mut parent, i);
-                    let b = find(&mut parent, *e.get());
+                    let a = find(parent, i);
+                    let b = find(parent, *e.get());
                     // Union by lower root for determinism.
                     let (lo, hi) = (a.min(b), a.max(b));
                     parent[hi] = lo;
@@ -884,16 +1026,20 @@ fn partition_by_cells(cells: &[Vec<(usize, usize)>], shards: usize) -> Vec<Vec<u
             }
         }
     }
-    let mut comp_size: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let comp_size = &mut scratch.comp_size;
+    comp_size.clear();
     for i in 0..n {
-        let root = find(&mut parent, i);
+        let root = find(parent, i);
         *comp_size.entry(root).or_default() += 1;
     }
-    let mut comp_shard: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
-    let mut load = vec![0usize; shards];
+    let comp_shard = &mut scratch.comp_shard;
+    comp_shard.clear();
+    let load = &mut scratch.load;
+    load.clear();
+    load.resize(shards, 0);
     let mut out: Vec<Vec<usize>> = vec![Vec::new(); shards];
     for i in 0..n {
-        let root = find(&mut parent, i);
+        let root = find(parent, i);
         let shard = *comp_shard.entry(root).or_insert_with(|| {
             let s = (0..shards)
                 .min_by_key(|&s| (load[s], s))
@@ -908,35 +1054,42 @@ fn partition_by_cells(cells: &[Vec<(usize, usize)>], shards: usize) -> Vec<Vec<u
 }
 
 /// Run one shard's packet list against the batch's flattened table views
-/// with freshly zeroed per-shard statistics and a shard-cloned extern
-/// state. Shared by the contiguous and the meter-partitioned parallel
-/// paths; the views borrow snapshots pinned before the spawn, so every
-/// shard reads one coherent epoch set whatever the control plane does.
-fn run_shard<'a>(
+/// with freshly zeroed per-shard statistics and the given shard-cloned
+/// extern state. Shared by the pool workers (contiguous and
+/// meter-partitioned spans alike); the views borrow snapshots pinned
+/// before dispatch, so every shard reads one coherent epoch set whatever
+/// the control plane does.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_shard<'a>(
     program: &ir::Program,
+    compiled: &CompiledProgram,
+    engine: Engine,
     pinned: &[TableView<'_>],
-    base_externs: &ExternState,
+    mut externs: ExternState,
     pkts: impl Iterator<Item = (u16, &'a [u8])>,
     tracing: bool,
     now_cycles: u64,
+    env: &mut Env,
 ) -> ShardResult {
     let mut stats = vec![TableStats::default(); pinned.len()];
-    let mut externs = base_externs.shard_clone();
     let mut ctx = ExecCtx {
         program,
+        compiled,
+        engine,
         tables: TablesRef::Views(pinned),
         table_stats: &mut stats,
         externs: &mut externs,
     };
-    let mut env = Env::new(program);
+    let mut cap = 0usize;
     let results = pkts
         .map(|(port, data)| {
             if tracing {
-                let mut trace = Trace::default();
-                let verdict = ctx.run_traced(port, data, now_cycles, &mut env, &mut trace);
+                let mut trace = Trace::with_capacity(cap);
+                let verdict = ctx.run_traced(port, data, now_cycles, env, &mut trace);
+                cap = trace.events.len();
                 (verdict, Some(trace))
             } else {
-                (ctx.run(port, data, now_cycles, &mut env, None), None)
+                (ctx.run(port, data, now_cycles, env, None), None)
             }
         })
         .collect();
@@ -948,19 +1101,20 @@ fn run_shard<'a>(
 }
 
 /// What one parallel shard hands back on join.
-struct ShardResult {
-    results: Vec<(Verdict, Option<Trace>)>,
-    stats: Vec<TableStats>,
-    externs: ExternState,
+pub(crate) struct ShardResult {
+    pub(crate) results: Vec<(Verdict, Option<Trace>)>,
+    pub(crate) stats: Vec<TableStats>,
+    pub(crate) externs: ExternState,
 }
 
 impl ExecCtx<'_> {
     /// Run one packet with full tracing: clears `trace`, records every
     /// event and appends the final verdict summary. The single
     /// finalisation point shared by every traced path — single-packet,
-    /// batch, streaming and parallel shards — which is what keeps their
-    /// traces bit-identical (the equivalence the proptests pin down).
-    fn run_traced(
+    /// batch, streaming and parallel shards, under either engine — which
+    /// is what keeps their traces bit-identical (the equivalence the
+    /// proptests pin down).
+    pub(crate) fn run_traced(
         &mut self,
         port: u16,
         data: &[u8],
@@ -971,12 +1125,39 @@ impl ExecCtx<'_> {
         trace.events.clear();
         let verdict = self.run(port, data, now_cycles, env, Some(trace));
         trace.push(TraceEvent::Final {
-            verdict: format!("{verdict:?}"),
+            verdict: verdict.label(),
         });
         verdict
     }
 
-    fn run(
+    /// Run one packet on the configured [`Engine`].
+    pub(crate) fn run(
+        &mut self,
+        port: u16,
+        data: &[u8],
+        now_cycles: u64,
+        env: &mut Env,
+        trace: Option<&mut Trace>,
+    ) -> Verdict {
+        match self.engine {
+            Engine::Compiled => compile::exec(
+                self.compiled,
+                self.tables,
+                self.table_stats,
+                self.externs,
+                env,
+                port,
+                data,
+                now_cycles,
+                trace,
+            ),
+            Engine::Reference => self.run_reference(port, data, now_cycles, env, trace),
+        }
+    }
+
+    /// The tree-walking reference engine: the executable specification
+    /// the compiled engine is differentially validated against.
+    fn run_reference(
         &mut self,
         port: u16,
         data: &[u8],
@@ -988,7 +1169,7 @@ impl ExecCtx<'_> {
         env.reset(port, data.len(), now_cycles);
 
         // ---- Parse ----
-        let payload_start = match parse_packet(prog, data, env, &mut trace) {
+        let payload_start = match parse_packet(prog, self.compiled, data, env, &mut trace) {
             Ok(offset) => offset,
             Err(reason) => return Verdict::Drop(reason),
         };
@@ -997,13 +1178,13 @@ impl ExecCtx<'_> {
         let payload = &data[payload_start..];
 
         // ---- Pipeline ----
-        for control in &prog.controls {
+        for (cid, control) in prog.controls.iter().enumerate() {
             if env.exited {
                 break;
             }
             if let Some(t) = trace.as_deref_mut() {
                 t.push(TraceEvent::ControlEnter {
-                    name: control.name.clone(),
+                    name: self.compiled.control_name(cid).clone(),
                 });
             }
             self.exec_block(&control.body, env, now_cycles, &mut trace, data.len());
@@ -1046,7 +1227,7 @@ impl ExecCtx<'_> {
             let layout = &prog.headers[hid];
             if let Some(t) = trace.as_deref_mut() {
                 t.push(TraceEvent::Emit {
-                    header: layout.name.clone(),
+                    header: self.compiled.header_name(hid).clone(),
                 });
             }
             for (f, value) in layout.fields.iter().zip(&env.headers[hid].fields) {
@@ -1137,10 +1318,10 @@ impl ExecCtx<'_> {
         let action = &prog.actions[aid];
         if let Some(t) = trace.as_deref_mut() {
             t.push(TraceEvent::TableApply {
-                table: table.name.clone(),
+                table: self.compiled.table_name(tid).clone(),
                 keys: env.key_scratch.clone(),
                 hit,
-                action: action.name.clone(),
+                action: self.compiled.action_name(aid).clone(),
             });
         }
         for op in &action.ops {
@@ -1202,12 +1383,16 @@ impl ExecCtx<'_> {
 
 /// Run the parser FSM over `data`, filling `env`'s headers/metadata.
 /// Returns the byte offset of the unparsed payload on accept, or the drop
-/// reason on reject. `env` must have been [`Env::reset`] first.
+/// reason on reject. `env` must have been [`Env::reset`] first. Trace
+/// names are cloned from the compiled program's interned set (shared with
+/// the flat engine, so both engines' traces are pointer-for-pointer
+/// cheap and content-identical).
 ///
 /// Pure with respect to tables, externs and statistics — which is why the
 /// meter-partitioning pre-pass can replay it safely ahead of execution.
 fn parse_packet(
     prog: &ir::Program,
+    cp: &CompiledProgram,
     data: &[u8],
     env: &mut Env,
     trace: &mut Option<&mut Trace>,
@@ -1227,7 +1412,7 @@ fn parse_packet(
         let st = &prog.parser.states[state];
         if let Some(t) = trace.as_deref_mut() {
             t.push(TraceEvent::ParserState {
-                name: st.name.clone(),
+                name: cp.state_name(state).clone(),
             });
         }
         for op in &st.ops {
@@ -1243,7 +1428,7 @@ fn parse_packet(
                     }
                     if let Some(t) = trace.as_deref_mut() {
                         t.push(TraceEvent::Extract {
-                            header: layout.name.clone(),
+                            header: cp.header_name(*hid).clone(),
                             at_bit: cursor_bits,
                         });
                     }

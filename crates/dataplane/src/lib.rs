@@ -7,6 +7,11 @@
 //! `netdebug-hw` embeds this interpreter and then (deliberately) perturbs
 //! it; NetDebug's job is to detect the difference.
 //!
+//! Two engines implement the semantics ([`Engine`]): the default flat
+//! bytecode engine compiled at load time ([`compile`]) and the
+//! tree-walking reference interpreter it is differentially validated
+//! against, bit for bit, by the parity property tests.
+//!
 //! ```
 //! use netdebug_dataplane::Dataplane;
 //! use netdebug_packet::{PacketBuilder, EthernetAddress};
@@ -26,20 +31,25 @@
 #![warn(missing_docs)]
 
 pub mod bits;
+pub mod compile;
 pub mod control;
 pub mod externs;
 pub mod interp;
+mod pool;
 pub mod table;
 pub mod trace;
 
+pub use compile::CompiledProgram;
 pub use control::{ControlError, ControlPlane};
 pub use externs::MeterConfig;
-pub use interp::{Dataplane, FLOOD_PORT};
+pub use interp::{Dataplane, Engine, FLOOD_PORT};
 pub use table::{
     lpm_pattern, EntryRef, EntrySnapshot, LookupIndex, RuntimeEntry, TableError, TableState,
     TableStats, TableView,
 };
-pub use trace::{CollectSink, DropReason, NullSink, Trace, TraceEvent, TraceSink, Verdict};
+pub use trace::{
+    CollectSink, DropReason, NullSink, Trace, TraceEvent, TraceName, TraceSink, Verdict,
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,262 @@
+//! The persistent shard worker pool behind `process_batch_parallel`.
+//!
+//! The first sharded engine spawned OS threads **per batch** through
+//! `std::thread::scope` — correct, but the spawn/join pair (tens of
+//! microseconds) sat on every batch of the steady state, and a `Device`
+//! fleet paid it once per device per window. This module replaces it with
+//! **long-lived, shard-pinned workers**: spawned once (lazily, on the
+//! first parallel batch), handed work over channels, reused for every
+//! subsequent batch of the owning [`crate::Dataplane`] — so fleets and
+//! stream drivers amortise thread creation to zero.
+//!
+//! Scoped threads could borrow the caller's batch; detached workers
+//! cannot (no `unsafe`, and this crate forbids it), so each batch's
+//! frames are copied once into a reusable [`PacketArena`] — a single
+//! flat byte buffer plus spans — shared with the workers behind an
+//! `Arc`. The copy is one sequential `memcpy` of the batch (cheap,
+//! cache-warm) against the per-batch thread spawn it replaces; the arena
+//! buffer itself is recycled through [`crate::Dataplane`] once the last
+//! worker drops its handle, so the steady state allocates nothing.
+//!
+//! Everything else a worker needs is owned or immutably shared: the
+//! program and compiled bytecode (`Arc`), the pinned epoch snapshots
+//! (`Arc`, pinned by the caller before dispatch — exactly the same
+//! epoch-atomicity story as the scoped version), a shard-cloned
+//! [`ExternState`] and the engine/tracing flags. Results return over a
+//! channel and merge **in shard order**, so the join is as deterministic
+//! as the scoped join it replaces.
+
+use crate::compile::CompiledProgram;
+use crate::externs::ExternState;
+use crate::interp::{run_shard, Engine, Env, ShardResult};
+use crate::table::EntrySnapshot;
+use netdebug_p4::ir;
+use std::ops::Range;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One batch's frames, flattened into a single buffer the workers share.
+#[derive(Debug, Default)]
+pub(crate) struct PacketArena {
+    data: Vec<u8>,
+    /// Per packet: ingress port, start and end offsets into `data`.
+    spans: Vec<(u16, u32, u32)>,
+}
+
+impl PacketArena {
+    /// Copy a batch in, reusing the buffers from the previous batch.
+    pub(crate) fn fill(&mut self, pkts: &[(u16, &[u8])]) {
+        self.data.clear();
+        self.spans.clear();
+        self.spans.reserve(pkts.len());
+        for &(port, frame) in pkts {
+            let start = self.data.len() as u32;
+            self.data.extend_from_slice(frame);
+            self.spans.push((port, start, self.data.len() as u32));
+        }
+    }
+
+    /// The `i`-th packet of the batch.
+    #[inline]
+    pub(crate) fn pkt(&self, i: usize) -> (u16, &[u8]) {
+        let (port, start, end) = self.spans[i];
+        (port, &self.data[start as usize..end as usize])
+    }
+}
+
+/// Which packets of the arena one shard processes.
+#[derive(Debug)]
+pub(crate) enum ShardSpan {
+    /// A contiguous range of the batch (the `Safe` split).
+    Contiguous(Range<usize>),
+    /// An explicit index list (the meter-partitioned split).
+    Indexed(Vec<usize>),
+}
+
+/// Everything one shard needs, owned or immutably shared.
+pub(crate) struct Job {
+    pub(crate) program: Arc<ir::Program>,
+    pub(crate) compiled: Arc<CompiledProgram>,
+    /// Epoch snapshots pinned by the caller **before** dispatch: every
+    /// shard of a batch reads one coherent publication-order prefix, as
+    /// with the scoped pool.
+    pub(crate) pins: Arc<Vec<Arc<EntrySnapshot>>>,
+    pub(crate) arena: Arc<PacketArena>,
+    pub(crate) span: ShardSpan,
+    /// Shard-cloned extern state (zeroed counters, shared configs).
+    pub(crate) externs: ExternState,
+    pub(crate) tracing: bool,
+    pub(crate) engine: Engine,
+    pub(crate) now_cycles: u64,
+}
+
+type JobMsg = (usize, Job, Sender<(usize, Option<ShardResult>)>);
+
+struct Worker {
+    tx: Sender<JobMsg>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// The pool: one worker per shard index, grown on demand, joined on drop.
+pub(crate) struct WorkerPool {
+    workers: Vec<Worker>,
+    result_tx: Sender<(usize, Option<ShardResult>)>,
+    result_rx: Receiver<(usize, Option<ShardResult>)>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    pub(crate) fn new() -> Self {
+        let (result_tx, result_rx) = channel();
+        WorkerPool {
+            workers: Vec::new(),
+            result_tx,
+            result_rx,
+        }
+    }
+
+    /// Workers currently alive (observability for tests).
+    pub(crate) fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn ensure(&mut self, shards: usize) {
+        while self.workers.len() < shards {
+            let (tx, rx) = channel::<JobMsg>();
+            let idx = self.workers.len();
+            let handle = std::thread::Builder::new()
+                .name(format!("netdebug-shard-{idx}"))
+                .spawn(move || worker_loop(rx))
+                .expect("spawn shard worker");
+            self.workers.push(Worker {
+                tx,
+                handle: Some(handle),
+            });
+        }
+    }
+
+    /// Dispatch one job per shard and collect the results in shard
+    /// order. Panics (like the scoped `join().expect` it replaces) if a
+    /// worker died mid-batch.
+    pub(crate) fn run(&mut self, jobs: Vec<Job>) -> Vec<ShardResult> {
+        let n = jobs.len();
+        self.ensure(n);
+        // Drain anything a previous aborted run left behind (possible only
+        // if a caller caught the worker-panic and dispatched again): stale
+        // results must never be counted toward this batch.
+        while self.result_rx.try_recv().is_ok() {}
+        for (i, job) in jobs.into_iter().enumerate() {
+            self.workers[i]
+                .tx
+                .send((i, job, self.result_tx.clone()))
+                .expect("shard worker channel closed");
+        }
+        let mut slots: Vec<Option<ShardResult>> = Vec::new();
+        slots.resize_with(n, || None);
+        for _ in 0..n {
+            let (i, res) = self.result_rx.recv().expect("shard result channel closed");
+            slots[i] = Some(res.expect("shard worker panicked"));
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every shard reports exactly once"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job channels ends each worker's recv loop; join so
+        // no detached thread outlives the data plane.
+        for w in &mut self.workers {
+            drop(std::mem::replace(&mut w.tx, channel().0));
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// The worker body: receive a job, run the shard, report. The execution
+/// environment is cached between batches, keyed by the program it was
+/// shaped for — the cache **holds** that `Arc`, so the identity
+/// comparison can never be confused by a freed-and-reallocated program
+/// — and the steady state re-allocates nothing per batch.
+fn worker_loop(rx: Receiver<JobMsg>) {
+    let mut env_cache: Option<(Arc<ir::Program>, Env)> = None;
+    while let Ok((idx, job, out)) = rx.recv() {
+        let Job {
+            program,
+            compiled,
+            pins,
+            arena,
+            span,
+            externs,
+            tracing,
+            engine,
+            now_cycles,
+        } = job;
+        let env = match &mut env_cache {
+            Some((cached, env)) if Arc::ptr_eq(cached, &program) => env,
+            slot => {
+                let env = Env::new(&program);
+                *slot = Some((Arc::clone(&program), env));
+                &mut slot.as_mut().expect("just set").1
+            }
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let views: Vec<_> = pins.iter().map(|s| s.view()).collect();
+            match &span {
+                ShardSpan::Contiguous(range) => run_shard(
+                    &program,
+                    &compiled,
+                    engine,
+                    &views,
+                    externs,
+                    range.clone().map(|i| arena.pkt(i)),
+                    tracing,
+                    now_cycles,
+                    env,
+                ),
+                ShardSpan::Indexed(indices) => run_shard(
+                    &program,
+                    &compiled,
+                    engine,
+                    &views,
+                    externs,
+                    indices.iter().map(|&i| arena.pkt(i)),
+                    tracing,
+                    now_cycles,
+                    env,
+                ),
+            }
+        }));
+        let result = match outcome {
+            Ok(res) => Some(res),
+            Err(_) => {
+                // Poison the env cache: the panic may have left it
+                // mid-reset for this program.
+                env_cache = None;
+                None
+            }
+        };
+        // Drop the Arc handles on the arena/pins *before* reporting, so
+        // the dispatcher can reclaim the arena buffer as soon as the
+        // last result arrives.
+        drop((program, compiled, pins, arena, span));
+        if out.send((idx, result)).is_err() {
+            // Dispatcher gone; nothing left to report to.
+            break;
+        }
+    }
+}

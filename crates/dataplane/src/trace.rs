@@ -9,6 +9,18 @@
 //!    a machine-readable account of where a packet went and why.
 
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// An interned name inside a [`TraceEvent`].
+///
+/// Names of parser states, headers, controls, tables and actions are
+/// interned **once at program-compile time** (see `netdebug-dataplane`'s
+/// `CompiledProgram`); recording an event then clones a pointer instead of
+/// a heap `String` — the difference between traced batch paths allocating
+/// two strings per table apply and allocating none. `Arc<str>` compares by
+/// content (`PartialEq`), converts from `&str` (tests construct events
+/// with `"start".into()` as before) and derefs to `&str` for consumers.
+pub type TraceName = Arc<str>;
 
 /// Why a packet was dropped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -63,6 +75,20 @@ impl Verdict {
         !matches!(self, Verdict::Drop(_))
     }
 
+    /// A short human-readable summary: the verdict kind, egress port and
+    /// output length — **not** the output bytes. This is what the trace's
+    /// [`TraceEvent::Final`] event records; formatting the full frame into
+    /// the trace (as `{:?}` would) costs more than processing the packet.
+    pub fn label(&self) -> String {
+        match self {
+            Verdict::Forward { port, data } => {
+                format!("Forward {{ port: {port}, len: {} }}", data.len())
+            }
+            Verdict::Flood { data } => format!("Flood {{ len: {} }}", data.len()),
+            Verdict::Drop(reason) => format!("Drop({reason:?})"),
+        }
+    }
+
     /// The output bytes, if any.
     pub fn data(&self) -> Option<&[u8]> {
         match self {
@@ -73,17 +99,20 @@ impl Verdict {
 }
 
 /// One step of packet processing.
+///
+/// Name-carrying events hold [`TraceName`]s — interned `Arc<str>`s cloned
+/// from the compiled program, so recording an event never copies a string.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TraceEvent {
     /// Entered a parser state.
     ParserState {
         /// State name.
-        name: String,
+        name: TraceName,
     },
     /// Extracted a header.
     Extract {
         /// Header instance name.
-        header: String,
+        header: TraceName,
         /// Bit offset within the packet where extraction started.
         at_bit: usize,
     },
@@ -94,18 +123,18 @@ pub enum TraceEvent {
     /// Entered a control block.
     ControlEnter {
         /// Control name.
-        name: String,
+        name: TraceName,
     },
     /// Applied a table.
     TableApply {
         /// Table name.
-        table: String,
+        table: TraceName,
         /// Evaluated key values.
         keys: Vec<u128>,
         /// Whether an entry matched.
         hit: bool,
         /// Name of the action that ran (matched or default).
-        action: String,
+        action: TraceName,
     },
     /// An action (or inline op) dropped the packet.
     MarkToDrop,
@@ -114,11 +143,11 @@ pub enum TraceEvent {
     /// A header was emitted by the deparser.
     Emit {
         /// Header instance name.
-        header: String,
+        header: TraceName,
     },
     /// Final verdict summary.
     Final {
-        /// Human-readable description.
+        /// Human-readable description ([`Verdict::label`]).
         verdict: String,
     },
 }
@@ -131,6 +160,15 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// An empty trace with room for `capacity` events — batch paths size
+    /// each packet's trace from its predecessor so steady-state traced
+    /// batches grow each event vector at most once.
+    pub fn with_capacity(capacity: usize) -> Trace {
+        Trace {
+            events: Vec::with_capacity(capacity),
+        }
+    }
+
     /// Append an event.
     pub fn push(&mut self, e: TraceEvent) {
         self.events.push(e);
@@ -141,7 +179,7 @@ impl Trace {
         self.events
             .iter()
             .filter_map(|e| match e {
-                TraceEvent::TableApply { table, .. } => Some(table.as_str()),
+                TraceEvent::TableApply { table, .. } => Some(table.as_ref()),
                 _ => None,
             })
             .collect()
@@ -152,7 +190,7 @@ impl Trace {
         self.events
             .iter()
             .filter_map(|e| match e {
-                TraceEvent::ParserState { name } => Some(name.as_str()),
+                TraceEvent::ParserState { name } => Some(name.as_ref()),
                 _ => None,
             })
             .collect()

@@ -1,7 +1,7 @@
 //! Property-based tests for the reference interpreter.
 
 use netdebug_dataplane::{
-    lpm_pattern, Dataplane, EntrySnapshot, MeterConfig, RuntimeEntry, TableState, Verdict,
+    lpm_pattern, Dataplane, Engine, EntrySnapshot, MeterConfig, RuntimeEntry, TableState, Verdict,
 };
 use netdebug_p4::ast::MatchKind;
 use netdebug_p4::corpus;
@@ -452,7 +452,7 @@ proptest! {
     /// timestamp they arrive with.
     #[test]
     fn interpreter_never_panics(
-        prog_idx in 0usize..17,
+        prog_idx in 0usize..corpus::corpus().len(),
         data in proptest::collection::vec(any::<u8>(), 0..256),
         port in 0u16..4,
         now in any::<u64>(),
@@ -836,6 +836,356 @@ proptest! {
             seq_dp.table_stats("dmac").unwrap()
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// Engine parity: the flat compiled engine against the tree-walking
+// reference oracle. The compiled engine is the default on every path, so
+// these properties are the proof obligation behind that default: same
+// verdicts, same traces, same statistics and extern state, bit for bit.
+// ---------------------------------------------------------------------
+
+/// Compare every engine-visible piece of runtime state: per-table
+/// hit/miss statistics plus counter and register cells. Meter cells are
+/// not directly readable; callers replay extra traffic instead (any
+/// divergent token-bucket state shows up in the replayed verdicts).
+fn assert_runtime_state_matches(a: &Dataplane, b: &Dataplane) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.packets_processed(), b.packets_processed());
+    for t in &a.program().tables {
+        prop_assert_eq!(
+            a.table_stats(&t.name).unwrap(),
+            b.table_stats(&t.name).unwrap(),
+            "table stats diverged on {}",
+            &t.name
+        );
+    }
+    for e in &a.program().externs.clone() {
+        let cells = e.size.min(64) as usize;
+        for i in 0..cells {
+            match e.kind {
+                netdebug_p4::ir::ExternKindIr::Counter => prop_assert_eq!(
+                    a.counter(&e.name, i).unwrap(),
+                    b.counter(&e.name, i).unwrap(),
+                    "counter {}[{}] diverged",
+                    &e.name,
+                    i
+                ),
+                netdebug_p4::ir::ExternKindIr::Register => prop_assert_eq!(
+                    a.register(&e.name, i).unwrap(),
+                    b.register(&e.name, i).unwrap(),
+                    "register {}[{}] diverged",
+                    &e.name,
+                    i
+                ),
+                netdebug_p4::ir::ExternKindIr::Meter => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Frames that stress every packet-path branch: routable (two prefixes),
+/// malformed (parser reject), truncated mid-header (PacketTooShort at
+/// arbitrary cut points) and raw byte soup.
+fn mixed_frame(kind: u8, soup: &[u8]) -> Vec<u8> {
+    match kind {
+        0 => routed_frame(
+            Ipv4Address::new(10, 0, 0, soup.first().copied().unwrap_or(9)),
+            64,
+        ),
+        1 => routed_frame(Ipv4Address::new(10, 1, 2, 3), 64),
+        2 => {
+            let mut f = routed_frame(Ipv4Address::new(10, 0, 0, 5), 64);
+            f[14] = 0x55; // version 5: parser must reject
+            f
+        }
+        3 => {
+            // Truncate a valid frame at an arbitrary byte: short-extract
+            // paths at every possible cut.
+            let f = routed_frame(Ipv4Address::new(10, 1, 0, 7), 64);
+            let cut = soup.first().copied().unwrap_or(0) as usize % (f.len() + 1);
+            f[..cut].to_vec()
+        }
+        _ => soup.to_vec(),
+    }
+}
+
+proptest! {
+    /// Single-packet parity over the whole program corpus: for arbitrary
+    /// input bytes, ports and timestamps, the compiled engine produces
+    /// exactly the reference's verdict *and trace* on every corpus
+    /// program (const entries only — misses exercise default actions),
+    /// and the runtime state (statistics, counters, registers) matches
+    /// after the stream.
+    #[test]
+    fn engines_agree_across_corpus(
+        // Bound tracks the corpus, so newly added programs are always
+        // generated and never silently escape the parity obligation.
+        prog_idx in 0usize..corpus::corpus().len(),
+        frames in proptest::collection::vec(
+            (0u16..4, proptest::collection::vec(any::<u8>(), 0..96)), 1..16),
+        now in any::<u32>(),
+    ) {
+        let programs = corpus::corpus();
+        let prog = &programs[prog_idx % programs.len()];
+        let ir = netdebug_p4::compile(prog.source).unwrap();
+        let mut compiled_dp = Dataplane::new(ir.clone());
+        let mut reference_dp = Dataplane::new(ir);
+        reference_dp.set_engine(Engine::Reference);
+        prop_assert_eq!(compiled_dp.engine(), Engine::Compiled, "compiled is the default");
+        for (port, data) in &frames {
+            let (cv, ct) = compiled_dp.process(*port, data, u64::from(now));
+            let (rv, rt) = reference_dp.process(*port, data, u64::from(now));
+            prop_assert_eq!(&cv, &rv, "verdict diverged on {}", prog.name);
+            prop_assert_eq!(&ct, &rt, "trace diverged on {}", prog.name);
+        }
+        assert_runtime_state_matches(&compiled_dp, &reference_dp)?;
+    }
+
+    /// Batched parity on a deployed router (installed LPM entries, every
+    /// drop path, truncations at arbitrary cuts): `process_batch` and
+    /// `process_batch_parallel` at 1..=8 shards on the compiled engine
+    /// equal the reference engine's sequential batch bit for bit —
+    /// verdicts, traces, statistics.
+    #[test]
+    fn engines_agree_on_batches_and_shards(
+        frames in proptest::collection::vec(
+            (0u16..4, 0u8..5, proptest::collection::vec(any::<u8>(), 0..64)), 1..48),
+        shards in 1usize..=8,
+        now in any::<u32>(),
+        tracing in any::<bool>(),
+    ) {
+        let built: Vec<(u16, Vec<u8>)> = frames
+            .iter()
+            .map(|(port, kind, soup)| (*port, mixed_frame(*kind, soup)))
+            .collect();
+        let pkts: Vec<(u16, &[u8])> = built.iter().map(|(p, f)| (*p, f.as_slice())).collect();
+        let now = u64::from(now);
+
+        let mut compiled_dp = router();
+        let mut reference_dp = router();
+        reference_dp.set_engine(Engine::Reference);
+        compiled_dp.set_tracing(tracing);
+        reference_dp.set_tracing(tracing);
+        let par = compiled_dp.process_batch_parallel(&pkts, now, shards);
+        let seq = reference_dp.process_batch(&pkts, now);
+        prop_assert_eq!(par.len(), seq.len());
+        for (i, (c, r)) in par.iter().zip(&seq).enumerate() {
+            prop_assert_eq!(c, r, "packet {} diverged (compiled, {} shards)", i, shards);
+        }
+        assert_runtime_state_matches(&compiled_dp, &reference_dp)?;
+    }
+
+    /// Meter parity: a token-bucket program (per-cell order dependence is
+    /// the hardest state to reproduce) gives identical verdicts, traces
+    /// and post-batch meter behaviour under both engines, sequential and
+    /// meter-partitioned alike — including a replay batch that would
+    /// expose any divergent bucket state.
+    #[test]
+    fn engines_agree_on_meter_programs(
+        pkt_ports in proptest::collection::vec(0u16..4, 2..48),
+        cir in 1u64..400,
+        cbs in 1u64..6,
+        shards in 1usize..=8,
+        now in 0u64..1_000_000,
+    ) {
+        let deploy = |engine: Engine| {
+            let ir = netdebug_p4::compile(corpus::RATE_LIMITER).unwrap();
+            let mut dp = Dataplane::new(ir);
+            dp.set_engine(engine);
+            for port in 0..4u128 {
+                dp.install_exact("fwd", vec![port], "forward", vec![(port + 1) % 4])
+                    .unwrap();
+                dp.configure_meter("port_meter", port as usize, MeterConfig {
+                    cir_per_mcycle: cir,
+                    cbs,
+                    pir_per_mcycle: cir * 2,
+                    pbs: cbs * 2,
+                }).unwrap();
+            }
+            dp
+        };
+        let frame = PacketBuilder::ethernet(
+            EthernetAddress::new(2, 0, 0, 0, 0, 1),
+            EthernetAddress::new(2, 0, 0, 0, 0, 2),
+        )
+        .payload(b"meterme")
+        .build();
+        let pkts: Vec<(u16, &[u8])> =
+            pkt_ports.iter().map(|p| (*p, frame.as_slice())).collect();
+
+        let mut compiled_dp = deploy(Engine::Compiled);
+        let mut reference_dp = deploy(Engine::Reference);
+        let par = compiled_dp.process_batch_parallel(&pkts, now, shards);
+        let seq = reference_dp.process_batch(&pkts, now);
+        prop_assert_eq!(&par, &seq, "meter batch diverged at {} shards", shards);
+        // Replay after the join: any divergent token-bucket state shows.
+        let replay: Vec<(u16, &[u8])> = (0..8u16).map(|i| (i % 4, frame.as_slice())).collect();
+        prop_assert_eq!(
+            compiled_dp.process_batch(&replay, now + 10),
+            reference_dp.process_batch(&replay, now + 10),
+            "post-join meter state diverged between engines"
+        );
+        assert_runtime_state_matches(&compiled_dp, &reference_dp)?;
+    }
+
+    /// Mid-batch epoch republication parity: installs landing between
+    /// windows through the detached `ControlPlane` handle produce
+    /// identical windows under both engines, for every shard count.
+    #[test]
+    fn engines_agree_under_republication(
+        frames in proptest::collection::vec(
+            (0u16..4, 0u8..5, proptest::collection::vec(any::<u8>(), 0..64)), 2..32),
+        split in 1usize..31,
+        shards in 1usize..=8,
+        now in any::<u32>(),
+    ) {
+        let built: Vec<(u16, Vec<u8>)> = frames
+            .iter()
+            .map(|(port, kind, soup)| (*port, mixed_frame(*kind, soup)))
+            .collect();
+        let pkts: Vec<(u16, &[u8])> = built.iter().map(|(p, f)| (*p, f.as_slice())).collect();
+        let split = split.min(pkts.len() - 1).max(1);
+        let (w1, w2) = pkts.split_at(split);
+        let now = u64::from(now);
+
+        let deploy = |engine: Engine| {
+            let ir = netdebug_p4::compile(corpus::IPV4_FORWARD).unwrap();
+            let mut dp = Dataplane::new(ir);
+            dp.set_engine(engine);
+            dp.install_lpm("ipv4_lpm", 0x0A00_0000, 8, "ipv4_forward", vec![0xAA, 1])
+                .unwrap();
+            dp
+        };
+        let run = |engine: Engine| {
+            let mut dp = deploy(engine);
+            let cp = dp.control_plane();
+            let win1 = dp.process_batch_parallel(w1, now, shards);
+            cp.install_lpm("ipv4_lpm", 0x0A01_0000, 16, "ipv4_forward", vec![0xBB, 2])
+                .unwrap();
+            let win2 = dp.process_batch_parallel(w2, now, shards);
+            (win1, win2, dp)
+        };
+        let (c1, c2, compiled_dp) = run(Engine::Compiled);
+        let (r1, r2, reference_dp) = run(Engine::Reference);
+        prop_assert_eq!(&c1, &r1, "pre-install window diverged");
+        prop_assert_eq!(&c2, &r2, "post-install window diverged");
+        assert_runtime_state_matches(&compiled_dp, &reference_dp)?;
+    }
+}
+
+/// A parser whose `grab` state loops on itself while the segment marker
+/// keeps reading 1: enough marked segments exhaust the interpreter's
+/// parser-state budget, which must drop the packet with `ParserReject`
+/// on **both** engines (the compiled engine carries the budget check in
+/// its `StateEnter` opcode).
+const LOOPING_PARSER: &str = r#"
+    header seg_t { bit<8> next; bit<8> v; }
+    struct headers_t { seg_t seg; }
+    struct metadata_t { bit<1> unused; }
+    parser LoopParser(packet_in pkt, out headers_t hdr,
+                      inout metadata_t meta,
+                      inout standard_metadata_t standard_metadata) {
+        state start {
+            transition grab;
+        }
+        state grab {
+            pkt.extract(hdr.seg);
+            transition select(hdr.seg.next) {
+                1: grab;
+                default: accept;
+            }
+        }
+    }
+    control LoopIngress(inout headers_t hdr, inout metadata_t meta,
+                        inout standard_metadata_t standard_metadata) {
+        apply { standard_metadata.egress_spec = 1; }
+    }
+    control LoopDeparser(packet_out pkt, in headers_t hdr) {
+        apply { pkt.emit(hdr.seg); }
+    }
+    V1Switch(LoopParser(), LoopIngress(), LoopDeparser()) main;
+"#;
+
+/// Parser-loop budget exhaustion: the looping parser visits one state
+/// per 2-byte segment; a packet with more than the state budget's worth
+/// of `next == 1` segments must exhaust the budget and drop, one with a
+/// terminator must accept, and one that runs out of bytes mid-loop must
+/// drop `PacketTooShort` — identically on both engines, traces included.
+#[test]
+fn parser_budget_exhaustion_identical_across_engines() {
+    let ir = netdebug_p4::compile(LOOPING_PARSER).unwrap();
+    let mut compiled_dp = Dataplane::new(ir.clone());
+    let mut reference_dp = Dataplane::new(ir);
+    reference_dp.set_engine(Engine::Reference);
+
+    // 300 segments of next=1: exceeds the 256-state budget.
+    let looping: Vec<u8> = (0..300).flat_map(|i| [1u8, i as u8]).collect();
+    // 100 segments then a terminator: accepted.
+    let mut terminated: Vec<u8> = (0..100).flat_map(|i| [1u8, i as u8]).collect();
+    terminated.extend_from_slice(&[0, 0xEE]);
+    // 50 full segments then a lone marker byte: PacketTooShort mid-loop.
+    let mut truncated: Vec<u8> = (0..50).flat_map(|i| [1u8, i as u8]).collect();
+    truncated.push(1);
+
+    for (name, frame) in [
+        ("looping", &looping),
+        ("terminated", &terminated),
+        ("truncated", &truncated),
+    ] {
+        let (cv, ct) = compiled_dp.process(0, frame, 0);
+        let (rv, rt) = reference_dp.process(0, frame, 0);
+        assert_eq!(cv, rv, "{name}: verdict diverged");
+        assert_eq!(ct, rt, "{name}: trace diverged");
+    }
+    let (v, t) = compiled_dp.process(0, &looping, 0);
+    assert_eq!(
+        v,
+        Verdict::Drop(netdebug_dataplane::DropReason::ParserReject)
+    );
+    assert!(
+        t.states_visited().len() <= 256,
+        "budget must bound the walk"
+    );
+    let (v, _) = compiled_dp.process(0, &terminated, 0);
+    assert!(v.is_forwarded(), "terminated chain must accept");
+    let (v, _) = compiled_dp.process(0, &truncated, 0);
+    assert_eq!(
+        v,
+        Verdict::Drop(netdebug_dataplane::DropReason::PacketTooShort)
+    );
+}
+
+/// The persistent pool spawns its shard workers once and reuses them:
+/// back-to-back parallel batches leave the worker count at the shard
+/// count (no per-batch spawn), results stay bit-identical throughout,
+/// and a clone starts with a fresh, empty pool.
+#[test]
+fn worker_pool_persists_across_batches() {
+    let ir = netdebug_p4::compile(corpus::IPV4_FORWARD).unwrap();
+    let mut dp = Dataplane::new(ir);
+    dp.install_lpm("ipv4_lpm", 0x0A00_0000, 8, "ipv4_forward", vec![0xAA, 1])
+        .unwrap();
+    assert_eq!(dp.pool_workers(), 0, "pool is lazy");
+    let frames: Vec<Vec<u8>> = (0..64)
+        .map(|i| routed_frame(Ipv4Address::new(10, 0, 0, i as u8), 64))
+        .collect();
+    let pkts: Vec<(u16, &[u8])> = frames.iter().map(|f| (0u16, f.as_slice())).collect();
+    let mut seq_dp = dp.clone();
+    let expected = seq_dp.process_batch(&pkts, 0);
+    for round in 0..10u64 {
+        let got = dp.process_batch_parallel(&pkts, 0, 4);
+        assert_eq!(got, expected, "round {round} diverged");
+        assert_eq!(dp.pool_workers(), 4, "workers spawned once, reused");
+    }
+    assert_eq!(dp.sharded_batches(), 10);
+    // Growing the shard count grows the pool; shrinking reuses a subset.
+    dp.process_batch_parallel(&pkts, 0, 6);
+    assert_eq!(dp.pool_workers(), 6);
+    dp.process_batch_parallel(&pkts, 0, 2);
+    assert_eq!(dp.pool_workers(), 6);
+    let clone = dp.clone();
+    assert_eq!(clone.pool_workers(), 0, "clones spawn their own pool");
 }
 
 /// The three-way sharding classification: pure match-action/counter

@@ -16,7 +16,7 @@
 //! *where* a packet disappeared.
 
 use crate::backend::{Backend, Compiled, LatencyModel};
-use netdebug_dataplane::{Dataplane, DropReason, MeterConfig, Trace, TraceSink, Verdict};
+use netdebug_dataplane::{Dataplane, DropReason, Engine, MeterConfig, Trace, TraceSink, Verdict};
 use netdebug_p4::ir::IrPattern;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
@@ -325,6 +325,20 @@ impl Device {
     /// Set the number of worker shards batched injection may use.
     pub fn set_shards(&mut self, shards: usize) {
         self.config.shards = shards.max(1);
+    }
+
+    /// Switch the embedded data plane's execution engine (the flat
+    /// compiled engine by default; [`Engine::Reference`] selects the
+    /// tree-walking oracle for differential self-validation). Hardware
+    /// bug transforms perturb the *program*, so they bite under either
+    /// engine identically.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.dataplane.set_engine(engine);
+    }
+
+    /// Which engine the embedded data plane executes.
+    pub fn engine(&self) -> Engine {
+        self.dataplane.engine()
     }
 
     /// Batches the embedded data plane actually ran on the sharded

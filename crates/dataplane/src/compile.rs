@@ -36,8 +36,9 @@
 use crate::bits::{read_bits, write_bits};
 use crate::externs::ExternState;
 use crate::interp::{Env, TablesRef, FLOOD_PORT, PARSER_STATE_BUDGET};
+use crate::opt::PassConfig;
 use crate::table::TableStats;
-use crate::trace::{DropReason, Trace, TraceEvent, TraceName, Verdict};
+use crate::trace::{DropReason, TraceBuf, TraceName, TraceTables, Verdict};
 use netdebug_p4::ast::{BinOp, UnOp};
 use netdebug_p4::ir::{
     self, all_ones, truncate, IrExpr, IrPattern, IrStmt, IrTransition, LValue, Op, StdField,
@@ -45,7 +46,7 @@ use netdebug_p4::ir::{
 };
 
 /// Sentinel for "no hit-capture local" in [`OpCode::Apply`].
-const NO_HIT_LOCAL: u32 = u32::MAX;
+pub(crate) const NO_HIT_LOCAL: u32 = u32::MAX;
 
 /// One instruction of the flat engine.
 ///
@@ -162,17 +163,50 @@ pub enum OpCode {
     ControlEnter(u32),
     /// Pipeline epilogue: drop checks, deparse, verdict. Terminal.
     Finish,
+
+    // -------- optimizer-introduced --------
+    /// No-op: a pass-eliminated instruction awaiting compaction. Never
+    /// present in a finished [`CompiledProgram`] (the optimizer compacts
+    /// after every pass), but executable all the same.
+    Nop,
+    /// Superinstruction `push-const + binop`: replaces the top of stack
+    /// `x` with `op(x, k)` at the given width — one dispatch instead of
+    /// a push and a pop.
+    ConstBin(BinOp, u16, u128),
+    /// Superinstruction `compare + branch`: pops rhs then lhs, jumps to
+    /// the target when `op(lhs, rhs)` is zero. Fused from
+    /// [`OpCode::Bin`] + [`OpCode::BranchIfZero`]; nothing is pushed.
+    CmpBranch(BinOp, u16, u32),
+    /// Superinstruction `compare-with-constant + branch`: pops the lhs,
+    /// jumps to the target when `op(lhs, k)` is zero. The second fusion
+    /// step of `Const; Bin; BranchIfZero`.
+    ConstCmpBranch(BinOp, u16, u128, u32),
+    /// Superinstruction `extract-field + apply`: evaluates a single
+    /// header-field key (0 when the header is invalid, as
+    /// [`OpCode::LoadField`] defines) straight into the key scratch and
+    /// applies the table — the l2_switch/corpus hot pair, skipping the
+    /// value stack entirely.
+    FieldApply {
+        /// Header id of the key field.
+        h: u32,
+        /// Field index of the key field.
+        f: u32,
+        /// Table id.
+        tid: u32,
+        /// Local receiving hit=1/miss=0, or `u32::MAX` for none.
+        hit_into: u32,
+    },
 }
 
 /// One compiled `select` dispatch table.
 #[derive(Debug, Clone)]
-struct CompiledSelect {
+pub(crate) struct CompiledSelect {
     /// Keys popped from the stack.
-    nkeys: usize,
+    pub(crate) nkeys: usize,
     /// `(patterns, target pc)` tried in order; first full match wins.
-    arms: Vec<(Vec<IrPattern>, u32)>,
+    pub(crate) arms: Vec<(Vec<IrPattern>, u32)>,
     /// Target pc when no arm matches.
-    default: u32,
+    pub(crate) default: u32,
 }
 
 /// Byte-aligned half of a [`FieldPlan`], pre-resolved so extraction and
@@ -191,7 +225,7 @@ struct FieldPlan {
 
 /// Extraction/emission plan for one header instance.
 #[derive(Debug, Clone)]
-struct HeaderPlan {
+pub(crate) struct HeaderPlan {
     /// Total width in bits.
     bit_width: u32,
     /// Field moves in declaration order.
@@ -205,29 +239,36 @@ struct HeaderPlan {
 /// per-table default actions, action entry points and interned names.
 #[derive(Debug, Clone)]
 pub struct CompiledProgram {
-    code: Vec<OpCode>,
+    pub(crate) code: Vec<OpCode>,
     /// Entry pc of each action body (`Return`-terminated).
-    action_pcs: Vec<u32>,
-    selects: Vec<CompiledSelect>,
-    headers: Vec<HeaderPlan>,
+    pub(crate) action_pcs: Vec<u32>,
+    pub(crate) selects: Vec<CompiledSelect>,
+    pub(crate) headers: Vec<HeaderPlan>,
     /// Deparse order (header ids).
-    deparse: Vec<u32>,
+    pub(crate) deparse: Vec<u32>,
     /// Per-table default action id + bound args + declared key count.
-    table_defaults: Vec<(u32, Vec<u128>)>,
-    /// Interned names, indexed by the corresponding IR id.
-    state_names: Vec<TraceName>,
-    control_names: Vec<TraceName>,
-    table_names: Vec<TraceName>,
-    action_names: Vec<TraceName>,
-    header_names: Vec<TraceName>,
+    pub(crate) table_defaults: Vec<(u32, Vec<u128>)>,
+    /// Interned names (states, controls, tables, actions, headers),
+    /// indexed by the corresponding IR id — the tables a `LazyTrace`
+    /// resolves flat record ids against.
+    pub(crate) names: TraceTables,
 }
 
 impl CompiledProgram {
-    /// Lower `prog` into the flat engine. Called once per
-    /// [`crate::Dataplane`] construction; the result is immutable and
-    /// shared (`Arc`) across clones, shards and pool workers.
+    /// Lower `prog` into the flat engine and run the default optimization
+    /// pipeline over it. Called once per [`crate::Dataplane`]
+    /// construction; the result is immutable and shared (`Arc`) across
+    /// clones, shards and pool workers.
     pub fn compile(prog: &ir::Program) -> CompiledProgram {
-        Compiler::new(prog).run()
+        Self::compile_with(prog, PassConfig::default())
+    }
+
+    /// Lower `prog` and run only the optimization passes enabled in
+    /// `passes` ([`PassConfig::none`] yields the raw lowering).
+    pub fn compile_with(prog: &ir::Program, passes: PassConfig) -> CompiledProgram {
+        let mut cp = Compiler::new(prog).run();
+        crate::opt::optimize(&mut cp, passes);
+        cp
     }
 
     /// Number of flat instructions (observability for tests/benches).
@@ -235,26 +276,17 @@ impl CompiledProgram {
         self.code.len()
     }
 
-    /// Interned parser-state names (shared with the reference engine so
-    /// both engines' traces clone the same pointers).
-    pub(crate) fn state_name(&self, sid: usize) -> &TraceName {
-        &self.state_names[sid]
+    /// A [`Display`](core::fmt::Display)able disassembly of the flat
+    /// code: one line per instruction with index, mnemonic, resolved
+    /// operand names and jump targets.
+    pub fn disassemble(&self) -> crate::disasm::Disassembly<'_> {
+        crate::disasm::Disassembly::new(self)
     }
 
-    pub(crate) fn control_name(&self, cid: usize) -> &TraceName {
-        &self.control_names[cid]
-    }
-
-    pub(crate) fn table_name(&self, tid: usize) -> &TraceName {
-        &self.table_names[tid]
-    }
-
-    pub(crate) fn action_name(&self, aid: usize) -> &TraceName {
-        &self.action_names[aid]
-    }
-
-    pub(crate) fn header_name(&self, hid: usize) -> &TraceName {
-        &self.header_names[hid]
+    /// The interned name tables (shared with the reference engine so both
+    /// engines' decoded traces clone the same pointers).
+    pub(crate) fn names(&self) -> &TraceTables {
+        &self.names
     }
 }
 
@@ -423,11 +455,13 @@ impl<'p> Compiler<'p> {
                     )
                 })
                 .collect(),
-            state_names: prog.parser.states.iter().map(|s| intern(&s.name)).collect(),
-            control_names: prog.controls.iter().map(|c| intern(&c.name)).collect(),
-            table_names: prog.tables.iter().map(|t| intern(&t.name)).collect(),
-            action_names: prog.actions.iter().map(|a| intern(&a.name)).collect(),
-            header_names: prog.headers.iter().map(|h| intern(&h.name)).collect(),
+            names: TraceTables {
+                states: prog.parser.states.iter().map(|s| intern(&s.name)).collect(),
+                controls: prog.controls.iter().map(|c| intern(&c.name)).collect(),
+                tables: prog.tables.iter().map(|t| intern(&t.name)).collect(),
+                actions: prog.actions.iter().map(|a| intern(&a.name)).collect(),
+                headers: prog.headers.iter().map(|h| intern(&h.name)).collect(),
+            },
         }
     }
 
@@ -626,7 +660,7 @@ pub(crate) fn exec(
     port: u16,
     data: &[u8],
     now_cycles: u64,
-    mut trace: Option<&mut Trace>,
+    mut trace: Option<&mut TraceBuf>,
 ) -> Verdict {
     env.reset(port, data.len(), now_cycles);
     env.stack.clear();
@@ -728,6 +762,28 @@ pub(crate) fn exec(
                 env.stack.pop();
             }
 
+            // -------- superinstructions --------
+            OpCode::Nop => {}
+            OpCode::ConstBin(op, w, k) => {
+                let x = env.stack.last_mut().expect("const-bin lhs");
+                *x = bin_op(op, *x, k, w);
+            }
+            OpCode::CmpBranch(op, w, t) => {
+                let y = env.stack.pop().expect("cmp-branch rhs");
+                let x = env.stack.pop().expect("cmp-branch lhs");
+                if bin_op(op, x, y, w) == 0 {
+                    pc = t as usize;
+                    continue;
+                }
+            }
+            OpCode::ConstCmpBranch(op, w, k, t) => {
+                let x = env.stack.pop().expect("const-cmp-branch lhs");
+                if bin_op(op, x, k, w) == 0 {
+                    pc = t as usize;
+                    continue;
+                }
+            }
+
             // -------- control flow --------
             OpCode::Jump(t) => {
                 pc = t as usize;
@@ -745,7 +801,7 @@ pub(crate) fn exec(
             }
             OpCode::Exit(t) => {
                 if let Some(tr) = trace.as_deref_mut() {
-                    tr.push(TraceEvent::Exit);
+                    tr.exit();
                 }
                 pc = t as usize;
                 continue;
@@ -757,7 +813,6 @@ pub(crate) fn exec(
                 nkeys,
                 hit_into,
             } => {
-                let tid = tid as usize;
                 let base = env.stack.len() - nkeys as usize;
                 env.key_scratch.clear();
                 for i in base..env.stack.len() {
@@ -765,38 +820,29 @@ pub(crate) fn exec(
                     env.key_scratch.push(v);
                 }
                 env.stack.truncate(base);
-                let (aid, hit) = match tables.lookup(tid, &env.key_scratch) {
-                    Some(entry) => {
-                        env.action_args.clear();
-                        env.action_args.extend_from_slice(&entry.action.args);
-                        (entry.action.action, true)
-                    }
-                    None => {
-                        let (aid, args) = &cp.table_defaults[tid];
-                        env.action_args.clear();
-                        env.action_args.extend_from_slice(args);
-                        (*aid as usize, false)
-                    }
-                };
-                table_stats[tid].record(hit);
-                if hit_into != NO_HIT_LOCAL {
-                    env.locals[hit_into as usize] = hit as u128;
-                }
-                if let Some(tr) = trace.as_deref_mut() {
-                    tr.push(TraceEvent::TableApply {
-                        table: cp.table_names[tid].clone(),
-                        keys: env.key_scratch.clone(),
-                        hit,
-                        action: cp.action_names[aid].clone(),
-                    });
-                }
+                let aid = apply_keys(cp, tables, table_stats, env, &mut trace, tid, hit_into);
+                link = pc + 1;
+                pc = cp.action_pcs[aid] as usize;
+                continue;
+            }
+            OpCode::FieldApply {
+                h,
+                f,
+                tid,
+                hit_into,
+            } => {
+                let hv = &env.headers[h as usize];
+                let key = if hv.valid { hv.fields[f as usize] } else { 0 };
+                env.key_scratch.clear();
+                env.key_scratch.push(key);
+                let aid = apply_keys(cp, tables, table_stats, env, &mut trace, tid, hit_into);
                 link = pc + 1;
                 pc = cp.action_pcs[aid] as usize;
                 continue;
             }
             OpCode::MarkDrop => {
                 if let Some(tr) = trace.as_deref_mut() {
-                    tr.push(TraceEvent::MarkToDrop);
+                    tr.mark_drop();
                 }
                 env.drop_flag = true;
             }
@@ -834,14 +880,12 @@ pub(crate) fn exec(
                 visited += 1;
                 if visited > PARSER_STATE_BUDGET {
                     if let Some(tr) = trace.as_deref_mut() {
-                        tr.push(TraceEvent::ParserReject);
+                        tr.reject();
                     }
                     return Verdict::Drop(DropReason::ParserReject);
                 }
                 if let Some(tr) = trace.as_deref_mut() {
-                    tr.push(TraceEvent::ParserState {
-                        name: cp.state_names[sid as usize].clone(),
-                    });
+                    tr.state(sid);
                 }
             }
             OpCode::Extract(hid) => {
@@ -850,15 +894,12 @@ pub(crate) fn exec(
                 let width = plan.bit_width as usize;
                 if cursor_bits + width > total_bits {
                     if let Some(tr) = trace.as_deref_mut() {
-                        tr.push(TraceEvent::ParserReject);
+                        tr.reject();
                     }
                     return Verdict::Drop(DropReason::PacketTooShort);
                 }
                 if let Some(tr) = trace.as_deref_mut() {
-                    tr.push(TraceEvent::Extract {
-                        header: cp.header_names[hid].clone(),
-                        at_bit: cursor_bits,
-                    });
+                    tr.extract(hid as u32, cursor_bits as u32);
                 }
                 let hv = &mut env.headers[hid];
                 hv.valid = true;
@@ -899,21 +940,19 @@ pub(crate) fn exec(
             }
             OpCode::Accept => {
                 if let Some(tr) = trace.as_deref_mut() {
-                    tr.push(TraceEvent::ParserAccept);
+                    tr.accept();
                 }
                 payload_start = (cursor_bits / 8).min(data.len());
             }
             OpCode::Reject => {
                 if let Some(tr) = trace.as_deref_mut() {
-                    tr.push(TraceEvent::ParserReject);
+                    tr.reject();
                 }
                 return Verdict::Drop(DropReason::ParserReject);
             }
             OpCode::ControlEnter(cid) => {
                 if let Some(tr) = trace.as_deref_mut() {
-                    tr.push(TraceEvent::ControlEnter {
-                        name: cp.control_names[cid as usize].clone(),
-                    });
+                    tr.control(cid);
                 }
             }
             OpCode::Finish => {
@@ -940,9 +979,47 @@ pub(crate) fn exec(
     }
 }
 
-/// Binary operator semantics, shared verbatim with the reference `eval`.
+/// The shared tail of [`OpCode::Apply`] and [`OpCode::FieldApply`]:
+/// lookup on `env.key_scratch`, action-argument binding, statistics,
+/// hit-capture local, trace record. Returns the action id to enter.
 #[inline]
-fn bin_op(op: BinOp, x: u128, y: u128, w: u16) -> u128 {
+fn apply_keys(
+    cp: &CompiledProgram,
+    tables: TablesRef<'_>,
+    table_stats: &mut [TableStats],
+    env: &mut Env,
+    trace: &mut Option<&mut TraceBuf>,
+    tid: u32,
+    hit_into: u32,
+) -> usize {
+    let tid = tid as usize;
+    let (aid, hit) = match tables.lookup(tid, &env.key_scratch) {
+        Some(entry) => {
+            env.action_args.clear();
+            env.action_args.extend_from_slice(&entry.action.args);
+            (entry.action.action, true)
+        }
+        None => {
+            let (aid, args) = &cp.table_defaults[tid];
+            env.action_args.clear();
+            env.action_args.extend_from_slice(args);
+            (*aid as usize, false)
+        }
+    };
+    table_stats[tid].record(hit);
+    if hit_into != NO_HIT_LOCAL {
+        env.locals[hit_into as usize] = hit as u128;
+    }
+    if let Some(tr) = trace.as_deref_mut() {
+        tr.table(tid as u32, aid as u32, hit, &env.key_scratch);
+    }
+    aid
+}
+
+/// Binary operator semantics, shared verbatim with the reference `eval`
+/// (and reused by the optimizer's constant folder).
+#[inline]
+pub(crate) fn bin_op(op: BinOp, x: u128, y: u128, w: u16) -> u128 {
     match op {
         BinOp::Add => truncate(x.wrapping_add(y), w),
         BinOp::Sub => truncate(x.wrapping_sub(y), w),
@@ -973,7 +1050,7 @@ fn deparse(
     cp: &CompiledProgram,
     env: &Env,
     payload: &[u8],
-    trace: &mut Option<&mut Trace>,
+    trace: &mut Option<&mut TraceBuf>,
 ) -> Vec<u8> {
     let mut out_bits = 0usize;
     for &hid in &cp.deparse {
@@ -990,9 +1067,7 @@ fn deparse(
         }
         let plan = &cp.headers[hid];
         if let Some(t) = trace.as_deref_mut() {
-            t.push(TraceEvent::Emit {
-                header: cp.header_names[hid].clone(),
-            });
+            t.emit(hid as u32);
         }
         if plan.byte_aligned && cursor.is_multiple_of(8) {
             let base = cursor / 8;
@@ -1027,41 +1102,91 @@ mod tests {
     use netdebug_p4::corpus;
 
     /// Every corpus program lowers to a flat program whose action table
-    /// and name tables line up with the IR.
+    /// and name tables line up with the IR — raw and under every single
+    /// optimization pass, with no `Nop` residue and all targets in range.
     #[test]
     fn corpus_compiles_flat() {
+        let configs = [
+            PassConfig::none(),
+            PassConfig {
+                const_fold: true,
+                ..PassConfig::none()
+            },
+            PassConfig {
+                dead_store: true,
+                ..PassConfig::none()
+            },
+            PassConfig {
+                fuse: true,
+                ..PassConfig::none()
+            },
+            PassConfig {
+                jump_thread: true,
+                ..PassConfig::none()
+            },
+            PassConfig::default(),
+        ];
         for prog in corpus::corpus() {
             let ir = netdebug_p4::compile(prog.source).unwrap();
-            let cp = CompiledProgram::compile(&ir);
-            assert!(cp.code_len() > 0, "{}: empty code", prog.name);
-            assert_eq!(cp.action_pcs.len(), ir.actions.len(), "{}", prog.name);
-            assert_eq!(cp.table_names.len(), ir.tables.len(), "{}", prog.name);
-            assert_eq!(
-                cp.state_names.len(),
-                ir.parser.states.len(),
-                "{}",
-                prog.name
-            );
-            // Every jump/branch/action target lands inside the code.
-            let len = cp.code_len() as u32;
-            for op in &cp.code {
-                match *op {
-                    OpCode::Jump(t) | OpCode::BranchIfZero(t) | OpCode::Exit(t) => {
-                        assert!(t < len, "{}: target {t} out of range", prog.name)
+            for passes in configs {
+                let cp = CompiledProgram::compile_with(&ir, passes);
+                assert!(cp.code_len() > 0, "{}: empty code", prog.name);
+                assert_eq!(cp.action_pcs.len(), ir.actions.len(), "{}", prog.name);
+                assert_eq!(cp.names.tables.len(), ir.tables.len(), "{}", prog.name);
+                assert_eq!(
+                    cp.names.states.len(),
+                    ir.parser.states.len(),
+                    "{}",
+                    prog.name
+                );
+                // Every jump/branch/action target lands inside the code,
+                // and compaction left no Nops behind.
+                let len = cp.code_len() as u32;
+                for op in &cp.code {
+                    match *op {
+                        OpCode::Jump(t)
+                        | OpCode::BranchIfZero(t)
+                        | OpCode::Exit(t)
+                        | OpCode::CmpBranch(_, _, t)
+                        | OpCode::ConstCmpBranch(_, _, _, t) => {
+                            assert!(t < len, "{}: target {t} out of range", prog.name)
+                        }
+                        OpCode::Nop => panic!("{}: Nop residue after optimize", prog.name),
+                        _ => {}
                     }
-                    _ => {}
                 }
-            }
-            for sel in &cp.selects {
-                assert!(sel.default < len, "{}: select default", prog.name);
-                for (_, t) in &sel.arms {
-                    assert!(*t < len, "{}: select arm", prog.name);
+                for sel in &cp.selects {
+                    assert!(sel.default < len, "{}: select default", prog.name);
+                    for (_, t) in &sel.arms {
+                        assert!(*t < len, "{}: select arm", prog.name);
+                    }
                 }
-            }
-            for &a in &cp.action_pcs {
-                assert!(a < len, "{}: action pc", prog.name);
+                for &a in &cp.action_pcs {
+                    assert!(a < len, "{}: action pc", prog.name);
+                }
             }
         }
+    }
+
+    /// The optimizer actually shrinks the hot corpus programs, and the
+    /// fused extract+apply superinstruction appears in l2_switch.
+    #[test]
+    fn optimizer_shrinks_and_fuses() {
+        let ir = netdebug_p4::compile(corpus::L2_SWITCH).unwrap();
+        let raw = CompiledProgram::compile_with(&ir, PassConfig::none());
+        let opt = CompiledProgram::compile_with(&ir, PassConfig::default());
+        assert!(
+            opt.code_len() < raw.code_len(),
+            "optimizer did not shrink l2_switch: {} -> {}",
+            raw.code_len(),
+            opt.code_len()
+        );
+        assert!(
+            opt.code
+                .iter()
+                .any(|op| matches!(op, OpCode::FieldApply { .. })),
+            "l2_switch single-field table applies should fuse"
+        );
     }
 
     /// Byte-aligned planning: Ethernet moves whole bytes, IPv4 keeps the

@@ -54,9 +54,10 @@ use crate::bits::{read_bits, write_bits};
 use crate::compile::{self, CompiledProgram};
 use crate::control::{ControlError, ControlPlane};
 use crate::externs::{ExternState, MeterConfig};
+use crate::opt::PassConfig;
 use crate::pool::{Job, PacketArena, ShardSpan, WorkerPool};
 use crate::table::{EntrySnapshot, RuntimeEntry, TableState, TableStats, TableView};
-use crate::trace::{DropReason, Trace, TraceEvent, TraceSink, Verdict};
+use crate::trace::{DropReason, LazyTrace, Trace, TraceBuf, TraceSink, Verdict};
 use netdebug_p4::ast::{BinOp, UnOp};
 use netdebug_p4::ir::{
     self, truncate, IrExpr, IrStmt, IrTransition, LValue, Op, ParallelClass, TransTarget,
@@ -251,6 +252,10 @@ pub struct Dataplane {
     /// The per-packet execution environment, allocated once and reused
     /// by every packet path (single-packet and batch alike).
     env_scratch: Env,
+    /// The flat per-packet trace record buffer, allocated once and
+    /// reused by every traced path; it grows to the batch's high-water
+    /// event volume and stays there (see [`crate::trace::TraceBuf`]).
+    trace_buf: TraceBuf,
     /// Meter pre-pass scratch (see [`MeterScratch`]).
     meter_scratch: MeterScratch,
     /// Persistent shard workers, spawned lazily by the first parallel
@@ -302,6 +307,7 @@ impl Clone for Dataplane {
             pin_gen: self.pin_gen,
             publish_lock: Arc::new(std::sync::Mutex::new(())),
             env_scratch: Env::new(&self.program),
+            trace_buf: TraceBuf::default(),
             meter_scratch: MeterScratch::default(),
             pool: None,
             arena_slot: None,
@@ -363,10 +369,19 @@ fn resolve_views(pinned: &[Arc<EntrySnapshot>]) -> Vec<TableView<'_>> {
 
 impl Dataplane {
     /// Instantiate a data plane for a compiled program (const entries
-    /// installed, externs zeroed).
+    /// installed, externs zeroed), with the default optimization
+    /// pipeline applied to the bytecode.
     pub fn new(program: ir::Program) -> Self {
+        Self::with_passes(program, PassConfig::default())
+    }
+
+    /// Instantiate with an explicit bytecode optimization configuration
+    /// ([`PassConfig::none`] runs the raw lowering; individual passes
+    /// toggle independently). Everything else matches
+    /// [`Dataplane::new`].
+    pub fn with_passes(program: ir::Program, passes: PassConfig) -> Self {
         let tables = program.tables.iter().map(TableState::new).collect();
-        Self::assemble(program, tables)
+        Self::assemble(program, tables, passes)
     }
 
     /// Instantiate with per-table capacity overrides (used by hardware
@@ -378,10 +393,10 @@ impl Dataplane {
             .zip(capacities)
             .map(|(t, cap)| TableState::with_capacity(t, *cap))
             .collect();
-        Self::assemble(program, tables)
+        Self::assemble(program, tables, PassConfig::default())
     }
 
-    fn assemble(program: ir::Program, tables: Vec<TableState>) -> Self {
+    fn assemble(program: ir::Program, tables: Vec<TableState>, passes: PassConfig) -> Self {
         let externs = ExternState::new(&program.externs);
         let table_stats = vec![TableStats::default(); program.tables.len()];
         let parallel_class = program.parallel_class();
@@ -391,7 +406,7 @@ impl Dataplane {
             Vec::new()
         };
         let meter_sites_read_packet = program.meter_pre_pass_needs_parse();
-        let compiled = Arc::new(CompiledProgram::compile(&program));
+        let compiled = Arc::new(CompiledProgram::compile_with(&program, passes));
         let env_scratch = Env::new(&program);
         Dataplane {
             program: Arc::new(program),
@@ -411,6 +426,7 @@ impl Dataplane {
             pin_gen: 0,
             publish_lock: Arc::new(std::sync::Mutex::new(())),
             env_scratch,
+            trace_buf: TraceBuf::default(),
             meter_scratch: MeterScratch::default(),
             pool: None,
             arena_slot: None,
@@ -471,6 +487,14 @@ impl Dataplane {
     /// The load-time-compiled bytecode the default engine executes.
     pub fn compiled_program(&self) -> &CompiledProgram {
         &self.compiled
+    }
+
+    /// A printable disassembly of the (optimized) bytecode — one line
+    /// per instruction with mnemonic, resolved names and jump targets.
+    /// Compare against `Dataplane::with_passes(.., PassConfig::none())`
+    /// to inspect what the optimization pipeline changed.
+    pub fn disassemble(&self) -> crate::disasm::Disassembly<'_> {
+        self.compiled.disassemble()
     }
 
     /// Packets processed since construction.
@@ -639,6 +663,7 @@ impl Dataplane {
     pub fn process(&mut self, port: u16, data: &[u8], now_cycles: u64) -> (Verdict, Trace) {
         self.packets_processed += 1;
         self.refresh_pins();
+        let buf = &mut self.trace_buf;
         let mut ctx = ExecCtx {
             program: &self.program,
             compiled: &self.compiled,
@@ -647,8 +672,8 @@ impl Dataplane {
             table_stats: &mut self.table_stats,
             externs: &mut self.externs,
         };
-        let mut trace = Trace::default();
-        let verdict = ctx.run_traced(port, data, now_cycles, &mut self.env_scratch, &mut trace);
+        let verdict = ctx.run_traced(port, data, now_cycles, &mut self.env_scratch, buf);
+        let trace = LazyTrace::over(buf, ctx.compiled.names()).decode();
         (verdict, trace)
     }
 
@@ -686,6 +711,7 @@ impl Dataplane {
         self.refresh_pins();
         let views = resolve_views(&self.pin_cache);
         let env = &mut self.env_scratch;
+        let buf = &mut self.trace_buf;
         let mut ctx = ExecCtx {
             program: &self.program,
             compiled: &self.compiled,
@@ -694,16 +720,14 @@ impl Dataplane {
             table_stats: &mut self.table_stats,
             externs: &mut self.externs,
         };
-        // Returned traces must be owned, but each packet's event vector
-        // can be pre-sized from its predecessor: steady-state traced
-        // batches grow each vector at most once.
-        let mut cap = 0usize;
+        // Each packet records into the one reused flat buffer; the
+        // returned owned trace is decoded from it, pre-sized exactly
+        // from the record count (no predecessor heuristic).
         pkts.iter()
             .map(|&(port, data)| {
                 if tracing {
-                    let mut trace = Trace::with_capacity(cap);
-                    let verdict = ctx.run_traced(port, data, now_cycles, env, &mut trace);
-                    cap = trace.events.len();
+                    let verdict = ctx.run_traced(port, data, now_cycles, env, buf);
+                    let trace = LazyTrace::over(buf, ctx.compiled.names()).decode();
                     (verdict, Some(trace))
                 } else {
                     (ctx.run(port, data, now_cycles, env, None), None)
@@ -715,12 +739,15 @@ impl Dataplane {
     /// Process a batch, streaming each packet's trace into `sink` instead
     /// of materialising it.
     ///
-    /// One trace buffer is allocated for the whole batch and reused: the
-    /// sink borrows it per packet (clone to keep). Verdicts come back in
-    /// batch order. When tracing is disabled ([`Dataplane::set_tracing`])
-    /// the sink still sees every packet, with an empty trace. Semantically
-    /// identical to [`Dataplane::process_batch`] — this is the
-    /// zero-allocation spine under traced device batching.
+    /// One flat record buffer is reused for the whole batch; the sink
+    /// observes each packet's events as an undecoded [`LazyTrace`]
+    /// borrowing that buffer ([`LazyTrace::decode`] to keep). Verdicts
+    /// come back in batch order. When tracing is disabled
+    /// ([`Dataplane::set_tracing`]) the sink still sees every packet,
+    /// with an empty trace. Semantically identical to
+    /// [`Dataplane::process_batch`] — this is the zero-allocation spine
+    /// under traced device batching: a sink that only counts or inspects
+    /// names never allocates per packet at all.
     pub fn process_batch_with(
         &mut self,
         pkts: &[(u16, &[u8])],
@@ -732,6 +759,7 @@ impl Dataplane {
         self.refresh_pins();
         let views = resolve_views(&self.pin_cache);
         let env = &mut self.env_scratch;
+        let buf = &mut self.trace_buf;
         let mut ctx = ExecCtx {
             program: &self.program,
             compiled: &self.compiled,
@@ -740,17 +768,16 @@ impl Dataplane {
             table_stats: &mut self.table_stats,
             externs: &mut self.externs,
         };
-        let mut trace = Trace::default();
         pkts.iter()
             .enumerate()
             .map(|(i, &(port, data))| {
                 let verdict = if tracing {
-                    ctx.run_traced(port, data, now_cycles, env, &mut trace)
+                    ctx.run_traced(port, data, now_cycles, env, buf)
                 } else {
-                    trace.events.clear();
+                    buf.clear();
                     ctx.run(port, data, now_cycles, env, None)
                 };
-                sink.observe(i, &verdict, &trace);
+                sink.observe(i, &verdict, &LazyTrace::over(buf, ctx.compiled.names()));
                 verdict
             })
             .collect()
@@ -945,7 +972,6 @@ impl Dataplane {
         now_cycles: u64,
     ) -> Vec<Vec<(usize, usize)>> {
         let prog: &ir::Program = &self.program;
-        let cp: &CompiledProgram = &self.compiled;
         let env = &mut self.env_scratch;
         pkts.iter()
             .map(|&(port, data)| {
@@ -953,11 +979,11 @@ impl Dataplane {
                 // Indices that never read packet contents (e.g. a meter
                 // keyed on the ingress port) need no parser replay at all.
                 if self.meter_sites_read_packet {
-                    let mut no_trace: Option<&mut Trace> = None;
+                    let mut no_trace: Option<&mut TraceBuf> = None;
                     // A rejected parse means no meter ever executes for
                     // this packet; the (deterministic) partially-parsed
                     // evaluation below merely over-constrains placement.
-                    let _ = parse_packet(prog, cp, data, env, &mut no_trace);
+                    let _ = parse_packet(prog, data, env, &mut no_trace);
                 }
                 self.meter_sites
                     .iter()
@@ -1070,6 +1096,7 @@ pub(crate) fn run_shard<'a>(
     tracing: bool,
     now_cycles: u64,
     env: &mut Env,
+    scratch: &mut TraceBuf,
 ) -> ShardResult {
     let mut stats = vec![TableStats::default(); pinned.len()];
     let mut ctx = ExecCtx {
@@ -1080,13 +1107,13 @@ pub(crate) fn run_shard<'a>(
         table_stats: &mut stats,
         externs: &mut externs,
     };
-    let mut cap = 0usize;
     let results = pkts
         .map(|(port, data)| {
             if tracing {
-                let mut trace = Trace::with_capacity(cap);
-                let verdict = ctx.run_traced(port, data, now_cycles, env, &mut trace);
-                cap = trace.events.len();
+                // The flat record buffer sizes the decoded trace exactly —
+                // one record walk counts events before a single allocation.
+                let verdict = ctx.run_traced(port, data, now_cycles, env, scratch);
+                let trace = LazyTrace::over(scratch, ctx.compiled.names()).decode();
                 (verdict, Some(trace))
             } else {
                 (ctx.run(port, data, now_cycles, env, None), None)
@@ -1108,25 +1135,23 @@ pub(crate) struct ShardResult {
 }
 
 impl ExecCtx<'_> {
-    /// Run one packet with full tracing: clears `trace`, records every
-    /// event and appends the final verdict summary. The single
-    /// finalisation point shared by every traced path — single-packet,
-    /// batch, streaming and parallel shards, under either engine — which
-    /// is what keeps their traces bit-identical (the equivalence the
-    /// proptests pin down).
+    /// Run one packet with full tracing: clears the flat record buffer,
+    /// records every event and appends the final verdict summary. The
+    /// single finalisation point shared by every traced path —
+    /// single-packet, batch, streaming and parallel shards, under either
+    /// engine — which is what keeps their traces bit-identical (the
+    /// equivalence the proptests pin down).
     pub(crate) fn run_traced(
         &mut self,
         port: u16,
         data: &[u8],
         now_cycles: u64,
         env: &mut Env,
-        trace: &mut Trace,
+        trace: &mut TraceBuf,
     ) -> Verdict {
-        trace.events.clear();
+        trace.clear();
         let verdict = self.run(port, data, now_cycles, env, Some(trace));
-        trace.push(TraceEvent::Final {
-            verdict: verdict.label(),
-        });
+        trace.final_verdict(&verdict);
         verdict
     }
 
@@ -1137,7 +1162,7 @@ impl ExecCtx<'_> {
         data: &[u8],
         now_cycles: u64,
         env: &mut Env,
-        trace: Option<&mut Trace>,
+        trace: Option<&mut TraceBuf>,
     ) -> Verdict {
         match self.engine {
             Engine::Compiled => compile::exec(
@@ -1163,13 +1188,13 @@ impl ExecCtx<'_> {
         data: &[u8],
         now_cycles: u64,
         env: &mut Env,
-        mut trace: Option<&mut Trace>,
+        mut trace: Option<&mut TraceBuf>,
     ) -> Verdict {
         let prog = self.program;
         env.reset(port, data.len(), now_cycles);
 
         // ---- Parse ----
-        let payload_start = match parse_packet(prog, self.compiled, data, env, &mut trace) {
+        let payload_start = match parse_packet(prog, data, env, &mut trace) {
             Ok(offset) => offset,
             Err(reason) => return Verdict::Drop(reason),
         };
@@ -1183,9 +1208,7 @@ impl ExecCtx<'_> {
                 break;
             }
             if let Some(t) = trace.as_deref_mut() {
-                t.push(TraceEvent::ControlEnter {
-                    name: self.compiled.control_name(cid).clone(),
-                });
+                t.control(cid as u32);
             }
             self.exec_block(&control.body, env, now_cycles, &mut trace, data.len());
         }
@@ -1210,7 +1233,7 @@ impl ExecCtx<'_> {
         }
     }
 
-    fn deparse(&self, env: &Env, payload: &[u8], trace: &mut Option<&mut Trace>) -> Vec<u8> {
+    fn deparse(&self, env: &Env, payload: &[u8], trace: &mut Option<&mut TraceBuf>) -> Vec<u8> {
         let prog = self.program;
         let mut out_bits = 0usize;
         for &hid in &prog.deparse {
@@ -1226,9 +1249,7 @@ impl ExecCtx<'_> {
             }
             let layout = &prog.headers[hid];
             if let Some(t) = trace.as_deref_mut() {
-                t.push(TraceEvent::Emit {
-                    header: self.compiled.header_name(hid).clone(),
-                });
+                t.emit(hid as u32);
             }
             for (f, value) in layout.fields.iter().zip(&env.headers[hid].fields) {
                 write_bits(
@@ -1249,7 +1270,7 @@ impl ExecCtx<'_> {
         body: &[IrStmt],
         env: &mut Env,
         now: u64,
-        trace: &mut Option<&mut Trace>,
+        trace: &mut Option<&mut TraceBuf>,
         pkt_len: usize,
     ) {
         for stmt in body {
@@ -1274,7 +1295,7 @@ impl ExecCtx<'_> {
                 IrStmt::Op(op) => self.exec_op(op, env, now, trace, pkt_len),
                 IrStmt::Exit => {
                     if let Some(t) = trace.as_deref_mut() {
-                        t.push(TraceEvent::Exit);
+                        t.exit();
                     }
                     env.exited = true;
                 }
@@ -1288,7 +1309,7 @@ impl ExecCtx<'_> {
         hit_into: Option<usize>,
         env: &mut Env,
         now: u64,
-        trace: &mut Option<&mut Trace>,
+        trace: &mut Option<&mut TraceBuf>,
         pkt_len: usize,
     ) {
         let prog = self.program;
@@ -1317,12 +1338,7 @@ impl ExecCtx<'_> {
         }
         let action = &prog.actions[aid];
         if let Some(t) = trace.as_deref_mut() {
-            t.push(TraceEvent::TableApply {
-                table: self.compiled.table_name(tid).clone(),
-                keys: env.key_scratch.clone(),
-                hit,
-                action: self.compiled.action_name(aid).clone(),
-            });
+            t.table(tid as u32, aid as u32, hit, &env.key_scratch);
         }
         for op in &action.ops {
             self.exec_op(op, env, now, trace, pkt_len);
@@ -1334,7 +1350,7 @@ impl ExecCtx<'_> {
         op: &Op,
         env: &mut Env,
         now: u64,
-        trace: &mut Option<&mut Trace>,
+        trace: &mut Option<&mut TraceBuf>,
         pkt_len: usize,
     ) {
         let prog = self.program;
@@ -1353,7 +1369,7 @@ impl ExecCtx<'_> {
             }
             Op::Drop => {
                 if let Some(t) = trace.as_deref_mut() {
-                    t.push(TraceEvent::MarkToDrop);
+                    t.mark_drop();
                 }
                 env.drop_flag = true;
             }
@@ -1384,18 +1400,17 @@ impl ExecCtx<'_> {
 /// Run the parser FSM over `data`, filling `env`'s headers/metadata.
 /// Returns the byte offset of the unparsed payload on accept, or the drop
 /// reason on reject. `env` must have been [`Env::reset`] first. Trace
-/// names are cloned from the compiled program's interned set (shared with
-/// the flat engine, so both engines' traces are pointer-for-pointer
-/// cheap and content-identical).
+/// records carry raw state/header ids; names resolve lazily through the
+/// compiled program's interned set when a trace is actually decoded, so
+/// both engines' traces stay content-identical at zero per-event cost.
 ///
 /// Pure with respect to tables, externs and statistics — which is why the
 /// meter-partitioning pre-pass can replay it safely ahead of execution.
 fn parse_packet(
     prog: &ir::Program,
-    cp: &CompiledProgram,
     data: &[u8],
     env: &mut Env,
-    trace: &mut Option<&mut Trace>,
+    trace: &mut Option<&mut TraceBuf>,
 ) -> Result<usize, DropReason> {
     let mut cursor_bits = 0usize;
     let total_bits = data.len() * 8;
@@ -1405,15 +1420,13 @@ fn parse_packet(
         visited += 1;
         if visited > PARSER_STATE_BUDGET {
             if let Some(t) = trace.as_deref_mut() {
-                t.push(TraceEvent::ParserReject);
+                t.reject();
             }
             return Err(DropReason::ParserReject);
         }
         let st = &prog.parser.states[state];
         if let Some(t) = trace.as_deref_mut() {
-            t.push(TraceEvent::ParserState {
-                name: cp.state_name(state).clone(),
-            });
+            t.state(state as u32);
         }
         for op in &st.ops {
             match op {
@@ -1422,15 +1435,12 @@ fn parse_packet(
                     let width = layout.bit_width as usize;
                     if cursor_bits + width > total_bits {
                         if let Some(t) = trace.as_deref_mut() {
-                            t.push(TraceEvent::ParserReject);
+                            t.reject();
                         }
                         return Err(DropReason::PacketTooShort);
                     }
                     if let Some(t) = trace.as_deref_mut() {
-                        t.push(TraceEvent::Extract {
-                            header: cp.header_name(*hid).clone(),
-                            at_bit: cursor_bits,
-                        });
+                        t.extract(*hid as u32, cursor_bits as u32);
                     }
                     let hv = &mut env.headers[*hid];
                     hv.valid = true;
@@ -1477,13 +1487,13 @@ fn parse_packet(
         match target {
             TransTarget::Accept => {
                 if let Some(t) = trace.as_deref_mut() {
-                    t.push(TraceEvent::ParserAccept);
+                    t.accept();
                 }
                 return Ok((cursor_bits / 8).min(data.len()));
             }
             TransTarget::Reject => {
                 if let Some(t) = trace.as_deref_mut() {
-                    t.push(TraceEvent::ParserReject);
+                    t.reject();
                 }
                 return Err(DropReason::ParserReject);
             }

@@ -10,7 +10,10 @@
 //! Two engines implement the semantics ([`Engine`]): the default flat
 //! bytecode engine compiled at load time ([`compile`]) and the
 //! tree-walking reference interpreter it is differentially validated
-//! against, bit for bit, by the parity property tests.
+//! against, bit for bit, by the parity property tests. The bytecode is
+//! run through a peephole/superinstruction optimization pipeline
+//! ([`PassConfig`], module [`opt`]) and can be inspected with
+//! [`Dataplane::disassemble`].
 //!
 //! ```
 //! use netdebug_dataplane::Dataplane;
@@ -33,22 +36,27 @@
 pub mod bits;
 pub mod compile;
 pub mod control;
+pub mod disasm;
 pub mod externs;
 pub mod interp;
+pub mod opt;
 mod pool;
 pub mod table;
 pub mod trace;
 
 pub use compile::CompiledProgram;
 pub use control::{ControlError, ControlPlane};
+pub use disasm::Disassembly;
 pub use externs::MeterConfig;
 pub use interp::{Dataplane, Engine, FLOOD_PORT};
+pub use opt::PassConfig;
 pub use table::{
     lpm_pattern, EntryRef, EntrySnapshot, LookupIndex, RuntimeEntry, TableError, TableState,
     TableStats, TableView,
 };
 pub use trace::{
-    CollectSink, DropReason, NullSink, Trace, TraceEvent, TraceName, TraceSink, Verdict,
+    CollectSink, DropReason, LazyTrace, NullSink, Trace, TraceEvent, TraceName, TraceSink, Verdict,
+    VerdictSummary,
 };
 
 #[cfg(test)]

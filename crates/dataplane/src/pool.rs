@@ -30,6 +30,7 @@ use crate::compile::CompiledProgram;
 use crate::externs::ExternState;
 use crate::interp::{run_shard, Engine, Env, ShardResult};
 use crate::table::EntrySnapshot;
+use crate::trace::TraceBuf;
 use netdebug_p4::ir;
 use std::ops::Range;
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -193,7 +194,7 @@ impl Drop for WorkerPool {
 /// comparison can never be confused by a freed-and-reallocated program
 /// — and the steady state re-allocates nothing per batch.
 fn worker_loop(rx: Receiver<JobMsg>) {
-    let mut env_cache: Option<(Arc<ir::Program>, Env)> = None;
+    let mut env_cache: Option<(Arc<ir::Program>, Env, TraceBuf)> = None;
     while let Ok((idx, job, out)) = rx.recv() {
         let Job {
             program,
@@ -206,12 +207,13 @@ fn worker_loop(rx: Receiver<JobMsg>) {
             engine,
             now_cycles,
         } = job;
-        let env = match &mut env_cache {
-            Some((cached, env)) if Arc::ptr_eq(cached, &program) => env,
+        let (env, scratch) = match &mut env_cache {
+            Some((cached, env, scratch)) if Arc::ptr_eq(cached, &program) => (env, scratch),
             slot => {
                 let env = Env::new(&program);
-                *slot = Some((Arc::clone(&program), env));
-                &mut slot.as_mut().expect("just set").1
+                *slot = Some((Arc::clone(&program), env, TraceBuf::default()));
+                let cached = slot.as_mut().expect("just set");
+                (&mut cached.1, &mut cached.2)
             }
         };
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -227,6 +229,7 @@ fn worker_loop(rx: Receiver<JobMsg>) {
                     tracing,
                     now_cycles,
                     env,
+                    scratch,
                 ),
                 ShardSpan::Indexed(indices) => run_shard(
                     &program,
@@ -238,6 +241,7 @@ fn worker_loop(rx: Receiver<JobMsg>) {
                     tracing,
                     now_cycles,
                     env,
+                    scratch,
                 ),
             }
         }));

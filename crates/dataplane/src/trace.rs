@@ -7,6 +7,18 @@
 //!    hardware behaviour against, and
 //! 2. they give the *status monitoring* and *functional testing* use-cases
 //!    a machine-readable account of where a packet went and why.
+//!
+//! Two representations exist. [`Trace`] is the semantic, materialised form
+//! — a vector of [`TraceEvent`]s — that tests, checkers and probes pattern
+//! match on. On the hot paths, however, both engines record into a
+//! [`TraceBuf`]: a **flat binary event buffer** of `u32`-tagged
+//! little-endian records appended to one reused `Vec<u8>` per packet, so
+//! recording an event writes a few words instead of constructing an enum
+//! (no `Arc` clone, no key-vector clone, no `String`). A [`LazyTrace`]
+//! borrows that buffer plus the program's interned name tables and decodes
+//! to [`TraceEvent`]s **only when a consumer actually inspects it** — a
+//! [`TraceSink`] that just counts stages iterates the records without ever
+//! materialising a `Trace`.
 
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -15,11 +27,10 @@ use std::sync::Arc;
 ///
 /// Names of parser states, headers, controls, tables and actions are
 /// interned **once at program-compile time** (see `netdebug-dataplane`'s
-/// `CompiledProgram`); recording an event then clones a pointer instead of
-/// a heap `String` — the difference between traced batch paths allocating
-/// two strings per table apply and allocating none. `Arc<str>` compares by
-/// content (`PartialEq`), converts from `&str` (tests construct events
-/// with `"start".into()` as before) and derefs to `&str` for consumers.
+/// `CompiledProgram`); decoding an event then clones a pointer instead of
+/// a heap `String`. `Arc<str>` compares by content (`PartialEq`), converts
+/// from `&str` (tests construct events with `"start".into()` as before)
+/// and derefs to `&str` for consumers.
 pub type TraceName = Arc<str>;
 
 /// Why a packet was dropped.
@@ -35,6 +46,29 @@ pub enum DropReason {
     NoEgress,
     /// The chosen egress port does not exist on the device.
     BadEgress,
+}
+
+impl DropReason {
+    /// Stable wire code inside a [`TraceBuf`] `FINAL` record.
+    fn code(self) -> u32 {
+        match self {
+            DropReason::ParserReject => 0,
+            DropReason::PacketTooShort => 1,
+            DropReason::ActionDrop => 2,
+            DropReason::NoEgress => 3,
+            DropReason::BadEgress => 4,
+        }
+    }
+
+    fn from_code(code: u32) -> DropReason {
+        match code {
+            0 => DropReason::ParserReject,
+            1 => DropReason::PacketTooShort,
+            2 => DropReason::ActionDrop,
+            3 => DropReason::NoEgress,
+            _ => DropReason::BadEgress,
+        }
+    }
 }
 
 impl core::fmt::Display for DropReason {
@@ -75,18 +109,27 @@ impl Verdict {
         !matches!(self, Verdict::Drop(_))
     }
 
-    /// A short human-readable summary: the verdict kind, egress port and
-    /// output length — **not** the output bytes. This is what the trace's
-    /// [`TraceEvent::Final`] event records; formatting the full frame into
-    /// the trace (as `{:?}` would) costs more than processing the packet.
-    pub fn label(&self) -> String {
+    /// The `Copy` summary the trace's [`TraceEvent::Final`] event records:
+    /// the verdict kind, egress port and output length — **not** the
+    /// output bytes.
+    pub fn summary(&self) -> VerdictSummary {
         match self {
-            Verdict::Forward { port, data } => {
-                format!("Forward {{ port: {port}, len: {} }}", data.len())
-            }
-            Verdict::Flood { data } => format!("Flood {{ len: {} }}", data.len()),
-            Verdict::Drop(reason) => format!("Drop({reason:?})"),
+            Verdict::Forward { port, data } => VerdictSummary::Forward {
+                port: *port,
+                len: data.len() as u32,
+            },
+            Verdict::Flood { data } => VerdictSummary::Flood {
+                len: data.len() as u32,
+            },
+            Verdict::Drop(reason) => VerdictSummary::Drop(*reason),
         }
+    }
+
+    /// A short human-readable summary (the [`VerdictSummary`] rendered).
+    /// Formatting the full frame into a trace (as `{:?}` would) costs more
+    /// than processing the packet, so only kind, port and length appear.
+    pub fn label(&self) -> String {
+        self.summary().to_string()
     }
 
     /// The output bytes, if any.
@@ -98,10 +141,44 @@ impl Verdict {
     }
 }
 
+/// A [`Verdict`] without the frame bytes: kind, egress port, output
+/// length. `Copy`, 8 bytes of payload — what [`TraceEvent::Final`]
+/// carries, replacing the per-packet `format!` string the seed allocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VerdictSummary {
+    /// Forwarded out of one port with `len` output bytes.
+    Forward {
+        /// Egress port.
+        port: u16,
+        /// Output frame length, bytes.
+        len: u32,
+    },
+    /// Flooded with `len` output bytes.
+    Flood {
+        /// Output frame length, bytes.
+        len: u32,
+    },
+    /// Dropped.
+    Drop(DropReason),
+}
+
+impl core::fmt::Display for VerdictSummary {
+    /// Renders exactly what `Verdict::label()` historically produced.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            VerdictSummary::Forward { port, len } => {
+                write!(f, "Forward {{ port: {port}, len: {len} }}")
+            }
+            VerdictSummary::Flood { len } => write!(f, "Flood {{ len: {len} }}"),
+            VerdictSummary::Drop(reason) => write!(f, "Drop({reason:?})"),
+        }
+    }
+}
+
 /// One step of packet processing.
 ///
 /// Name-carrying events hold [`TraceName`]s — interned `Arc<str>`s cloned
-/// from the compiled program, so recording an event never copies a string.
+/// from the compiled program, so decoding an event never copies a string.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TraceEvent {
     /// Entered a parser state.
@@ -147,8 +224,8 @@ pub enum TraceEvent {
     },
     /// Final verdict summary.
     Final {
-        /// Human-readable description ([`Verdict::label`]).
-        verdict: String,
+        /// Kind, egress port and output length of the verdict.
+        verdict: VerdictSummary,
     },
 }
 
@@ -160,9 +237,10 @@ pub struct Trace {
 }
 
 impl Trace {
-    /// An empty trace with room for `capacity` events — batch paths size
-    /// each packet's trace from its predecessor so steady-state traced
-    /// batches grow each event vector at most once.
+    /// An empty trace with room for `capacity` events. The batch paths
+    /// size each decoded trace **exactly** from its packet's flat record
+    /// buffer ([`LazyTrace::event_count`]), so the event vector is
+    /// allocated once at the right size — no predecessor heuristic.
     pub fn with_capacity(capacity: usize) -> Trace {
         Trace {
             events: Vec::with_capacity(capacity),
@@ -204,20 +282,397 @@ impl Trace {
     }
 }
 
+// ---------------------------------------------------------------------
+// Flat binary trace records
+// ---------------------------------------------------------------------
+
+const TAG_STATE: u32 = 0;
+const TAG_EXTRACT: u32 = 1;
+const TAG_ACCEPT: u32 = 2;
+const TAG_REJECT: u32 = 3;
+const TAG_CONTROL: u32 = 4;
+const TAG_TABLE: u32 = 5;
+const TAG_MARK_DROP: u32 = 6;
+const TAG_EXIT: u32 = 7;
+const TAG_EMIT: u32 = 8;
+const TAG_FINAL: u32 = 9;
+
+/// The flat binary event buffer both engines record into on traced paths.
+///
+/// Records are `u32`-tagged little-endian words appended to one reused
+/// `Vec<u8>`; table keys are inlined as 16-byte words. Recording an event
+/// is a bounds-checked `extend_from_slice` of a few words — no enum
+/// construction, no `Arc` clone, no per-event allocation once the buffer
+/// has grown to its packet-lifetime high-water mark. Decode to semantic
+/// [`TraceEvent`]s through [`LazyTrace`].
+#[derive(Debug, Default)]
+pub(crate) struct TraceBuf {
+    bytes: Vec<u8>,
+}
+
+impl TraceBuf {
+    /// Forget the previous packet's records, keeping the allocation.
+    #[inline]
+    pub(crate) fn clear(&mut self) {
+        self.bytes.clear();
+    }
+
+    #[inline]
+    fn word(&mut self, w: u32) {
+        self.bytes.extend_from_slice(&w.to_le_bytes());
+    }
+
+    #[inline]
+    fn wide(&mut self, v: u128) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    pub(crate) fn state(&mut self, sid: u32) {
+        self.word(TAG_STATE);
+        self.word(sid);
+    }
+
+    #[inline]
+    pub(crate) fn extract(&mut self, hid: u32, at_bit: u32) {
+        self.word(TAG_EXTRACT);
+        self.word(hid);
+        self.word(at_bit);
+    }
+
+    #[inline]
+    pub(crate) fn accept(&mut self) {
+        self.word(TAG_ACCEPT);
+    }
+
+    #[inline]
+    pub(crate) fn reject(&mut self) {
+        self.word(TAG_REJECT);
+    }
+
+    #[inline]
+    pub(crate) fn control(&mut self, cid: u32) {
+        self.word(TAG_CONTROL);
+        self.word(cid);
+    }
+
+    #[inline]
+    pub(crate) fn table(&mut self, tid: u32, aid: u32, hit: bool, keys: &[u128]) {
+        self.word(TAG_TABLE);
+        self.word(tid);
+        self.word(aid);
+        self.word(hit as u32);
+        self.word(keys.len() as u32);
+        for &k in keys {
+            self.wide(k);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn mark_drop(&mut self) {
+        self.word(TAG_MARK_DROP);
+    }
+
+    #[inline]
+    pub(crate) fn exit(&mut self) {
+        self.word(TAG_EXIT);
+    }
+
+    #[inline]
+    pub(crate) fn emit(&mut self, hid: u32) {
+        self.word(TAG_EMIT);
+        self.word(hid);
+    }
+
+    #[inline]
+    pub(crate) fn final_verdict(&mut self, v: &Verdict) {
+        self.word(TAG_FINAL);
+        match v.summary() {
+            VerdictSummary::Forward { port, len } => {
+                self.word(0);
+                self.word(u32::from(port));
+                self.word(len);
+            }
+            VerdictSummary::Flood { len } => {
+                self.word(1);
+                self.word(len);
+                self.word(0);
+            }
+            VerdictSummary::Drop(reason) => {
+                self.word(2);
+                self.word(reason.code());
+                self.word(0);
+            }
+        }
+    }
+}
+
+/// The interned name tables a [`LazyTrace`] resolves record ids against:
+/// parser states, controls, tables, actions and header instances, indexed
+/// by their IR ids. Owned by the compiled program; both engines record the
+/// ids, so decoded traces clone identical `Arc` pointers.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TraceTables {
+    pub(crate) states: Vec<TraceName>,
+    pub(crate) controls: Vec<TraceName>,
+    pub(crate) tables: Vec<TraceName>,
+    pub(crate) actions: Vec<TraceName>,
+    pub(crate) headers: Vec<TraceName>,
+}
+
+#[inline]
+fn u32_at(bytes: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(bytes[off..off + 4].try_into().expect("u32 record word"))
+}
+
+#[inline]
+fn u128_at(bytes: &[u8], off: usize) -> u128 {
+    u128::from_le_bytes(bytes[off..off + 16].try_into().expect("u128 record word"))
+}
+
+/// One parsed record of a [`TraceBuf`]; table keys stay in the buffer
+/// (offset + count) so walking records allocates nothing.
+#[derive(Clone, Copy)]
+enum Rec {
+    State(u32),
+    Extract(u32, u32),
+    Accept,
+    Reject,
+    Control(u32),
+    Table {
+        tid: u32,
+        aid: u32,
+        hit: bool,
+        keys_off: usize,
+        nkeys: u32,
+    },
+    MarkDrop,
+    Exit,
+    Emit(u32),
+    Final(VerdictSummary),
+}
+
+/// Zero-allocation walker over the records of a [`TraceBuf`].
+struct Records<'a> {
+    bytes: &'a [u8],
+    off: usize,
+}
+
+impl Iterator for Records<'_> {
+    type Item = Rec;
+
+    fn next(&mut self) -> Option<Rec> {
+        if self.off >= self.bytes.len() {
+            return None;
+        }
+        let tag = u32_at(self.bytes, self.off);
+        self.off += 4;
+        let rec = match tag {
+            TAG_STATE => {
+                let sid = u32_at(self.bytes, self.off);
+                self.off += 4;
+                Rec::State(sid)
+            }
+            TAG_EXTRACT => {
+                let hid = u32_at(self.bytes, self.off);
+                let at = u32_at(self.bytes, self.off + 4);
+                self.off += 8;
+                Rec::Extract(hid, at)
+            }
+            TAG_ACCEPT => Rec::Accept,
+            TAG_REJECT => Rec::Reject,
+            TAG_CONTROL => {
+                let cid = u32_at(self.bytes, self.off);
+                self.off += 4;
+                Rec::Control(cid)
+            }
+            TAG_TABLE => {
+                let tid = u32_at(self.bytes, self.off);
+                let aid = u32_at(self.bytes, self.off + 4);
+                let hit = u32_at(self.bytes, self.off + 8) != 0;
+                let nkeys = u32_at(self.bytes, self.off + 12);
+                let keys_off = self.off + 16;
+                self.off = keys_off + nkeys as usize * 16;
+                Rec::Table {
+                    tid,
+                    aid,
+                    hit,
+                    keys_off,
+                    nkeys,
+                }
+            }
+            TAG_MARK_DROP => Rec::MarkDrop,
+            TAG_EXIT => Rec::Exit,
+            TAG_EMIT => {
+                let hid = u32_at(self.bytes, self.off);
+                self.off += 4;
+                Rec::Emit(hid)
+            }
+            TAG_FINAL => {
+                let kind = u32_at(self.bytes, self.off);
+                let a = u32_at(self.bytes, self.off + 4);
+                let b = u32_at(self.bytes, self.off + 8);
+                self.off += 12;
+                Rec::Final(match kind {
+                    0 => VerdictSummary::Forward {
+                        port: a as u16,
+                        len: b,
+                    },
+                    1 => VerdictSummary::Flood { len: a },
+                    _ => VerdictSummary::Drop(DropReason::from_code(a)),
+                })
+            }
+            other => unreachable!("corrupt trace record tag {other}"),
+        };
+        Some(rec)
+    }
+}
+
+/// A borrowed, undecoded per-packet trace: the flat record buffer plus the
+/// program's interned name tables.
+///
+/// This is what a [`TraceSink`] observes on the streaming batch path.
+/// Consumers that only need counts or names iterate the records in place
+/// ([`LazyTrace::states`], [`LazyTrace::tables`]) without allocating;
+/// consumers that keep the trace decode it ([`LazyTrace::decode`]) into a
+/// semantic [`Trace`], pre-sized exactly from the record count. Decoding
+/// is the only point that clones name `Arc`s or allocates key vectors —
+/// the recording engines never do.
+pub struct LazyTrace<'a> {
+    bytes: &'a [u8],
+    names: &'a TraceTables,
+}
+
+impl<'a> LazyTrace<'a> {
+    pub(crate) fn over(buf: &'a TraceBuf, names: &'a TraceTables) -> LazyTrace<'a> {
+        LazyTrace {
+            bytes: &buf.bytes,
+            names,
+        }
+    }
+
+    fn records(&self) -> Records<'a> {
+        Records {
+            bytes: self.bytes,
+            off: 0,
+        }
+    }
+
+    /// True when no events were recorded (tracing disabled).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Number of recorded events (one walk over the records, no decode).
+    pub fn event_count(&self) -> usize {
+        self.records().count()
+    }
+
+    /// True if the parser rejected the packet.
+    pub fn parser_rejected(&self) -> bool {
+        self.records().any(|r| matches!(r, Rec::Reject))
+    }
+
+    /// The final verdict summary, if recorded.
+    pub fn final_verdict(&self) -> Option<VerdictSummary> {
+        self.records().find_map(|r| match r {
+            Rec::Final(s) => Some(s),
+            _ => None,
+        })
+    }
+
+    /// Names of parser states visited, in order, without decoding.
+    pub fn states(&self) -> impl Iterator<Item = &'a str> + '_ {
+        let names = self.names;
+        self.records().filter_map(move |r| match r {
+            Rec::State(sid) => Some(names.states[sid as usize].as_ref()),
+            _ => None,
+        })
+    }
+
+    /// Names of tables applied, in order, without decoding.
+    pub fn tables(&self) -> impl Iterator<Item = &'a str> + '_ {
+        let names = self.names;
+        self.records().filter_map(move |r| match r {
+            Rec::Table { tid, .. } => Some(names.tables[tid as usize].as_ref()),
+            _ => None,
+        })
+    }
+
+    /// Decode into a freshly allocated [`Trace`], sized exactly.
+    pub fn decode(&self) -> Trace {
+        let mut out = Trace::with_capacity(self.event_count());
+        self.decode_append(&mut out);
+        out
+    }
+
+    /// Decode into `out`, clearing it first and reusing its allocation.
+    pub fn decode_into(&self, out: &mut Trace) {
+        out.events.clear();
+        let n = self.event_count();
+        if out.events.capacity() < n {
+            out.events.reserve(n - out.events.capacity());
+        }
+        self.decode_append(out);
+    }
+
+    fn decode_append(&self, out: &mut Trace) {
+        let names = self.names;
+        for rec in self.records() {
+            out.push(match rec {
+                Rec::State(sid) => TraceEvent::ParserState {
+                    name: names.states[sid as usize].clone(),
+                },
+                Rec::Extract(hid, at) => TraceEvent::Extract {
+                    header: names.headers[hid as usize].clone(),
+                    at_bit: at as usize,
+                },
+                Rec::Accept => TraceEvent::ParserAccept,
+                Rec::Reject => TraceEvent::ParserReject,
+                Rec::Control(cid) => TraceEvent::ControlEnter {
+                    name: names.controls[cid as usize].clone(),
+                },
+                Rec::Table {
+                    tid,
+                    aid,
+                    hit,
+                    keys_off,
+                    nkeys,
+                } => TraceEvent::TableApply {
+                    table: names.tables[tid as usize].clone(),
+                    keys: (0..nkeys as usize)
+                        .map(|k| u128_at(self.bytes, keys_off + 16 * k))
+                        .collect(),
+                    hit,
+                    action: names.actions[aid as usize].clone(),
+                },
+                Rec::MarkDrop => TraceEvent::MarkToDrop,
+                Rec::Exit => TraceEvent::Exit,
+                Rec::Emit(hid) => TraceEvent::Emit {
+                    header: names.headers[hid as usize].clone(),
+                },
+                Rec::Final(summary) => TraceEvent::Final { verdict: summary },
+            });
+        }
+    }
+}
+
 /// A streaming consumer of batch-path results.
 ///
-/// `Dataplane::process_batch_with` records each packet's trace into **one
-/// reused buffer** and hands it to the sink by reference, so traced batch
-/// runs allocate nothing per packet beyond the output frame: tap
-/// accounting, checkers and log writers can all consume events in place.
-/// A sink that needs to keep a trace must clone it (see [`CollectSink`]).
+/// `Dataplane::process_batch_with` records each packet's events into **one
+/// reused flat buffer** and hands it to the sink as an undecoded
+/// [`LazyTrace`], so traced batch runs allocate nothing per packet beyond
+/// the output frame unless the sink itself decodes: tap accounting and
+/// counters can walk the records in place, checkers and log writers call
+/// [`LazyTrace::decode`] (or [`LazyTrace::decode_into`] a reused
+/// [`Trace`]) when they need the semantic events.
 pub trait TraceSink {
-    /// Observe packet `index`'s verdict and trace.
+    /// Observe packet `index`'s verdict and (undecoded) trace.
     ///
-    /// The trace borrow is only valid for the duration of the call — the
-    /// buffer is cleared and reused for the next packet. When tracing is
-    /// disabled on the data plane the trace is empty.
-    fn observe(&mut self, index: usize, verdict: &Verdict, trace: &Trace);
+    /// The borrow is only valid for the duration of the call — the buffer
+    /// is cleared and reused for the next packet. When tracing is disabled
+    /// on the data plane the trace is empty.
+    fn observe(&mut self, index: usize, verdict: &Verdict, trace: &LazyTrace<'_>);
 }
 
 /// A sink that ignores everything (pure-throughput runs).
@@ -225,10 +680,10 @@ pub trait TraceSink {
 pub struct NullSink;
 
 impl TraceSink for NullSink {
-    fn observe(&mut self, _index: usize, _verdict: &Verdict, _trace: &Trace) {}
+    fn observe(&mut self, _index: usize, _verdict: &Verdict, _trace: &LazyTrace<'_>) {}
 }
 
-/// A sink that clones every trace into a vector — the compatibility shim
+/// A sink that decodes every trace into a vector — the compatibility shim
 /// behind APIs that still return materialised `Vec<Trace>` results.
 #[derive(Debug, Clone, Default)]
 pub struct CollectSink {
@@ -237,8 +692,8 @@ pub struct CollectSink {
 }
 
 impl TraceSink for CollectSink {
-    fn observe(&mut self, _index: usize, _verdict: &Verdict, trace: &Trace) {
-        self.traces.push(trace.clone());
+    fn observe(&mut self, _index: usize, _verdict: &Verdict, trace: &LazyTrace<'_>) {
+        self.traces.push(trace.decode());
     }
 }
 
@@ -274,5 +729,108 @@ mod tests {
         assert!(!d.is_forwarded());
         assert_eq!(d.data(), None);
         assert_eq!(DropReason::ParserReject.to_string(), "parser reject");
+    }
+
+    #[test]
+    fn verdict_summary_renders_like_the_old_labels() {
+        let fwd = Verdict::Forward {
+            port: 3,
+            data: vec![0; 64],
+        };
+        assert_eq!(fwd.label(), "Forward { port: 3, len: 64 }");
+        let flood = Verdict::Flood { data: vec![0; 60] };
+        assert_eq!(flood.label(), "Flood { len: 60 }");
+        let drop = Verdict::Drop(DropReason::NoEgress);
+        assert_eq!(drop.label(), "Drop(NoEgress)");
+    }
+
+    #[test]
+    fn flat_buffer_roundtrips_every_record_kind() {
+        let names = TraceTables {
+            states: vec!["start".into(), "parse_ipv4".into()],
+            controls: vec!["ingress".into()],
+            tables: vec!["ipv4_lpm".into()],
+            actions: vec!["fwd".into()],
+            headers: vec!["ethernet".into(), "ipv4".into()],
+        };
+        let mut buf = TraceBuf::default();
+        buf.state(0);
+        buf.extract(0, 0);
+        buf.state(1);
+        buf.extract(1, 112);
+        buf.accept();
+        buf.control(0);
+        buf.table(0, 0, true, &[0xDEAD_BEEF_u128, u128::MAX]);
+        buf.mark_drop();
+        buf.exit();
+        buf.emit(0);
+        buf.final_verdict(&Verdict::Forward {
+            port: 7,
+            data: vec![0; 33],
+        });
+
+        let lazy = LazyTrace::over(&buf, &names);
+        assert!(!lazy.is_empty());
+        assert_eq!(lazy.event_count(), 11);
+        assert!(!lazy.parser_rejected());
+        assert_eq!(
+            lazy.states().collect::<Vec<_>>(),
+            vec!["start", "parse_ipv4"]
+        );
+        assert_eq!(lazy.tables().collect::<Vec<_>>(), vec!["ipv4_lpm"]);
+        assert_eq!(
+            lazy.final_verdict(),
+            Some(VerdictSummary::Forward { port: 7, len: 33 })
+        );
+
+        let t = lazy.decode();
+        assert_eq!(t.events.len(), 11);
+        assert_eq!(
+            t.events[6],
+            TraceEvent::TableApply {
+                table: "ipv4_lpm".into(),
+                keys: vec![0xDEAD_BEEF_u128, u128::MAX],
+                hit: true,
+                action: "fwd".into(),
+            }
+        );
+        assert_eq!(
+            t.events[10],
+            TraceEvent::Final {
+                verdict: VerdictSummary::Forward { port: 7, len: 33 }
+            }
+        );
+
+        // decode_into reuses the allocation and produces the same events.
+        let mut reused = Trace::default();
+        lazy.decode_into(&mut reused);
+        assert_eq!(reused, t);
+
+        // A cleared buffer is an empty trace.
+        buf.clear();
+        let lazy = LazyTrace::over(&buf, &names);
+        assert!(lazy.is_empty());
+        assert_eq!(lazy.event_count(), 0);
+        assert_eq!(lazy.decode(), Trace::default());
+    }
+
+    #[test]
+    fn rejects_surface_through_the_lazy_view() {
+        let names = TraceTables {
+            states: vec!["start".into()],
+            ..TraceTables::default()
+        };
+        let mut buf = TraceBuf::default();
+        buf.state(0);
+        buf.reject();
+        buf.final_verdict(&Verdict::Drop(DropReason::PacketTooShort));
+        let lazy = LazyTrace::over(&buf, &names);
+        assert!(lazy.parser_rejected());
+        assert_eq!(
+            lazy.final_verdict(),
+            Some(VerdictSummary::Drop(DropReason::PacketTooShort))
+        );
+        let t = lazy.decode();
+        assert!(t.parser_rejected());
     }
 }

@@ -16,7 +16,9 @@
 //! *where* a packet disappeared.
 
 use crate::backend::{Backend, Compiled, LatencyModel};
-use netdebug_dataplane::{Dataplane, DropReason, Engine, MeterConfig, Trace, TraceSink, Verdict};
+use netdebug_dataplane::{
+    Dataplane, DropReason, Engine, LazyTrace, MeterConfig, Trace, TraceSink, Verdict,
+};
 use netdebug_p4::ir::IrPattern;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
@@ -750,8 +752,8 @@ struct TapSink<'a> {
 }
 
 impl TraceSink for TapSink<'_> {
-    fn observe(&mut self, _index: usize, _verdict: &Verdict, trace: &Trace) {
-        let summary = self.taps.tap_packet(trace, self.latency);
+    fn observe(&mut self, _index: usize, _verdict: &Verdict, trace: &LazyTrace<'_>) {
+        let summary = self.taps.tap_packet_lazy(trace, self.latency);
         self.summaries.push(summary);
     }
 }
@@ -763,14 +765,32 @@ impl TapState {
     fn tap_packet(&mut self, trace: &Trace, latency: &LatencyModel) -> TapSummary {
         let states = trace.states_visited();
         let tables = trace.tables_applied();
+        self.tap_counts(&states, &tables, latency)
+    }
+
+    /// [`Self::tap_packet`] over the flat record buffer: walks the
+    /// zero-alloc name iterators of a [`LazyTrace`] without ever decoding
+    /// it into [`TraceEvent`](netdebug_dataplane::TraceEvent)s.
+    fn tap_packet_lazy(&mut self, trace: &LazyTrace<'_>, latency: &LatencyModel) -> TapSummary {
+        let states: Vec<&str> = trace.states().collect();
+        let tables: Vec<&str> = trace.tables().collect();
+        self.tap_counts(&states, &tables, latency)
+    }
+
+    fn tap_counts(
+        &mut self,
+        states: &[&str],
+        tables: &[&str],
+        latency: &LatencyModel,
+    ) -> TapSummary {
         let mut last_stage_tap: Option<usize> = None;
-        for s in &states {
+        for s in states {
             if let Some(&i) = self.parser_tap.get(*s) {
                 self.stage_counts[i] += 1;
                 last_stage_tap = Some(i);
             }
         }
-        for t in &tables {
+        for t in tables {
             if let Some(&i) = self.table_tap.get(*t) {
                 self.stage_counts[i] += 1;
                 last_stage_tap = Some(i);
@@ -778,7 +798,7 @@ impl TapState {
         }
         TapSummary {
             last_stage_tap,
-            pipeline_cycles: latency.packet_cycles(&states, &tables),
+            pipeline_cycles: latency.packet_cycles(states, tables),
         }
     }
 

@@ -127,7 +127,8 @@ fn main() {
 
     // Record the numbers for the repo (BENCH_parallel.json at the root).
     let json = format!(
-        "{{\n  \"experiment\": \"parallel_scaling\",\n  \"program\": \"l2_switch\",\n  \"batch\": {BATCH},\n  \"total_packets\": {TOTAL},\n  \"cores\": {cores},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"parallel_scaling\",\n  \"meta\": {},\n  \"program\": \"l2_switch\",\n  \"batch\": {BATCH},\n  \"total_packets\": {TOTAL},\n  \"cores\": {cores},\n  \"results\": [\n{}\n  ]\n}}\n",
+        netdebug_bench::meta_json(BATCH),
         json_rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");

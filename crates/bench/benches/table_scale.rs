@@ -258,7 +258,8 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"experiment\": \"table_scale\",\n  \"probes\": {PROBES},\n  \"cores\": {cores},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"table_scale\",\n  \"meta\": {},\n  \"probes\": {PROBES},\n  \"cores\": {cores},\n  \"results\": [\n{}\n  ]\n}}\n",
+        netdebug_bench::meta_json(PROBES),
         json_rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lookup.json");

@@ -47,3 +47,36 @@ pub fn banner(title: &str) {
     println!("{title}");
     println!("==================================================================");
 }
+
+/// Host core count (1 when undetectable).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Short git revision of the checkout the numbers were taken at, or
+/// `"unknown"` outside a git work tree (tarball builds, sandboxes).
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|rev| rev.trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// The shared metadata block every `BENCH_*.json` artifact embeds as its
+/// `"meta"` member: host cores, the bench's batch size (or equivalent
+/// work unit), and the git revision — enough to judge whether two
+/// artifacts are comparable.
+pub fn meta_json(batch: usize) -> String {
+    format!(
+        "{{\"cores\": {}, \"batch\": {batch}, \"git_rev\": \"{}\"}}",
+        host_cores(),
+        git_rev()
+    )
+}

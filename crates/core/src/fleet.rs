@@ -1,17 +1,20 @@
 //! Multi-device differential fleets.
 //!
 //! The N-backend generalisation of [`crate::differential`]: one generated
-//! window of test packets is fed — **concurrently, one OS thread per
-//! device** — to every deployment in the fleet, and the observed verdicts
-//! are diffed against the fleet's reference member (the first one added).
-//! This is the scenario the paper's comparison use-case gestures at and
-//! Parasol-style parameter sweeps need: the same stimulus against a
-//! reference build, a vendor toolchain, a patched toolchain and any number
-//! of fault-injected variants, in one run.
+//! window of test packets is fed — **concurrently, on the fleet's
+//! persistent [`FleetRuntime`] worker set** — to every deployment in the
+//! fleet, and the observed verdicts are diffed against the fleet's
+//! reference member (the first one added). This is the scenario the
+//! paper's comparison use-case gestures at and Parasol-style parameter
+//! sweeps need: the same stimulus against a reference build, a vendor
+//! toolchain, a patched toolchain and any number of fault-injected
+//! variants, in one run.
 //!
 //! Each device is an independent simulated board, so fleet execution is
-//! embarrassingly parallel; results are joined and diffed in member order,
-//! making reports deterministic regardless of thread scheduling. Each
+//! embarrassingly parallel; the runtime drives each member as a
+//! virtual-time flow (churn ops become seq-keyed triggers, paced frames
+//! coalesce per due instant) and results are joined and diffed in member
+//! order, making reports deterministic regardless of worker count. Each
 //! member's tables carry their own compiled lookup indexes (published
 //! per epoch, see `netdebug_dataplane::LookupIndex`), so churned fleet
 //! runs ([`DifferentialFleet::run_churn`]) recompile per member and per
@@ -21,8 +24,10 @@
 use crate::differential::{outcome_divergence, stages_reached};
 use crate::generator::{Generator, StreamSpec};
 use crate::probes::Probe;
-use netdebug_hw::{Device, Outcome};
+use crate::runtime::{DeviceSink, DeviceTask, FleetRuntime, FlowRun, RuntimeStats};
+use netdebug_hw::{Device, Outcome, Processed};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One divergence between a fleet member and the reference device.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -82,14 +87,29 @@ struct FleetMember {
 /// used to localise divergences.
 type MemberObservations = Vec<(Outcome, Vec<String>)>;
 
+/// [`DeviceSink`] that records the window-path observation per packet:
+/// the outcome and the last stage the member's pipeline reached.
+struct FleetSink {
+    obs: MemberObservations,
+}
+
+impl DeviceSink for FleetSink {
+    fn on_packet(&mut self, _flow: u32, _seq: u64, p: Processed) {
+        self.obs.push((p.outcome, vec![p.last_stage]));
+    }
+}
+
 /// A set of deployed devices that receive identical stimuli.
 ///
 /// The first member added is the **reference** (conventionally the
 /// [`netdebug_hw::Backend::reference`] build); every other member is
-/// diffed against it.
+/// diffed against it. Members execute on a persistent [`FleetRuntime`]
+/// worker set that survives across windows and runs.
 #[derive(Default)]
 pub struct DifferentialFleet {
     members: Vec<FleetMember>,
+    runtime: FleetRuntime,
+    last_stats: RuntimeStats,
 }
 
 impl DifferentialFleet {
@@ -149,12 +169,41 @@ impl DifferentialFleet {
         Ok(())
     }
 
+    /// Number of OS threads the fleet's runtime targets.
+    pub fn runtime_workers(&self) -> usize {
+        self.runtime.target_workers()
+    }
+
+    /// Retarget the fleet's persistent runtime at `workers` OS threads
+    /// (clamped to at least 1). The existing worker set is joined and the
+    /// next run spawns at most `workers` fresh threads; outputs are
+    /// bit-identical at any setting.
+    pub fn set_runtime_workers(&mut self, workers: usize) {
+        if workers.max(1) != self.runtime.target_workers() {
+            self.runtime = FleetRuntime::new(workers);
+        }
+    }
+
+    /// Pool threads the runtime has actually spawned so far (they are
+    /// created lazily and reused across windows, like
+    /// `Device::pool_workers` for shards).
+    pub fn runtime_pool_workers(&self) -> usize {
+        self.runtime.pool_workers()
+    }
+
+    /// Observability counters from the most recent fleet run, summed over
+    /// members: scheduled instants, coalesced-batch sizes, ready-queue
+    /// depth and wheel cascades.
+    pub fn runtime_stats(&self) -> RuntimeStats {
+        self.last_stats
+    }
+
     /// Generate **one** window from `spec` and feed the identical frames
-    /// to every device concurrently (one scoped thread per member, each
-    /// running the batched internal path). Outcomes are joined in member
-    /// order and every member's packet-by-packet behaviour is diffed
-    /// against the reference; the member's last-stage taps localise any
-    /// divergence.
+    /// to every device concurrently (each member is a task on the fleet's
+    /// persistent runtime, running the batched internal path). Outcomes
+    /// are joined in member order and every member's packet-by-packet
+    /// behaviour is diffed against the reference; the member's last-stage
+    /// taps localise any divergence.
     pub fn run_window(&mut self, spec: &StreamSpec) -> FleetReport {
         self.run_churn(spec, &crate::churn::ChurnSchedule::new(), spec.count.max(1))
             .expect("an empty churn schedule cannot fail")
@@ -165,12 +214,14 @@ impl DifferentialFleet {
     /// applies the identical [`crate::churn::ChurnSchedule`] ops keyed to
     /// `w` through its epoch-snapshot control plane — so rule churn lands
     /// at the same stream offset on every member and their verdicts stay
-    /// comparable packet by packet. Members still run concurrently (one
-    /// scoped thread each, batched injection, sharded when configured).
-    /// A schedule keying an op to a window the stream never runs is
-    /// rejected up front
+    /// comparable packet by packet. Members run concurrently on the
+    /// fleet's persistent [`FleetRuntime`]: each member becomes one
+    /// virtual-time flow whose churn ops are seq-keyed triggers, so churn
+    /// epochs land at the same scheduled virtual instant on every device
+    /// regardless of worker count. A schedule keying an op to a window
+    /// the stream never runs is rejected up front
     /// ([`crate::churn::ChurnError::UnreachableWindow`]); the first
-    /// rejected control-plane op on any member aborts the run.
+    /// rejected control-plane op (in member order) aborts the run.
     pub fn run_churn(
         &mut self,
         spec: &StreamSpec,
@@ -185,72 +236,108 @@ impl DifferentialFleet {
             .map(|m| Generator::gap_cycles(spec, m.device.config().core_clock_hz))
             .unwrap_or(0);
         // One generator builds every window: all members see identical
-        // frames at identical stream offsets.
+        // frames at identical stream offsets. Windows are stamped from
+        // cycle 0, exactly as the per-window loop always built them.
         let mut generator = Generator::new();
-        let mut windows = Vec::new();
+        let mut frames = Vec::with_capacity(spec.count as usize);
         let mut seq = 0u64;
         while seq < spec.count {
             let n = window.min(spec.count - seq);
-            windows.push(generator.build_batch(spec, seq, n, 0, gap));
+            frames.extend(generator.build_batch(spec, seq, n, 0, gap));
             seq += n;
         }
+        let frames = Arc::new(frames);
+        // Window-keyed churn ops become seq-keyed triggers on every
+        // member's flow (stable sort keeps schedule order per window).
+        let mut triggers: Vec<(u64, crate::churn::ChurnOp)> = schedule
+            .ops
+            .iter()
+            .map(|(w, op)| (w * window, op.clone()))
+            .collect();
+        triggers.sort_by_key(|(s, _)| *s);
 
-        let per_member: Vec<Result<MemberObservations, netdebug_dataplane::ControlError>> =
-            std::thread::scope(|scope| {
-                let workers: Vec<_> = self
-                    .members
-                    .iter_mut()
-                    .map(|m| {
-                        let windows = &windows;
-                        scope.spawn(move || {
-                            let mut out = Vec::new();
-                            for (w, win) in windows.iter().enumerate() {
-                                schedule.apply_for_window(w as u64, &mut m.device)?;
-                                let frames: Vec<&[u8]> =
-                                    win.iter().map(|p| p.data.as_slice()).collect();
-                                out.extend(
-                                    m.device
-                                        .inject_batch(spec.as_port, &frames, gap)
-                                        .into_iter()
-                                        .map(|p| (p.outcome, vec![p.last_stage])),
-                                );
-                            }
-                            Ok(out)
-                        })
-                    })
-                    .collect();
-                workers
-                    .into_iter()
-                    .map(|w| w.join().expect("fleet worker panicked"))
-                    .collect()
+        let members = std::mem::take(&mut self.members);
+        let mut labels = Vec::with_capacity(members.len());
+        let tasks: Vec<DeviceTask<FleetSink>> = members
+            .into_iter()
+            .map(|m| {
+                labels.push(m.label);
+                let flow = FlowRun {
+                    id: u32::from(spec.stream),
+                    as_port: spec.as_port,
+                    frames: Arc::clone(&frames),
+                    origin: m.device.now(),
+                    gap,
+                    triggers: triggers.clone(),
+                };
+                DeviceTask {
+                    device: m.device,
+                    flows: vec![flow],
+                    sink: FleetSink {
+                        obs: Vec::with_capacity(spec.count as usize),
+                    },
+                }
+            })
+            .collect();
+        let done = self.runtime.run(tasks);
+
+        // Devices come back in task order — restore them (and the labels)
+        // before deciding pass/fail, so a churn error never loses a member.
+        let mut per_member = Vec::with_capacity(done.len());
+        let mut stats = RuntimeStats::default();
+        let mut first_err: Option<netdebug_dataplane::ControlError> = None;
+        for (label, d) in labels.into_iter().zip(done) {
+            stats.absorb(&d.stats);
+            self.members.push(FleetMember {
+                label,
+                device: d.device,
             });
-        let per_member = per_member.into_iter().collect::<Result<Vec<_>, _>>()?;
+            match d.result {
+                Ok(()) => per_member.push(d.sink.obs),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        self.last_stats = stats;
+        if let Some(e) = first_err {
+            return Err(e.into());
+        }
         let packets = per_member.first().map(|r| r.len()).unwrap_or(0);
         Ok(self.diff(per_member, packets))
     }
 
     /// Run a probe set through every device concurrently and diff, with
     /// full per-probe stage sets (the probe path injects one packet at a
-    /// time so each probe's tap delta is attributable).
+    /// time so each probe's tap delta is attributable). Probe jobs run on
+    /// the same persistent runtime workers as the window path.
     pub fn diff_probes(&mut self, probes: &[Probe]) -> FleetReport {
-        let per_member: Vec<Vec<(Outcome, Vec<String>)>> = std::thread::scope(|scope| {
-            let workers: Vec<_> = self
-                .members
-                .iter_mut()
-                .map(|m| {
-                    scope.spawn(move || {
-                        probes
-                            .iter()
-                            .map(|p| stages_reached(&mut m.device, 0, &p.data))
-                            .collect()
-                    })
-                })
-                .collect();
-            workers
-                .into_iter()
-                .map(|w| w.join().expect("fleet worker panicked"))
-                .collect()
-        });
+        let probes_shared: Arc<Vec<Probe>> = Arc::new(probes.to_vec());
+        let members = std::mem::take(&mut self.members);
+        let mut labels = Vec::with_capacity(members.len());
+        let jobs: Vec<_> = members
+            .into_iter()
+            .map(|m| {
+                labels.push(m.label);
+                let probes = Arc::clone(&probes_shared);
+                let mut device = m.device;
+                move || {
+                    let obs: MemberObservations = probes
+                        .iter()
+                        .map(|p| stages_reached(&mut device, 0, &p.data))
+                        .collect();
+                    (device, obs)
+                }
+            })
+            .collect();
+        let results = self.runtime.execute(jobs);
+        let mut per_member = Vec::with_capacity(results.len());
+        for (label, (device, obs)) in labels.into_iter().zip(results) {
+            self.members.push(FleetMember { label, device });
+            per_member.push(obs);
+        }
         self.diff(per_member, probes.len())
     }
 
@@ -388,6 +475,55 @@ mod tests {
         let a = plain.run_window(&spec);
         let b = sharded.run_window(&spec);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn runtime_workers_are_reused_across_windows() {
+        // Like `pool_workers` for shards: the fleet's worker set spawns
+        // lazily on first use and is reused by every subsequent window —
+        // no per-window thread churn.
+        let mut fleet = three_member_fleet();
+        fleet.set_runtime_workers(3);
+        assert_eq!(fleet.runtime_workers(), 3);
+        assert_eq!(fleet.runtime_pool_workers(), 0, "workers spawn lazily");
+        let spec = StreamSpec::simple(1, frame(5), 8, Expectation::Any);
+        fleet.run_window(&spec);
+        let spawned = fleet.runtime_pool_workers();
+        assert_eq!(spawned, 3, "three members wake all three workers");
+        for _ in 0..4 {
+            fleet.run_window(&spec);
+        }
+        assert_eq!(
+            fleet.runtime_pool_workers(),
+            spawned,
+            "repeat windows reuse the same threads"
+        );
+        let stats = fleet.runtime_stats();
+        assert_eq!(stats.packets, 3 * 8, "last run drove 8 packets per member");
+        assert!(stats.dispatches >= 3, "at least one dispatch per member");
+    }
+
+    #[test]
+    fn worker_counts_do_not_change_fleet_reports() {
+        // The determinism contract: identical fleets, worker counts 1..=4,
+        // byte-identical reports (verdicts, stages, divergence order).
+        let spec = StreamSpec::simple(3, frame(5), 24, Expectation::Any);
+        let schedule = crate::churn::ChurnSchedule::new().before_window(
+            1,
+            crate::churn::ChurnOp::Clear {
+                table: "ipv4_lpm".into(),
+            },
+        );
+        let mut reference: Option<FleetReport> = None;
+        for workers in 1..=4 {
+            let mut fleet = three_member_fleet();
+            fleet.set_runtime_workers(workers);
+            let report = fleet.run_churn(&spec, &schedule, 8).unwrap();
+            match &reference {
+                None => reference = Some(report),
+                Some(r) => assert_eq!(r, &report, "workers={workers} diverged"),
+            }
+        }
     }
 
     #[test]

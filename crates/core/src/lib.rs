@@ -36,6 +36,10 @@
 //! * [`churn`] — rule churn under load: scripted control-plane mutations
 //!   interleaved with traffic windows (epoch-snapshot tables keep the
 //!   traffic on the parallel path throughout);
+//! * [`runtime`] — the virtual-time event-loop fleet runtime: a timer
+//!   wheel over device cycles, same-instant injection coalescing, and a
+//!   persistent worker set that multiplexes hundreds of devices onto a
+//!   few threads with bit-reproducible ordering;
 //! * [`usecases`] — one measurable driver per §3 use-case, plus the
 //!   Figure 2 coverage matrix.
 //!
@@ -79,6 +83,7 @@ pub mod fleet;
 pub mod generator;
 pub mod localize;
 pub mod probes;
+pub mod runtime;
 pub mod session;
 pub mod usecases;
 
@@ -86,4 +91,5 @@ pub use checker::{Checker, StreamStats, Violation};
 pub use fleet::{DifferentialFleet, FleetDivergence, FleetReport};
 pub use generator::{Expectation, FieldSweep, Generator, StreamSpec};
 pub use localize::{localize, Localization};
+pub use runtime::{DeviceSink, DeviceTask, FleetRuntime, FlowRun, RuntimeStats};
 pub use session::{NetDebug, SessionReport};

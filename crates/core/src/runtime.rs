@@ -1,0 +1,824 @@
+//! The virtual-time event-loop fleet runtime.
+//!
+//! Every [`netdebug_hw::Device`] keeps its own virtual clock, and before
+//! this module each paced stream serialised packet-at-a-time on that
+//! clock while `DifferentialFleet` burned one OS thread per device per
+//! window. The runtime replaces both with an **event loop over virtual
+//! device cycles**: each device owns a hierarchical timer wheel holding
+//! one entry per active flow, the loop pops the earliest pending virtual
+//! instant, coalesces *every* injection due at that instant into one
+//! batch-engine dispatch ([`netdebug_hw::Device::inject_batch_at`]), and
+//! a small fixed pool of persistent workers ([`FleetRuntime`]) multiplexes
+//! hundreds of devices — tens of thousands of paced flows — onto a few OS
+//! threads.
+//!
+//! ## Determinism contract
+//!
+//! Runs are **bit-reproducible regardless of worker count**. Devices are
+//! independent, so cross-device parallelism cannot reorder anything a
+//! device observes; within a device the loop fixes a total order:
+//! virtual time first, then flow (declaration order), then sequence
+//! number. Results are joined in task (device) order, so verdicts, taps,
+//! stats and drop counters from a 4-worker run are byte-identical to the
+//! 1-worker (fully inline) run — property-tested against the sequential
+//! one-device-at-a-time reference in `tests/prop.rs`.
+//!
+//! ## Churn epochs in virtual time
+//!
+//! A [`FlowRun`] carries churn triggers keyed to sequence numbers: when
+//! the loop reaches trigger seq `s` it flushes every frame already
+//! emitted, applies the scheduled [`ChurnOp`]s (atomic epoch
+//! publications), and only then dispatches `s` — so churn epochs land at
+//! scheduled virtual times across the whole fleet, identically on every
+//! member and at every worker count.
+
+use crate::churn::ChurnOp;
+use crate::generator::GeneratedPacket;
+use netdebug_dataplane::ControlError;
+use netdebug_hw::{Device, Processed};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Default coalesced-dispatch cap: the event loop flushes its pending
+/// frames to the device at least this often, matching the historical
+/// 256-packet stream window so batch-engine arena sizes stay bounded.
+pub const DEFAULT_MAX_BATCH: usize = 256;
+
+/// One paced (or back-to-back) stream of pre-built frames aimed at a
+/// device, plus the churn triggers scheduled against it.
+#[derive(Debug, Clone)]
+pub struct FlowRun {
+    /// Caller-chosen flow label, handed back to the [`DeviceSink`] with
+    /// every packet (it does not affect scheduling order — flows fire in
+    /// declaration order within an instant).
+    pub id: u32,
+    /// Ingress port every frame of this flow impersonates.
+    pub as_port: u16,
+    /// The frames, in sequence order. Shared so a fleet can aim one
+    /// generated stimulus at hundreds of devices without copying it.
+    pub frames: Arc<Vec<GeneratedPacket>>,
+    /// Virtual-cycle origin: with `gap > 0`, frame `k` is due at
+    /// `origin + gap * (k + 1)` — exactly the clock the historical
+    /// advance-then-inject loop produced; with `gap == 0` every frame is
+    /// due at `origin` (back-to-back).
+    pub origin: u64,
+    /// Inter-packet gap in device cycles (0 = back-to-back).
+    pub gap: u64,
+    /// Churn triggers: `(seq, op)` pairs, sorted by seq. Ops for seq `s`
+    /// publish after frame `s - 1` is dispatched and before frame `s` is.
+    pub triggers: Vec<(u64, ChurnOp)>,
+}
+
+impl FlowRun {
+    /// A plain flow: no pacing gap means every frame is due at `origin`.
+    pub fn new(id: u32, as_port: u16, frames: Arc<Vec<GeneratedPacket>>) -> Self {
+        FlowRun {
+            id,
+            as_port,
+            frames,
+            origin: 0,
+            gap: 0,
+            triggers: Vec::new(),
+        }
+    }
+
+    /// The virtual cycle frame `seq` is due at.
+    pub fn due(&self, seq: u64) -> u64 {
+        if self.gap == 0 {
+            self.origin
+        } else {
+            self.origin + self.gap * (seq + 1)
+        }
+    }
+}
+
+/// Consumer of a device's processed packets, called in the runtime's
+/// deterministic order (virtual time, then flow, then seq).
+pub trait DeviceSink {
+    /// One packet of `flow` (the [`FlowRun::id`]) finished processing.
+    fn on_packet(&mut self, flow: u32, seq: u64, p: Processed);
+}
+
+/// Observability counters for one event-loop run (or, via
+/// [`FleetRuntime::stats`], accumulated across a whole fleet). These sit
+/// alongside the existing `sharded_batches`/`pool_workers` counters one
+/// layer down.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Distinct virtual instants the loop dispatched at.
+    pub instants: u64,
+    /// Packets emitted through the event loop.
+    pub packets: u64,
+    /// Coalesced dispatches into the device (each one batch-engine call
+    /// chain via `inject_batch_at`).
+    pub dispatches: u64,
+    /// Largest number of flows ready at one virtual instant (ready-queue
+    /// depth).
+    pub max_ready_depth: u64,
+    /// Largest coalesced dispatch, in frames.
+    pub max_batch: u64,
+    /// Timer-wheel cascades (an upper-level slot drained and re-filed).
+    pub wheel_cascades: u64,
+}
+
+impl RuntimeStats {
+    /// Fold another run's counters into this one (sums, maxima for the
+    /// depth/batch watermarks).
+    pub fn absorb(&mut self, other: &RuntimeStats) {
+        self.instants += other.instants;
+        self.packets += other.packets;
+        self.dispatches += other.dispatches;
+        self.max_ready_depth = self.max_ready_depth.max(other.max_ready_depth);
+        self.max_batch = self.max_batch.max(other.max_batch);
+        self.wheel_cascades += other.wheel_cascades;
+    }
+
+    /// Mean frames per coalesced dispatch.
+    pub fn mean_batch(&self) -> f64 {
+        if self.dispatches == 0 {
+            0.0
+        } else {
+            self.packets as f64 / self.dispatches as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hierarchical timer wheel
+// ---------------------------------------------------------------------
+
+const WHEEL_BITS: u32 = 8;
+const WHEEL_SLOTS: usize = 1 << WHEEL_BITS;
+const WHEEL_LEVELS: usize = 4;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TimerEntry {
+    due: u64,
+    flow: u32,
+}
+
+/// A 4-level × 256-slot hierarchical timer wheel over virtual device
+/// cycles. Level 0 is cycle-granular; each level up covers 256× the span
+/// below it; anything further than `2^32` cycles out waits in an overflow
+/// list. `pop_next` returns all entries due at the earliest pending
+/// instant, cascading upper-level slots down only when the near wheel is
+/// empty — entries never sit more than one cascade away from exact
+/// placement because the clock jumps straight to the next due instant.
+struct TimerWheel {
+    slots: Vec<Vec<TimerEntry>>,
+    overflow: Vec<TimerEntry>,
+    now: u64,
+    pending: usize,
+    cascades: u64,
+}
+
+impl TimerWheel {
+    fn new(now: u64) -> Self {
+        TimerWheel {
+            slots: (0..WHEEL_LEVELS * WHEEL_SLOTS)
+                .map(|_| Vec::new())
+                .collect(),
+            overflow: Vec::new(),
+            now,
+            pending: 0,
+            cascades: 0,
+        }
+    }
+
+    /// File `flow` to fire at `due` (clamped to `now`: virtual time never
+    /// runs backwards).
+    fn schedule(&mut self, due: u64, flow: u32) {
+        let due = due.max(self.now);
+        self.pending += 1;
+        let delta = due - self.now;
+        let entry = TimerEntry { due, flow };
+        for level in 0..WHEEL_LEVELS {
+            let span_bits = WHEEL_BITS * (level as u32 + 1);
+            if delta < (1u64 << span_bits) {
+                let slot =
+                    ((due >> (WHEEL_BITS * level as u32)) & (WHEEL_SLOTS as u64 - 1)) as usize;
+                self.slots[level * WHEEL_SLOTS + slot].push(entry);
+                return;
+            }
+        }
+        self.overflow.push(entry);
+    }
+
+    /// Pop every entry due at the earliest pending instant into `out`
+    /// (sorted by flow), advancing `now` to that instant. Returns the
+    /// instant, or `None` when nothing is pending.
+    fn pop_next(&mut self, out: &mut Vec<TimerEntry>) -> Option<u64> {
+        out.clear();
+        if self.pending == 0 {
+            return None;
+        }
+        loop {
+            // Near wheel: level 0 holds at most the next 256 cycles, and
+            // every entry in slot (now + i) & 255 is due exactly at
+            // now + i — the first non-empty slot in time order is the
+            // near minimum. (It is NOT necessarily the global minimum:
+            // an upper-level entry filed long ago can be due sooner.)
+            let mut near: Option<u64> = None;
+            for i in 0..WHEEL_SLOTS as u64 {
+                let t = self.now + i;
+                let slot = (t & (WHEEL_SLOTS as u64 - 1)) as usize;
+                if !self.slots[slot].is_empty() {
+                    near = Some(t);
+                    break;
+                }
+            }
+            // Far wheels: find the earliest pending due across the upper
+            // levels and the overflow list. Within a level, buckets in
+            // time order from `now` hold the level's earliest entries, so
+            // the first non-empty *absolute* bucket (slot index alone can
+            // alias near and far entries) bounds that level's minimum.
+            let mut far: Option<(u64, usize, u64)> = None; // (due, level, bucket)
+            for level in 1..WHEEL_LEVELS {
+                let shift = WHEEL_BITS * level as u32;
+                let base = self.now >> shift;
+                for j in 0..=WHEEL_SLOTS as u64 {
+                    let bucket = base + j;
+                    let slot = (bucket & (WHEEL_SLOTS as u64 - 1)) as usize;
+                    let min = self.slots[level * WHEEL_SLOTS + slot]
+                        .iter()
+                        .filter(|e| (e.due >> shift) == bucket)
+                        .map(|e| e.due)
+                        .min();
+                    if let Some(due) = min {
+                        if far.is_none_or(|(d, _, _)| due < d) {
+                            far = Some((due, level, bucket));
+                        }
+                        break;
+                    }
+                }
+            }
+            if let Some(due) = self.overflow.iter().map(|e| e.due).min() {
+                if far.is_none_or(|(d, _, _)| due < d) {
+                    far = Some((due, WHEEL_LEVELS, 0));
+                }
+            }
+            // Drain level 0 only when it is *strictly* earliest —
+            // otherwise a far entry due at (or before) the near minimum
+            // must cascade down first, so every entry at one instant
+            // coalesces into one pop and `now` never overshoots a
+            // pending due.
+            if let Some(t) = near {
+                if far.is_none_or(|(d, _, _)| t < d) {
+                    self.now = t;
+                    let slot = (t & (WHEEL_SLOTS as u64 - 1)) as usize;
+                    out.append(&mut self.slots[slot]);
+                    self.pending -= out.len();
+                    out.sort_unstable_by_key(|e| e.flow);
+                    return Some(t);
+                }
+            }
+            let (due, level, bucket) =
+                far.expect("pending entries must be filed somewhere in the wheel");
+            // Jump to the far minimum (nothing is pending earlier) and
+            // cascade the winning slot down; its minimum lands in level 0
+            // and the next lap drains it together with anything already
+            // there at the same instant.
+            self.now = due;
+            self.cascades += 1;
+            let drained: Vec<TimerEntry> = if level == WHEEL_LEVELS {
+                std::mem::take(&mut self.overflow)
+            } else {
+                let shift = WHEEL_BITS * level as u32;
+                let slot = (bucket & (WHEEL_SLOTS as u64 - 1)) as usize;
+                let vec = &mut self.slots[level * WHEEL_SLOTS + slot];
+                let mut matching = Vec::with_capacity(vec.len());
+                let mut rest = Vec::new();
+                for e in vec.drain(..) {
+                    if (e.due >> shift) == bucket {
+                        matching.push(e);
+                    } else {
+                        rest.push(e);
+                    }
+                }
+                *vec = rest;
+                matching
+            };
+            self.pending -= drained.len();
+            for e in drained {
+                self.schedule(e.due, e.flow);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-device event loop
+// ---------------------------------------------------------------------
+
+struct FlowCursor {
+    next_seq: u64,
+    trigger: usize,
+}
+
+fn flush<S: DeviceSink + ?Sized>(
+    device: &mut Device,
+    pkts: &mut Vec<(u16, &[u8])>,
+    dues: &mut Vec<u64>,
+    meta: &mut Vec<(u32, u64)>,
+    sink: &mut S,
+    stats: &mut RuntimeStats,
+) {
+    if pkts.is_empty() {
+        return;
+    }
+    stats.dispatches += 1;
+    stats.packets += pkts.len() as u64;
+    stats.max_batch = stats.max_batch.max(pkts.len() as u64);
+    let labels: &[(u32, u64)] = meta;
+    device.inject_batch_at(pkts, dues, |i, p| {
+        let (flow, seq) = labels[i];
+        sink.on_packet(flow, seq, p);
+    });
+    pkts.clear();
+    dues.clear();
+    meta.clear();
+}
+
+/// Drive one device's flows to completion on the **caller's thread**: the
+/// single-device core of the runtime (a [`FleetRuntime`] runs one of
+/// these per device task). Emission order is the determinism contract —
+/// virtual time, then flow declaration order, then seq — and every run of
+/// frames due at one instant coalesces into batch-engine dispatches of at
+/// most `max_batch` frames. Churn triggers flush pending frames, publish
+/// their epochs, then emission resumes; the first rejected op aborts the
+/// run (frames dispatched before it have already been accounted and
+/// delivered to `sink`).
+pub fn drive_device<S: DeviceSink + ?Sized>(
+    device: &mut Device,
+    flows: &[FlowRun],
+    max_batch: usize,
+    sink: &mut S,
+) -> (RuntimeStats, Result<(), ControlError>) {
+    let max_batch = max_batch.max(1);
+    let mut stats = RuntimeStats::default();
+    let mut cursors: Vec<FlowCursor> = flows
+        .iter()
+        .map(|_| FlowCursor {
+            next_seq: 0,
+            trigger: 0,
+        })
+        .collect();
+    let mut pkts: Vec<(u16, &[u8])> = Vec::new();
+    let mut dues: Vec<u64> = Vec::new();
+    let mut meta: Vec<(u32, u64)> = Vec::new();
+
+    // Single-flow fast path: the wheel degenerates to "next seq" — skip
+    // it entirely so paced single-stream drivers (NetDebug sessions,
+    // fleet members) pay no scheduling overhead per packet. Emission
+    // order is identical by construction.
+    if flows.len() == 1 {
+        let flow = &flows[0];
+        let cur = &mut cursors[0];
+        let count = flow.frames.len() as u64;
+        let mut last_due: Option<u64> = None;
+        while cur.next_seq < count {
+            let s = cur.next_seq;
+            while cur.trigger < flow.triggers.len() && flow.triggers[cur.trigger].0 <= s {
+                let t = cur.trigger;
+                cur.trigger += 1;
+                flush(device, &mut pkts, &mut dues, &mut meta, sink, &mut stats);
+                if let Err(e) = flow.triggers[t].1.apply(device) {
+                    return (stats, Err(e));
+                }
+            }
+            let due = flow.due(s);
+            if last_due != Some(due) {
+                stats.instants += 1;
+                last_due = Some(due);
+            }
+            pkts.push((flow.as_port, flow.frames[s as usize].data.as_slice()));
+            dues.push(due);
+            meta.push((flow.id, s));
+            cur.next_seq += 1;
+            if pkts.len() >= max_batch {
+                flush(device, &mut pkts, &mut dues, &mut meta, sink, &mut stats);
+            }
+        }
+        flush(device, &mut pkts, &mut dues, &mut meta, sink, &mut stats);
+        stats.max_ready_depth = stats.max_ready_depth.max(u64::from(!flows.is_empty()));
+        return (stats, Ok(()));
+    }
+
+    let mut wheel = TimerWheel::new(device.now());
+    for (i, flow) in flows.iter().enumerate() {
+        if !flow.frames.is_empty() {
+            wheel.schedule(flow.due(0), i as u32);
+        }
+    }
+    let mut ready: Vec<TimerEntry> = Vec::new();
+    while let Some(instant) = wheel.pop_next(&mut ready) {
+        stats.instants += 1;
+        stats.max_ready_depth = stats.max_ready_depth.max(ready.len() as u64);
+        for entry in &ready {
+            let fi = entry.flow as usize;
+            let flow = &flows[fi];
+            let count = flow.frames.len() as u64;
+            loop {
+                let s = cursors[fi].next_seq;
+                while cursors[fi].trigger < flow.triggers.len()
+                    && flow.triggers[cursors[fi].trigger].0 <= s
+                {
+                    let t = cursors[fi].trigger;
+                    cursors[fi].trigger += 1;
+                    flush(device, &mut pkts, &mut dues, &mut meta, sink, &mut stats);
+                    if let Err(e) = flow.triggers[t].1.apply(device) {
+                        stats.wheel_cascades += wheel.cascades;
+                        return (stats, Err(e));
+                    }
+                }
+                if s >= count || flow.due(s) != instant {
+                    break;
+                }
+                pkts.push((flow.as_port, flow.frames[s as usize].data.as_slice()));
+                dues.push(instant);
+                meta.push((flow.id, s));
+                cursors[fi].next_seq += 1;
+                if pkts.len() >= max_batch {
+                    flush(device, &mut pkts, &mut dues, &mut meta, sink, &mut stats);
+                }
+            }
+            if cursors[fi].next_seq < count {
+                wheel.schedule(flow.due(cursors[fi].next_seq), entry.flow);
+            }
+        }
+        // Flush at the instant boundary: dispatches never span a clock
+        // step, so `inject_batch_at` groups stay whole-instant batches.
+        flush(device, &mut pkts, &mut dues, &mut meta, sink, &mut stats);
+    }
+    stats.wheel_cascades = wheel.cascades;
+    (stats, Ok(()))
+}
+
+// ---------------------------------------------------------------------
+// The persistent worker fleet
+// ---------------------------------------------------------------------
+
+/// One device's work order for [`FleetRuntime::run`]: the device (moved
+/// in, always handed back), its flows, and the sink its packets stream
+/// into.
+pub struct DeviceTask<S> {
+    /// The device under test.
+    pub device: Device,
+    /// Flows aimed at it.
+    pub flows: Vec<FlowRun>,
+    /// Packet consumer.
+    pub sink: S,
+}
+
+/// What one [`DeviceTask`] came back as: the device and sink (returned
+/// even when a churn op failed, so fleets can restore their members), the
+/// run's counters, and the run outcome.
+pub struct DeviceDone<S> {
+    /// The device, clock advanced past its last dispatched instant.
+    pub device: Device,
+    /// The sink, holding whatever it accumulated.
+    pub sink: S,
+    /// Event-loop counters for this device.
+    pub stats: RuntimeStats,
+    /// `Err` if a churn trigger was rejected mid-run.
+    pub result: Result<(), ControlError>,
+}
+
+type PoolJob = Box<dyn FnOnce() + Send>;
+
+struct PoolWorker {
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A persistent, lazily-spawned worker set that multiplexes any number of
+/// [`DeviceTask`]s onto at most `workers` OS threads (mirroring the shard
+/// pool in `netdebug_dataplane::pool`, but untyped so one pool serves
+/// every task shape). Workers survive across runs — a fleet no longer
+/// spawns fresh threads every window — and are joined on drop. With
+/// `workers <= 1` (or a single task) everything runs inline on the
+/// caller's thread: no threads, identical results, which is what makes
+/// the 1-worker run the reference for the determinism contract.
+pub struct FleetRuntime {
+    target: usize,
+    max_batch: usize,
+    job_tx: Sender<PoolJob>,
+    job_rx: Arc<Mutex<Receiver<PoolJob>>>,
+    workers: Vec<PoolWorker>,
+    stats: RuntimeStats,
+    runs: u64,
+}
+
+impl std::fmt::Debug for FleetRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetRuntime")
+            .field("target", &self.target)
+            .field("workers", &self.workers.len())
+            .field("runs", &self.runs)
+            .finish()
+    }
+}
+
+impl Default for FleetRuntime {
+    fn default() -> Self {
+        Self::with_default_workers()
+    }
+}
+
+impl FleetRuntime {
+    /// A runtime targeting exactly `workers` OS threads (min 1; 1 = fully
+    /// inline).
+    pub fn new(workers: usize) -> Self {
+        let (job_tx, job_rx) = channel::<PoolJob>();
+        FleetRuntime {
+            target: workers.max(1),
+            max_batch: DEFAULT_MAX_BATCH,
+            job_tx,
+            job_rx: Arc::new(Mutex::new(job_rx)),
+            workers: Vec::new(),
+            stats: RuntimeStats::default(),
+            runs: 0,
+        }
+    }
+
+    /// A runtime sized for this host: `min(4, available cores)` workers.
+    pub fn with_default_workers() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::new(cores.min(4))
+    }
+
+    /// The worker-count target.
+    pub fn target_workers(&self) -> usize {
+        self.target
+    }
+
+    /// OS threads currently alive (0 until the first multi-task run;
+    /// observability for the reuse regression tests, like
+    /// `Dataplane::pool_workers`).
+    pub fn pool_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Coalesced-dispatch cap handed to every device loop.
+    pub fn set_max_batch(&mut self, max_batch: usize) {
+        self.max_batch = max_batch.max(1);
+    }
+
+    /// Runs completed.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Counters accumulated across every task of every run.
+    pub fn stats(&self) -> RuntimeStats {
+        self.stats
+    }
+
+    fn ensure(&mut self, workers: usize) {
+        while self.workers.len() < workers {
+            let rx = Arc::clone(&self.job_rx);
+            let idx = self.workers.len();
+            let handle = std::thread::Builder::new()
+                .name(format!("netdebug-fleet-{idx}"))
+                .spawn(move || loop {
+                    // Hold the lock only while receiving; execution happens
+                    // unlocked so idle workers can pick up the next job.
+                    let job = {
+                        let guard = rx.lock().expect("fleet job queue poisoned");
+                        guard.recv()
+                    };
+                    match job {
+                        Ok(job) => job(),
+                        Err(_) => break,
+                    }
+                })
+                .expect("spawn fleet runtime worker");
+            self.workers.push(PoolWorker {
+                handle: Some(handle),
+            });
+        }
+    }
+
+    /// Run arbitrary per-device jobs on the persistent worker set and
+    /// collect their results **in job order**. Jobs run inline when a
+    /// single worker is targeted (or there is only one job); otherwise
+    /// they are dealt to the workers and collected by index. A panicking
+    /// job panics the caller, like the scoped joins this replaces.
+    ///
+    /// [`FleetRuntime::run`] is built on this; it is also the untyped
+    /// escape hatch for device-shaped work that is not flow-driven
+    /// (e.g. probe diffing).
+    pub fn execute<R, F>(&mut self, jobs: Vec<F>) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        let n = jobs.len();
+        if self.target <= 1 || n <= 1 {
+            return jobs.into_iter().map(|job| job()).collect();
+        }
+        self.ensure(self.target.min(n));
+        let (result_tx, result_rx) = channel::<(usize, std::thread::Result<R>)>();
+        for (i, job) in jobs.into_iter().enumerate() {
+            let tx = result_tx.clone();
+            let boxed: PoolJob = Box::new(move || {
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                let _ = tx.send((i, out));
+            });
+            self.job_tx.send(boxed).expect("fleet worker queue closed");
+        }
+        drop(result_tx);
+        let mut slots: Vec<Option<R>> = Vec::new();
+        slots.resize_with(n, || None);
+        for _ in 0..n {
+            let (i, res) = result_rx
+                .recv()
+                .expect("fleet runtime result channel closed");
+            match res {
+                Ok(out) => slots[i] = Some(out),
+                Err(_) => panic!("fleet runtime device task panicked"),
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job reports exactly once"))
+            .collect()
+    }
+
+    /// Run every task and hand the devices back **in task order** — the
+    /// deterministic cross-device ordering (task index is the device id).
+    pub fn run<S>(&mut self, tasks: Vec<DeviceTask<S>>) -> Vec<DeviceDone<S>>
+    where
+        S: DeviceSink + Send + 'static,
+    {
+        self.runs += 1;
+        let max_batch = self.max_batch;
+        let jobs: Vec<_> = tasks
+            .into_iter()
+            .map(|mut task| {
+                move || {
+                    let (stats, result) =
+                        drive_device(&mut task.device, &task.flows, max_batch, &mut task.sink);
+                    DeviceDone {
+                        device: task.device,
+                        sink: task.sink,
+                        stats,
+                        result,
+                    }
+                }
+            })
+            .collect();
+        let done = self.execute(jobs);
+        for d in &done {
+            self.stats.absorb(&d.stats);
+        }
+        done
+    }
+}
+
+impl Drop for FleetRuntime {
+    fn drop(&mut self) {
+        // Closing the job channel ends each worker's recv loop; join so no
+        // detached thread outlives the runtime.
+        drop(std::mem::replace(&mut self.job_tx, channel().0));
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    /// Deterministic splitmix64 for model comparison inputs.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// The wheel must pop entries in exactly (due, flow) order, instant by
+    /// instant — compared against a BinaryHeap model over schedules that
+    /// exercise every level and the overflow list, including re-schedules
+    /// after pops (the event loop's steady state).
+    #[test]
+    fn wheel_matches_heap_model() {
+        for seed in 0..16u64 {
+            let mut rng = Rng(seed.wrapping_mul(0x5DEECE66D).wrapping_add(11));
+            let mut wheel = TimerWheel::new(0);
+            let mut model: BinaryHeap<std::cmp::Reverse<(u64, u32)>> = BinaryHeap::new();
+            let mut pendings: Vec<(u64, u32)> = Vec::new();
+            for flow in 0..48u32 {
+                // Deltas spanning level 0 (tiny), mid levels, and overflow.
+                let due = match flow % 5 {
+                    0 => rng.next() % 16,
+                    1 => rng.next() % (1 << 8),
+                    2 => rng.next() % (1 << 17),
+                    3 => rng.next() % (1 << 30),
+                    _ => (1u64 << 33) + rng.next() % (1 << 34),
+                };
+                wheel.schedule(due, flow);
+                model.push(std::cmp::Reverse((due, flow)));
+                pendings.push((due, flow));
+            }
+            let mut ready = Vec::new();
+            let mut popped = 0usize;
+            let mut reschedules = 96usize;
+            while let Some(t) = wheel.pop_next(&mut ready) {
+                for e in &ready {
+                    let std::cmp::Reverse((due, flow)) =
+                        model.pop().expect("wheel popped more than scheduled");
+                    assert_eq!((t, e.flow), (due, flow), "seed {seed}");
+                    assert_eq!(e.due, due);
+                    popped += 1;
+                }
+                // Steady state: fired flows re-file at a later instant.
+                // Half the deltas are sub-256 so freshly-filed level-0
+                // entries routinely land *behind* older upper-level ones —
+                // the pop must still take the global minimum.
+                if reschedules > 0 {
+                    reschedules -= ready.len().min(reschedules);
+                    for e in &ready {
+                        let delta = if e.flow % 2 == 0 {
+                            1 + rng.next() % 255
+                        } else {
+                            1 + rng.next() % (1 << 20)
+                        };
+                        let due = t + delta;
+                        wheel.schedule(due, e.flow);
+                        model.push(std::cmp::Reverse((due, e.flow)));
+                    }
+                }
+            }
+            assert!(model.is_empty(), "seed {seed}: wheel lost entries");
+            assert!(popped >= pendings.len());
+        }
+    }
+
+    /// Regression: pacing classes 80 and 320 from origin 0 put the
+    /// gap-320 flow at level 1 while the gap-80 flow laps level 0; at
+    /// cycle 320 both are due and must come out of ONE pop in flow
+    /// order — and the near wheel must never overshoot the far entry
+    /// (which used to strand it behind the bucket scan and panic).
+    #[test]
+    fn wheel_merges_near_and_far_entries_due_at_one_instant() {
+        let mut wheel = TimerWheel::new(0);
+        wheel.schedule(80, 0); // paced at 80, will lap
+        wheel.schedule(320, 1); // files at level 1
+        let mut ready = Vec::new();
+        for k in 1..=3u64 {
+            assert_eq!(wheel.pop_next(&mut ready), Some(80 * k));
+            assert_eq!(ready.iter().map(|e| e.flow).collect::<Vec<_>>(), vec![0]);
+            wheel.schedule(80 * (k + 1), 0);
+        }
+        // Cycle 320: the lapped level-0 entry and the cascaded level-1
+        // entry fire together, sorted by flow.
+        assert_eq!(wheel.pop_next(&mut ready), Some(320));
+        assert_eq!(ready.iter().map(|e| e.flow).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(wheel.pop_next(&mut ready), None);
+
+        // And a near entry filed *later* than a far one must not be
+        // popped first: 350 sits in level 0, 320 still at level 1.
+        let mut wheel = TimerWheel::new(0);
+        wheel.schedule(320, 1);
+        let mut ready = Vec::new();
+        assert_eq!(wheel.pop_next(&mut ready), Some(320));
+        let mut wheel = TimerWheel::new(0);
+        wheel.schedule(300, 1); // level 1 relative to 0
+        wheel.schedule(260, 0);
+        assert_eq!(wheel.pop_next(&mut ready), Some(260));
+        wheel.schedule(290, 0); // level 0 now, later than the far 300
+        assert_eq!(wheel.pop_next(&mut ready), Some(290));
+        assert_eq!(wheel.pop_next(&mut ready), Some(300));
+        assert_eq!(ready.iter().map(|e| e.flow).collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn wheel_coalesces_same_instant_entries_sorted_by_flow() {
+        let mut wheel = TimerWheel::new(100);
+        wheel.schedule(500, 7);
+        wheel.schedule(500, 3);
+        wheel.schedule(500, 5);
+        wheel.schedule(90, 9); // past: clamped to now
+        let mut ready = Vec::new();
+        assert_eq!(wheel.pop_next(&mut ready), Some(100));
+        assert_eq!(ready.iter().map(|e| e.flow).collect::<Vec<_>>(), vec![9]);
+        assert_eq!(wheel.pop_next(&mut ready), Some(500));
+        assert_eq!(
+            ready.iter().map(|e| e.flow).collect::<Vec<_>>(),
+            vec![3, 5, 7]
+        );
+        assert_eq!(wheel.pop_next(&mut ready), None);
+    }
+}

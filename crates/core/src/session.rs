@@ -7,7 +7,8 @@
 
 use crate::checker::{Checker, StreamStats, Violation};
 use crate::generator::{Expectation, Generator, StreamSpec};
-use netdebug_hw::{Backend, DeployError, Device};
+use crate::runtime::{drive_device, DeviceSink, FlowRun, RuntimeStats, DEFAULT_MAX_BATCH};
+use netdebug_hw::{Backend, DeployError, Device, Processed};
 use serde::{Deserialize, Serialize};
 
 /// A NetDebug instance attached to one device.
@@ -19,6 +20,8 @@ pub struct NetDebug {
     /// Per-stream (first injection cycle, last completion cycle) — the
     /// wall-clock window performance measurements are computed over.
     windows: std::collections::HashMap<u16, (u64, u64)>,
+    /// Event-loop counters accumulated across every stream run.
+    runtime: RuntimeStats,
 }
 
 impl NetDebug {
@@ -29,6 +32,7 @@ impl NetDebug {
             generator: Generator::new(),
             checker: Checker::new(),
             windows: std::collections::HashMap::new(),
+            runtime: RuntimeStats::default(),
         }
     }
 
@@ -75,14 +79,18 @@ impl NetDebug {
             .expect("an empty churn schedule cannot fail");
     }
 
-    /// Run one stream with **rule churn**: before each
-    /// [`NetDebug::STREAM_WINDOW`]-packet window, every
-    /// [`crate::churn::ChurnOp`] the schedule keys to that window index is
-    /// published through the device's epoch-snapshot control plane. The
-    /// traffic keeps flowing through the batched (and, with
-    /// [`NetDebug::set_shards`], parallel) path throughout — installs
-    /// land as atomic epoch publications between windows, never by
-    /// falling back to sequential execution.
+    /// Run one stream with **rule churn**: the stream becomes one
+    /// [`FlowRun`] on the virtual-time event loop
+    /// ([`crate::runtime::drive_device`]), and every
+    /// [`crate::churn::ChurnOp`] the schedule keys to a window index
+    /// becomes a trigger at that window's first sequence number — it
+    /// publishes through the device's epoch-snapshot control plane at the
+    /// scheduled virtual time, after the preceding frames flush and
+    /// before the window's first frame dispatches. The traffic keeps
+    /// flowing through the batched (and, with [`NetDebug::set_shards`],
+    /// parallel) path throughout — installs land as atomic epoch
+    /// publications between dispatches, never by falling back to
+    /// sequential execution.
     ///
     /// A schedule keying an op to a window this stream will never run is
     /// rejected up front ([`crate::churn::ChurnError::UnreachableWindow`])
@@ -99,27 +107,49 @@ impl NetDebug {
         self.checker
             .open_stream(spec.stream, spec.expect, spec.count);
         let gap = Generator::gap_cycles(spec, self.device.config().core_clock_hz);
-        let mut first_ts = None;
-        let mut last_done = 0u64;
+        let origin = self.device.now();
+        // Pre-build the whole stream, window by window, stamping each
+        // window at the device clock it would historically have observed
+        // (paced windows advance it by gap × window length).
+        let mut frames = Vec::with_capacity(spec.count as usize);
+        let mut window_start = origin;
         let mut seq = 0u64;
-        let mut window_idx = 0u64;
         while seq < spec.count {
-            schedule.apply_for_window(window_idx, &mut self.device)?;
             let n = Self::STREAM_WINDOW.min(spec.count - seq);
-            let window = self
-                .generator
-                .build_batch(spec, seq, n, self.device.now(), gap);
-            first_ts.get_or_insert(window[0].ts_cycles);
-            let frames: Vec<&[u8]> = window.iter().map(|p| p.data.as_slice()).collect();
-            let checker = &mut self.checker;
-            self.device
-                .inject_batch_with(spec.as_port, &frames, gap, |i, p| {
-                    last_done = last_done.max(p.done_at_cycle);
-                    checker.observe_processed(spec.stream, seq + i as u64, &p);
-                });
+            frames.extend(self.generator.build_batch(spec, seq, n, window_start, gap));
+            window_start += gap * n;
             seq += n;
-            window_idx += 1;
         }
+        let first_ts = frames.first().map(|p| p.ts_cycles);
+        // Window-keyed churn ops become seq-keyed triggers on the flow.
+        let mut triggers: Vec<(u64, crate::churn::ChurnOp)> = schedule
+            .ops
+            .iter()
+            .map(|(w, op)| (w * Self::STREAM_WINDOW, op.clone()))
+            .collect();
+        triggers.sort_by_key(|(s, _)| *s); // stable: schedule order within a window
+        let flow = FlowRun {
+            id: u32::from(spec.stream),
+            as_port: spec.as_port,
+            frames: std::sync::Arc::new(frames),
+            origin,
+            gap,
+            triggers,
+        };
+        let mut sink = StreamSink {
+            checker: &mut self.checker,
+            stream: spec.stream,
+            last_done: 0,
+        };
+        let (stats, result) = drive_device(
+            &mut self.device,
+            std::slice::from_ref(&flow),
+            DEFAULT_MAX_BATCH,
+            &mut sink,
+        );
+        let last_done = sink.last_done;
+        self.runtime.absorb(&stats);
+        result.map_err(crate::churn::ChurnError::Control)?;
         if let Some(first) = first_ts {
             self.windows.insert(spec.stream, (first, last_done));
         }
@@ -148,6 +178,15 @@ impl NetDebug {
         self.windows.get(&stream).copied()
     }
 
+    /// Event-loop runtime counters accumulated across every stream this
+    /// session ran ([`RuntimeStats`]): coalesced-dispatch sizes,
+    /// ready-queue depth, wheel cascades — surfaced alongside the
+    /// device-level [`netdebug_hw::Device::sharded_batches`] and the data
+    /// plane's `pool_workers`.
+    pub fn runtime_stats(&self) -> RuntimeStats {
+        self.runtime
+    }
+
     /// Run several streams and produce a report.
     pub fn run_session(&mut self, specs: &[StreamSpec]) -> SessionReport {
         let start = self.device.now();
@@ -171,6 +210,22 @@ impl NetDebug {
             violations,
             duration_cycles,
         }
+    }
+}
+
+/// The checker-facing sink of [`NetDebug::run_stream_churn`]'s event
+/// loop: packets arrive in the runtime's deterministic order and go
+/// straight to [`Checker::observe_processed`].
+struct StreamSink<'a> {
+    checker: &'a mut Checker,
+    stream: u16,
+    last_done: u64,
+}
+
+impl DeviceSink for StreamSink<'_> {
+    fn on_packet(&mut self, _flow: u32, seq: u64, p: Processed) {
+        self.last_done = self.last_done.max(p.done_at_cycle);
+        self.checker.observe_processed(self.stream, seq, &p);
     }
 }
 

@@ -243,3 +243,212 @@ proptest! {
         );
     }
 }
+
+fn router(backend: &Backend) -> Device {
+    let mut dev = Device::deploy_source(backend, corpus::IPV4_FORWARD).unwrap();
+    dev.install_lpm("ipv4_lpm", 0x0A00_0000, 8, "ipv4_forward", vec![0xAA, 1])
+        .unwrap();
+    dev
+}
+
+fn router_frame(version: u8) -> Vec<u8> {
+    use netdebug_packet::Ipv4Address;
+    let mut f = PacketBuilder::ethernet(
+        EthernetAddress::new(2, 0, 0, 0, 0, 1),
+        EthernetAddress::new(2, 0, 0, 0, 0, 2),
+    )
+    .ipv4(Ipv4Address::new(10, 0, 0, 1), Ipv4Address::new(10, 0, 0, 9))
+    .udp(1, 2)
+    .build();
+    f[14] = (version << 4) | 5;
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The event-loop fleet runtime is bit-identical to the sequential
+    /// one-device-at-a-time reference: for arbitrary pacing gaps,
+    /// generated `ChurnSchedule`s and worker counts 1..=4, every member's
+    /// clock, taps, drop counters and port stats after `run_churn` match a
+    /// per-packet advance-then-inject loop over the same windows, and the
+    /// fleet report is byte-identical to the single-worker run.
+    #[test]
+    fn event_loop_fleet_matches_sequential_reference(
+        raw_ops in proptest::collection::vec((0u64..6, 0u8..3, 0u8..4), 0..8),
+        count in 1u64..48,
+        rate in proptest::option::of(1e5f64..1e7),
+        window in 1u64..12,
+        workers in 2usize..=4,
+    ) {
+        use netdebug::churn::{ChurnOp, ChurnSchedule};
+        use netdebug::generator::Generator;
+        use netdebug::DifferentialFleet;
+
+        let windows_total = count.div_ceil(window);
+        let mut schedule = ChurnSchedule::new();
+        for &(w, op_sel, octet) in &raw_ops {
+            let op = match op_sel {
+                0 => ChurnOp::Lpm {
+                    table: "ipv4_lpm".into(),
+                    prefix: 0x0A00_0000 + (u128::from(octet) << 8),
+                    prefix_len: 24,
+                    action: "ipv4_forward".into(),
+                    args: vec![0xBB, u128::from(octet % 4)],
+                },
+                1 => ChurnOp::Clear { table: "ipv4_lpm".into() },
+                _ => ChurnOp::Lpm {
+                    table: "ipv4_lpm".into(),
+                    prefix: 0x0A00_0000,
+                    prefix_len: 8,
+                    action: "ipv4_forward".into(),
+                    args: vec![0xAA, 1],
+                },
+            };
+            schedule = schedule.before_window(w % windows_total, op);
+        }
+        let spec = StreamSpec {
+            stream: 7,
+            template: router_frame(4),
+            count,
+            rate_pps: rate,
+            as_port: 1,
+            sweeps: vec![],
+            expect: Expectation::Any,
+        };
+        let labels = ["reference", "sdnet-fixed", "sdnet-2018"];
+        let backends = [Backend::reference(), Backend::sdnet_fixed(), Backend::sdnet_2018()];
+
+        let build_fleet = || {
+            let mut fleet = DifferentialFleet::new();
+            for (label, backend) in labels.iter().zip(&backends) {
+                fleet.add(*label, router(backend));
+            }
+            fleet
+        };
+        let mut fleet = build_fleet();
+        fleet.set_runtime_workers(workers);
+        let report = fleet.run_churn(&spec, &schedule, window).unwrap();
+
+        let mut solo = build_fleet();
+        solo.set_runtime_workers(1);
+        let baseline = solo.run_churn(&spec, &schedule, window).unwrap();
+        prop_assert_eq!(&report, &baseline, "report diverged at {} workers", workers);
+
+        // Sequential reference: one device at a time, one packet at a time,
+        // the pre-runtime execution order.
+        let gap = Generator::gap_cycles(&spec, router(&backends[0]).config().core_clock_hz);
+        for (label, backend) in labels.iter().zip(&backends) {
+            let mut dev = router(backend);
+            let mut generator = Generator::new();
+            let (mut seq, mut w) = (0u64, 0u64);
+            while seq < count {
+                let n = window.min(count - seq);
+                let win = generator.build_batch(&spec, seq, n, 0, gap);
+                schedule.apply_for_window(w, &mut dev).unwrap();
+                for p in &win {
+                    if gap > 0 {
+                        dev.advance(gap);
+                    }
+                    dev.inject(spec.as_port, &p.data);
+                }
+                seq += n;
+                w += 1;
+            }
+            let fleet_dev = fleet.device_mut(label).unwrap();
+            prop_assert_eq!(fleet_dev.now(), dev.now(), "{}: clock diverged", label);
+            prop_assert_eq!(fleet_dev.stage_counts(), dev.stage_counts(), "{}: taps diverged", label);
+            prop_assert_eq!(fleet_dev.drop_counts(), dev.drop_counts(), "{}: drops diverged", label);
+            for port in 0..4u16 {
+                prop_assert_eq!(
+                    fleet_dev.port_stats(port),
+                    dev.port_stats(port),
+                    "{}: port {} stats diverged",
+                    label,
+                    port
+                );
+            }
+        }
+    }
+
+    /// `drive_device` with many interleaved flows is bit-identical to the
+    /// flat sorted schedule: inject every frame singly in
+    /// (virtual time, flow id, seq) order on a twin device and the
+    /// per-packet verdicts, clock and taps must match exactly, for any
+    /// `max_batch` and any mix of paced and back-to-back flows.
+    #[test]
+    fn multi_flow_drive_matches_sorted_reference(
+        flows_raw in proptest::collection::vec((0u64..40, 0u64..120, 1u64..16), 1..5),
+        max_batch in 1usize..32,
+    ) {
+        use netdebug::generator::Generator;
+        use netdebug::runtime::{drive_device, DeviceSink, FlowRun};
+        use netdebug_hw::{Outcome, Processed};
+        use std::sync::Arc;
+
+        struct Rec(Vec<(u32, u64, Outcome, String)>);
+        impl DeviceSink for Rec {
+            fn on_packet(&mut self, flow: u32, seq: u64, p: Processed) {
+                self.0.push((flow, seq, p.outcome, p.last_stage));
+            }
+        }
+
+        let mut generator = Generator::new();
+        let flows: Vec<FlowRun> = flows_raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(origin, gap, n))| {
+                let spec = StreamSpec {
+                    stream: i as u16,
+                    template: router_frame(if i % 3 == 2 { 5 } else { 4 }),
+                    count: n,
+                    rate_pps: None,
+                    as_port: (i % 4) as u16,
+                    sweeps: vec![],
+                    expect: Expectation::Any,
+                };
+                FlowRun {
+                    id: i as u32,
+                    as_port: spec.as_port,
+                    frames: Arc::new(generator.build_batch(&spec, 0, n, 0, gap)),
+                    origin,
+                    gap,
+                    triggers: vec![],
+                }
+            })
+            .collect();
+
+        let mut driven = router(&Backend::reference());
+        let mut sink = Rec(Vec::new());
+        let (stats, result) = drive_device(&mut driven, &flows, max_batch, &mut sink);
+        prop_assert!(result.is_ok());
+        let total: usize = flows.iter().map(|f| f.frames.len()).sum();
+        prop_assert_eq!(stats.packets as usize, total);
+
+        // Twin device: flat (due, flow, seq)-sorted schedule, one inject
+        // per event, clock advanced to each due instant.
+        let mut events: Vec<(u64, u32, u64)> = flows
+            .iter()
+            .flat_map(|f| (0..f.frames.len() as u64).map(|k| (f.due(k), f.id, k)))
+            .collect();
+        events.sort_unstable();
+        let mut twin = router(&Backend::reference());
+        let mut expected = Vec::with_capacity(total);
+        for &(due, id, k) in &events {
+            if due > twin.now() {
+                let delta = due - twin.now();
+                twin.advance(delta);
+            }
+            let f = &flows[id as usize];
+            let p = twin.inject(f.as_port, &f.frames[k as usize].data);
+            expected.push((id, k, p.outcome, p.last_stage));
+        }
+        prop_assert_eq!(sink.0, expected);
+        prop_assert_eq!(driven.now(), twin.now());
+        prop_assert_eq!(driven.stage_counts(), twin.stage_counts());
+        prop_assert_eq!(driven.drop_counts(), twin.drop_counts());
+        for port in 0..4u16 {
+            prop_assert_eq!(driven.port_stats(port), twin.port_stats(port));
+        }
+    }
+}

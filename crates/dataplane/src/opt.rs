@@ -1,6 +1,6 @@
 //! Peephole optimization passes over the flat bytecode.
 //!
-//! [`optimize`] runs a pipeline of independent, individually toggleable
+//! `optimize` runs a pipeline of independent, individually toggleable
 //! ([`PassConfig`]) rewrites over a [`CompiledProgram`]'s instruction
 //! array:
 //!
@@ -40,7 +40,7 @@ use netdebug_p4::ast::UnOp;
 use netdebug_p4::ir::truncate;
 use std::collections::HashSet;
 
-/// Which optimization passes [`optimize`] runs. Every field defaults to
+/// Which optimization passes `optimize` runs. Every field defaults to
 /// **on**; construct with struct-update syntax to toggle passes
 /// individually:
 ///

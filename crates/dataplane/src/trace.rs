@@ -11,7 +11,7 @@
 //! Two representations exist. [`Trace`] is the semantic, materialised form
 //! — a vector of [`TraceEvent`]s — that tests, checkers and probes pattern
 //! match on. On the hot paths, however, both engines record into a
-//! [`TraceBuf`]: a **flat binary event buffer** of `u32`-tagged
+//! `TraceBuf`: a **flat binary event buffer** of `u32`-tagged
 //! little-endian records appended to one reused `Vec<u8>` per packet, so
 //! recording an event writes a few words instead of constructing an enum
 //! (no `Arc` clone, no key-vector clone, no `String`). A [`LazyTrace`]

@@ -402,17 +402,21 @@ impl Device {
     /// without a `Vec<Processed>` ever materialising.
     ///
     /// Back-to-back windows (`gap_cycles == 0`) run through the data
-    /// plane's batch engine: with `DeviceConfig::shards > 1` and a
-    /// shardable program (anywhere-splittable or meter-partitionable —
-    /// register writers take the sequential fallback) the window is
-    /// sharded across OS threads
+    /// plane's batch engine as one group: with `DeviceConfig::shards > 1`
+    /// and a shardable program (anywhere-splittable or
+    /// meter-partitionable — register writers take the sequential
+    /// fallback) the window is sharded across OS threads
     /// ([`Dataplane::process_batch_parallel`]); otherwise it streams
     /// through one reused trace buffer
     /// ([`Dataplane::process_batch_with`]), so tap accounting allocates
-    /// nothing per packet. Paced windows (`gap_cycles > 0`) necessarily
-    /// serialise on the clock and take the single-packet path per frame.
-    /// Accounting always happens in window order, so stage taps, port
-    /// statistics and drop counters are deterministic either way.
+    /// nothing per packet. Paced windows (`gap_cycles > 0`) schedule
+    /// frame `i` at `now + gap_cycles * (i + 1)` and go through
+    /// [`Device::inject_batch_at`], which coalesces every run of equal
+    /// due-cycles into one batch-engine dispatch — the historical
+    /// per-packet `process` fallback is gone, but results are still
+    /// bit-identical to the packet-at-a-time loop. Accounting always
+    /// happens in window order, so stage taps, port statistics and drop
+    /// counters are deterministic on every path.
     pub fn inject_batch_with(
         &mut self,
         as_port: u16,
@@ -420,18 +424,69 @@ impl Device {
         gap_cycles: u64,
         mut visit: impl FnMut(usize, Processed),
     ) {
+        let pkts: Vec<(u16, &[u8])> = frames.iter().map(|f| (as_port, *f)).collect();
         if gap_cycles > 0 {
-            for (i, f) in frames.iter().enumerate() {
-                self.advance(gap_cycles);
-                visit(i, self.inject(as_port, f));
-            }
+            let now = self.taps.now_cycles;
+            let due: Vec<u64> = (1..=frames.len() as u64)
+                .map(|i| now + gap_cycles * i)
+                .collect();
+            self.inject_batch_at(&pkts, &due, visit);
             return;
         }
-        let pkts: Vec<(u16, &[u8])> = frames.iter().map(|f| (as_port, *f)).collect();
+        self.inject_group(&pkts, 0, &mut visit);
+    }
+
+    /// Internal batched path with **explicit per-frame due times**: frame
+    /// `i` of `pkts` (an `(ingress port, frame)` pair — ports may differ
+    /// per frame) is injected once the device clock reaches
+    /// `due_cycles[i]`. This is the scheduling hook the virtual-time fleet
+    /// runtime drives: `due_cycles` must be non-decreasing (window order
+    /// is virtual-time order), the clock jumps forward to each due instant
+    /// (it never moves backwards), and every **run of equal due-cycles is
+    /// coalesced into a single batch-engine dispatch** — sharded when the
+    /// device is configured with `shards > 1` and the group has more than
+    /// one frame, streaming otherwise. Results and statistics are
+    /// bit-identical to advancing the clock to each due time and calling
+    /// [`Device::inject`] per frame.
+    pub fn inject_batch_at(
+        &mut self,
+        pkts: &[(u16, &[u8])],
+        due_cycles: &[u64],
+        mut visit: impl FnMut(usize, Processed),
+    ) {
+        assert_eq!(
+            pkts.len(),
+            due_cycles.len(),
+            "one due time per injected frame"
+        );
+        let mut start = 0usize;
+        while start < pkts.len() {
+            let due = due_cycles[start];
+            let mut end = start + 1;
+            while end < pkts.len() && due_cycles[end] == due {
+                end += 1;
+            }
+            if due > self.taps.now_cycles {
+                self.taps.now_cycles = due;
+            }
+            self.inject_group(&pkts[start..end], start, &mut visit);
+            start = end;
+        }
+    }
+
+    /// One same-instant group through the batch engine. `base` offsets the
+    /// window indices handed to `visit` so grouped dispatches still report
+    /// positions in the caller's frame order.
+    fn inject_group(
+        &mut self,
+        pkts: &[(u16, &[u8])],
+        base: usize,
+        visit: &mut impl FnMut(usize, Processed),
+    ) {
         let latency = &self.compiled.latency;
-        if self.config.shards > 1 {
+        if self.config.shards > 1 && pkts.len() > 1 {
             let results = self.dataplane.process_batch_parallel(
-                &pkts,
+                pkts,
                 self.taps.now_cycles,
                 self.config.shards,
             );
@@ -441,29 +496,43 @@ impl Device {
                     None => self.taps.untraced_summary(latency),
                 };
                 visit(
-                    i,
-                    self.taps
-                        .finish(&self.config, latency, as_port, verdict, summary, 0.0, false),
+                    base + i,
+                    self.taps.finish(
+                        &self.config,
+                        latency,
+                        pkts[i].0,
+                        verdict,
+                        summary,
+                        0.0,
+                        false,
+                    ),
                 );
             }
             return;
         }
         // Streaming path: the sink turns each (borrowed, reused) trace
         // into a tiny Copy summary while counting stage taps, so the only
-        // per-window allocations are the verdicts and summaries.
+        // per-group allocations are the verdicts and summaries.
         let mut sink = TapSink {
             taps: &mut self.taps,
             latency,
             summaries: Vec::with_capacity(pkts.len()),
         };
         let now = sink.taps.now_cycles;
-        let verdicts = self.dataplane.process_batch_with(&pkts, now, &mut sink);
+        let verdicts = self.dataplane.process_batch_with(pkts, now, &mut sink);
         let summaries = sink.summaries;
         for (i, (verdict, summary)) in verdicts.into_iter().zip(summaries).enumerate() {
             visit(
-                i,
-                self.taps
-                    .finish(&self.config, latency, as_port, verdict, summary, 0.0, false),
+                base + i,
+                self.taps.finish(
+                    &self.config,
+                    latency,
+                    pkts[i].0,
+                    verdict,
+                    summary,
+                    0.0,
+                    false,
+                ),
             );
         }
     }
@@ -511,11 +580,12 @@ impl Device {
     /// With `gap_cycles == 0` the window runs through the batch engine,
     /// which pins its snapshots **once**: every packet of the window
     /// observes one coherent table state and installs are never torn
-    /// across it. A paced window (`gap_cycles > 0`) necessarily injects
-    /// packet-at-a-time on the clock, so each packet pins the snapshots
-    /// current at its injection instant — mutations then land *between*
-    /// packets (still atomically, never torn within a packet), which is
-    /// exactly what rule churn against a paced stream means physically.
+    /// across it. A paced window (`gap_cycles > 0`) dispatches one
+    /// batch-engine group per due instant ([`Device::inject_batch_at`]),
+    /// so each group pins the snapshots current at its injection instant —
+    /// mutations then land *between* instants (still atomically, never
+    /// torn within a group), which is exactly what rule churn against a
+    /// paced stream means physically.
     ///
     /// Returns the window's outcomes (in window order, exactly as
     /// [`Device::inject_batch`] would) and the mutator's result.
@@ -1339,6 +1409,85 @@ mod tests {
             "handle installs must not be priority-inverted: {:?}",
             p.outcome
         );
+    }
+
+    #[test]
+    fn paced_batch_matches_per_packet_loop() {
+        // The paced arm of inject_batch_with now coalesces through the
+        // batch engine; it must stay bit-identical to the historical
+        // advance-then-inject loop — outcomes, clock, taps, port stats
+        // and drop counters.
+        let mixed: Vec<Vec<u8>> = (0..37)
+            .map(|i| match i % 3 {
+                0 => ipv4(Ipv4Address::new(10, 0, 0, (i % 250) as u8), 4),
+                1 => ipv4(Ipv4Address::new(192, 168, 0, 1), 4), // miss -> drop
+                _ => ipv4(Ipv4Address::new(10, 0, 0, 9), 5),    // malformed -> reject
+            })
+            .collect();
+        let frames: Vec<&[u8]> = mixed.iter().map(|f| f.as_slice()).collect();
+        for gap in [1u64, 7, 1000] {
+            let mut batched = deploy(&Backend::reference());
+            let mut looped = deploy(&Backend::reference());
+            let a = batched.inject_batch(0, &frames, gap);
+            let mut b = Vec::new();
+            for f in &frames {
+                looped.advance(gap);
+                b.push(looped.inject(0, f));
+            }
+            assert_eq!(a, b, "paced outcomes diverged at gap {gap}");
+            assert_eq!(batched.now(), looped.now());
+            assert_eq!(batched.stage_counts(), looped.stage_counts());
+            assert_eq!(batched.drop_counts(), looped.drop_counts());
+            for p in 0..4 {
+                assert_eq!(batched.port_stats(p), looped.port_stats(p));
+            }
+        }
+    }
+
+    #[test]
+    fn inject_batch_at_coalesces_equal_dues() {
+        // Mixed ports, duplicate due instants, and a due in the past (the
+        // clock never moves backwards): the explicit-schedule hook must
+        // match the reference order — advance to each due, inject each
+        // frame singly.
+        let f0 = ipv4(Ipv4Address::new(10, 0, 0, 1), 4);
+        let f1 = ipv4(Ipv4Address::new(10, 0, 0, 9), 5); // malformed
+        let f2 = ipv4(Ipv4Address::new(192, 168, 0, 1), 4); // miss
+        let pkts: Vec<(u16, &[u8])> = vec![
+            (0, f0.as_slice()),
+            (2, f1.as_slice()),
+            (2, f0.as_slice()),
+            (1, f2.as_slice()),
+            (3, f0.as_slice()),
+        ];
+        let dues = [10u64, 10, 10, 25, 25];
+        let mut grouped = deploy(&Backend::reference());
+        grouped.advance(12); // dues 10 are already in the past
+        let mut a = Vec::new();
+        let mut order = Vec::new();
+        grouped.inject_batch_at(&pkts, &dues, |i, p| {
+            order.push(i);
+            a.push(p);
+        });
+        assert_eq!(order, vec![0, 1, 2, 3, 4], "visit order is window order");
+
+        let mut reference = deploy(&Backend::reference());
+        reference.advance(12);
+        let mut b = Vec::new();
+        for (&(port, frame), &due) in pkts.iter().zip(&dues) {
+            let now = reference.now();
+            if due > now {
+                reference.advance(due - now);
+            }
+            b.push(reference.inject(port, frame));
+        }
+        assert_eq!(a, b);
+        assert_eq!(grouped.now(), reference.now());
+        assert_eq!(grouped.stage_counts(), reference.stage_counts());
+        assert_eq!(grouped.drop_counts(), reference.drop_counts());
+        for p in 0..4 {
+            assert_eq!(grouped.port_stats(p), reference.port_stats(p));
+        }
     }
 
     #[test]

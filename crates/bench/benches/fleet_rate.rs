@@ -22,7 +22,7 @@
 
 use netdebug::generator::{Expectation, Generator, StreamSpec};
 use netdebug::runtime::{DeviceSink, DeviceTask, FleetRuntime, FlowRun};
-use netdebug_bench::{banner, routable_frame};
+use netdebug_bench::{banner, fnv, routable_frame, FNV_OFFSET};
 use netdebug_hw::{Backend, Device, Processed};
 use netdebug_p4::corpus;
 use netdebug_packet::Ipv4Address;
@@ -80,15 +80,6 @@ fn build_flows(generator: &mut Generator, flows: usize, frames: u64) -> Vec<Flow
             }
         })
         .collect()
-}
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-fn fnv(h: u64, bytes: &[u8]) -> u64 {
-    bytes
-        .iter()
-        .fold(h, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
 }
 
 /// Sink that folds every verdict into an FNV-1a digest (determinism) and
@@ -277,7 +268,10 @@ fn main() {
 
     let json = format!(
         "{{\n  \"experiment\": \"fleet_rate\",\n  \"meta\": {},\n  \"devices\": {DEVICES},\n  \"flows_per_device\": {FLOWS_PER_DEVICE},\n  \"frames_per_flow\": {FRAMES_PER_FLOW},\n  \"workers\": {WORKERS},\n  \"results\": [\n{}\n  ],\n  \"runtime\": {{\"instants\": {}, \"dispatches\": {}, \"mean_batch\": {:.2}, \"max_batch\": {}, \"max_ready_depth\": {}, \"wheel_cascades\": {}}}\n}}\n",
-        netdebug_bench::meta_json(FLOWS_PER_DEVICE * FRAMES_PER_FLOW as usize),
+        netdebug_bench::meta_json(
+            FLOWS_PER_DEVICE * FRAMES_PER_FLOW as usize,
+            &netdebug_dataplane::PassConfig::default().to_string(),
+        ),
         json_rows.join(",\n"),
         stats.instants,
         stats.dispatches,

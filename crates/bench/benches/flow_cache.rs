@@ -1,0 +1,492 @@
+//! flow_cache — the epoch-keyed memoized fast path under flow-repetitive
+//! vs adversarial traffic.
+//!
+//! Real validation traffic is heavily flow-repetitive: the same few
+//! key-tuples arrive over and over while the table state sits still. The
+//! flow cache (`netdebug_dataplane::cache`) memoizes the full compiled
+//! execution per (port, length, parsed-key-prefix) and replays it on a
+//! hit without entering the interpreter loop. Two programs from the
+//! cacheable (stateless, exact-match) class:
+//!
+//! * **`l2_switch`** — the corpus minimum: one-header parse, one exact
+//!   table, one counter. Its engine cost is already close to the
+//!   per-packet API floor (output-frame allocation + result delivery),
+//!   so the cache's end-to-end margin here is structurally thin; the
+//!   rows quantify exactly that floor.
+//! * **`exact_router`** — a deeper member of the same class, defined
+//!   below: Ethernet/IPv4/UDP parse, three exact-match tables (L2
+//!   forward, L3 host screen, L4 service screen), per-port rx counter.
+//!   Re-executing it costs several times the API floor, which is where
+//!   memoization pays — this is the gated configuration.
+//!
+//! Two streams per program: **repeated** (8 installed flows cycling
+//! through every batch — all-hit after warm-up) and **uniform-random**
+//! (65,536 LCG-scattered flow keys, far beyond the cache's slots — the
+//! all-miss adversarial bound). Each runs cache-on and cache-off,
+//! untraced at 1 shard (`process_batch`) and 4 shards
+//! (`process_batch_parallel`, per-worker caches) and on the streaming
+//! traced path (`process_batch_with`, flat traces, no per-packet
+//! decode). Numbers and end-of-run `CacheStats` land in
+//! `BENCH_flowcache.json`.
+//!
+//! Smoke gates (run in CI), on `exact_router`, untraced, 1 shard — pure
+//! engine effect, no thread scheduling: cache-on ≥ 2× cache-off on the
+//! repeated stream, and ≤ 5% penalty on the all-miss stream (a filtered
+//! first-time miss costs one hash + two filter words). `l2_switch` gets
+//! no-collapse floors (repeated must still win; random must stay within
+//! noise of its floor-bound baseline), and every configuration must
+//! produce FNV-identical verdict streams with the cache on and off.
+
+use netdebug_bench::{banner, fnv, FNV_OFFSET};
+use netdebug_dataplane::{Dataplane, NullSink, Verdict};
+use netdebug_p4::corpus;
+use netdebug_packet::{EthernetAddress, Ipv4Address, PacketBuilder};
+use std::time::Instant;
+
+const BATCH: usize = 4096;
+const ROUNDS: usize = 50;
+const TRIALS: usize = 3;
+const FLOWS: usize = 8;
+const RANDOM_FLOWS: usize = 65_536;
+
+/// The deeper cacheable pipeline: same class as `l2_switch` (stateless,
+/// pure exact-match, counters only), three headers and three tables
+/// deep. Every parsed field below is covered by the cache key prefix
+/// (42 bytes — the parser's longest path), so memoizing on it is sound.
+const EXACT_ROUTER: &str = r#"
+    const bit<16> TYPE_IPV4 = 0x800;
+    const bit<8>  PROTO_UDP = 17;
+
+    header ethernet_t {
+        bit<48> dstAddr;
+        bit<48> srcAddr;
+        bit<16> etherType;
+    }
+
+    header ipv4_t {
+        bit<4>  version;
+        bit<4>  ihl;
+        bit<8>  diffserv;
+        bit<16> totalLen;
+        bit<16> identification;
+        bit<3>  flags;
+        bit<13> fragOffset;
+        bit<8>  ttl;
+        bit<8>  protocol;
+        bit<16> hdrChecksum;
+        bit<32> srcAddr;
+        bit<32> dstAddr;
+    }
+
+    header udp_t {
+        bit<16> srcPort;
+        bit<16> dstPort;
+        bit<16> length_;
+        bit<16> checksum;
+    }
+
+    struct headers_t {
+        ethernet_t ethernet;
+        ipv4_t     ipv4;
+        udp_t      udp;
+    }
+
+    struct metadata_t { bit<8> marks; }
+
+    parser RouterParser(packet_in pkt, out headers_t hdr,
+                        inout metadata_t meta,
+                        inout standard_metadata_t standard_metadata) {
+        state start {
+            pkt.extract(hdr.ethernet);
+            transition select(hdr.ethernet.etherType) {
+                TYPE_IPV4: parse_ipv4;
+                default: accept;
+            }
+        }
+        state parse_ipv4 {
+            pkt.extract(hdr.ipv4);
+            transition select(hdr.ipv4.protocol) {
+                PROTO_UDP: parse_udp;
+                default: accept;
+            }
+        }
+        state parse_udp {
+            pkt.extract(hdr.udp);
+            transition accept;
+        }
+    }
+
+    control RouterIngress(inout headers_t hdr, inout metadata_t meta,
+                          inout standard_metadata_t standard_metadata) {
+        counter(16) port_rx;
+
+        action set_egress(bit<9> port) {
+            standard_metadata.egress_spec = port;
+        }
+        action drop() { mark_to_drop(); }
+        action mark() { meta.marks = meta.marks + 1; }
+
+        table dmac {
+            key = { hdr.ethernet.dstAddr: exact; }
+            actions = { set_egress; drop; }
+            size = 1024;
+            default_action = drop();
+        }
+        table dst_host {
+            key = { hdr.ipv4.dstAddr: exact; }
+            actions = { mark; NoAction; }
+            size = 1024;
+            default_action = NoAction();
+        }
+        table svc {
+            key = { hdr.udp.dstPort: exact; }
+            actions = { mark; NoAction; }
+            size = 1024;
+            default_action = NoAction();
+        }
+        apply {
+            port_rx.count(standard_metadata.ingress_port);
+            if (hdr.ipv4.isValid() && hdr.udp.isValid()) {
+                dmac.apply();
+                dst_host.apply();
+                svc.apply();
+            } else {
+                drop();
+            }
+        }
+    }
+
+    control RouterDeparser(packet_out pkt, in headers_t hdr) {
+        apply {
+            pkt.emit(hdr.ethernet);
+            pkt.emit(hdr.ipv4);
+            pkt.emit(hdr.udp);
+        }
+    }
+
+    V1Switch(RouterParser(), RouterIngress(), RouterDeparser()) main;
+"#;
+
+fn mac(low: u64) -> EthernetAddress {
+    let b = low.to_be_bytes();
+    EthernetAddress::new(b[2], b[3], b[4], b[5], b[6], b[7])
+}
+
+fn switch(traced: bool) -> Dataplane {
+    let ir = netdebug_p4::compile(corpus::L2_SWITCH).unwrap();
+    let mut dp = Dataplane::new(ir);
+    for j in 0..FLOWS as u128 {
+        dp.install_exact(
+            "dmac",
+            vec![0x0200_0000_0010 + j],
+            "forward",
+            vec![j % 4 + 1],
+        )
+        .unwrap();
+    }
+    dp.set_tracing(traced);
+    dp
+}
+
+fn router(traced: bool) -> Dataplane {
+    let ir = netdebug_p4::compile(EXACT_ROUTER).unwrap();
+    let mut dp = Dataplane::new(ir);
+    for j in 0..FLOWS as u128 {
+        dp.install_exact(
+            "dmac",
+            vec![0x0200_0000_0020 + j],
+            "set_egress",
+            vec![j % 4 + 1],
+        )
+        .unwrap();
+        dp.install_exact("dst_host", vec![0x0A00_0000 + j], "mark", vec![])
+            .unwrap();
+        dp.install_exact("svc", vec![4000 + j], "mark", vec![])
+            .unwrap();
+    }
+    dp.set_tracing(traced);
+    dp
+}
+
+fn l2_frame(dmac_low: u64) -> Vec<u8> {
+    PacketBuilder::ethernet(EthernetAddress::new(2, 0, 0, 0, 0, 1), mac(dmac_low))
+        .payload(b"flow-cache-bench")
+        .build()
+}
+
+fn router_frame(dmac_low: u64, dst: Ipv4Address, dport: u16) -> Vec<u8> {
+    PacketBuilder::ethernet(EthernetAddress::new(2, 0, 0, 0, 0, 1), mac(dmac_low))
+        .ipv4(Ipv4Address::new(10, 9, 0, 1), dst)
+        .udp(4000, dport)
+        .payload(b"flow-cache-bench")
+        .build()
+}
+
+/// An LCG over the same constants the runtime's own shuffles use.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6_364_136_223_846_793_005)
+        .wrapping_add(1_442_695_040_888_963_407);
+    *state
+}
+
+/// Repeated streams: `FLOWS` installed flow keys cycling every batch
+/// (× 4 ingress ports). Random streams: `RANDOM_FLOWS` distinct keys —
+/// random dmacs for `l2_switch`, random IPv4 destinations (under a hot
+/// installed dmac, so verdicts stay Forward) for `exact_router`.
+fn l2_repeated() -> Vec<Vec<u8>> {
+    (0..FLOWS as u64)
+        .map(|j| l2_frame(0x0200_0000_0010 + j))
+        .collect()
+}
+
+fn l2_random() -> Vec<Vec<u8>> {
+    let mut s = 0x2545_F491_4F6C_DD1Du64;
+    (0..RANDOM_FLOWS)
+        .map(|_| l2_frame(0x0200_0000_0000 | (lcg(&mut s) >> 24 & 0xFFFF_FFFF)))
+        .collect()
+}
+
+fn router_repeated() -> Vec<Vec<u8>> {
+    (0..FLOWS as u64)
+        .map(|j| {
+            router_frame(
+                0x0200_0000_0020 + j,
+                Ipv4Address::new(10, 0, 0, j as u8),
+                4000 + j as u16,
+            )
+        })
+        .collect()
+}
+
+fn router_random() -> Vec<Vec<u8>> {
+    let mut s = 0x9E37_79B9_7F4A_7C15u64;
+    (0..RANDOM_FLOWS)
+        .map(|_| {
+            let r = lcg(&mut s);
+            let b = (r >> 16).to_be_bytes();
+            router_frame(
+                0x0200_0000_0020,
+                Ipv4Address::new(172, b[5], b[6], b[7]),
+                4000,
+            )
+        })
+        .collect()
+}
+
+fn batch_of(frames: &[Vec<u8>], round: usize) -> Vec<(u16, &[u8])> {
+    (0..BATCH)
+        .map(|i| {
+            let k = (round * BATCH + i) % frames.len();
+            ((i % 4) as u16, frames[k].as_slice())
+        })
+        .collect()
+}
+
+/// Every distinct batch the stream produces (the flow pool cycles, so
+/// rounds repeat after `frames.len() / BATCH` batches) — prebuilt so the
+/// timed loop measures the engine, not batch assembly.
+fn batches(frames: &[Vec<u8>]) -> Vec<Vec<(u16, &[u8])>> {
+    let distinct = frames.len().div_ceil(BATCH).min(ROUNDS);
+    (0..distinct).map(|round| batch_of(frames, round)).collect()
+}
+
+/// How a sweep drives the engine and consumes its results.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// Tracing off, `process_batch` / `process_batch_parallel`.
+    Untraced,
+    /// Tracing on, `process_batch_with` + `NullSink`: the streaming path
+    /// — traces stay flat, nothing is decoded or allocated per packet.
+    Streamed,
+}
+
+/// Best-of-`TRIALS` sustained rate over `ROUNDS` batches. The first trial
+/// doubles as warm-up (cache population, allocator steady state); taking
+/// the max filters scheduler noise the same way the other benches do.
+fn measure(dp: &mut Dataplane, frames: &[Vec<u8>], shards: usize, mode: Mode) -> f64 {
+    let prebuilt = batches(frames);
+    let mut sink = NullSink;
+    let mut best = 0.0f64;
+    for _ in 0..=TRIALS {
+        let t0 = Instant::now();
+        for round in 0..ROUNDS {
+            let pkts = &prebuilt[round % prebuilt.len()];
+            if mode == Mode::Streamed {
+                std::hint::black_box(dp.process_batch_with(pkts, 0, &mut sink));
+            } else if shards <= 1 {
+                std::hint::black_box(dp.process_batch(pkts, 0));
+            } else {
+                std::hint::black_box(dp.process_batch_parallel(pkts, 0, shards));
+            }
+        }
+        best = best.max((ROUNDS * BATCH) as f64 / t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// FNV digest over the verdict stream of one pass — the parity witness
+/// that cache-on and cache-off are observationally identical.
+fn digest(dp: &mut Dataplane, frames: &[Vec<u8>]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for round in 0..8 {
+        let pkts = batch_of(frames, round);
+        for (verdict, _) in dp.process_batch(&pkts, 0) {
+            match verdict {
+                Verdict::Forward { port, data } => {
+                    h = fnv(h, &[1]);
+                    h = fnv(h, &port.to_le_bytes());
+                    h = fnv(h, &data);
+                }
+                Verdict::Flood { data } => {
+                    h = fnv(h, &[2]);
+                    h = fnv(h, &data);
+                }
+                Verdict::Drop(reason) => {
+                    h = fnv(h, &[3]);
+                    h = fnv(h, format!("{reason:?}").as_bytes());
+                }
+            }
+        }
+    }
+    h
+}
+
+/// One swept program: name, deploy-fn, repeated stream, random stream.
+type Workload = (
+    &'static str,
+    fn(bool) -> Dataplane,
+    Vec<Vec<u8>>,
+    Vec<Vec<u8>>,
+);
+
+fn main() {
+    banner("flow_cache: memoized fast path, repeated vs uniform-random flows");
+    let cores = netdebug_bench::host_cores();
+    let programs: [Workload; 2] = [
+        ("l2_switch", switch, l2_repeated(), l2_random()),
+        ("exact_router", router, router_repeated(), router_random()),
+    ];
+
+    let mut json_rows: Vec<String> = Vec::new();
+    let mut rates = std::collections::BTreeMap::new();
+    println!(
+        "{:<58} {:>13} {:>18}",
+        "configuration", "sustained pps", "hits/misses"
+    );
+    for (prog, build, repeated, random) in &programs {
+        for (mode_name, mode, shard_counts) in [
+            ("untraced", Mode::Untraced, &[1usize, 4][..]),
+            // The streaming path is sequential by construction.
+            ("streamed", Mode::Streamed, &[1][..]),
+        ] {
+            for (stream_name, frames) in [("repeated", repeated), ("random", random)] {
+                for &shards in shard_counts {
+                    for cache_on in [false, true] {
+                        let mut dp = build(mode == Mode::Streamed);
+                        dp.set_flow_cache(cache_on);
+                        let pps = measure(&mut dp, frames, shards, mode);
+                        let stats = dp.cache_stats();
+                        let label = format!(
+                            "{prog} / {mode_name} / {stream_name} / {shards} shard(s) / cache {}",
+                            if cache_on { "on" } else { "off" }
+                        );
+                        println!(
+                            "{label:<58} {pps:>13.0} {:>18}",
+                            format!("{}/{}", stats.hits, stats.misses)
+                        );
+                        json_rows.push(format!(
+                            "    {{\"program\": \"{prog}\", \"mode\": \"{mode_name}\", \
+                             \"stream\": \"{stream_name}\", \"shards\": {shards}, \
+                             \"cache\": {cache_on}, \"pps\": {pps:.0}, \
+                             \"cache_stats\": {{\"hits\": {}, \"misses\": {}, \
+                             \"invalidations\": {}, \"occupancy\": {}, \"capacity\": {}}}}}",
+                            stats.hits,
+                            stats.misses,
+                            stats.invalidations,
+                            stats.occupancy,
+                            stats.capacity
+                        ));
+                        rates.insert((*prog, mode_name, stream_name, shards, cache_on), pps);
+                    }
+                }
+            }
+        }
+    }
+
+    // Parity witness: identical verdict digests with the cache on and
+    // off, on both streams of both programs (repeated exercises the
+    // hit-replay path, random the miss/filter path), traced and
+    // untraced.
+    for (prog, build, repeated, random) in &programs {
+        for traced in [true, false] {
+            for (stream_name, frames) in [("repeated", repeated), ("random", random)] {
+                let (mut on, mut off) = (build(traced), build(traced));
+                on.set_flow_cache(true);
+                off.set_flow_cache(false);
+                let (d_on, d_off) = (digest(&mut on, frames), digest(&mut off, frames));
+                assert_eq!(
+                    d_on, d_off,
+                    "cache-on and cache-off verdicts diverged: {prog}/{stream_name} traced={traced}"
+                );
+                println!("parity digest ({prog}/{stream_name}, traced={traced}): 0x{d_on:016x}");
+            }
+        }
+    }
+
+    let passes = switch(false).passes().to_string();
+    let json = format!(
+        "{{\n  \"experiment\": \"flow_cache\",\n  \"meta\": {},\n  \"programs\": [\"l2_switch\", \"exact_router\"],\n  \"batch\": {BATCH},\n  \"rounds\": {ROUNDS},\n  \"cores\": {cores},\n  \"results\": [\n{}\n  ]\n}}\n",
+        netdebug_bench::meta_json(BATCH, &passes),
+        json_rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_flowcache.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => println!("\ncould not write {path}: {e}"),
+    }
+
+    // ---- Smoke assertions (run in CI) ----
+    // The headline, on the exact-match router, untraced, 1 shard (pure
+    // engine effect — no thread scheduling): replaying a memoized
+    // outcome must be at least twice as fast as re-running the pipeline.
+    let rep_on = rates[&("exact_router", "untraced", "repeated", 1, true)];
+    let rep_off = rates[&("exact_router", "untraced", "repeated", 1, false)];
+    let rep_speedup = rep_on / rep_off;
+    println!("exact_router repeated-flow speedup (untraced, 1 shard): {rep_speedup:.2}x");
+    assert!(
+        rep_speedup >= 2.0,
+        "flow cache must give >= 2x on the repeated-flow sweep: \
+         {rep_on:.0} vs {rep_off:.0} pps ({rep_speedup:.2}x)"
+    );
+    // The bound: on the all-miss stream the lookup + tag-filter overhead
+    // must stay within 5% of the cache-off rate.
+    let rnd_on = rates[&("exact_router", "untraced", "random", 1, true)];
+    let rnd_off = rates[&("exact_router", "untraced", "random", 1, false)];
+    println!(
+        "exact_router uniform-random penalty (untraced, 1 shard): {:.1}%",
+        (1.0 - rnd_on / rnd_off) * 100.0
+    );
+    assert!(
+        rnd_on >= rnd_off * 0.95,
+        "flow cache must cost <= 5% on the uniform-random sweep: \
+         {rnd_on:.0} vs {rnd_off:.0} pps"
+    );
+    // l2_switch floors: its engine cost sits near the per-packet
+    // allocation floor, so the margin is structurally thinner — but
+    // repeated flows must still win outright and the all-miss stream
+    // must not collapse.
+    let u_rep = rates[&("l2_switch", "untraced", "repeated", 1, true)]
+        / rates[&("l2_switch", "untraced", "repeated", 1, false)];
+    let u_rnd = rates[&("l2_switch", "untraced", "random", 1, true)]
+        / rates[&("l2_switch", "untraced", "random", 1, false)];
+    println!("l2_switch untraced: repeated speedup {u_rep:.2}x, random ratio {u_rnd:.2}");
+    assert!(
+        u_rep >= 1.05,
+        "flow cache must still win l2_switch repeated flows: {u_rep:.2}x"
+    );
+    assert!(
+        u_rnd >= 0.75,
+        "flow cache must not collapse the l2_switch all-miss stream: {u_rnd:.2}"
+    );
+}

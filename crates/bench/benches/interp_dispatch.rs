@@ -287,7 +287,7 @@ fn main() {
 
     let json = format!(
         "{{\n  \"experiment\": \"interp_dispatch\",\n  \"meta\": {},\n  \"program\": \"l2_switch\",\n  \"batch\": {BATCH},\n  \"cores\": {cores},\n  \"speedup_untraced_1shard\": {speedup:.3},\n  \"speedup_traced_1shard\": {traced_speedup:.3},\n  \"streamed_traced_pps\": {opt_streamed:.0},\n  \"results\": [\n{}\n  ]\n}}\n",
-        netdebug_bench::meta_json(BATCH),
+        netdebug_bench::meta_json(BATCH, &netdebug_dataplane::PassConfig::default().to_string()),
         json_rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dispatch.json");

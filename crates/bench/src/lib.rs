@@ -71,12 +71,25 @@ pub fn git_rev() -> String {
 
 /// The shared metadata block every `BENCH_*.json` artifact embeds as its
 /// `"meta"` member: host cores, the bench's batch size (or equivalent
-/// work unit), and the git revision — enough to judge whether two
-/// artifacts are comparable.
-pub fn meta_json(batch: usize) -> String {
+/// work unit), the active optimization-pass configuration and the git
+/// revision — enough to judge whether two artifacts are comparable.
+pub fn meta_json(batch: usize, passes: &str) -> String {
     format!(
-        "{{\"cores\": {}, \"batch\": {batch}, \"git_rev\": \"{}\"}}",
+        "{{\"cores\": {}, \"batch\": {batch}, \"passes\": \"{passes}\", \"git_rev\": \"{}\"}}",
         host_cores(),
         git_rev()
     )
+}
+
+/// FNV-1a offset basis — the seed for [`fnv`] digests.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold `bytes` into a running FNV-1a digest. Benches use this to compare
+/// observable outcomes (verdicts, clocks, counters) across configurations
+/// without storing them: identical behaviour ⇒ identical digest.
+pub fn fnv(h: u64, bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(h, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
 }

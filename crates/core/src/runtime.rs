@@ -120,6 +120,14 @@ pub struct RuntimeStats {
     pub max_batch: u64,
     /// Timer-wheel cascades (an upper-level slot drained and re-filed).
     pub wheel_cascades: u64,
+    /// Device flow-cache hits over the run (memoized fast-path replays —
+    /// see `netdebug_dataplane::Dataplane::cache_stats`).
+    pub cache_hits: u64,
+    /// Device flow-cache misses over the run.
+    pub cache_misses: u64,
+    /// Device flow-cache invalidations (epoch bumps that dropped a
+    /// non-empty cache) over the run — churn triggers show up here.
+    pub cache_invalidations: u64,
 }
 
 impl RuntimeStats {
@@ -132,6 +140,9 @@ impl RuntimeStats {
         self.max_ready_depth = self.max_ready_depth.max(other.max_ready_depth);
         self.max_batch = self.max_batch.max(other.max_batch);
         self.wheel_cascades += other.wheel_cascades;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_invalidations += other.cache_invalidations;
     }
 
     /// Mean frames per coalesced dispatch.
@@ -350,6 +361,25 @@ fn flush<S: DeviceSink + ?Sized>(
 /// run (frames dispatched before it have already been accounted and
 /// delivered to `sink`).
 pub fn drive_device<S: DeviceSink + ?Sized>(
+    device: &mut Device,
+    flows: &[FlowRun],
+    max_batch: usize,
+    sink: &mut S,
+) -> (RuntimeStats, Result<(), ControlError>) {
+    // The device's flow-cache counters are cumulative; fold this run's
+    // deltas into the returned stats whichever way the loop exits.
+    let cache_before = device.cache_stats();
+    let (mut stats, result) = drive_device_inner(device, flows, max_batch, sink);
+    let cache_after = device.cache_stats();
+    stats.cache_hits = cache_after.hits.saturating_sub(cache_before.hits);
+    stats.cache_misses = cache_after.misses.saturating_sub(cache_before.misses);
+    stats.cache_invalidations = cache_after
+        .invalidations
+        .saturating_sub(cache_before.invalidations);
+    (stats, result)
+}
+
+fn drive_device_inner<S: DeviceSink + ?Sized>(
     device: &mut Device,
     flows: &[FlowRun],
     max_batch: usize,

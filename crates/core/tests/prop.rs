@@ -242,6 +242,80 @@ proptest! {
             shards
         );
     }
+
+    /// Flow-cache parity under churn: the same session driven over an
+    /// arbitrary `ChurnSchedule` — whose publications land *between*
+    /// traffic windows and must invalidate the resident cache entries by
+    /// generation, never flush-by-hand — produces identical checker
+    /// statistics with the memoized fast path on (the default), off, and
+    /// on the tree-walking reference oracle. The template repeats every
+    /// window, so the cached run genuinely replays hits across every
+    /// republication boundary.
+    #[test]
+    fn churned_streams_identical_with_flow_cache(
+        raw_ops in proptest::collection::vec((0u64..3, 0u8..3, 0u8..4), 0..10),
+        dst in 0u8..4,
+        shards in 1usize..=4,
+    ) {
+        use netdebug::churn::{ChurnOp, ChurnSchedule};
+        use netdebug_dataplane::Engine;
+        let mut schedule = ChurnSchedule::new();
+        for &(window, op_sel, mac) in &raw_ops {
+            let key = 0x0200_0000_0000u128 + u128::from(mac);
+            let op = match op_sel {
+                0 => ChurnOp::Exact {
+                    table: "dmac".into(),
+                    keys: vec![key],
+                    action: "forward".into(),
+                    args: vec![u128::from(mac % 4)],
+                },
+                1 => ChurnOp::Remove {
+                    table: "dmac".into(),
+                    patterns: vec![netdebug_p4::ir::IrPattern::Value(key)],
+                    priority: 0,
+                },
+                _ => ChurnOp::Clear { table: "dmac".into() },
+            };
+            schedule = schedule.before_window(window, op);
+        }
+        let template = PacketBuilder::ethernet(
+            EthernetAddress::new(2, 0, 0, 0, 0, 1),
+            EthernetAddress::new(2, 0, 0, 0, 0, dst),
+        )
+        .payload(b"cache-parity")
+        .build();
+        // `cache`: Some(on/off) runs the compiled engine with the flow
+        // cache toggled; None runs the unmemoized reference oracle.
+        let run = |cache: Option<bool>| {
+            let mut nd = NetDebug::deploy(&Backend::reference(), corpus::L2_SWITCH).unwrap();
+            match cache {
+                Some(on) => nd.device_mut().set_flow_cache(on),
+                None => nd.set_engine(Engine::Reference),
+            }
+            nd.set_shards(shards);
+            let spec = StreamSpec::simple(
+                1,
+                template.clone(),
+                3 * NetDebug::STREAM_WINDOW,
+                Expectation::Any,
+            );
+            nd.run_stream_churn(&spec, &schedule).unwrap();
+            nd.checker().streams()[&1].clone()
+        };
+        let cached = run(Some(true));
+        prop_assert_eq!(
+            &cached,
+            &run(Some(false)),
+            "churned stream diverged cache-on vs cache-off at {} shards",
+            shards
+        );
+        prop_assert_eq!(
+            &cached,
+            &run(None),
+            "churned stream diverged cache-on vs reference at {} shards",
+            shards
+        );
+    }
 }
 
 fn router(backend: &Backend) -> Device {

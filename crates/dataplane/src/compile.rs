@@ -34,6 +34,7 @@
 //! to hardware: the fast data plane is itself a validated data plane.
 
 use crate::bits::{read_bits, write_bits};
+use crate::cache::MissRecord;
 use crate::externs::ExternState;
 use crate::interp::{Env, TablesRef, FLOOD_PORT, PARSER_STATE_BUDGET};
 use crate::opt::PassConfig;
@@ -252,6 +253,10 @@ pub struct CompiledProgram {
     /// indexed by the corresponding IR id — the tables a `LazyTrace`
     /// resolves flat record ids against.
     pub(crate) names: TraceTables,
+    /// The optimization passes this program was compiled with
+    /// (observability: the disassembly header and bench metadata report
+    /// it).
+    pub(crate) passes: PassConfig,
 }
 
 impl CompiledProgram {
@@ -268,7 +273,13 @@ impl CompiledProgram {
     pub fn compile_with(prog: &ir::Program, passes: PassConfig) -> CompiledProgram {
         let mut cp = Compiler::new(prog).run();
         crate::opt::optimize(&mut cp, passes);
+        cp.passes = passes;
         cp
+    }
+
+    /// The optimization passes this program was compiled with.
+    pub fn passes(&self) -> PassConfig {
+        self.passes
     }
 
     /// Number of flat instructions (observability for tests/benches).
@@ -462,6 +473,7 @@ impl<'p> Compiler<'p> {
                 actions: prog.actions.iter().map(|a| intern(&a.name)).collect(),
                 headers: prog.headers.iter().map(|h| intern(&h.name)).collect(),
             },
+            passes: PassConfig::none(),
         }
     }
 
@@ -661,6 +673,7 @@ pub(crate) fn exec(
     data: &[u8],
     now_cycles: u64,
     mut trace: Option<&mut TraceBuf>,
+    mut rec: Option<&mut MissRecord>,
 ) -> Verdict {
     env.reset(port, data.len(), now_cycles);
     env.stack.clear();
@@ -820,7 +833,16 @@ pub(crate) fn exec(
                     env.key_scratch.push(v);
                 }
                 env.stack.truncate(base);
-                let aid = apply_keys(cp, tables, table_stats, env, &mut trace, tid, hit_into);
+                let aid = apply_keys(
+                    cp,
+                    tables,
+                    table_stats,
+                    env,
+                    &mut trace,
+                    &mut rec,
+                    tid,
+                    hit_into,
+                );
                 link = pc + 1;
                 pc = cp.action_pcs[aid] as usize;
                 continue;
@@ -835,7 +857,16 @@ pub(crate) fn exec(
                 let key = if hv.valid { hv.fields[f as usize] } else { 0 };
                 env.key_scratch.clear();
                 env.key_scratch.push(key);
-                let aid = apply_keys(cp, tables, table_stats, env, &mut trace, tid, hit_into);
+                let aid = apply_keys(
+                    cp,
+                    tables,
+                    table_stats,
+                    env,
+                    &mut trace,
+                    &mut rec,
+                    tid,
+                    hit_into,
+                );
                 link = pc + 1;
                 pc = cp.action_pcs[aid] as usize;
                 continue;
@@ -858,6 +889,9 @@ pub(crate) fn exec(
             OpCode::CounterInc(id) => {
                 let i = env.stack.pop().expect("counter index") as usize;
                 externs.counter_inc(id as usize, i, data.len());
+                if let Some(r) = rec.as_deref_mut() {
+                    r.counters.push((id, i as u64));
+                }
             }
             OpCode::RegisterRead(id) => {
                 let i = env.stack.pop().expect("register index") as usize;
@@ -943,6 +977,9 @@ pub(crate) fn exec(
                     tr.accept();
                 }
                 payload_start = (cursor_bits / 8).min(data.len());
+                if let Some(r) = rec.as_deref_mut() {
+                    r.payload_start = payload_start;
+                }
             }
             OpCode::Reject => {
                 if let Some(tr) = trace.as_deref_mut() {
@@ -983,12 +1020,14 @@ pub(crate) fn exec(
 /// lookup on `env.key_scratch`, action-argument binding, statistics,
 /// hit-capture local, trace record. Returns the action id to enter.
 #[inline]
+#[allow(clippy::too_many_arguments)]
 fn apply_keys(
     cp: &CompiledProgram,
     tables: TablesRef<'_>,
     table_stats: &mut [TableStats],
     env: &mut Env,
     trace: &mut Option<&mut TraceBuf>,
+    rec: &mut Option<&mut MissRecord>,
     tid: u32,
     hit_into: u32,
 ) -> usize {
@@ -1007,6 +1046,9 @@ fn apply_keys(
         }
     };
     table_stats[tid].record(hit);
+    if let Some(r) = rec.as_deref_mut() {
+        r.applies.push((tid as u32, hit));
+    }
     if hit_into != NO_HIT_LOCAL {
         env.locals[hit_into as usize] = hit as u128;
     }

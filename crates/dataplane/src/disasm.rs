@@ -34,6 +34,7 @@ impl fmt::Display for Disassembly<'_> {
         let cp = self.cp;
         let names = cp.names();
         let hdr = |h: u32| names.headers[h as usize].as_ref();
+        writeln!(f, "; passes: {}", cp.passes())?;
         for (pc, op) in cp.code.iter().enumerate() {
             for (aid, &entry) in cp.action_pcs.iter().enumerate() {
                 if entry as usize == pc {
@@ -161,6 +162,7 @@ mod tests {
         let cp = CompiledProgram::compile_with(&ir, PassConfig::none());
         let text = format!("{}", cp.disassemble());
         let expected = "\
+; passes: none
 0000  state_enter      start
 0001  extract          ethernet
 0002  jump             -> 0004

@@ -51,6 +51,7 @@
 //! * no write to `egress_spec` — drop (`NoEgress`).
 
 use crate::bits::{read_bits, write_bits};
+use crate::cache::{CacheStats, FlowCache};
 use crate::compile::{self, CompiledProgram};
 use crate::control::{ControlError, ControlPlane};
 use crate::externs::{ExternState, MeterConfig};
@@ -60,7 +61,8 @@ use crate::table::{EntrySnapshot, RuntimeEntry, TableState, TableStats, TableVie
 use crate::trace::{DropReason, LazyTrace, Trace, TraceBuf, TraceSink, Verdict};
 use netdebug_p4::ast::{BinOp, UnOp};
 use netdebug_p4::ir::{
-    self, truncate, IrExpr, IrStmt, IrTransition, LValue, Op, ParallelClass, TransTarget,
+    self, truncate, Cacheability, IrExpr, IrStmt, IrTransition, LValue, Op, ParallelClass,
+    TransTarget,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -258,6 +260,17 @@ pub struct Dataplane {
     trace_buf: TraceBuf,
     /// Meter pre-pass scratch (see [`MeterScratch`]).
     meter_scratch: MeterScratch,
+    /// The epoch-keyed flow cache ([`crate::cache`]): present when the
+    /// program is cacheable and caching is enabled. Memoizes the
+    /// sequential packet paths; pool workers keep their own.
+    flow_cache: Option<FlowCache>,
+    /// Key-prefix bytes for this program's cache (None = program
+    /// classified [`Cacheability::Uncacheable`], cache impossible).
+    cache_key_cap: Option<usize>,
+    /// Accumulated counters from pool-worker caches, merged on each
+    /// sharded batch join (occupancy/capacity reflect the most recent
+    /// sharded batch).
+    shard_cache: CacheStats,
     /// Persistent shard workers, spawned lazily by the first parallel
     /// batch and reused for every one after (not cloned; a clone spawns
     /// its own on first use).
@@ -309,6 +322,15 @@ impl Clone for Dataplane {
             env_scratch: Env::new(&self.program),
             trace_buf: TraceBuf::default(),
             meter_scratch: MeterScratch::default(),
+            // The clone caches independently (its table state may diverge
+            // immediately); it starts cold with its own counters.
+            flow_cache: if self.flow_cache.is_some() {
+                self.cache_key_cap.map(FlowCache::new)
+            } else {
+                None
+            },
+            cache_key_cap: self.cache_key_cap,
+            shard_cache: CacheStats::default(),
             pool: None,
             arena_slot: None,
         }
@@ -408,6 +430,12 @@ impl Dataplane {
         let meter_sites_read_packet = program.meter_pre_pass_needs_parse();
         let compiled = Arc::new(CompiledProgram::compile_with(&program, passes));
         let env_scratch = Env::new(&program);
+        let cache_key_cap = match program.cacheability() {
+            Cacheability::Cacheable => program
+                .parser_longest_path_bits()
+                .map(|bits| (bits as usize).div_ceil(8)),
+            Cacheability::Uncacheable => None,
+        };
         Dataplane {
             program: Arc::new(program),
             compiled,
@@ -428,9 +456,22 @@ impl Dataplane {
             env_scratch,
             trace_buf: TraceBuf::default(),
             meter_scratch: MeterScratch::default(),
+            flow_cache: cache_key_cap.map(FlowCache::new),
+            cache_key_cap,
+            shard_cache: CacheStats::default(),
             pool: None,
             arena_slot: None,
         }
+    }
+
+    /// Instantiate with the optimization configuration
+    /// [`crate::opt::autotune`] picks by micro-benchmarking every pass
+    /// combination on `sample` (a small `(port, frame)` batch shaped
+    /// like the expected traffic). Falls back to [`PassConfig::default`]
+    /// on an empty sample.
+    pub fn with_autotuned_passes(program: ir::Program, sample: &[(u16, Vec<u8>)]) -> Self {
+        let passes = crate::opt::autotune(&program, sample);
+        Self::with_passes(program, passes)
     }
 
     /// Whether batches of this program may be split into arbitrary
@@ -506,6 +547,45 @@ impl Dataplane {
     /// did not take the sequential fallback) since construction.
     pub fn sharded_batches(&self) -> u64 {
         self.sharded_batches
+    }
+
+    /// The optimization passes the bytecode was compiled with.
+    pub fn passes(&self) -> PassConfig {
+        self.compiled.passes()
+    }
+
+    /// Flow-cache counters: hits, misses, invalidations, occupancy and
+    /// capacity, aggregated over the sequential cache and every
+    /// pool-worker cache seen so far. All-zero when the program is
+    /// uncacheable or the cache is disabled.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut s = self
+            .flow_cache
+            .as_ref()
+            .map(|c| c.stats())
+            .unwrap_or_default();
+        s.absorb(&self.shard_cache);
+        s
+    }
+
+    /// Whether the flow cache is active (the program classified
+    /// [`Cacheability::Cacheable`] and caching has not been switched
+    /// off).
+    pub fn flow_cache_enabled(&self) -> bool {
+        self.flow_cache.is_some()
+    }
+
+    /// Enable or disable the flow cache. Enabling is a no-op for
+    /// programs the cacheability analysis rejects; disabling drops the
+    /// resident entries (re-enabling starts cold) but keeps the
+    /// accumulated [`Dataplane::cache_stats`] counters from pool
+    /// workers.
+    pub fn set_flow_cache(&mut self, enabled: bool) {
+        self.flow_cache = if enabled {
+            self.cache_key_cap.map(FlowCache::new)
+        } else {
+            None
+        };
     }
 
     /// Live worker threads in the persistent shard pool (0 until the
@@ -654,6 +734,15 @@ impl Dataplane {
         self.pin_gen = self.generation.load(Ordering::Acquire);
     }
 
+    /// Align the flow cache with the pinned generation (must follow
+    /// [`Dataplane::refresh_pins`] on every cached packet path): a
+    /// publication since the entries were recorded drops them all.
+    fn sync_cache(&mut self) {
+        if let Some(c) = self.flow_cache.as_mut() {
+            c.sync_generation(self.pin_gen);
+        }
+    }
+
     // ------------------------------------------------------------------
     // Packet processing
     // ------------------------------------------------------------------
@@ -663,7 +752,9 @@ impl Dataplane {
     pub fn process(&mut self, port: u16, data: &[u8], now_cycles: u64) -> (Verdict, Trace) {
         self.packets_processed += 1;
         self.refresh_pins();
+        self.sync_cache();
         let buf = &mut self.trace_buf;
+        let cache = self.flow_cache.as_mut();
         let mut ctx = ExecCtx {
             program: &self.program,
             compiled: &self.compiled,
@@ -672,7 +763,15 @@ impl Dataplane {
             table_stats: &mut self.table_stats,
             externs: &mut self.externs,
         };
-        let verdict = ctx.run_traced(port, data, now_cycles, &mut self.env_scratch, buf);
+        let verdict = ctx.run_one(
+            cache,
+            port,
+            data,
+            now_cycles,
+            &mut self.env_scratch,
+            buf,
+            true,
+        );
         let trace = LazyTrace::over(buf, ctx.compiled.names()).decode();
         (verdict, trace)
     }
@@ -681,6 +780,9 @@ impl Dataplane {
     pub fn process_untraced(&mut self, port: u16, data: &[u8], now_cycles: u64) -> Verdict {
         self.packets_processed += 1;
         self.refresh_pins();
+        self.sync_cache();
+        let buf = &mut self.trace_buf;
+        let cache = self.flow_cache.as_mut();
         let mut ctx = ExecCtx {
             program: &self.program,
             compiled: &self.compiled,
@@ -689,7 +791,15 @@ impl Dataplane {
             table_stats: &mut self.table_stats,
             externs: &mut self.externs,
         };
-        ctx.run(port, data, now_cycles, &mut self.env_scratch, None)
+        ctx.run_one(
+            cache,
+            port,
+            data,
+            now_cycles,
+            &mut self.env_scratch,
+            buf,
+            false,
+        )
     }
 
     /// Process a whole batch of `(ingress port, frame)` pairs arriving at
@@ -709,9 +819,11 @@ impl Dataplane {
         self.packets_processed += pkts.len() as u64;
         let tracing = self.tracing;
         self.refresh_pins();
+        self.sync_cache();
         let views = resolve_views(&self.pin_cache);
         let env = &mut self.env_scratch;
         let buf = &mut self.trace_buf;
+        let mut cache = self.flow_cache.as_mut();
         let mut ctx = ExecCtx {
             program: &self.program,
             compiled: &self.compiled,
@@ -725,13 +837,17 @@ impl Dataplane {
         // from the record count (no predecessor heuristic).
         pkts.iter()
             .map(|&(port, data)| {
-                if tracing {
-                    let verdict = ctx.run_traced(port, data, now_cycles, env, buf);
-                    let trace = LazyTrace::over(buf, ctx.compiled.names()).decode();
-                    (verdict, Some(trace))
-                } else {
-                    (ctx.run(port, data, now_cycles, env, None), None)
-                }
+                let verdict = ctx.run_one(
+                    cache.as_deref_mut(),
+                    port,
+                    data,
+                    now_cycles,
+                    env,
+                    buf,
+                    tracing,
+                );
+                let trace = tracing.then(|| LazyTrace::over(buf, ctx.compiled.names()).decode());
+                (verdict, trace)
             })
             .collect()
     }
@@ -757,9 +873,11 @@ impl Dataplane {
         self.packets_processed += pkts.len() as u64;
         let tracing = self.tracing;
         self.refresh_pins();
+        self.sync_cache();
         let views = resolve_views(&self.pin_cache);
         let env = &mut self.env_scratch;
         let buf = &mut self.trace_buf;
+        let mut cache = self.flow_cache.as_mut();
         let mut ctx = ExecCtx {
             program: &self.program,
             compiled: &self.compiled,
@@ -771,12 +889,15 @@ impl Dataplane {
         pkts.iter()
             .enumerate()
             .map(|(i, &(port, data))| {
-                let verdict = if tracing {
-                    ctx.run_traced(port, data, now_cycles, env, buf)
-                } else {
-                    buf.clear();
-                    ctx.run(port, data, now_cycles, env, None)
-                };
+                let verdict = ctx.run_one(
+                    cache.as_deref_mut(),
+                    port,
+                    data,
+                    now_cycles,
+                    env,
+                    buf,
+                    tracing,
+                );
                 sink.observe(i, &verdict, &LazyTrace::over(buf, ctx.compiled.names()));
                 verdict
             })
@@ -861,6 +982,9 @@ impl Dataplane {
                 tracing: self.tracing,
                 engine: self.engine,
                 now_cycles,
+                // Workers cache only while the owning data plane does.
+                cache_key_cap: self.flow_cache.as_ref().map(|c| c.key_cap()),
+                pin_gen: self.pin_gen,
             })
             .collect();
         (arena, jobs)
@@ -896,12 +1020,17 @@ impl Dataplane {
         let shard_results = self.dispatch_jobs(arena, jobs);
 
         let mut out = Vec::with_capacity(pkts.len());
+        // Occupancy/capacity are instantaneous: re-derive them from this
+        // batch's shards while the counters keep accumulating.
+        self.shard_cache.occupancy = 0;
+        self.shard_cache.capacity = 0;
         for shard in shard_results {
             out.extend(shard.results);
             for (mine, theirs) in self.table_stats.iter_mut().zip(&shard.stats) {
                 mine.absorb(theirs);
             }
             self.externs.absorb_counters(&shard.externs);
+            self.shard_cache.absorb(&shard.cache);
         }
         out
     }
@@ -937,6 +1066,8 @@ impl Dataplane {
         // token-bucket evolution exactly.
         let mut slots: Vec<Option<(Verdict, Option<Trace>)>> = Vec::new();
         slots.resize_with(pkts.len(), || None);
+        self.shard_cache.occupancy = 0;
+        self.shard_cache.capacity = 0;
         for (indices, shard) in shard_indices.iter().zip(shard_results) {
             for (&i, res) in indices.iter().zip(shard.results) {
                 slots[i] = Some(res);
@@ -945,6 +1076,7 @@ impl Dataplane {
                 mine.absorb(theirs);
             }
             self.externs.absorb_counters(&shard.externs);
+            self.shard_cache.absorb(&shard.cache);
             let owned: std::collections::BTreeSet<(usize, usize)> = indices
                 .iter()
                 .flat_map(|&i| cells[i].iter().copied())
@@ -1097,8 +1229,17 @@ pub(crate) fn run_shard<'a>(
     now_cycles: u64,
     env: &mut Env,
     scratch: &mut TraceBuf,
+    mut cache: Option<&mut FlowCache>,
+    pin_gen: u64,
 ) -> ShardResult {
     let mut stats = vec![TableStats::default(); pinned.len()];
+    // The worker cache persists across batches; align it with the epoch
+    // the dispatching data plane pinned this batch at, and report only
+    // this batch's counter deltas back for the merge.
+    let cache_before = cache.as_deref_mut().map(|c| {
+        c.sync_generation(pin_gen);
+        c.stats()
+    });
     let mut ctx = ExecCtx {
         program,
         compiled,
@@ -1109,21 +1250,30 @@ pub(crate) fn run_shard<'a>(
     };
     let results = pkts
         .map(|(port, data)| {
-            if tracing {
-                // The flat record buffer sizes the decoded trace exactly —
-                // one record walk counts events before a single allocation.
-                let verdict = ctx.run_traced(port, data, now_cycles, env, scratch);
-                let trace = LazyTrace::over(scratch, ctx.compiled.names()).decode();
-                (verdict, Some(trace))
-            } else {
-                (ctx.run(port, data, now_cycles, env, None), None)
-            }
+            // The flat record buffer sizes the decoded trace exactly —
+            // one record walk counts events before a single allocation.
+            let verdict = ctx.run_one(
+                cache.as_deref_mut(),
+                port,
+                data,
+                now_cycles,
+                env,
+                scratch,
+                tracing,
+            );
+            let trace = tracing.then(|| LazyTrace::over(scratch, ctx.compiled.names()).decode());
+            (verdict, trace)
         })
         .collect();
+    let cache_delta = match (cache, cache_before) {
+        (Some(c), Some(before)) => c.stats().delta_since(&before),
+        _ => CacheStats::default(),
+    };
     ShardResult {
         results,
         stats,
         externs,
+        cache: cache_delta,
     }
 }
 
@@ -1132,6 +1282,9 @@ pub(crate) struct ShardResult {
     pub(crate) results: Vec<(Verdict, Option<Trace>)>,
     pub(crate) stats: Vec<TableStats>,
     pub(crate) externs: ExternState,
+    /// This batch's flow-cache counter deltas (plus the worker cache's
+    /// instantaneous occupancy/capacity).
+    pub(crate) cache: CacheStats,
 }
 
 impl ExecCtx<'_> {
@@ -1150,12 +1303,70 @@ impl ExecCtx<'_> {
         trace: &mut TraceBuf,
     ) -> Verdict {
         trace.clear();
-        let verdict = self.run(port, data, now_cycles, env, Some(trace));
+        let verdict = self.run(port, data, now_cycles, env, Some(trace), None);
         trace.final_verdict(&verdict);
         verdict
     }
 
-    /// Run one packet on the configured [`Engine`].
+    /// Run one packet through the flow cache when one is active: a hit
+    /// replays the memoized outcome (table statistics, counter bumps,
+    /// trace bytes, verdict) without entering either engine; a miss runs
+    /// the compiled engine with outcome recording and commits the entry.
+    /// With no cache — uncacheable program, cache disabled, or the
+    /// reference engine (which stays the unmemoized oracle) — this is
+    /// exactly the pre-cache traced/untraced path. `buf` always leaves
+    /// holding the packet's trace records when `tracing` (final-verdict
+    /// record included) and empty otherwise, so streaming consumers see
+    /// identical event streams either way.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_one(
+        &mut self,
+        cache: Option<&mut FlowCache>,
+        port: u16,
+        data: &[u8],
+        now_cycles: u64,
+        env: &mut Env,
+        buf: &mut TraceBuf,
+        tracing: bool,
+    ) -> Verdict {
+        let cache = match cache {
+            Some(c) if self.engine == Engine::Compiled => c,
+            _ => {
+                return if tracing {
+                    self.run_traced(port, data, now_cycles, env, buf)
+                } else {
+                    buf.clear();
+                    self.run(port, data, now_cycles, env, None, None)
+                };
+            }
+        };
+        if let Some(v) = cache.lookup(port, data, tracing, self.table_stats, self.externs, buf) {
+            return v;
+        }
+        // First-time misses fail the cache's tag filter and will not be
+        // installed — skip the side-effect recording entirely for those.
+        let install = cache.will_install();
+        buf.clear();
+        let verdict = if tracing {
+            let rec = install.then(|| cache.record());
+            let v = self.run(port, data, now_cycles, env, Some(buf), rec);
+            buf.final_verdict(&v);
+            v
+        } else {
+            let rec = install.then(|| cache.record());
+            self.run(port, data, now_cycles, env, None, rec)
+        };
+        if install {
+            let trace_bytes = if tracing { Some(buf.as_bytes()) } else { None };
+            cache.commit(port, data, &verdict, trace_bytes);
+        }
+        verdict
+    }
+
+    /// Run one packet on the configured [`Engine`]. `rec` captures the
+    /// replayable outcome on a flow-cache miss (compiled engine only —
+    /// the reference engine never records, and never needs to: the cache
+    /// is gated to [`Engine::Compiled`]).
     pub(crate) fn run(
         &mut self,
         port: u16,
@@ -1163,6 +1374,7 @@ impl ExecCtx<'_> {
         now_cycles: u64,
         env: &mut Env,
         trace: Option<&mut TraceBuf>,
+        rec: Option<&mut crate::cache::MissRecord>,
     ) -> Verdict {
         match self.engine {
             Engine::Compiled => compile::exec(
@@ -1175,6 +1387,7 @@ impl ExecCtx<'_> {
                 data,
                 now_cycles,
                 trace,
+                rec,
             ),
             Engine::Reference => self.run_reference(port, data, now_cycles, env, trace),
         }

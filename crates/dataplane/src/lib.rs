@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod bits;
+pub mod cache;
 pub mod compile;
 pub mod control;
 pub mod disasm;
@@ -44,6 +45,7 @@ mod pool;
 pub mod table;
 pub mod trace;
 
+pub use cache::CacheStats;
 pub use compile::CompiledProgram;
 pub use control::{ControlError, ControlPlane};
 pub use disasm::Disassembly;

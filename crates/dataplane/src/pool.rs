@@ -26,6 +26,7 @@
 //! channel and merge **in shard order**, so the join is as deterministic
 //! as the scoped join it replaces.
 
+use crate::cache::FlowCache;
 use crate::compile::CompiledProgram;
 use crate::externs::ExternState;
 use crate::interp::{run_shard, Engine, Env, ShardResult};
@@ -90,6 +91,13 @@ pub(crate) struct Job {
     pub(crate) tracing: bool,
     pub(crate) engine: Engine,
     pub(crate) now_cycles: u64,
+    /// Flow-cache key-prefix bytes when the dispatching data plane has
+    /// its cache enabled (`None` = run uncached). Workers keep their own
+    /// per-thread cache, persistent across batches of the same program.
+    pub(crate) cache_key_cap: Option<usize>,
+    /// The epoch the dispatcher pinned this batch at; the worker cache
+    /// invalidates by comparing against it.
+    pub(crate) pin_gen: u64,
 }
 
 type JobMsg = (usize, Job, Sender<(usize, Option<ShardResult>)>);
@@ -194,7 +202,7 @@ impl Drop for WorkerPool {
 /// comparison can never be confused by a freed-and-reallocated program
 /// — and the steady state re-allocates nothing per batch.
 fn worker_loop(rx: Receiver<JobMsg>) {
-    let mut env_cache: Option<(Arc<ir::Program>, Env, TraceBuf)> = None;
+    let mut env_cache: Option<(Arc<ir::Program>, Env, TraceBuf, Option<FlowCache>)> = None;
     while let Ok((idx, job, out)) = rx.recv() {
         let Job {
             program,
@@ -206,16 +214,28 @@ fn worker_loop(rx: Receiver<JobMsg>) {
             tracing,
             engine,
             now_cycles,
+            cache_key_cap,
+            pin_gen,
         } = job;
-        let (env, scratch) = match &mut env_cache {
-            Some((cached, env, scratch)) if Arc::ptr_eq(cached, &program) => (env, scratch),
+        let (env, scratch, flow_cache) = match &mut env_cache {
+            Some((cached, env, scratch, flow)) if Arc::ptr_eq(cached, &program) => {
+                (env, scratch, flow)
+            }
             slot => {
                 let env = Env::new(&program);
-                *slot = Some((Arc::clone(&program), env, TraceBuf::default()));
+                *slot = Some((Arc::clone(&program), env, TraceBuf::default(), None));
                 let cached = slot.as_mut().expect("just set");
-                (&mut cached.1, &mut cached.2)
+                (&mut cached.1, &mut cached.2, &mut cached.3)
             }
         };
+        // The worker cache follows the dispatcher's enablement: build it
+        // lazily when a caching job arrives, drop it when caching stops
+        // (stale entries must not survive a disable/re-enable cycle).
+        match cache_key_cap {
+            Some(cap) if flow_cache.is_none() => *flow_cache = Some(FlowCache::new(cap)),
+            None => *flow_cache = None,
+            _ => {}
+        }
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let views: Vec<_> = pins.iter().map(|s| s.view()).collect();
             match &span {
@@ -230,6 +250,8 @@ fn worker_loop(rx: Receiver<JobMsg>) {
                     now_cycles,
                     env,
                     scratch,
+                    flow_cache.as_mut(),
+                    pin_gen,
                 ),
                 ShardSpan::Indexed(indices) => run_shard(
                     &program,
@@ -242,6 +264,8 @@ fn worker_loop(rx: Receiver<JobMsg>) {
                     now_cycles,
                     env,
                     scratch,
+                    flow_cache.as_mut(),
+                    pin_gen,
                 ),
             }
         }));

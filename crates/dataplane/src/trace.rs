@@ -317,6 +317,21 @@ impl TraceBuf {
         self.bytes.clear();
     }
 
+    /// The raw record bytes of the current packet (the flow cache stores
+    /// these verbatim so a cached hit replays the exact event stream).
+    #[inline]
+    pub(crate) fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Replace the buffer contents with previously captured record
+    /// bytes, reusing the allocation (the flow-cache hit path).
+    #[inline]
+    pub(crate) fn load(&mut self, bytes: &[u8]) {
+        self.bytes.clear();
+        self.bytes.extend_from_slice(bytes);
+    }
+
     #[inline]
     fn word(&mut self, w: u32) {
         self.bytes.extend_from_slice(&w.to_le_bytes());

@@ -1557,3 +1557,135 @@ fn register_writing_program_takes_sequential_fallback() {
     );
     assert_eq!(dp.counter("rx_pkts", 0).unwrap().0, 10);
 }
+
+// ---------------------------------------------------------------------
+// Flow-cache parity: the memoized fast path against the uncached
+// compiled engine and the tree-walking reference oracle. The cache is on
+// by default for every cacheable program, so these properties are the
+// proof obligation behind that default: a replayed hit must be
+// observationally identical to a fresh execution — verdicts, traces,
+// statistics, counters — including across epoch republications, which
+// must invalidate rather than replay stale outcomes.
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Three-way parity over the whole program corpus: a repetitive
+    /// stream (draws from a small frame pool, processed twice so the
+    /// second round replays cache hits) produces bit-identical verdicts,
+    /// traces and runtime state on the cached default, the cache-off
+    /// compiled engine and the reference oracle — for every corpus
+    /// program, arbitrary (including malformed) frame bytes, ports,
+    /// timestamps and both tracing modes. Uncacheable programs pass
+    /// trivially (the cache never engages); cacheable ones replay.
+    #[test]
+    fn flow_cache_parity_across_corpus(
+        prog_idx in 0usize..corpus::corpus().len(),
+        pool in proptest::collection::vec(
+            (0u16..4, proptest::collection::vec(any::<u8>(), 0..96)), 1..6),
+        picks in proptest::collection::vec(any::<u16>(), 1..40),
+        now in any::<u32>(),
+        tracing in any::<bool>(),
+    ) {
+        let programs = corpus::corpus();
+        let prog = &programs[prog_idx % programs.len()];
+        let ir = netdebug_p4::compile(prog.source).unwrap();
+        let mut cached_dp = Dataplane::new(ir.clone());
+        let mut uncached_dp = Dataplane::new(ir.clone());
+        uncached_dp.set_flow_cache(false);
+        let mut reference_dp = Dataplane::new(ir);
+        reference_dp.set_engine(Engine::Reference);
+        for dp in [&mut cached_dp, &mut uncached_dp, &mut reference_dp] {
+            dp.set_tracing(tracing);
+        }
+        prop_assert!(!uncached_dp.flow_cache_enabled());
+        let pkts: Vec<(u16, &[u8])> = picks
+            .iter()
+            .map(|ix| {
+                let (port, frame) = &pool[usize::from(*ix) % pool.len()];
+                (*port, frame.as_slice())
+            })
+            .collect();
+        // Two rounds of the same stream: round 0 populates the cache,
+        // round 1 replays it (the timestamp moves between rounds, which
+        // must not matter — timestamp readers classify Uncacheable).
+        for round in 0..2u64 {
+            let t = u64::from(now) + round;
+            let c = cached_dp.process_batch(&pkts, t);
+            let u = uncached_dp.process_batch(&pkts, t);
+            let r = reference_dp.process_batch(&pkts, t);
+            for (i, ((c, u), r)) in c.iter().zip(&u).zip(&r).enumerate() {
+                prop_assert_eq!(c, u,
+                    "cache-on vs cache-off diverged on {} (round {}, packet {})",
+                    prog.name, round, i);
+                prop_assert_eq!(c, r,
+                    "cache-on vs reference diverged on {} (round {}, packet {})",
+                    prog.name, round, i);
+            }
+        }
+        assert_runtime_state_matches(&cached_dp, &uncached_dp)?;
+        assert_runtime_state_matches(&cached_dp, &reference_dp)?;
+        prop_assert_eq!(uncached_dp.cache_stats().hits, 0, "disabled cache must not hit");
+    }
+
+    /// Cache parity under shards and mid-batch republication on a
+    /// deployed router: for every shard count 1..=8 the cached compiled
+    /// engine, the cache-off compiled engine and the sequential
+    /// reference produce identical windows when an LPM route publishes
+    /// between them through the detached `ControlPlane` handle — the
+    /// epoch bump must invalidate resident entries, never replay a
+    /// pre-install outcome. Streams repeat frames from a small pool
+    /// (routable, unroutable, malformed, truncated, soup) so the cache
+    /// genuinely replays within and across windows.
+    #[test]
+    fn flow_cache_parity_on_shards_and_republication(
+        pool in proptest::collection::vec(
+            (0u16..4, 0u8..5, proptest::collection::vec(any::<u8>(), 0..64)), 1..6),
+        picks in proptest::collection::vec(any::<u16>(), 2..48),
+        shards in 1usize..=8,
+        now in any::<u32>(),
+    ) {
+        let built: Vec<(u16, Vec<u8>)> = pool
+            .iter()
+            .map(|(port, kind, soup)| (*port, mixed_frame(*kind, soup)))
+            .collect();
+        let stream: Vec<(u16, &[u8])> = picks
+            .iter()
+            .map(|ix| {
+                let (port, frame) = &built[usize::from(*ix) % built.len()];
+                (*port, frame.as_slice())
+            })
+            .collect();
+        let split = stream.len() / 2;
+        let (w1, w2) = stream.split_at(split.max(1));
+        let now = u64::from(now);
+
+        let deploy = |engine: Engine, cache: bool| {
+            let ir = netdebug_p4::compile(corpus::IPV4_FORWARD).unwrap();
+            let mut dp = Dataplane::new(ir);
+            dp.set_engine(engine);
+            dp.set_flow_cache(cache);
+            dp.install_lpm("ipv4_lpm", 0x0A00_0000, 8, "ipv4_forward", vec![0xAA, 1])
+                .unwrap();
+            dp
+        };
+        let run = |engine: Engine, cache: bool, shards: usize| {
+            let mut dp = deploy(engine, cache);
+            let cp = dp.control_plane();
+            let win1 = dp.process_batch_parallel(w1, now, shards);
+            cp.install_lpm("ipv4_lpm", 0x0A01_0000, 16, "ipv4_forward", vec![0xBB, 2])
+                .unwrap();
+            let win2 = dp.process_batch_parallel(w2, now, shards);
+            (win1, win2, dp)
+        };
+        let (c1, c2, cached_dp) = run(Engine::Compiled, true, shards);
+        prop_assert!(cached_dp.flow_cache_enabled(), "ipv4_forward is cacheable");
+        let (u1, u2, uncached_dp) = run(Engine::Compiled, false, shards);
+        let (r1, r2, reference_dp) = run(Engine::Reference, false, 1);
+        prop_assert_eq!(&c1, &u1, "pre-install window: cache-on vs cache-off");
+        prop_assert_eq!(&c2, &u2, "post-install window: cache-on vs cache-off");
+        prop_assert_eq!(&c1, &r1, "pre-install window: cache-on vs reference");
+        prop_assert_eq!(&c2, &r2, "post-install window: cache-on vs reference");
+        assert_runtime_state_matches(&cached_dp, &uncached_dp)?;
+        assert_runtime_state_matches(&cached_dp, &reference_dp)?;
+    }
+}

@@ -350,6 +350,20 @@ impl Device {
         self.dataplane.sharded_batches()
     }
 
+    /// Flow-cache counters of the embedded data plane (hits, misses,
+    /// invalidations, occupancy, capacity) — see
+    /// [`netdebug_dataplane::Dataplane::cache_stats`]. All-zero when the
+    /// program is uncacheable or caching is off.
+    pub fn cache_stats(&self) -> netdebug_dataplane::CacheStats {
+        self.dataplane.cache_stats()
+    }
+
+    /// Enable or disable the embedded data plane's flow cache — see
+    /// [`netdebug_dataplane::Dataplane::set_flow_cache`].
+    pub fn set_flow_cache(&mut self, enabled: bool) {
+        self.dataplane.set_flow_cache(enabled);
+    }
+
     // ------------------------------------------------------------------
     // Datapaths
     // ------------------------------------------------------------------

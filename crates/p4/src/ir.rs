@@ -196,6 +196,181 @@ impl Program {
             .any(|(_, e)| reads_packet(e, std_tainted))
     }
 
+    /// Classify whether per-packet outcomes of this program may be
+    /// **memoized** by a flow cache keyed on the ingress port, the frame
+    /// bytes the parser can observe, and the pinned snapshot generation
+    /// (see `netdebug-dataplane`'s flow cache):
+    ///
+    /// * [`Cacheability::Cacheable`] — the packet's verdict, output frame
+    ///   and per-apply table resolutions are a pure function of the
+    ///   (port, frame, pinned-tables) triple; counter bumps are the only
+    ///   extern effect and they replay commutatively. Two packets with the
+    ///   same key under the same generation behave identically.
+    /// * [`Cacheability::Uncacheable`] — something breaks that purity:
+    ///   the pipeline reads or writes mutable extern state (registers,
+    ///   meters — their cells evolve between packets of one flow), any
+    ///   expression reads the ingress timestamp (differs per packet even
+    ///   within a flow), or the parser FSM has a cycle, in which case the
+    ///   bytes that steer parsing are not bounded by any static prefix and
+    ///   the parsed key **under-determines the execution path**. Such
+    ///   programs bypass the cache entirely, the way
+    ///   [`ParallelClass::Sequential`] programs bypass sharding.
+    ///
+    /// Like [`Program::parallel_class`] this is flow-insensitive: a
+    /// disqualifying read anywhere — reachable or not — classifies the
+    /// whole program `Uncacheable`. Conservative, but sound, and cheap
+    /// enough to run once at load.
+    pub fn cacheability(&self) -> Cacheability {
+        let mut stateful = false;
+        self.visit_ops(|op| {
+            if matches!(
+                op,
+                Op::RegisterRead(..) | Op::RegisterWrite(..) | Op::MeterExecute(..)
+            ) {
+                stateful = true;
+            }
+        });
+        if stateful {
+            return Cacheability::Uncacheable;
+        }
+        let mut reads_timestamp = false;
+        self.visit_exprs(|e| {
+            if matches!(e, IrExpr::Std(StdField::IngressTimestamp)) {
+                reads_timestamp = true;
+            }
+        });
+        if reads_timestamp {
+            return Cacheability::Uncacheable;
+        }
+        if self.parser_longest_path_bits().is_none() {
+            return Cacheability::Uncacheable;
+        }
+        Cacheability::Cacheable
+    }
+
+    /// Maximum bits any single packet's parse can consume, computed as the
+    /// longest path through the parser FSM (each state charges the widths
+    /// of the headers it extracts). Returns `None` when the FSM has a
+    /// cycle — consumption is then bounded only by the runtime parse
+    /// budget, not by the graph. For acyclic parsers this bounds the frame
+    /// prefix that can influence parsing, and with it the whole pipeline
+    /// of a [`Cacheability::Cacheable`] program: it is the flow cache's
+    /// key-prefix length.
+    pub fn parser_longest_path_bits(&self) -> Option<u64> {
+        // Memoized DFS with an explicit on-stack color for cycle detection.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            OnStack,
+            Done,
+        }
+        fn cost(prog: &Program, s: StateId, colors: &mut [Color], memo: &mut [u64]) -> Option<u64> {
+            match colors.get(s).copied() {
+                None => return Some(0), // dangling id: parser rejects at runtime
+                Some(Color::OnStack) => return None,
+                Some(Color::Done) => return Some(memo[s]),
+                Some(Color::White) => {}
+            }
+            colors[s] = Color::OnStack;
+            let state = &prog.parser.states[s];
+            let here: u64 = state
+                .ops
+                .iter()
+                .map(|op| match op {
+                    ParserOp::Extract(h) => u64::from(prog.headers[*h].bit_width),
+                    ParserOp::Assign(..) => 0,
+                })
+                .sum();
+            let mut onward = 0u64;
+            let mut targets: Vec<StateId> = Vec::new();
+            match &state.transition {
+                IrTransition::Accept | IrTransition::Reject => {}
+                IrTransition::Goto(t) => targets.push(*t),
+                IrTransition::Select { arms, default, .. } => {
+                    for arm in arms {
+                        if let TransTarget::State(t) = arm.target {
+                            targets.push(t);
+                        }
+                    }
+                    if let TransTarget::State(t) = default {
+                        targets.push(*t);
+                    }
+                }
+            }
+            for t in targets {
+                onward = onward.max(cost(prog, t, colors, memo)?);
+            }
+            colors[s] = Color::Done;
+            memo[s] = here + onward;
+            Some(memo[s])
+        }
+        if self.parser.states.is_empty() {
+            return Some(0);
+        }
+        let mut colors = vec![Color::White; self.parser.states.len()];
+        let mut memo = vec![0u64; self.parser.states.len()];
+        cost(self, 0, &mut colors, &mut memo)
+    }
+
+    /// Walk every expression in the program — parser assignments and
+    /// select keys, control conditions and inline ops, table keys, action
+    /// bodies — invoking `f` on every node.
+    fn visit_exprs(&self, mut f: impl FnMut(&IrExpr)) {
+        for st in &self.parser.states {
+            for op in &st.ops {
+                if let ParserOp::Assign(_, e) = op {
+                    e.visit(&mut f);
+                }
+            }
+            if let IrTransition::Select { keys, .. } = &st.transition {
+                for k in keys {
+                    k.visit(&mut f);
+                }
+            }
+        }
+        fn walk(body: &[IrStmt], f: &mut impl FnMut(&IrExpr)) {
+            for stmt in body {
+                match stmt {
+                    IrStmt::If {
+                        cond,
+                        then_branch,
+                        else_branch,
+                    } => {
+                        cond.visit(f);
+                        walk(then_branch, f);
+                        walk(else_branch, f);
+                    }
+                    IrStmt::Op(op) => visit_op_exprs(op, f),
+                    IrStmt::ApplyTable { .. } | IrStmt::Exit => {}
+                }
+            }
+        }
+        fn visit_op_exprs(op: &Op, f: &mut impl FnMut(&IrExpr)) {
+            match op {
+                Op::Assign(_, e) | Op::CounterInc(_, e) | Op::RegisterRead(_, _, e) => e.visit(f),
+                Op::RegisterWrite(_, idx, val) => {
+                    idx.visit(f);
+                    val.visit(f);
+                }
+                Op::MeterExecute(_, idx, _) => idx.visit(f),
+                Op::SetValid(..) | Op::Drop | Op::NoOp => {}
+            }
+        }
+        for c in &self.controls {
+            walk(&c.body, &mut f);
+        }
+        for t in &self.tables {
+            for k in &t.keys {
+                k.expr.visit(&mut f);
+            }
+        }
+        for a in &self.actions {
+            for op in &a.ops {
+                visit_op_exprs(op, &mut f);
+            }
+        }
+    }
+
     /// Walk every primitive op in the match-action pipeline (control
     /// bodies in execution order, then action bodies), depth-first.
     fn visit_ops(&self, mut f: impl FnMut(&Op)) {
@@ -336,6 +511,18 @@ pub enum ParallelClass {
     MeterPartitionable,
     /// Register writes (or opaque meter indices): sequential only.
     Sequential,
+}
+
+/// Whether a program's per-packet outcomes may be memoized by a flow
+/// cache. See [`Program::cacheability`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cacheability {
+    /// Outcomes are a pure function of (port, observable frame prefix,
+    /// frame length, pinned table generation): memoize freely.
+    Cacheable,
+    /// Mutable extern state, timestamp reads, or an unbounded parser make
+    /// identical keys behave differently: bypass the cache.
+    Uncacheable,
 }
 
 /// Wire layout of one header instance.
@@ -1081,5 +1268,71 @@ mod tests {
         let p = meter_program(BENIGN_ACTION, "t.apply();");
         assert_eq!(p.parallel_class(), ParallelClass::Safe);
         assert!(p.parallel_safe());
+    }
+
+    #[test]
+    fn stateless_pipeline_is_cacheable() {
+        let p = meter_program(BENIGN_ACTION, "t.apply();");
+        assert_eq!(p.cacheability(), Cacheability::Cacheable);
+        // One ethernet extract: the key prefix is exactly the header.
+        assert_eq!(p.parser_longest_path_bits(), Some(112));
+    }
+
+    #[test]
+    fn extern_state_reads_are_uncacheable() {
+        // A meter's token bucket evolves between packets of one flow: the
+        // second packet of a flow may see a different color.
+        let p = meter_program(
+            BENIGN_ACTION,
+            "m.execute((bit<32>) standard_metadata.ingress_port, meta.color); t.apply();",
+        );
+        assert_eq!(p.cacheability(), Cacheability::Uncacheable);
+    }
+
+    #[test]
+    fn timestamp_reads_are_uncacheable() {
+        // The timestamp differs per packet even within a flow, so a verdict
+        // derived from it cannot be replayed.
+        let p = meter_program(
+            "meta.idx = (bit<32>) standard_metadata.ingress_global_timestamp;",
+            "t.apply();",
+        );
+        assert_eq!(p.cacheability(), Cacheability::Uncacheable);
+        // But the same program without the read is cacheable (control).
+        let p = meter_program("meta.idx = 32w7;", "t.apply();");
+        assert_eq!(p.cacheability(), Cacheability::Cacheable);
+    }
+
+    #[test]
+    fn cyclic_parsers_are_uncacheable() {
+        // A parser loop makes consumed bytes budget-bounded, not
+        // graph-bounded: no static frame prefix determines the parse.
+        let src = r#"
+            header tag_t { bit<8> kind; }
+            struct headers_t { tag_t tag; }
+            struct metadata_t { bit<8> depth; }
+            parser P(packet_in pkt, out headers_t hdr,
+                     inout metadata_t meta,
+                     inout standard_metadata_t standard_metadata) {
+                state start {
+                    pkt.extract(hdr.tag);
+                    transition select(hdr.tag.kind) {
+                        8w0: accept;
+                        default: start;
+                    }
+                }
+            }
+            control I(inout headers_t hdr, inout metadata_t meta,
+                      inout standard_metadata_t standard_metadata) {
+                apply { standard_metadata.egress_spec = 1; }
+            }
+            control D(packet_out pkt, in headers_t hdr) {
+                apply { pkt.emit(hdr.tag); }
+            }
+            V1Switch(P(), I(), D()) main;
+        "#;
+        let p = crate::compile(src).expect("looping parser must compile");
+        assert_eq!(p.parser_longest_path_bits(), None);
+        assert_eq!(p.cacheability(), Cacheability::Uncacheable);
     }
 }

@@ -382,6 +382,7 @@ mod tests {
             name: "prio-inverted".into(),
             bugs: vec![BugSpec::PriorityInverted],
             limits: ArchLimits::UNLIMITED,
+            faults: vec![],
         });
         let mut fleet = DifferentialFleet::new()
             .with(

@@ -21,13 +21,43 @@
 //! publication — divergence between members is always a semantic
 //! difference, never a shared-index artefact.
 
+use crate::churn::{ChurnError, ChurnSchedule};
 use crate::differential::{outcome_divergence, stages_reached};
 use crate::generator::{Generator, StreamSpec};
 use crate::probes::Probe;
-use crate::runtime::{DeviceSink, DeviceTask, FleetRuntime, FlowRun, RuntimeStats};
+use crate::runtime::{
+    describe_panic, CulpritFrame, DeviceFault, DeviceSink, DeviceTask, FleetRuntime, FlowRun,
+    RuntimeStats,
+};
 use netdebug_hw::{Device, Outcome, Processed};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+/// Errors a fleet-level API can surface.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// A churn run failed (rejected op or unreachable window).
+    Churn(ChurnError),
+    /// The operation needs at least one fleet member.
+    EmptyFleet,
+}
+
+impl core::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FleetError::Churn(e) => write!(f, "{e}"),
+            FleetError::EmptyFleet => write!(f, "the fleet has no members"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<ChurnError> for FleetError {
+    fn from(e: ChurnError) -> Self {
+        FleetError::Churn(e)
+    }
+}
 
 /// One divergence between a fleet member and the reference device.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -58,12 +88,18 @@ pub struct FleetReport {
     pub agreements: usize,
     /// All divergences, ordered by packet index then member order.
     pub divergences: Vec<FleetDivergence>,
+    /// Members that crashed mid-run (crash-class faults). Each record
+    /// carries the isolated culprit frame or publication; the member was
+    /// quarantined from diffing, and every healthy member's observations
+    /// are unaffected.
+    pub faults: Vec<DeviceFault>,
 }
 
 impl FleetReport {
-    /// True when every member behaved identically to the reference.
+    /// True when every member behaved identically to the reference and no
+    /// member crashed.
     pub fn equivalent(&self) -> bool {
-        self.divergences.is_empty()
+        self.divergences.is_empty() && self.faults.is_empty()
     }
 
     /// Labels of members that diverged at least once.
@@ -76,6 +112,33 @@ impl FleetReport {
         }
         out
     }
+
+    /// Labels of members that crashed (were quarantined) during the run.
+    pub fn faulted_members(&self) -> Vec<&str> {
+        self.faults.iter().map(|f| f.member.as_str()).collect()
+    }
+}
+
+/// Result of [`DifferentialFleet::bisect_churn`]: which churn epoch first
+/// makes the fleet diverge (or crash), found by binary search over the
+/// schedule's epoch axis instead of one run per epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnBisection {
+    /// Window index of the first churn epoch whose publication makes the
+    /// fleet fail. `None` when the full schedule passes, or when the
+    /// fleet fails with no churn at all (see `fails_without_churn`).
+    pub first_epoch: Option<u64>,
+    /// True when the fleet already fails with every churn op removed —
+    /// the failure is in the traffic, not the churn.
+    pub fails_without_churn: bool,
+    /// Fleet runs the bisection spent (`<= 2 + ceil(log2(epochs))`,
+    /// versus `epochs + 1` for a linear scan).
+    pub probes: u64,
+    /// Distinct churn epochs in the schedule.
+    pub epochs_total: u64,
+    /// The report that pinned the verdict: the first failing prefix's
+    /// report, or the full clean run's when nothing fails.
+    pub report: FleetReport,
 }
 
 struct FleetMember {
@@ -283,30 +346,44 @@ impl DifferentialFleet {
 
         // Devices come back in task order — restore them (and the labels)
         // before deciding pass/fail, so a churn error never loses a member.
-        let mut per_member = Vec::with_capacity(done.len());
+        // A member that crashed mid-run is quarantined: its fault record
+        // (culprit frame attached) joins the report and its observations
+        // are excluded from diffing; healthy members are diffed as usual.
+        let mut per_member: Vec<Option<MemberObservations>> = Vec::with_capacity(done.len());
+        let mut faults: Vec<DeviceFault> = Vec::new();
         let mut stats = RuntimeStats::default();
         let mut first_err: Option<netdebug_dataplane::ControlError> = None;
         for (label, d) in labels.into_iter().zip(done) {
             stats.absorb(&d.stats);
+            if let Some(mut f) = d.fault {
+                f.member = label.clone();
+                faults.push(f);
+                per_member.push(None);
+            } else {
+                match d.result {
+                    Ok(()) => per_member.push(Some(d.sink.obs)),
+                    Err(e) => {
+                        per_member.push(None);
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                    }
+                }
+            }
             self.members.push(FleetMember {
                 label,
                 device: d.device,
             });
-            match d.result {
-                Ok(()) => per_member.push(d.sink.obs),
-                Err(e) => {
-                    if first_err.is_none() {
-                        first_err = Some(e);
-                    }
-                }
-            }
         }
         self.last_stats = stats;
         if let Some(e) = first_err {
             return Err(e.into());
         }
-        let packets = per_member.first().map(|r| r.len()).unwrap_or(0);
-        Ok(self.diff(per_member, packets))
+        let packets = per_member
+            .iter()
+            .find_map(|r| r.as_ref().map(|r| r.len()))
+            .unwrap_or(0);
+        Ok(self.diff(per_member, packets, faults))
     }
 
     /// Run a probe set through every device concurrently and diff, with
@@ -324,35 +401,86 @@ impl DifferentialFleet {
                 let probes = Arc::clone(&probes_shared);
                 let mut device = m.device;
                 move || {
-                    let obs: MemberObservations = probes
-                        .iter()
-                        .map(|p| stages_reached(&mut device, 0, &p.data))
-                        .collect();
-                    (device, obs)
+                    // Each probe runs under `catch_unwind`: a member that
+                    // crashes on probe `i` is quarantined with probe `i`
+                    // as its culprit, and the device (in whatever state
+                    // the panic left it) still comes back to the fleet.
+                    let mut obs: MemberObservations = Vec::with_capacity(probes.len());
+                    let mut fault: Option<DeviceFault> = None;
+                    for (i, p) in probes.iter().enumerate() {
+                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            stages_reached(&mut device, 0, &p.data)
+                        }));
+                        match out {
+                            Ok(o) => obs.push(o),
+                            Err(payload) => {
+                                let (fault_id, stage, detail) = describe_panic(payload.as_ref());
+                                fault = Some(DeviceFault {
+                                    member: String::new(),
+                                    fault: fault_id,
+                                    stage,
+                                    detail,
+                                    packets_delivered: i as u64,
+                                    culprit: Some(CulpritFrame {
+                                        flow: 0,
+                                        seq: i as u64,
+                                        port: 0,
+                                        bytes: p.data.clone(),
+                                        prior_stage: None,
+                                    }),
+                                    trigger: None,
+                                });
+                                break;
+                            }
+                        }
+                    }
+                    (device, obs, fault)
                 }
             })
             .collect();
         let results = self.runtime.execute(jobs);
-        let mut per_member = Vec::with_capacity(results.len());
-        for (label, (device, obs)) in labels.into_iter().zip(results) {
+        let mut per_member: Vec<Option<MemberObservations>> = Vec::with_capacity(results.len());
+        let mut faults: Vec<DeviceFault> = Vec::new();
+        for (label, res) in labels.into_iter().zip(results) {
+            // The job catches every probe panic itself, so an escaping
+            // panic is harness breakage — propagate it.
+            let (device, obs, fault) = match res {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            if let Some(mut f) = fault {
+                f.member = label.clone();
+                faults.push(f);
+                per_member.push(None);
+            } else {
+                per_member.push(Some(obs));
+            }
             self.members.push(FleetMember { label, device });
-            per_member.push(obs);
         }
-        self.diff(per_member, probes.len())
+        self.diff(per_member, probes.len(), faults)
     }
 
     /// Diff joined per-member observations against the reference, in
-    /// member order (deterministic by construction).
-    fn diff(&self, per_member: Vec<Vec<(Outcome, Vec<String>)>>, packets: usize) -> FleetReport {
+    /// member order (deterministic by construction). `None` observations
+    /// belong to quarantined (crashed) members and are skipped; when the
+    /// reference itself crashed no diffing is possible and only the fault
+    /// records speak.
+    fn diff(
+        &self,
+        per_member: Vec<Option<MemberObservations>>,
+        packets: usize,
+        faults: Vec<DeviceFault>,
+    ) -> FleetReport {
         let members: Vec<String> = self.members.iter().map(|m| m.label.clone()).collect();
         let reference = members.first().cloned().unwrap_or_default();
         let mut divergences = Vec::new();
         let mut agreements = 0usize;
-        if let Some((ref_results, rest)) = per_member.split_first() {
+        if let Some((Some(ref_results), rest)) = per_member.split_first() {
             for i in 0..packets {
                 let (ref_out, ref_stages) = &ref_results[i];
                 let mut clean = true;
                 for (m, results) in rest.iter().enumerate() {
+                    let Some(results) = results else { continue };
                     let (out, stages) = &results[i];
                     if let Some(detail) = outcome_divergence(ref_out, out, ref_stages, stages) {
                         clean = false;
@@ -376,7 +504,136 @@ impl DifferentialFleet {
             packets,
             agreements,
             divergences,
+            faults,
         }
+    }
+
+    /// Binary-search the churn-epoch axis for the first epoch whose
+    /// publication makes the fleet fail (diverge from the reference or
+    /// crash a member) — ROADMAP hook (e).
+    ///
+    /// Every probe replays the identical stimulus against clones of the
+    /// current members with the schedule truncated to its first `k`
+    /// distinct epochs, so the verdict is a pure function of the epoch
+    /// prefix. The fleet's devices are restored to their pre-call state
+    /// afterwards on every path, success or error. Probe cost is
+    /// `2 + ceil(log2(epochs))` runs against `epochs + 1` for the linear
+    /// scan it replaces.
+    pub fn bisect_churn(
+        &mut self,
+        spec: &StreamSpec,
+        schedule: &ChurnSchedule,
+        window: u64,
+    ) -> Result<ChurnBisection, FleetError> {
+        if self.members.is_empty() {
+            return Err(FleetError::EmptyFleet);
+        }
+        let originals: Vec<FleetMember> = self
+            .members
+            .iter()
+            .map(|m| FleetMember {
+                label: m.label.clone(),
+                device: m.device.clone(),
+            })
+            .collect();
+        let out = self.bisect_churn_inner(spec, schedule, window, &originals);
+        // Probes leave the members churned by whatever prefix ran last;
+        // hand back the devices the caller gave us.
+        self.members = originals;
+        out
+    }
+
+    /// One bisection probe: reset the members to `originals` and run the
+    /// schedule truncated to its first `k` distinct epochs.
+    fn probe_prefix(
+        &mut self,
+        originals: &[FleetMember],
+        spec: &StreamSpec,
+        schedule: &ChurnSchedule,
+        epochs: &[u64],
+        k: usize,
+        window: u64,
+    ) -> Result<FleetReport, ChurnError> {
+        let allowed: std::collections::BTreeSet<u64> = epochs[..k].iter().copied().collect();
+        let prefix = ChurnSchedule {
+            ops: schedule
+                .ops
+                .iter()
+                .filter(|(w, _)| allowed.contains(w))
+                .cloned()
+                .collect(),
+        };
+        self.members = originals
+            .iter()
+            .map(|m| FleetMember {
+                label: m.label.clone(),
+                device: m.device.clone(),
+            })
+            .collect();
+        self.run_churn(spec, &prefix, window)
+    }
+
+    fn bisect_churn_inner(
+        &mut self,
+        spec: &StreamSpec,
+        schedule: &ChurnSchedule,
+        window: u64,
+        originals: &[FleetMember],
+    ) -> Result<ChurnBisection, FleetError> {
+        let epochs: Vec<u64> = {
+            let set: std::collections::BTreeSet<u64> =
+                schedule.ops.iter().map(|(w, _)| *w).collect();
+            set.into_iter().collect()
+        };
+        let n = epochs.len();
+        let mut probes = 0u64;
+        // Full schedule first: a clean fleet needs exactly one probe.
+        probes += 1;
+        let full = self.probe_prefix(originals, spec, schedule, &epochs, n, window)?;
+        if full.equivalent() {
+            return Ok(ChurnBisection {
+                first_epoch: None,
+                fails_without_churn: false,
+                probes,
+                epochs_total: n as u64,
+                report: full,
+            });
+        }
+        // No churn at all: if the fleet still fails, no epoch is to blame.
+        probes += 1;
+        let bare = self.probe_prefix(originals, spec, schedule, &epochs, 0, window)?;
+        if !bare.equivalent() {
+            return Ok(ChurnBisection {
+                first_epoch: None,
+                fails_without_churn: true,
+                probes,
+                epochs_total: n as u64,
+                report: bare,
+            });
+        }
+        // Invariant: prefix(lo - 1) passes, prefix(hi) fails. Find the
+        // smallest failing prefix length.
+        let mut lo = 1usize;
+        let mut hi = n;
+        let mut failing = full;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            probes += 1;
+            let report = self.probe_prefix(originals, spec, schedule, &epochs, mid, window)?;
+            if report.equivalent() {
+                lo = mid + 1;
+            } else {
+                failing = report;
+                hi = mid;
+            }
+        }
+        Ok(ChurnBisection {
+            first_epoch: Some(epochs[lo - 1]),
+            fails_without_churn: false,
+            probes,
+            epochs_total: n as u64,
+            report: failing,
+        })
     }
 }
 
@@ -536,6 +793,228 @@ mod tests {
         let report = solo.run_window(&spec);
         assert!(report.equivalent());
         assert_eq!(report.agreements, 4);
+    }
+
+    #[test]
+    fn faulty_member_is_quarantined_with_exact_culprit() {
+        use netdebug_hw::FaultSpec;
+        // 16 devices, one armed to panic on its 6th frame (seq 5). The
+        // crash must be isolated to exactly that frame while the other 15
+        // members stay healthy and agree on every packet.
+        let mut fleet = DifferentialFleet::new();
+        fleet.add("reference", router(&Backend::reference()));
+        for i in 0..15 {
+            let mut dev = router(&Backend::sdnet_fixed());
+            if i == 6 {
+                dev.arm_fault(FaultSpec::PanicAfterN { n: 5 });
+            }
+            fleet.add(format!("member-{i}"), dev);
+        }
+        assert_eq!(fleet.len(), 16);
+        let report = fleet.run_window(&StreamSpec::simple(
+            1,
+            frame(4),
+            12,
+            Expectation::Forward { port: Some(1) },
+        ));
+        assert!(!report.equivalent(), "a crashed member is not equivalence");
+        assert_eq!(report.faulted_members(), vec!["member-6"]);
+        let f = &report.faults[0];
+        assert_eq!(f.fault, "panic-after-n");
+        assert_eq!(f.stage, "ingress");
+        assert_eq!(f.packets_delivered, 5, "five frames delivered cleanly");
+        let culprit = f.culprit.as_ref().expect("culprit frame isolated");
+        assert_eq!(culprit.seq, 5, "the 6th frame is the culprit");
+        assert!(!culprit.bytes.is_empty(), "culprit carries its bytes");
+        // The quarantine is surgical: all 15 healthy members agree with
+        // the reference on all 12 packets, exactly as in a fault-free run.
+        assert!(report.divergences.is_empty(), "{:#?}", report.divergences);
+        assert_eq!(report.agreements, 12);
+        assert_eq!(fleet.len(), 16, "the crashed device returns to the fleet");
+    }
+
+    #[test]
+    fn publication_fault_is_attributed_to_its_trigger() {
+        use netdebug_hw::FaultSpec;
+        let mut faulty = router(&Backend::sdnet_fixed());
+        faulty.arm_fault(FaultSpec::FailPublication);
+        let mut fleet = DifferentialFleet::new()
+            .with("reference", router(&Backend::reference()))
+            .with("flaky-driver", faulty);
+        // Traffic alone is fine; the window-1 churn op goes through the
+        // modeled vendor driver and crashes the armed member.
+        let spec = StreamSpec::simple(1, frame(4), 16, Expectation::Any);
+        let schedule = crate::churn::ChurnSchedule::new().before_window(
+            1,
+            crate::churn::ChurnOp::Lpm {
+                table: "ipv4_lpm".into(),
+                prefix: 0x1400_0000,
+                prefix_len: 8,
+                action: "ipv4_forward".into(),
+                args: vec![0xCC, 3],
+            },
+        );
+        let report = fleet.run_churn(&spec, &schedule, 8).unwrap();
+        assert_eq!(report.faulted_members(), vec!["flaky-driver"]);
+        let f = &report.faults[0];
+        assert_eq!(f.fault, "fail-publication");
+        assert_eq!(f.stage, "driver");
+        let trigger = f.trigger.as_ref().expect("publication names its trigger");
+        assert!(
+            trigger.contains("seq 8"),
+            "window 1 starts at seq 8: {trigger}"
+        );
+        assert!(trigger.contains("Lpm"), "{trigger}");
+    }
+
+    #[test]
+    fn probe_diffing_quarantines_a_crashing_member() {
+        use netdebug_hw::FaultSpec;
+        let ir = netdebug_p4::compile(corpus::IPV4_FORWARD).unwrap();
+        let probes = parser_path_probes(&ir);
+        assert!(probes.len() > 1);
+        let mut faulty = router(&Backend::reference());
+        faulty.arm_fault(FaultSpec::PanicAfterN { n: 1 });
+        let mut fleet = DifferentialFleet::new()
+            .with("reference", router(&Backend::reference()))
+            .with("crashes-on-probe-1", faulty);
+        let report = fleet.diff_probes(&probes);
+        assert_eq!(report.faulted_members(), vec!["crashes-on-probe-1"]);
+        let f = &report.faults[0];
+        let culprit = f.culprit.as_ref().expect("the probe is the culprit");
+        assert_eq!(culprit.seq, 1);
+        assert_eq!(culprit.bytes, probes[1].data);
+        assert!(report.divergences.is_empty(), "no healthy member diverges");
+        assert_eq!(fleet.len(), 2, "the crashed device returns to the fleet");
+    }
+
+    /// Two-member fleet for the bisection tests: a reference and a
+    /// priority-inverting build, both deployed with **empty** tables so
+    /// the behaviour is a pure function of the churn prefix.
+    fn bisect_fleet() -> DifferentialFleet {
+        use netdebug_hw::{ArchLimits, SdnetProfile};
+        let inverted = Backend::SdnetSim(SdnetProfile {
+            name: "prio-inverted".into(),
+            bugs: vec![netdebug_hw::BugSpec::PriorityInverted],
+            limits: ArchLimits::UNLIMITED,
+            faults: vec![],
+        });
+        DifferentialFleet::new()
+            .with(
+                "reference",
+                Device::deploy_source(&Backend::reference(), corpus::IPV4_FORWARD).unwrap(),
+            )
+            .with(
+                "prio-inverted",
+                Device::deploy_source(&inverted, corpus::IPV4_FORWARD).unwrap(),
+            )
+    }
+
+    /// A churn schedule over windows `0..epochs`: window 0 installs the
+    /// broad /8 (port 1), window `bad` adds the overlapping /16 (port 2)
+    /// that a priority-inverting member shadows, every other window
+    /// installs a route the traffic never matches.
+    fn bisect_schedule(epochs: u64, bad: u64) -> crate::churn::ChurnSchedule {
+        let mut schedule = crate::churn::ChurnSchedule::new();
+        for w in 0..epochs {
+            let op = if w == 0 {
+                crate::churn::ChurnOp::Lpm {
+                    table: "ipv4_lpm".into(),
+                    prefix: 0x0A00_0000,
+                    prefix_len: 8,
+                    action: "ipv4_forward".into(),
+                    args: vec![0xAA, 1],
+                }
+            } else if w == bad {
+                crate::churn::ChurnOp::Lpm {
+                    table: "ipv4_lpm".into(),
+                    prefix: 0x0A00_0000,
+                    prefix_len: 16,
+                    action: "ipv4_forward".into(),
+                    args: vec![0xBB, 2],
+                }
+            } else {
+                // 20.<w>.0.0/16: never matches the 10.0.0.9 traffic.
+                crate::churn::ChurnOp::Lpm {
+                    table: "ipv4_lpm".into(),
+                    prefix: 0x1400_0000 | (w as u128) << 16,
+                    prefix_len: 16,
+                    action: "ipv4_forward".into(),
+                    args: vec![0xCC, 3],
+                }
+            };
+            schedule = schedule.before_window(w, op);
+        }
+        schedule
+    }
+
+    #[test]
+    fn bisect_churn_finds_the_first_failing_epoch() {
+        let mut fleet = bisect_fleet();
+        // 8 epochs over 32 packets (window = 4); epoch 5 introduces the
+        // shadowed /16. Linear scanning would take 9 runs.
+        let spec = StreamSpec::simple(7, frame(4), 32, Expectation::Any);
+        let bisection = fleet
+            .bisect_churn(&spec, &bisect_schedule(8, 5), 4)
+            .unwrap();
+        assert_eq!(bisection.first_epoch, Some(5));
+        assert!(!bisection.fails_without_churn);
+        assert_eq!(bisection.epochs_total, 8);
+        assert!(
+            bisection.probes <= 5,
+            "2 + log2(8) = 5 probes max, took {}",
+            bisection.probes
+        );
+        assert_eq!(bisection.report.diverging_members(), vec!["prio-inverted"]);
+        // The fleet hands back its pre-bisection devices: tables are
+        // empty again, so a plain window agrees (both members drop).
+        let after = fleet.run_window(&spec);
+        assert!(after.equivalent(), "{:#?}", after.divergences);
+        assert_eq!(after.agreements, 32);
+    }
+
+    #[test]
+    fn bisect_churn_clean_schedule_costs_one_probe() {
+        let mut fleet = bisect_fleet();
+        let spec = StreamSpec::simple(7, frame(4), 32, Expectation::Any);
+        // No overlapping /16 anywhere (bad epoch out of range): the full
+        // schedule passes and the bisection stops after the first probe.
+        let bisection = fleet
+            .bisect_churn(&spec, &bisect_schedule(8, 99), 4)
+            .unwrap();
+        assert_eq!(bisection.first_epoch, None);
+        assert!(!bisection.fails_without_churn);
+        assert_eq!(bisection.probes, 1);
+        assert!(bisection.report.equivalent());
+    }
+
+    #[test]
+    fn bisect_churn_blames_traffic_when_no_epoch_is_at_fault() {
+        // A fleet that diverges on the bare traffic (the 2018 reject bug):
+        // no churn epoch is to blame and the bisection says so in exactly
+        // two probes.
+        let mut fleet = DifferentialFleet::new()
+            .with("reference", router(&Backend::reference()))
+            .with("sdnet-2018", router(&Backend::sdnet_2018()));
+        let spec = StreamSpec::simple(7, frame(5), 32, Expectation::Any);
+        let bisection = fleet
+            .bisect_churn(&spec, &bisect_schedule(8, 99), 4)
+            .unwrap();
+        assert_eq!(bisection.first_epoch, None);
+        assert!(bisection.fails_without_churn);
+        assert_eq!(bisection.probes, 2);
+        assert!(!bisection.report.equivalent());
+    }
+
+    #[test]
+    fn bisect_churn_rejects_an_empty_fleet() {
+        let mut fleet = DifferentialFleet::new();
+        let spec = StreamSpec::simple(7, frame(4), 8, Expectation::Any);
+        let err = fleet
+            .bisect_churn(&spec, &crate::churn::ChurnSchedule::new(), 4)
+            .unwrap_err();
+        assert_eq!(err, FleetError::EmptyFleet);
+        assert!(err.to_string().contains("no members"));
     }
 
     #[test]

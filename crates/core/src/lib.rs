@@ -88,8 +88,12 @@ pub mod session;
 pub mod usecases;
 
 pub use checker::{Checker, StreamStats, Violation};
-pub use fleet::{DifferentialFleet, FleetDivergence, FleetReport};
+pub use churn::{ChurnError, ChurnOp, ChurnSchedule};
+pub use fleet::{ChurnBisection, DifferentialFleet, FleetDivergence, FleetError, FleetReport};
 pub use generator::{Expectation, FieldSweep, Generator, StreamSpec};
 pub use localize::{localize, Localization};
-pub use runtime::{DeviceSink, DeviceTask, FleetRuntime, FlowRun, RuntimeStats};
+pub use runtime::{
+    drive_device_guarded, CulpritFrame, DeviceFault, DeviceSink, DeviceTask, FleetRuntime, FlowRun,
+    RuntimeStats,
+};
 pub use session::{NetDebug, SessionReport};

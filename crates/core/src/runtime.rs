@@ -35,7 +35,8 @@
 use crate::churn::ChurnOp;
 use crate::generator::GeneratedPacket;
 use netdebug_dataplane::ControlError;
-use netdebug_hw::{Device, Processed};
+use netdebug_hw::{Device, FaultPanic, Processed};
+use serde::{Deserialize, Serialize};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -128,6 +129,9 @@ pub struct RuntimeStats {
     /// Device flow-cache invalidations (epoch bumps that dropped a
     /// non-empty cache) over the run — churn triggers show up here.
     pub cache_invalidations: u64,
+    /// Devices quarantined by the guarded driver (a crash-class fault or
+    /// genuine panic caught mid-run; see [`DeviceFault`]).
+    pub faults: u64,
 }
 
 impl RuntimeStats {
@@ -143,6 +147,7 @@ impl RuntimeStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.cache_invalidations += other.cache_invalidations;
+        self.faults += other.faults;
     }
 
     /// Mean frames per coalesced dispatch.
@@ -327,6 +332,66 @@ struct FlowCursor {
     trigger: usize,
 }
 
+/// The single culprit frame a fault was bisected down to: replayed solo
+/// under `catch_unwind`, with its bytes attached so the failure is
+/// reproducible outside the run that found it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CulpritFrame {
+    /// The [`FlowRun::id`] the frame belongs to.
+    pub flow: u32,
+    /// Sequence number within the flow.
+    pub seq: u64,
+    /// Ingress port the frame was injected on.
+    pub port: u16,
+    /// The frame bytes.
+    pub bytes: Vec<u8>,
+    /// Last pipeline stage reached by the final packet delivered before
+    /// the culprit (from the isolation replay's trace taps), when any
+    /// packet was delivered at all.
+    pub prior_stage: Option<String>,
+}
+
+/// Structured record of a quarantined device: what fired, where, and the
+/// culprit the solo replay isolated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceFault {
+    /// Which device: the fleet member label, or `device-<task index>`
+    /// for bare [`FleetRuntime::run`] tasks.
+    pub member: String,
+    /// Stable fault id (a [`netdebug_hw::FaultSpec`] id via the typed
+    /// panic payload, or `"panic"` for an untyped panic).
+    pub fault: String,
+    /// Pipeline position the fault fired at (`"ingress"`, `"parser"`,
+    /// `"driver"`, or `"unknown"` for untyped panics).
+    pub stage: String,
+    /// Human-readable payload detail.
+    pub detail: String,
+    /// Packets the device delivered before the trip (exact when the
+    /// isolation replay ran; the dispatched count otherwise).
+    pub packets_delivered: u64,
+    /// The single culprit frame, when the fault keyed on a frame.
+    pub culprit: Option<CulpritFrame>,
+    /// The churn trigger that fired the fault (publication faults),
+    /// rendered as `flow <id> seq <s>: <op>`.
+    pub trigger: Option<String>,
+}
+
+/// What the guarded replay caught while bisecting: the culprit (frame or
+/// trigger) and the panic payload it raised.
+#[derive(Default)]
+struct GuardState {
+    culprit: Option<CulpritFrame>,
+    trigger: Option<String>,
+    payload: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// Dispatch the pending frames. Without a guard this is the plain hot
+/// path: one batch-engine call chain. With a guard (isolation replay
+/// only) the batch is **bisected under `catch_unwind`**: every frame
+/// dispatches solo, and the first one to die is recorded as the culprit
+/// — bytes attached — instead of unwinding. Returns `true` when the
+/// guard caught a panic (the caller stops the drive; the guard holds the
+/// evidence).
 fn flush<S: DeviceSink + ?Sized>(
     device: &mut Device,
     pkts: &mut Vec<(u16, &[u8])>,
@@ -334,21 +399,55 @@ fn flush<S: DeviceSink + ?Sized>(
     meta: &mut Vec<(u32, u64)>,
     sink: &mut S,
     stats: &mut RuntimeStats,
-) {
+    guard: Option<&mut GuardState>,
+) -> bool {
     if pkts.is_empty() {
-        return;
+        return false;
     }
     stats.dispatches += 1;
     stats.packets += pkts.len() as u64;
     stats.max_batch = stats.max_batch.max(pkts.len() as u64);
-    let labels: &[(u32, u64)] = meta;
-    device.inject_batch_at(pkts, dues, |i, p| {
-        let (flow, seq) = labels[i];
-        sink.on_packet(flow, seq, p);
-    });
+    match guard {
+        None => {
+            let labels: &[(u32, u64)] = meta;
+            device
+                .inject_batch_at(pkts, dues, |i, p| {
+                    let (flow, seq) = labels[i];
+                    sink.on_packet(flow, seq, p);
+                })
+                .expect("frame and due lists are built in lockstep");
+        }
+        Some(g) => {
+            for i in 0..pkts.len() {
+                let one_pkt = [pkts[i]];
+                let one_due = [dues[i]];
+                let (flow, seq) = meta[i];
+                let solo = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    device
+                        .inject_batch_at(&one_pkt, &one_due, |_, p| sink.on_packet(flow, seq, p))
+                        .expect("one frame, one due time");
+                }));
+                if let Err(payload) = solo {
+                    g.culprit = Some(CulpritFrame {
+                        flow,
+                        seq,
+                        port: one_pkt[0].0,
+                        bytes: one_pkt[0].1.to_vec(),
+                        prior_stage: None,
+                    });
+                    g.payload = Some(payload);
+                    pkts.clear();
+                    dues.clear();
+                    meta.clear();
+                    return true;
+                }
+            }
+        }
+    }
     pkts.clear();
     dues.clear();
     meta.clear();
+    false
 }
 
 /// Drive one device's flows to completion on the **caller's thread**: the
@@ -369,14 +468,169 @@ pub fn drive_device<S: DeviceSink + ?Sized>(
     // The device's flow-cache counters are cumulative; fold this run's
     // deltas into the returned stats whichever way the loop exits.
     let cache_before = device.cache_stats();
-    let (mut stats, result) = drive_device_inner(device, flows, max_batch, sink);
-    let cache_after = device.cache_stats();
-    stats.cache_hits = cache_after.hits.saturating_sub(cache_before.hits);
-    stats.cache_misses = cache_after.misses.saturating_sub(cache_before.misses);
-    stats.cache_invalidations = cache_after
-        .invalidations
-        .saturating_sub(cache_before.invalidations);
+    let mut stats = RuntimeStats::default();
+    let result = drive_device_inner(device, flows, max_batch, sink, &mut stats, None);
+    fold_cache_delta(&mut stats, device, cache_before);
     (stats, result)
+}
+
+fn fold_cache_delta(
+    stats: &mut RuntimeStats,
+    device: &Device,
+    before: netdebug_dataplane::CacheStats,
+) {
+    let after = device.cache_stats();
+    stats.cache_hits = after.hits.saturating_sub(before.hits);
+    stats.cache_misses = after.misses.saturating_sub(before.misses);
+    stats.cache_invalidations = after.invalidations.saturating_sub(before.invalidations);
+}
+
+/// [`drive_device`] hardened against hostile devices: the whole drive
+/// runs under `catch_unwind`, so a crash-class fault
+/// ([`netdebug_hw::FaultSpec`]) — or a genuine engine panic — quarantines
+/// the device instead of unwinding the caller.
+///
+/// On a trip, the offending run is re-driven on a **pre-run clone** of
+/// the device (taken only when faults are armed; healthy devices never
+/// pay the clone) with `max_batch = 1` and the bisection guard engaged:
+/// every frame of the offending batch replays **solo under
+/// `catch_unwind`**, and the first to die is reported as the
+/// [`CulpritFrame`] — frame bytes and the last trace stage attached —
+/// inside a structured [`DeviceFault`]. Determinism of the armed
+/// counters (see [`netdebug_hw::FaultState`]) guarantees the replay
+/// trips on the same frame the original run did.
+///
+/// The returned `Result` stays `Ok` on a fault (the fault record *is*
+/// the outcome); `stats.faults` counts 1. The device is left in its
+/// post-panic state — quarantine it (fleets exclude faulted members from
+/// diffing) rather than reusing it.
+///
+/// Fault-free runs take exactly the [`drive_device`] path plus one
+/// `catch_unwind` frame and one `armed_faults` check — the measured
+/// overhead is gated ≤ 5% in `BENCH_fault.json`.
+pub fn drive_device_guarded<S: DeviceSink + ?Sized>(
+    device: &mut Device,
+    flows: &[FlowRun],
+    max_batch: usize,
+    sink: &mut S,
+) -> (RuntimeStats, Result<(), ControlError>, Option<DeviceFault>) {
+    let snapshot = if device.armed_faults().is_empty() {
+        None
+    } else {
+        Some(device.clone())
+    };
+    let cache_before = device.cache_stats();
+    let mut stats = RuntimeStats::default();
+    let outcome = {
+        let device = &mut *device;
+        let sink = &mut *sink;
+        let stats = &mut stats;
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            drive_device_inner(device, flows, max_batch, sink, stats, None)
+        }))
+    };
+    fold_cache_delta(&mut stats, device, cache_before);
+    match outcome {
+        Ok(result) => (stats, result, None),
+        Err(payload) => {
+            stats.faults += 1;
+            let fault = isolate_fault(snapshot, flows, payload, stats.packets);
+            (stats, Ok(()), Some(fault))
+        }
+    }
+}
+
+/// Decode a caught panic payload into `(fault id, stage, detail)`.
+pub(crate) fn describe_panic(payload: &(dyn std::any::Any + Send)) -> (String, String, String) {
+    if let Some(fp) = payload.downcast_ref::<FaultPanic>() {
+        (
+            fp.fault.to_string(),
+            fp.stage.to_string(),
+            fp.detail.clone(),
+        )
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        ("panic".into(), "unknown".into(), s.clone())
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        ("panic".into(), "unknown".into(), (*s).to_string())
+    } else {
+        (
+            "panic".into(),
+            "unknown".into(),
+            "non-string panic payload".into(),
+        )
+    }
+}
+
+/// Counting sink for the isolation replay: remembers how many packets
+/// were delivered before the trip and the last stage the final one
+/// reached (the "last trace record" attached to the culprit).
+#[derive(Default)]
+struct LastStageSink {
+    delivered: u64,
+    last_stage: Option<String>,
+}
+
+impl DeviceSink for LastStageSink {
+    fn on_packet(&mut self, _flow: u32, _seq: u64, p: Processed) {
+        self.delivered += 1;
+        self.last_stage = Some(p.last_stage);
+    }
+}
+
+/// Bisect a caught device panic down to its culprit by re-driving a
+/// pre-run snapshot with the guard engaged (frame-at-a-time dispatch,
+/// every frame solo under `catch_unwind`). Without a snapshot (no armed
+/// faults — a genuine engine panic) the record carries the payload but
+/// no culprit.
+fn isolate_fault(
+    snapshot: Option<Device>,
+    flows: &[FlowRun],
+    payload: Box<dyn std::any::Any + Send>,
+    packets_dispatched: u64,
+) -> DeviceFault {
+    let (mut fault, mut stage, mut detail) = describe_panic(payload.as_ref());
+    let mut culprit = None;
+    let mut trigger = None;
+    let mut delivered = packets_dispatched;
+    if let Some(mut replay) = snapshot {
+        let mut guard = GuardState::default();
+        let mut counter = LastStageSink::default();
+        let mut replay_stats = RuntimeStats::default();
+        // The guard catches every frame and trigger trip solo, so this
+        // outer catch is defensive only (a panic escaping it would be a
+        // harness bug, not a device fault).
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            drive_device_inner(
+                &mut replay,
+                flows,
+                1,
+                &mut counter,
+                &mut replay_stats,
+                Some(&mut guard),
+            )
+        }));
+        if let Some(p) = guard.payload {
+            let (f, s, d) = describe_panic(p.as_ref());
+            fault = f;
+            stage = s;
+            detail = d;
+        }
+        if let Some(mut c) = guard.culprit {
+            c.prior_stage = counter.last_stage.clone();
+            culprit = Some(c);
+        }
+        trigger = guard.trigger;
+        delivered = counter.delivered;
+    }
+    DeviceFault {
+        member: String::new(),
+        fault,
+        stage,
+        detail,
+        packets_delivered: delivered,
+        culprit,
+        trigger,
+    }
 }
 
 fn drive_device_inner<S: DeviceSink + ?Sized>(
@@ -384,9 +638,10 @@ fn drive_device_inner<S: DeviceSink + ?Sized>(
     flows: &[FlowRun],
     max_batch: usize,
     sink: &mut S,
-) -> (RuntimeStats, Result<(), ControlError>) {
+    stats: &mut RuntimeStats,
+    mut guard: Option<&mut GuardState>,
+) -> Result<(), ControlError> {
     let max_batch = max_batch.max(1);
-    let mut stats = RuntimeStats::default();
     let mut cursors: Vec<FlowCursor> = flows
         .iter()
         .map(|_| FlowCursor {
@@ -412,9 +667,21 @@ fn drive_device_inner<S: DeviceSink + ?Sized>(
             while cur.trigger < flow.triggers.len() && flow.triggers[cur.trigger].0 <= s {
                 let t = cur.trigger;
                 cur.trigger += 1;
-                flush(device, &mut pkts, &mut dues, &mut meta, sink, &mut stats);
-                if let Err(e) = flow.triggers[t].1.apply(device) {
-                    return (stats, Err(e));
+                if flush(
+                    device,
+                    &mut pkts,
+                    &mut dues,
+                    &mut meta,
+                    sink,
+                    stats,
+                    guard.as_deref_mut(),
+                ) {
+                    return Ok(());
+                }
+                match apply_trigger(device, flow, t, s, guard.as_deref_mut()) {
+                    TriggerOutcome::Applied => {}
+                    TriggerOutcome::Rejected(e) => return Err(e),
+                    TriggerOutcome::Caught => return Ok(()),
                 }
             }
             let due = flow.due(s);
@@ -426,13 +693,33 @@ fn drive_device_inner<S: DeviceSink + ?Sized>(
             dues.push(due);
             meta.push((flow.id, s));
             cur.next_seq += 1;
-            if pkts.len() >= max_batch {
-                flush(device, &mut pkts, &mut dues, &mut meta, sink, &mut stats);
+            if pkts.len() >= max_batch
+                && flush(
+                    device,
+                    &mut pkts,
+                    &mut dues,
+                    &mut meta,
+                    sink,
+                    stats,
+                    guard.as_deref_mut(),
+                )
+            {
+                return Ok(());
             }
         }
-        flush(device, &mut pkts, &mut dues, &mut meta, sink, &mut stats);
+        if flush(
+            device,
+            &mut pkts,
+            &mut dues,
+            &mut meta,
+            sink,
+            stats,
+            guard.as_deref_mut(),
+        ) {
+            return Ok(());
+        }
         stats.max_ready_depth = stats.max_ready_depth.max(u64::from(!flows.is_empty()));
-        return (stats, Ok(()));
+        return Ok(());
     }
 
     let mut wheel = TimerWheel::new(device.now());
@@ -456,10 +743,28 @@ fn drive_device_inner<S: DeviceSink + ?Sized>(
                 {
                     let t = cursors[fi].trigger;
                     cursors[fi].trigger += 1;
-                    flush(device, &mut pkts, &mut dues, &mut meta, sink, &mut stats);
-                    if let Err(e) = flow.triggers[t].1.apply(device) {
+                    if flush(
+                        device,
+                        &mut pkts,
+                        &mut dues,
+                        &mut meta,
+                        sink,
+                        stats,
+                        guard.as_deref_mut(),
+                    ) {
                         stats.wheel_cascades += wheel.cascades;
-                        return (stats, Err(e));
+                        return Ok(());
+                    }
+                    match apply_trigger(device, flow, t, s, guard.as_deref_mut()) {
+                        TriggerOutcome::Applied => {}
+                        TriggerOutcome::Rejected(e) => {
+                            stats.wheel_cascades += wheel.cascades;
+                            return Err(e);
+                        }
+                        TriggerOutcome::Caught => {
+                            stats.wheel_cascades += wheel.cascades;
+                            return Ok(());
+                        }
                     }
                 }
                 if s >= count || flow.due(s) != instant {
@@ -469,8 +774,19 @@ fn drive_device_inner<S: DeviceSink + ?Sized>(
                 dues.push(instant);
                 meta.push((flow.id, s));
                 cursors[fi].next_seq += 1;
-                if pkts.len() >= max_batch {
-                    flush(device, &mut pkts, &mut dues, &mut meta, sink, &mut stats);
+                if pkts.len() >= max_batch
+                    && flush(
+                        device,
+                        &mut pkts,
+                        &mut dues,
+                        &mut meta,
+                        sink,
+                        stats,
+                        guard.as_deref_mut(),
+                    )
+                {
+                    stats.wheel_cascades += wheel.cascades;
+                    return Ok(());
                 }
             }
             if cursors[fi].next_seq < count {
@@ -479,10 +795,68 @@ fn drive_device_inner<S: DeviceSink + ?Sized>(
         }
         // Flush at the instant boundary: dispatches never span a clock
         // step, so `inject_batch_at` groups stay whole-instant batches.
-        flush(device, &mut pkts, &mut dues, &mut meta, sink, &mut stats);
+        if flush(
+            device,
+            &mut pkts,
+            &mut dues,
+            &mut meta,
+            sink,
+            stats,
+            guard.as_deref_mut(),
+        ) {
+            stats.wheel_cascades += wheel.cascades;
+            return Ok(());
+        }
     }
     stats.wheel_cascades = wheel.cascades;
-    (stats, Ok(()))
+    Ok(())
+}
+
+/// How one control-plane trigger application ended.
+enum TriggerOutcome {
+    /// Applied cleanly (or rejected cleanly — see `Rejected`).
+    Applied,
+    /// The control plane refused the op; surfaced to the caller as usual.
+    Rejected(ControlError),
+    /// The device panicked inside the op (e.g. a `FailPublication` fault)
+    /// and a guard was armed: the panic was caught and recorded, and the
+    /// drive loop should stop replaying this device.
+    Caught,
+}
+
+/// Apply `flow.triggers[t]` to the device, catching a device panic when a
+/// fault-isolation guard is armed so the publication that tripped the
+/// fault can be named in the [`DeviceFault`] record.
+fn apply_trigger(
+    device: &mut Device,
+    flow: &FlowRun,
+    t: usize,
+    s: u64,
+    guard: Option<&mut GuardState>,
+) -> TriggerOutcome {
+    match guard {
+        None => match flow.triggers[t].1.apply(device) {
+            Ok(()) => TriggerOutcome::Applied,
+            Err(e) => TriggerOutcome::Rejected(e),
+        },
+        Some(g) => {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                flow.triggers[t].1.apply(device)
+            }));
+            match outcome {
+                Ok(Ok(())) => TriggerOutcome::Applied,
+                Ok(Err(e)) => TriggerOutcome::Rejected(e),
+                Err(payload) => {
+                    g.trigger = Some(format!(
+                        "flow {} seq {}: {:?}",
+                        flow.id, s, flow.triggers[t].1
+                    ));
+                    g.payload = Some(payload);
+                    TriggerOutcome::Caught
+                }
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -513,6 +887,10 @@ pub struct DeviceDone<S> {
     pub stats: RuntimeStats,
     /// `Err` if a churn trigger was rejected mid-run.
     pub result: Result<(), ControlError>,
+    /// `Some` if the device panicked mid-run (a crash-class fault): the
+    /// device was quarantined and the panic isolated to a culprit frame
+    /// or publication. Healthy devices of the same run are unaffected.
+    pub fault: Option<DeviceFault>,
 }
 
 type PoolJob = Box<dyn FnOnce() + Send>;
@@ -616,7 +994,11 @@ impl FleetRuntime {
                     // Hold the lock only while receiving; execution happens
                     // unlocked so idle workers can pick up the next job.
                     let job = {
-                        let guard = rx.lock().expect("fleet job queue poisoned");
+                        // A worker that panicked while holding the lock
+                        // poisons it; the queue itself is still coherent
+                        // (recv is atomic), so recover instead of taking
+                        // the whole pool down.
+                        let guard = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                         guard.recv()
                     };
                     match job {
@@ -632,22 +1014,27 @@ impl FleetRuntime {
     }
 
     /// Run arbitrary per-device jobs on the persistent worker set and
-    /// collect their results **in job order**. Jobs run inline when a
+    /// collect their outcomes **in job order**. Jobs run inline when a
     /// single worker is targeted (or there is only one job); otherwise
     /// they are dealt to the workers and collected by index. A panicking
-    /// job panics the caller, like the scoped joins this replaces.
+    /// job no longer unwinds the caller (or wedges the pool): its panic
+    /// payload comes back as the `Err` arm of its slot, and the worker
+    /// that ran it survives for later jobs.
     ///
     /// [`FleetRuntime::run`] is built on this; it is also the untyped
     /// escape hatch for device-shaped work that is not flow-driven
     /// (e.g. probe diffing).
-    pub fn execute<R, F>(&mut self, jobs: Vec<F>) -> Vec<R>
+    pub fn execute<R, F>(&mut self, jobs: Vec<F>) -> Vec<std::thread::Result<R>>
     where
         R: Send + 'static,
         F: FnOnce() -> R + Send + 'static,
     {
         let n = jobs.len();
         if self.target <= 1 || n <= 1 {
-            return jobs.into_iter().map(|job| job()).collect();
+            return jobs
+                .into_iter()
+                .map(|job| std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)))
+                .collect();
         }
         self.ensure(self.target.min(n));
         let (result_tx, result_rx) = channel::<(usize, std::thread::Result<R>)>();
@@ -660,16 +1047,13 @@ impl FleetRuntime {
             self.job_tx.send(boxed).expect("fleet worker queue closed");
         }
         drop(result_tx);
-        let mut slots: Vec<Option<R>> = Vec::new();
+        let mut slots: Vec<Option<std::thread::Result<R>>> = Vec::new();
         slots.resize_with(n, || None);
         for _ in 0..n {
             let (i, res) = result_rx
                 .recv()
                 .expect("fleet runtime result channel closed");
-            match res {
-                Ok(out) => slots[i] = Some(out),
-                Err(_) => panic!("fleet runtime device task panicked"),
-            }
+            slots[i] = Some(res);
         }
         slots
             .into_iter()
@@ -687,20 +1071,40 @@ impl FleetRuntime {
         let max_batch = self.max_batch;
         let jobs: Vec<_> = tasks
             .into_iter()
-            .map(|mut task| {
+            .enumerate()
+            .map(|(i, mut task)| {
                 move || {
-                    let (stats, result) =
-                        drive_device(&mut task.device, &task.flows, max_batch, &mut task.sink);
+                    let (stats, result, mut fault) = drive_device_guarded(
+                        &mut task.device,
+                        &task.flows,
+                        max_batch,
+                        &mut task.sink,
+                    );
+                    if let Some(f) = fault.as_mut() {
+                        f.member = format!("device-{i}");
+                    }
                     DeviceDone {
                         device: task.device,
                         sink: task.sink,
                         stats,
                         result,
+                        fault,
                     }
                 }
             })
             .collect();
-        let done = self.execute(jobs);
+        let done: Vec<DeviceDone<S>> = self
+            .execute(jobs)
+            .into_iter()
+            .map(|res| match res {
+                Ok(d) => d,
+                // `drive_device_guarded` catches device panics itself, so
+                // a panic escaping the job means the sink (or harness)
+                // itself blew up — that is a caller bug, not a device
+                // fault, and hiding it would mask broken tests.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect();
         for d in &done {
             self.stats.absorb(&d.stats);
         }

@@ -7,7 +7,9 @@
 
 use crate::checker::{Checker, StreamStats, Violation};
 use crate::generator::{Expectation, Generator, StreamSpec};
-use crate::runtime::{drive_device, DeviceSink, FlowRun, RuntimeStats, DEFAULT_MAX_BATCH};
+use crate::runtime::{
+    drive_device_guarded, DeviceFault, DeviceSink, FlowRun, RuntimeStats, DEFAULT_MAX_BATCH,
+};
 use netdebug_hw::{Backend, DeployError, Device, Processed};
 use serde::{Deserialize, Serialize};
 
@@ -22,6 +24,9 @@ pub struct NetDebug {
     windows: std::collections::HashMap<u16, (u64, u64)>,
     /// Event-loop counters accumulated across every stream run.
     runtime: RuntimeStats,
+    /// The most recent crash-class fault the device tripped mid-stream
+    /// (`None` while the device behaves). See [`NetDebug::last_fault`].
+    last_fault: Option<DeviceFault>,
 }
 
 impl NetDebug {
@@ -33,6 +38,7 @@ impl NetDebug {
             checker: Checker::new(),
             windows: std::collections::HashMap::new(),
             runtime: RuntimeStats::default(),
+            last_fault: None,
         }
     }
 
@@ -141,7 +147,7 @@ impl NetDebug {
             stream: spec.stream,
             last_done: 0,
         };
-        let (stats, result) = drive_device(
+        let (stats, result, fault) = drive_device_guarded(
             &mut self.device,
             std::slice::from_ref(&flow),
             DEFAULT_MAX_BATCH,
@@ -149,11 +155,25 @@ impl NetDebug {
         );
         let last_done = sink.last_done;
         self.runtime.absorb(&stats);
+        if let Some(mut f) = fault {
+            f.member = format!("stream-{}", spec.stream);
+            self.last_fault = Some(f);
+        }
         result.map_err(crate::churn::ChurnError::Control)?;
         if let Some(first) = first_ts {
             self.windows.insert(spec.stream, (first, last_done));
         }
         Ok(())
+    }
+
+    /// The most recent crash-class fault ([`DeviceFault`]) the device
+    /// tripped while a stream was running, if any. The session survives a
+    /// device panic: frames checked before the trip keep their verdicts,
+    /// the panic is isolated to its culprit frame (or publication), and
+    /// the record stays here until a later stream trips again. The
+    /// `member` field carries `stream-<id>` of the stream that tripped it.
+    pub fn last_fault(&self) -> Option<&DeviceFault> {
+        self.last_fault.as_ref()
     }
 
     /// Configure the device's batched injection to shard across `shards`

@@ -525,4 +525,109 @@ proptest! {
             prop_assert_eq!(driven.port_stats(port), twin.port_stats(port));
         }
     }
+
+    /// Fault isolation invariant: seed `k` devices of an 8-member fleet
+    /// with crash-class faults and every **healthy** device's observation
+    /// digest (FNV over flow, seq, outcome, last stage, completion cycle)
+    /// is bit-identical to the same fleet run entirely fault-free — for
+    /// every worker count 1..=4 and every fault kind. The faulted devices
+    /// are quarantined with a `DeviceFault` record, never by unwinding
+    /// the caller.
+    #[test]
+    fn faulty_members_never_perturb_healthy_digests(
+        faulty_raw in proptest::collection::vec(0usize..8, 1..=3),
+        fault_sel in 0u8..4,
+        seed in any::<u64>(),
+        count in 8u64..48,
+        workers in 1usize..=4,
+    ) {
+        use netdebug::generator::Generator;
+        use netdebug::{DeviceSink, DeviceTask, FleetRuntime, FlowRun};
+        use netdebug_hw::{FaultSpec, Processed};
+        use std::collections::BTreeSet;
+        use std::sync::Arc;
+
+        let faulty_positions: BTreeSet<usize> = faulty_raw.iter().copied().collect();
+
+        #[derive(Default)]
+        struct DigestSink(u64);
+        impl DigestSink {
+            fn mix(&mut self, bytes: &[u8]) {
+                let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+                for &b in bytes {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x1000_0000_01b3);
+                }
+                self.0 = h;
+            }
+        }
+        impl DeviceSink for DigestSink {
+            fn on_packet(&mut self, flow: u32, seq: u64, p: Processed) {
+                self.mix(&flow.to_le_bytes());
+                self.mix(&seq.to_le_bytes());
+                self.mix(format!("{:?}", p.outcome).as_bytes());
+                self.mix(p.last_stage.as_bytes());
+                self.mix(&p.done_at_cycle.to_le_bytes());
+            }
+        }
+
+        let spec = StreamSpec {
+            stream: 7,
+            template: router_frame(4),
+            count,
+            rate_pps: None,
+            as_port: 1,
+            sweeps: vec![],
+            expect: Expectation::Any,
+        };
+        let frames = Arc::new(Generator::new().build_batch(&spec, 0, count, 0, 0));
+        let fault = match fault_sel {
+            0 => FaultSpec::PanicAfterN { n: seed % count },
+            1 => FaultSpec::PanicOnPort { port: 1 },
+            2 => FaultSpec::WedgeParser { after: seed % count, budget_cycles: 10_000 },
+            _ => FaultSpec::SeededFlaky { seed, rate_ppm: 250_000 },
+        };
+        let backends = [Backend::reference(), Backend::sdnet_fixed(), Backend::sdnet_2018()];
+        let build_tasks = |armed: bool| -> Vec<DeviceTask<DigestSink>> {
+            (0..8usize)
+                .map(|i| {
+                    let mut dev = router(&backends[i % 3]);
+                    if armed && faulty_positions.contains(&i) {
+                        dev.arm_fault(fault);
+                    }
+                    DeviceTask {
+                        device: dev,
+                        flows: vec![FlowRun::new(7, 1, Arc::clone(&frames))],
+                        sink: DigestSink::default(),
+                    }
+                })
+                .collect()
+        };
+
+        let mut rt = FleetRuntime::new(workers);
+        let seeded = rt.run(build_tasks(true));
+        let mut rt_clean = FleetRuntime::new(workers);
+        let clean = rt_clean.run(build_tasks(false));
+        prop_assert_eq!(seeded.len(), 8);
+        for (i, (s, c)) in seeded.iter().zip(&clean).enumerate() {
+            prop_assert!(c.fault.is_none(), "fault-free run faulted at {}", i);
+            if faulty_positions.contains(&i) {
+                // SeededFlaky may legitimately never trip at this rate;
+                // every other kind is deterministic and must.
+                if fault_sel < 3 {
+                    prop_assert!(s.fault.is_some(), "device {} should have tripped", i);
+                }
+                if let Some(f) = &s.fault {
+                    let expected = format!("device-{i}");
+                    prop_assert_eq!(f.member.as_str(), expected.as_str());
+                }
+            } else {
+                prop_assert!(s.fault.is_none(), "healthy device {} faulted", i);
+                prop_assert_eq!(
+                    s.sink.0, c.sink.0,
+                    "healthy device {} digest perturbed by faulty peers", i
+                );
+            }
+        }
+    }
 }

@@ -225,6 +225,9 @@ pub struct Dataplane {
     /// Batches that actually ran sharded (parallel path taken, not the
     /// sequential fallback) — observability for tests and benches.
     sharded_batches: u64,
+    /// Packets quarantined as [`DropReason::EngineFault`] because their
+    /// shard worker panicked and the solo replay panicked again.
+    engine_faults: u64,
     tracing: bool,
     /// Cached `Program::parallel_class` — the program is immutable here.
     parallel_class: ParallelClass,
@@ -311,6 +314,7 @@ impl Clone for Dataplane {
             externs: self.externs.clone(),
             packets_processed: self.packets_processed,
             sharded_batches: self.sharded_batches,
+            engine_faults: self.engine_faults,
             tracing: self.tracing,
             parallel_class: self.parallel_class,
             meter_sites: self.meter_sites.clone(),
@@ -445,6 +449,7 @@ impl Dataplane {
             externs,
             packets_processed: 0,
             sharded_batches: 0,
+            engine_faults: 0,
             tracing: true,
             parallel_class,
             meter_sites,
@@ -547,6 +552,13 @@ impl Dataplane {
     /// did not take the sequential fallback) since construction.
     pub fn sharded_batches(&self) -> u64 {
         self.sharded_batches
+    }
+
+    /// Packets quarantined as [`DropReason::EngineFault`] (their shard
+    /// worker panicked and the sequential solo replay panicked again)
+    /// since construction. Zero on a healthy engine.
+    pub fn engine_faults(&self) -> u64 {
+        self.engine_faults
     }
 
     /// The optimization passes the bytecode was compiled with.
@@ -991,8 +1003,13 @@ impl Dataplane {
     }
 
     /// Run the jobs on the persistent pool and reclaim the arena buffer
-    /// for the next batch.
-    fn dispatch_jobs(&mut self, arena: Arc<PacketArena>, jobs: Vec<Job>) -> Vec<ShardResult> {
+    /// for the next batch. A shard whose worker panicked comes back as
+    /// `Err(span)`; the caller replays it via [`Dataplane::recover_shard`].
+    fn dispatch_jobs(
+        &mut self,
+        arena: Arc<PacketArena>,
+        jobs: Vec<Job>,
+    ) -> Vec<Result<ShardResult, ShardSpan>> {
         let results = self.pool.get_or_insert_with(WorkerPool::new).run(jobs);
         // Every worker dropped its handle before reporting, so the arena
         // is ours again — recycle its buffers.
@@ -1000,6 +1017,53 @@ impl Dataplane {
             self.arena_slot = Some(arena);
         }
         results
+    }
+
+    /// Sequential replay of a shard whose worker panicked: each packet of
+    /// the span runs **solo** under `catch_unwind`, so one poisoned frame
+    /// cannot take the batch (or the process) down. A packet that panics
+    /// again is quarantined as [`Verdict::Drop`]`(`[`DropReason::EngineFault`]`)`
+    /// with no trace and counted in [`Dataplane::engine_faults`]; the
+    /// others produce their normal verdicts through the sequential path.
+    ///
+    /// Best-effort semantics, documented trade-offs: the panicked shard's
+    /// partial work died with its shard-cloned state (no double counting),
+    /// the replay runs against the *live* epoch (a mid-batch publication
+    /// may be visible to replayed packets where the doomed shard had
+    /// pinned an earlier one), and a packet that dies mid-flight may
+    /// leave partial statistics from the work it completed before dying.
+    fn recover_shard(
+        &mut self,
+        pkts: &[(u16, &[u8])],
+        span: &ShardSpan,
+        now_cycles: u64,
+    ) -> Vec<(Verdict, Option<Trace>)> {
+        let indices: Vec<usize> = match span {
+            ShardSpan::Contiguous(range) => range.clone().collect(),
+            ShardSpan::Indexed(list) => list.clone(),
+        };
+        // The per-packet `process_batch` calls below re-count their
+        // packets; the parallel dispatcher already counted the whole
+        // batch, so compensate up front.
+        self.packets_processed -= indices.len() as u64;
+        let mut out = Vec::with_capacity(indices.len());
+        for i in indices {
+            let one = [pkts[i]];
+            let replay = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.process_batch(&one, now_cycles)
+            }));
+            match replay {
+                Ok(mut verdicts) => {
+                    out.push(verdicts.pop().expect("one packet in, one verdict out"))
+                }
+                Err(_) => {
+                    self.packets_processed += 1;
+                    self.engine_faults += 1;
+                    out.push((Verdict::Drop(DropReason::EngineFault), None));
+                }
+            }
+        }
+        out
     }
 
     /// The `Safe` parallel path: contiguous balanced chunks.
@@ -1025,12 +1089,20 @@ impl Dataplane {
         self.shard_cache.occupancy = 0;
         self.shard_cache.capacity = 0;
         for shard in shard_results {
-            out.extend(shard.results);
-            for (mine, theirs) in self.table_stats.iter_mut().zip(&shard.stats) {
-                mine.absorb(theirs);
+            match shard {
+                Ok(shard) => {
+                    out.extend(shard.results);
+                    for (mine, theirs) in self.table_stats.iter_mut().zip(&shard.stats) {
+                        mine.absorb(theirs);
+                    }
+                    self.externs.absorb_counters(&shard.externs);
+                    self.shard_cache.absorb(&shard.cache);
+                }
+                // Worker panicked: replay this span's packets solo, in
+                // batch order (contiguous spans arrive in shard order, so
+                // the merge order is unchanged).
+                Err(span) => out.extend(self.recover_shard(pkts, &span, now_cycles)),
             }
-            self.externs.absorb_counters(&shard.externs);
-            self.shard_cache.absorb(&shard.cache);
         }
         out
     }
@@ -1069,20 +1141,33 @@ impl Dataplane {
         self.shard_cache.occupancy = 0;
         self.shard_cache.capacity = 0;
         for (indices, shard) in shard_indices.iter().zip(shard_results) {
-            for (&i, res) in indices.iter().zip(shard.results) {
-                slots[i] = Some(res);
-            }
-            for (mine, theirs) in self.table_stats.iter_mut().zip(&shard.stats) {
-                mine.absorb(theirs);
-            }
-            self.externs.absorb_counters(&shard.externs);
-            self.shard_cache.absorb(&shard.cache);
-            let owned: std::collections::BTreeSet<(usize, usize)> = indices
-                .iter()
-                .flat_map(|&i| cells[i].iter().copied())
-                .collect();
-            for &(id, idx) in &owned {
-                self.externs.adopt_meter_cell(&shard.externs, id, idx);
+            match shard {
+                Ok(shard) => {
+                    for (&i, res) in indices.iter().zip(shard.results) {
+                        slots[i] = Some(res);
+                    }
+                    for (mine, theirs) in self.table_stats.iter_mut().zip(&shard.stats) {
+                        mine.absorb(theirs);
+                    }
+                    self.externs.absorb_counters(&shard.externs);
+                    self.shard_cache.absorb(&shard.cache);
+                    let owned: std::collections::BTreeSet<(usize, usize)> = indices
+                        .iter()
+                        .flat_map(|&i| cells[i].iter().copied())
+                        .collect();
+                    for &(id, idx) in &owned {
+                        self.externs.adopt_meter_cell(&shard.externs, id, idx);
+                    }
+                }
+                // Worker panicked. The replay runs on the live externs, so
+                // this shard's owned meter cells evolve in place (per-cell
+                // order preserved — each cell is owned by one shard).
+                Err(span) => {
+                    let recovered = self.recover_shard(pkts, &span, now_cycles);
+                    for (&i, res) in indices.iter().zip(recovered) {
+                        slots[i] = Some(res);
+                    }
+                }
             }
         }
         slots

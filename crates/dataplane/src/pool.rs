@@ -68,7 +68,7 @@ impl PacketArena {
 }
 
 /// Which packets of the arena one shard processes.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum ShardSpan {
     /// A contiguous range of the batch (the `Safe` split).
     Contiguous(Range<usize>),
@@ -100,7 +100,13 @@ pub(crate) struct Job {
     pub(crate) pin_gen: u64,
 }
 
-type JobMsg = (usize, Job, Sender<(usize, Option<ShardResult>)>);
+/// What a worker reports per job: the shard's results, or — when the
+/// shard panicked mid-run — the span it was working on, so the
+/// dispatcher can replay those packets sequentially and quarantine the
+/// one that keeps dying instead of unwinding the whole batch.
+type ShardOutcome = Result<ShardResult, ShardSpan>;
+
+type JobMsg = (usize, Job, Sender<(usize, ShardOutcome)>);
 
 struct Worker {
     tx: Sender<JobMsg>,
@@ -110,8 +116,8 @@ struct Worker {
 /// The pool: one worker per shard index, grown on demand, joined on drop.
 pub(crate) struct WorkerPool {
     workers: Vec<Worker>,
-    result_tx: Sender<(usize, Option<ShardResult>)>,
-    result_rx: Receiver<(usize, Option<ShardResult>)>,
+    result_tx: Sender<(usize, ShardOutcome)>,
+    result_rx: Receiver<(usize, ShardOutcome)>,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -152,10 +158,12 @@ impl WorkerPool {
         }
     }
 
-    /// Dispatch one job per shard and collect the results in shard
-    /// order. Panics (like the scoped `join().expect` it replaces) if a
-    /// worker died mid-batch.
-    pub(crate) fn run(&mut self, jobs: Vec<Job>) -> Vec<ShardResult> {
+    /// Dispatch one job per shard and collect the outcomes in shard
+    /// order. A shard whose worker panicked reports `Err(span)` — its
+    /// packet assignment — instead of killing the batch; the worker
+    /// itself survives (the panic is caught in `worker_loop`) and keeps
+    /// serving later batches.
+    pub(crate) fn run(&mut self, jobs: Vec<Job>) -> Vec<ShardOutcome> {
         let n = jobs.len();
         self.ensure(n);
         // Drain anything a previous aborted run left behind (possible only
@@ -168,11 +176,11 @@ impl WorkerPool {
                 .send((i, job, self.result_tx.clone()))
                 .expect("shard worker channel closed");
         }
-        let mut slots: Vec<Option<ShardResult>> = Vec::new();
+        let mut slots: Vec<Option<ShardOutcome>> = Vec::new();
         slots.resize_with(n, || None);
         for _ in 0..n {
             let (i, res) = self.result_rx.recv().expect("shard result channel closed");
-            slots[i] = Some(res.expect("shard worker panicked"));
+            slots[i] = Some(res);
         }
         slots
             .into_iter()
@@ -270,18 +278,19 @@ fn worker_loop(rx: Receiver<JobMsg>) {
             }
         }));
         let result = match outcome {
-            Ok(res) => Some(res),
+            Ok(res) => Ok(res),
             Err(_) => {
                 // Poison the env cache: the panic may have left it
-                // mid-reset for this program.
+                // mid-reset for this program. Hand the span back so the
+                // dispatcher can replay the shard's packets sequentially.
                 env_cache = None;
-                None
+                Err(span)
             }
         };
         // Drop the Arc handles on the arena/pins *before* reporting, so
         // the dispatcher can reclaim the arena buffer as soon as the
         // last result arrives.
-        drop((program, compiled, pins, arena, span));
+        drop((program, compiled, pins, arena));
         if out.send((idx, result)).is_err() {
             // Dispatcher gone; nothing left to report to.
             break;

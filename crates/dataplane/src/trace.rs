@@ -46,6 +46,9 @@ pub enum DropReason {
     NoEgress,
     /// The chosen egress port does not exist on the device.
     BadEgress,
+    /// The engine worker processing the packet panicked; the recovery
+    /// path quarantined the packet instead of unwinding the caller.
+    EngineFault,
 }
 
 impl DropReason {
@@ -57,6 +60,7 @@ impl DropReason {
             DropReason::ActionDrop => 2,
             DropReason::NoEgress => 3,
             DropReason::BadEgress => 4,
+            DropReason::EngineFault => 5,
         }
     }
 
@@ -66,6 +70,7 @@ impl DropReason {
             1 => DropReason::PacketTooShort,
             2 => DropReason::ActionDrop,
             3 => DropReason::NoEgress,
+            5 => DropReason::EngineFault,
             _ => DropReason::BadEgress,
         }
     }
@@ -79,6 +84,7 @@ impl core::fmt::Display for DropReason {
             DropReason::ActionDrop => "mark_to_drop",
             DropReason::NoEgress => "no egress chosen",
             DropReason::BadEgress => "egress port out of range",
+            DropReason::EngineFault => "engine fault (worker panicked)",
         };
         write!(f, "{s}")
     }

@@ -16,6 +16,7 @@
 //! catches both and localises them.
 
 use crate::bugs::{apply_ir_bugs, BugRuntime, BugSpec};
+use crate::faults::FaultSpec;
 use crate::resources::{self, ResourceReport, SUME_BUDGET};
 use netdebug_p4::ast::MatchKind;
 use netdebug_p4::ir;
@@ -65,7 +66,8 @@ impl ArchLimits {
     };
 }
 
-/// A named SDNet-sim configuration: limits plus silent bugs.
+/// A named SDNet-sim configuration: limits plus silent bugs plus
+/// crash-class faults.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SdnetProfile {
     /// Profile name (appears in reports).
@@ -74,6 +76,9 @@ pub struct SdnetProfile {
     pub bugs: Vec<BugSpec>,
     /// Diagnosed limits.
     pub limits: ArchLimits,
+    /// Crash-class faults armed on every device deployed from this
+    /// profile (composable with `bugs`: independent failure axes).
+    pub faults: Vec<FaultSpec>,
 }
 
 /// A backend that can compile IR for the device.
@@ -97,6 +102,7 @@ impl Backend {
             name: "sdnet-2018".to_string(),
             bugs: vec![BugSpec::RejectStateIgnored],
             limits: ArchLimits::SDNET_2018,
+            faults: vec![],
         })
     }
 
@@ -107,6 +113,7 @@ impl Backend {
             name: "sdnet-fixed".to_string(),
             bugs: vec![],
             limits: ArchLimits::SDNET_2018,
+            faults: vec![],
         })
     }
 
@@ -116,6 +123,18 @@ impl Backend {
             name: name.to_string(),
             bugs,
             limits: ArchLimits::SDNET_2018,
+            faults: vec![],
+        })
+    }
+
+    /// An SDNet profile carrying both silent bugs and crash-class
+    /// faults (robustness campaigns against a hostile device).
+    pub fn sdnet_with_faults(name: &str, bugs: Vec<BugSpec>, faults: Vec<FaultSpec>) -> Backend {
+        Backend::SdnetSim(SdnetProfile {
+            name: name.to_string(),
+            bugs,
+            limits: ArchLimits::SDNET_2018,
+            faults,
         })
     }
 
@@ -140,6 +159,14 @@ impl Backend {
         match self {
             Backend::Reference => &[],
             Backend::SdnetSim(p) => &p.bugs,
+        }
+    }
+
+    /// The crash-class fault list (empty for the reference).
+    pub fn faults(&self) -> &[FaultSpec] {
+        match self {
+            Backend::Reference => &[],
+            Backend::SdnetSim(p) => &p.faults,
         }
     }
 
@@ -248,6 +275,7 @@ impl Backend {
             resources,
             latency,
             backend_name: self.name().to_string(),
+            faults: self.faults().to_vec(),
         })
     }
 }
@@ -286,6 +314,8 @@ pub struct Compiled {
     pub latency: LatencyModel,
     /// Which backend produced this.
     pub backend_name: String,
+    /// Crash-class faults to arm on the deployed device.
+    pub faults: Vec<FaultSpec>,
 }
 
 /// Cycle-level latency model (200 MHz core clock, 64-bit datapath).

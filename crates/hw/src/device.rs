@@ -16,6 +16,7 @@
 //! *where* a packet disappeared.
 
 use crate::backend::{Backend, Compiled, LatencyModel};
+use crate::faults::{silence_fault_panics, FaultError, FaultSpec, FaultState};
 use netdebug_dataplane::{
     Dataplane, DropReason, Engine, LazyTrace, MeterConfig, Trace, TraceSink, Verdict,
 };
@@ -162,6 +163,10 @@ pub struct Device {
     compiled: Compiled,
     dataplane: Dataplane,
     taps: TapState,
+    /// Armed crash-class faults plus their deterministic admission
+    /// counters. Cloning the device clones the counters, which is what
+    /// lets a pre-run snapshot replay to the same trip point.
+    faults: FaultState,
 }
 
 /// The device's mutable bookkeeping: clock, pipeline occupancy, per-port
@@ -260,7 +265,7 @@ impl Device {
         let deparser_tap = stage_index["deparser"];
         let egress_tap = stage_index["egress"];
 
-        Ok(Device {
+        let mut device = Device {
             taps: TapState {
                 now_cycles: 0,
                 pipe_next_start: 0,
@@ -276,7 +281,28 @@ impl Device {
             config,
             compiled,
             dataplane,
-        })
+            faults: FaultState::default(),
+        };
+        for spec in device.compiled.faults.clone() {
+            device.arm_fault(spec);
+        }
+        Ok(device)
+    }
+
+    /// Arm a crash-class fault on this device. Faults raise a typed
+    /// panic ([`crate::faults::FaultPanic`]) when they trip; drive the
+    /// device through `netdebug_core::drive_device_guarded` (or your own
+    /// `catch_unwind`) to survive them. Arming the first fault installs
+    /// a process-wide panic-hook filter so the *expected* trips do not
+    /// print backtraces.
+    pub fn arm_fault(&mut self, spec: FaultSpec) {
+        silence_fault_panics();
+        self.faults.arm(spec);
+    }
+
+    /// The crash-class faults armed on this device.
+    pub fn armed_faults(&self) -> &[FaultSpec] {
+        self.faults.armed()
     }
 
     /// Board configuration.
@@ -444,7 +470,8 @@ impl Device {
             let due: Vec<u64> = (1..=frames.len() as u64)
                 .map(|i| now + gap_cycles * i)
                 .collect();
-            self.inject_batch_at(&pkts, &due, visit);
+            self.inject_batch_at(&pkts, &due, visit)
+                .expect("due list built in lockstep with the frame list");
             return;
         }
         self.inject_group(&pkts, 0, &mut visit);
@@ -462,17 +489,21 @@ impl Device {
     /// one frame, streaming otherwise. Results and statistics are
     /// bit-identical to advancing the clock to each due time and calling
     /// [`Device::inject`] per frame.
+    ///
+    /// Mismatched `pkts`/`due_cycles` lengths return
+    /// [`FaultError::MismatchedBatch`] instead of panicking.
     pub fn inject_batch_at(
         &mut self,
         pkts: &[(u16, &[u8])],
         due_cycles: &[u64],
         mut visit: impl FnMut(usize, Processed),
-    ) {
-        assert_eq!(
-            pkts.len(),
-            due_cycles.len(),
-            "one due time per injected frame"
-        );
+    ) -> Result<(), FaultError> {
+        if pkts.len() != due_cycles.len() {
+            return Err(FaultError::MismatchedBatch {
+                pkts: pkts.len(),
+                dues: due_cycles.len(),
+            });
+        }
         let mut start = 0usize;
         while start < pkts.len() {
             let due = due_cycles[start];
@@ -486,12 +517,41 @@ impl Device {
             self.inject_group(&pkts[start..end], start, &mut visit);
             start = end;
         }
+        Ok(())
     }
 
     /// One same-instant group through the batch engine. `base` offsets the
     /// window indices handed to `visit` so grouped dispatches still report
     /// positions in the caller's frame order.
+    ///
+    /// Armed faults are checked at admission, frame by frame, before the
+    /// group dispatches: the clean prefix ahead of a tripping frame is
+    /// processed normally, then the trip raises its typed panic — so a
+    /// guarded caller observes every outcome the device produced before
+    /// it died, and the admission counters (advanced only for clean
+    /// frames) replay deterministically.
     fn inject_group(
+        &mut self,
+        pkts: &[(u16, &[u8])],
+        base: usize,
+        visit: &mut impl FnMut(usize, Processed),
+    ) {
+        if !self.faults.is_empty() {
+            for (i, &(port, _)) in pkts.iter().enumerate() {
+                if let Some(trip) = self.faults.check_packet(port) {
+                    if i > 0 {
+                        self.inject_group_clean(&pkts[..i], base, visit);
+                    }
+                    self.taps.now_cycles += trip.wedge_cycles;
+                    std::panic::panic_any(trip.panic);
+                }
+            }
+        }
+        self.inject_group_clean(pkts, base, visit);
+    }
+
+    /// The fault-free group dispatch body.
+    fn inject_group_clean(
         &mut self,
         pkts: &[(u16, &[u8])],
         base: usize,
@@ -571,6 +631,12 @@ impl Device {
         mac_in_ns: f64,
         external: bool,
     ) -> Processed {
+        if !self.faults.is_empty() {
+            if let Some(trip) = self.faults.check_packet(port) {
+                self.taps.now_cycles += trip.wedge_cycles;
+                std::panic::panic_any(trip.panic);
+            }
+        }
         let (verdict, trace) = self.dataplane.process(port, data, self.taps.now_cycles);
         let summary = self.taps.tap_packet(&trace, &self.compiled.latency);
         self.taps.finish(
@@ -603,18 +669,23 @@ impl Device {
     ///
     /// Returns the window's outcomes (in window order, exactly as
     /// [`Device::inject_batch`] would) and the mutator's result.
+    /// A panicking mutator returns [`FaultError::MutatorPanicked`]
+    /// (after the window has fully streamed) instead of unwinding.
     pub fn inject_batch_concurrent<R: Send>(
         &mut self,
         as_port: u16,
         frames: &[&[u8]],
         gap_cycles: u64,
         mutate: impl FnOnce(netdebug_dataplane::ControlPlane) -> R + Send,
-    ) -> (Vec<Processed>, R) {
+    ) -> Result<(Vec<Processed>, R), FaultError> {
         let handle = self.dataplane.control_plane();
         std::thread::scope(|scope| {
             let mutator = scope.spawn(move || mutate(handle));
             let out = self.inject_batch(as_port, frames, gap_cycles);
-            (out, mutator.join().expect("control-plane mutator panicked"))
+            match mutator.join() {
+                Ok(r) => Ok((out, r)),
+                Err(_) => Err(FaultError::MutatorPanicked),
+            }
         })
     }
 
@@ -641,6 +712,13 @@ impl Device {
     }
 
     /// Install a table entry (applies the priority-inversion bug if active).
+    ///
+    /// This is the modeled vendor-driver path, so an armed
+    /// [`FaultSpec::FailPublication`] trips here (and in everything that
+    /// funnels through: [`Device::install_exact`],
+    /// [`Device::install_lpm`], churn triggers). The detached
+    /// [`Device::control_plane`] handle bypasses the driver and is
+    /// unaffected, like the bug transforms.
     pub fn install(
         &mut self,
         table: &str,
@@ -649,6 +727,9 @@ impl Device {
         args: Vec<u128>,
         priority: i32,
     ) -> Result<(), netdebug_dataplane::ControlError> {
+        if let Some(panic) = self.faults.check_publication() {
+            std::panic::panic_any(panic);
+        }
         let p = self.effective_priority(priority);
         self.dataplane.install(table, patterns, action, args, p)
     }
@@ -1048,6 +1129,119 @@ mod tests {
     }
 
     #[test]
+    fn panic_after_n_fault_trips_with_typed_payload() {
+        let mut dev = deploy(&Backend::reference());
+        dev.arm_fault(FaultSpec::PanicAfterN { n: 2 });
+        let frame = ipv4(Ipv4Address::new(10, 0, 0, 9), 4);
+        dev.inject(0, &frame);
+        dev.inject(0, &frame);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dev.inject(0, &frame);
+        }))
+        .expect_err("frame #2 must trip");
+        let payload = err
+            .downcast_ref::<crate::faults::FaultPanic>()
+            .expect("typed payload");
+        assert_eq!(payload.fault, "panic-after-n");
+        assert_eq!(payload.stage, "ingress");
+    }
+
+    #[test]
+    fn batch_fault_processes_clean_prefix_then_trips() {
+        let mut dev = deploy(&Backend::reference());
+        dev.arm_fault(FaultSpec::PanicAfterN { n: 3 });
+        let frame = ipv4(Ipv4Address::new(10, 0, 0, 9), 4);
+        let frames: Vec<&[u8]> = (0..8).map(|_| frame.as_slice()).collect();
+        let mut seen = Vec::new();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dev.inject_batch_with(0, &frames, 0, |i, _| seen.push(i));
+        }))
+        .expect_err("frame #3 of the batch must trip");
+        assert!(err.downcast_ref::<crate::faults::FaultPanic>().is_some());
+        assert_eq!(seen, vec![0, 1, 2], "clean prefix delivered before trip");
+        // Replaying a clone of a pre-run device one frame at a time trips
+        // on the same frame index — the isolation invariant.
+        let mut replay = deploy(&Backend::reference());
+        replay.arm_fault(FaultSpec::PanicAfterN { n: 3 });
+        for _ in 0..3 {
+            replay.inject(0, &frame);
+        }
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            replay.inject(0, &frame);
+        }))
+        .is_err());
+    }
+
+    #[test]
+    fn wedge_parser_charges_watchdog_budget_to_clock() {
+        let mut dev = deploy(&Backend::reference());
+        dev.arm_fault(FaultSpec::WedgeParser {
+            after: 0,
+            budget_cycles: 123_456,
+        });
+        let before = dev.now();
+        let frame = ipv4(Ipv4Address::new(10, 0, 0, 9), 4);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dev.inject(0, &frame);
+        }));
+        assert_eq!(
+            dev.now() - before,
+            123_456,
+            "watchdog budget burned before the trip"
+        );
+    }
+
+    #[test]
+    fn fail_publication_trips_driver_installs_only() {
+        let ir = netdebug_p4::compile(corpus::IPV4_FORWARD).unwrap();
+        let mut dev = Device::deploy(&Backend::reference(), &ir).unwrap();
+        dev.arm_fault(FaultSpec::FailPublication);
+        let trip = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dev.install_lpm("ipv4_lpm", 0x0A00_0000, 8, "ipv4_forward", vec![0xAA, 1])
+        }))
+        .expect_err("driver publication must trip");
+        assert_eq!(
+            trip.downcast_ref::<crate::faults::FaultPanic>()
+                .expect("typed payload")
+                .stage,
+            "driver"
+        );
+        // The detached control-plane handle bypasses the modeled driver.
+        dev.control_plane()
+            .install_lpm("ipv4_lpm", 0x0A00_0000, 8, "ipv4_forward", vec![0xAA, 1])
+            .unwrap();
+        // Packets still flow: the fault is publication-selective.
+        let p = dev.inject(0, &ipv4(Ipv4Address::new(10, 0, 0, 9), 4));
+        assert!(matches!(p.outcome, Outcome::Tx { port: 1, .. }));
+    }
+
+    #[test]
+    fn faulty_backend_profile_arms_deployed_devices() {
+        let backend =
+            Backend::sdnet_with_faults("crashy", vec![], vec![FaultSpec::PanicOnPort { port: 2 }]);
+        let ir = netdebug_p4::compile(corpus::IPV4_FORWARD).unwrap();
+        let mut dev = Device::deploy(&backend, &ir).unwrap();
+        assert_eq!(dev.armed_faults(), backend.faults());
+        let frame = ipv4(Ipv4Address::new(10, 0, 0, 9), 4);
+        dev.inject(0, &frame); // port 0 is clean
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dev.inject(2, &frame);
+        }))
+        .is_err());
+    }
+
+    #[test]
+    fn mismatched_batch_is_an_error_not_a_panic() {
+        let mut dev = deploy(&Backend::reference());
+        let frame = ipv4(Ipv4Address::new(10, 0, 0, 9), 4);
+        let pkts: Vec<(u16, &[u8])> = vec![(0, frame.as_slice()), (0, frame.as_slice())];
+        let err = dev
+            .inject_batch_at(&pkts, &[10], |_, _| {})
+            .expect_err("length mismatch");
+        assert_eq!(err, FaultError::MismatchedBatch { pkts: 2, dues: 1 });
+    }
+
+    #[test]
     fn sdnet_device_forwards_malformed_packets() {
         // The paper's §4 observation, now at device level.
         let mut dev = deploy(&Backend::sdnet_2018());
@@ -1145,6 +1339,7 @@ mod tests {
             name: "prio".to_string(),
             bugs: vec![crate::bugs::BugSpec::PriorityInverted],
             limits: crate::backend::ArchLimits::UNLIMITED,
+            faults: vec![],
         });
         let mut bad = Device::deploy(&backend, &ir).unwrap();
         let mut good = good;
@@ -1335,10 +1530,12 @@ mod tests {
         let frame = ipv4(Ipv4Address::new(10, 1, 0, 7), 4);
         let frames: Vec<&[u8]> = (0..256).map(|_| frame.as_slice()).collect();
         // Before churn: 10.1.0.7 matches only the /8 route (port 1).
-        let (outcomes, epoch) = dev.inject_batch_concurrent(0, &frames, 0, |cp| {
-            cp.install_lpm("ipv4_lpm", 0x0A01_0000, 16, "ipv4_forward", vec![0xBB, 2])
-                .unwrap()
-        });
+        let (outcomes, epoch) = dev
+            .inject_batch_concurrent(0, &frames, 0, |cp| {
+                cp.install_lpm("ipv4_lpm", 0x0A01_0000, 16, "ipv4_forward", vec![0xBB, 2])
+                    .unwrap()
+            })
+            .unwrap();
         assert_eq!(epoch, 2, "deploy install was epoch 1, churn is epoch 2");
         assert_eq!(outcomes.len(), 256);
         // The window pinned one snapshot: uniform egress, port 1 or 2.
@@ -1381,10 +1578,12 @@ mod tests {
         let frames: Vec<&[u8]> = (0..256).map(|_| frame.as_slice()).collect();
         // Before the install the destination is unknown (flood); after,
         // the dmac hash forwards to port 3.
-        let (outcomes, _) = dev.inject_batch_concurrent(0, &frames, 0, |cp| {
-            cp.install_exact("dmac", vec![dst], "forward", vec![3])
-                .unwrap()
-        });
+        let (outcomes, _) = dev
+            .inject_batch_concurrent(0, &frames, 0, |cp| {
+                cp.install_exact("dmac", vec![dst], "forward", vec![3])
+                    .unwrap()
+            })
+            .unwrap();
         let forwarded = matches!(outcomes[0].outcome, Outcome::Tx { port: 3, .. });
         for p in &outcomes {
             match (&p.outcome, forwarded) {
@@ -1408,6 +1607,7 @@ mod tests {
             name: "prio".to_string(),
             bugs: vec![crate::bugs::BugSpec::PriorityInverted],
             limits: crate::backend::ArchLimits::UNLIMITED,
+            faults: vec![],
         });
         let mut dev = Device::deploy(&backend, &ir).unwrap();
         dev.control_plane()
@@ -1479,10 +1679,12 @@ mod tests {
         grouped.advance(12); // dues 10 are already in the past
         let mut a = Vec::new();
         let mut order = Vec::new();
-        grouped.inject_batch_at(&pkts, &dues, |i, p| {
-            order.push(i);
-            a.push(p);
-        });
+        grouped
+            .inject_batch_at(&pkts, &dues, |i, p| {
+                order.push(i);
+                a.push(p);
+            })
+            .unwrap();
         assert_eq!(order, vec![0, 1, 2, 3, 4], "visit order is window order");
 
         let mut reference = deploy(&Backend::reference());

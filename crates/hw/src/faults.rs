@@ -1,0 +1,422 @@
+//! The crash-class fault library.
+//!
+//! [`crate::bugs::BugSpec`] models *silent-wrong-answer* defects: the
+//! device keeps running and quietly forwards (or drops) the wrong thing.
+//! Real deployed data planes also fail *loudly* — a driver thread
+//! panics, a parser wedges in a loop until a watchdog kills it, a table
+//! publication takes the control channel down with it. [`FaultSpec`]
+//! models that second class. Faults are deterministic and seeded: two
+//! devices armed with the same specs trip on exactly the same frame, so
+//! fault runs replay bit-identically — which is what lets the fleet
+//! runtime *bisect* an offending batch down to the single culprit frame
+//! (`netdebug_core::drive_device_guarded`).
+//!
+//! Faults compose freely with bug transforms: a `SdnetSim` profile can
+//! carry both, because a mis-compiled pipeline and a crashing driver are
+//! independent failure axes.
+//!
+//! Mechanically, a trip raises a typed panic payload ([`FaultPanic`])
+//! via `std::panic::panic_any`; the guarded drivers in `netdebug_core`
+//! catch it with `catch_unwind`, quarantine the device and attach the
+//! payload to a structured `DeviceFault` record. The first call to
+//! [`Device::arm_fault`](crate::Device::arm_fault) installs a panic-hook
+//! filter so these *expected* panics do not spray backtraces over test
+//! and bench output; genuine panics still print.
+
+use serde::{Deserialize, Serialize};
+
+/// One injectable crash-class fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultSpec {
+    /// Panic the instant a frame is admitted on `port` (models a
+    /// port-specific DMA/driver bug).
+    PanicOnPort {
+        /// Ingress port that triggers the crash.
+        port: u16,
+    },
+    /// Panic when the `n`-th frame (0-based over the device's lifetime)
+    /// is admitted — the classic "falls over after a while" failure.
+    PanicAfterN {
+        /// Frame index that triggers the crash.
+        n: u64,
+    },
+    /// Parser wedge: frame `after` hangs the parser in a loop; the
+    /// cycle-budget watchdog kills the device once `budget_cycles` have
+    /// burned. The burned budget is charged to the device clock before
+    /// the trip, so time-to-detection is observable.
+    WedgeParser {
+        /// Frame index (0-based) whose parse never terminates.
+        after: u64,
+        /// Watchdog budget the wedged parser exhausts, in core cycles.
+        budget_cycles: u64,
+    },
+    /// Every driver-path table publication crashes the driver
+    /// (`Device::install` and everything funnelling through it).
+    FailPublication,
+    /// Seeded flaky crash: each admitted frame independently trips with
+    /// probability `rate_ppm`/1e6, drawn from splitmix64 over
+    /// `seed ^ frame_index` — deterministic, so a flaky run replays
+    /// exactly.
+    SeededFlaky {
+        /// Stream seed.
+        seed: u64,
+        /// Trip probability in parts-per-million.
+        rate_ppm: u32,
+    },
+}
+
+impl FaultSpec {
+    /// Short stable identifier for reports.
+    pub fn id(&self) -> &'static str {
+        match self {
+            FaultSpec::PanicOnPort { .. } => "panic-on-port",
+            FaultSpec::PanicAfterN { .. } => "panic-after-n",
+            FaultSpec::WedgeParser { .. } => "wedge-parser",
+            FaultSpec::FailPublication => "fail-publication",
+            FaultSpec::SeededFlaky { .. } => "seeded-flaky",
+        }
+    }
+
+    /// Human-readable description for reports.
+    pub fn describe(&self) -> String {
+        match self {
+            FaultSpec::PanicOnPort { port } => {
+                format!("driver panics on any frame admitted on port {port}")
+            }
+            FaultSpec::PanicAfterN { n } => format!("driver panics admitting frame #{n}"),
+            FaultSpec::WedgeParser {
+                after,
+                budget_cycles,
+            } => format!(
+                "parser wedges on frame #{after}; watchdog fires after {budget_cycles} cycles"
+            ),
+            FaultSpec::FailPublication => "every table publication crashes the driver".into(),
+            FaultSpec::SeededFlaky { seed, rate_ppm } => {
+                format!("flaky crash at {rate_ppm} ppm (seed {seed:#x})")
+            }
+        }
+    }
+}
+
+/// Typed panic payload raised by a tripped fault.
+///
+/// Carried through `std::panic::panic_any`, downcast by the guarded
+/// drivers to recover *which* fault fired and *where* without parsing
+/// panic strings.
+#[derive(Debug, Clone)]
+pub struct FaultPanic {
+    /// Stable fault id ([`FaultSpec::id`]).
+    pub fault: &'static str,
+    /// Pipeline position the fault fired at: `"ingress"`, `"parser"`
+    /// or `"driver"`.
+    pub stage: &'static str,
+    /// Human-readable detail (port, frame index, …).
+    pub detail: String,
+}
+
+impl std::fmt::Display for FaultPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}@{}] {}", self.fault, self.stage, self.detail)
+    }
+}
+
+/// A fault decision for one admitted frame.
+#[derive(Debug)]
+pub struct FaultTrip {
+    /// The panic payload to raise.
+    pub panic: FaultPanic,
+    /// Cycles the wedged parser burned before the watchdog fired
+    /// (non-zero only for [`FaultSpec::WedgeParser`]); the device
+    /// charges them to its clock before raising.
+    pub wedge_cycles: u64,
+}
+
+/// Errors returned (instead of panics) by the hardened edges of the
+/// [`crate::Device`] public API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultError {
+    /// `inject_batch_at` was handed frame and due-time lists of
+    /// different lengths.
+    MismatchedBatch {
+        /// Frames in the batch.
+        pkts: usize,
+        /// Due times supplied.
+        dues: usize,
+    },
+    /// The control-plane mutator thread of `inject_batch_concurrent`
+    /// panicked.
+    MutatorPanicked,
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::MismatchedBatch { pkts, dues } => {
+                write!(f, "batch of {pkts} frames given {dues} due times")
+            }
+            FaultError::MutatorPanicked => write!(f, "control-plane mutator thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// Per-device armed-fault state: the specs plus the deterministic
+/// admission counters they key on.
+///
+/// The packet counter advances **only for cleanly admitted frames** — a
+/// tripping frame leaves it untouched — so replaying the same frame
+/// sequence on a clone of the pre-run device re-trips on exactly the
+/// same frame. That invariant is what the culprit-isolation replay in
+/// `netdebug_core` relies on.
+#[derive(Debug, Clone, Default)]
+pub struct FaultState {
+    specs: Vec<FaultSpec>,
+    packets: u64,
+    publications: u64,
+}
+
+impl FaultState {
+    /// Arm an additional fault.
+    pub fn arm(&mut self, spec: FaultSpec) {
+        self.specs.push(spec);
+    }
+
+    /// The armed fault specs.
+    pub fn armed(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// True when no fault is armed — the hot-path check, so admission
+    /// costs one branch on healthy devices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Frames cleanly admitted so far.
+    pub fn packets_admitted(&self) -> u64 {
+        self.packets
+    }
+
+    /// Admission check for one frame arriving on `port`. Returns the
+    /// trip to raise (counter untouched), or `None` after advancing the
+    /// clean-admission counter.
+    pub fn check_packet(&mut self, port: u16) -> Option<FaultTrip> {
+        let idx = self.packets;
+        for spec in &self.specs {
+            let trip = match *spec {
+                FaultSpec::PanicOnPort { port: p } if p == port => Some(FaultTrip {
+                    panic: FaultPanic {
+                        fault: spec.id(),
+                        stage: "ingress",
+                        detail: format!("frame #{idx} admitted on port {port}"),
+                    },
+                    wedge_cycles: 0,
+                }),
+                FaultSpec::PanicAfterN { n } if idx == n => Some(FaultTrip {
+                    panic: FaultPanic {
+                        fault: spec.id(),
+                        stage: "ingress",
+                        detail: format!("frame #{idx} reached the panic threshold"),
+                    },
+                    wedge_cycles: 0,
+                }),
+                FaultSpec::WedgeParser {
+                    after,
+                    budget_cycles,
+                } if idx == after => Some(FaultTrip {
+                    panic: FaultPanic {
+                        fault: spec.id(),
+                        stage: "parser",
+                        detail: format!(
+                            "parser wedged on frame #{idx}; watchdog fired after \
+                             {budget_cycles} cycles"
+                        ),
+                    },
+                    wedge_cycles: budget_cycles,
+                }),
+                FaultSpec::SeededFlaky { seed, rate_ppm }
+                    if splitmix64(seed ^ idx) % 1_000_000 < u64::from(rate_ppm) =>
+                {
+                    Some(FaultTrip {
+                        panic: FaultPanic {
+                            fault: spec.id(),
+                            stage: "ingress",
+                            detail: format!("flaky trip on frame #{idx} (seed {seed:#x})"),
+                        },
+                        wedge_cycles: 0,
+                    })
+                }
+                _ => None,
+            };
+            if trip.is_some() {
+                return trip;
+            }
+        }
+        self.packets += 1;
+        None
+    }
+
+    /// Admission check for one driver-path table publication. Returns
+    /// the panic to raise, or `None` after advancing the publication
+    /// counter.
+    pub fn check_publication(&mut self) -> Option<FaultPanic> {
+        let idx = self.publications;
+        for spec in &self.specs {
+            if matches!(spec, FaultSpec::FailPublication) {
+                return Some(FaultPanic {
+                    fault: spec.id(),
+                    stage: "driver",
+                    detail: format!("driver crashed publishing table update #{idx}"),
+                });
+            }
+        }
+        self.publications += 1;
+        None
+    }
+}
+
+/// splitmix64: the same tiny deterministic generator the runtime's
+/// test harness uses, keyed here by `seed ^ frame_index` so every frame
+/// has an independent, replayable draw.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Install (once, process-wide) a panic-hook filter that suppresses the
+/// default "thread panicked" report for [`FaultPanic`] payloads only.
+/// Injected faults are *expected* panics — the guarded drivers catch
+/// them — and printing a backtrace per trip would bury real failures in
+/// noise. Any other payload goes to the previous hook unchanged.
+pub(crate) fn silence_fault_panics() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<FaultPanic>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_and_descriptions_are_unique() {
+        let faults = [
+            FaultSpec::PanicOnPort { port: 1 },
+            FaultSpec::PanicAfterN { n: 3 },
+            FaultSpec::WedgeParser {
+                after: 2,
+                budget_cycles: 1000,
+            },
+            FaultSpec::FailPublication,
+            FaultSpec::SeededFlaky {
+                seed: 7,
+                rate_ppm: 100,
+            },
+        ];
+        let mut ids: Vec<_> = faults.iter().map(|f| f.id()).collect();
+        ids.sort_unstable();
+        let n = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+        for f in &faults {
+            assert!(!f.describe().is_empty());
+        }
+    }
+
+    #[test]
+    fn panic_after_n_trips_on_exactly_the_nth_frame() {
+        let mut st = FaultState::default();
+        st.arm(FaultSpec::PanicAfterN { n: 2 });
+        assert!(st.check_packet(0).is_none());
+        assert!(st.check_packet(0).is_none());
+        let trip = st.check_packet(0).expect("frame #2 trips");
+        assert_eq!(trip.panic.fault, "panic-after-n");
+        // The tripping frame does not advance the counter: a replay
+        // re-trips on the same frame.
+        assert_eq!(st.packets_admitted(), 2);
+        assert!(st.check_packet(0).is_some());
+    }
+
+    #[test]
+    fn panic_on_port_is_port_selective() {
+        let mut st = FaultState::default();
+        st.arm(FaultSpec::PanicOnPort { port: 3 });
+        for _ in 0..10 {
+            assert!(st.check_packet(1).is_none());
+        }
+        let trip = st.check_packet(3).expect("port 3 trips");
+        assert_eq!(trip.panic.stage, "ingress");
+    }
+
+    #[test]
+    fn wedge_parser_charges_the_watchdog_budget() {
+        let mut st = FaultState::default();
+        st.arm(FaultSpec::WedgeParser {
+            after: 0,
+            budget_cycles: 5_000,
+        });
+        let trip = st.check_packet(0).expect("first frame wedges");
+        assert_eq!(trip.wedge_cycles, 5_000);
+        assert_eq!(trip.panic.stage, "parser");
+    }
+
+    #[test]
+    fn seeded_flaky_is_deterministic_and_rate_bounded() {
+        let spec = FaultSpec::SeededFlaky {
+            seed: 0xDEAD_BEEF,
+            rate_ppm: 50_000, // 5%
+        };
+        let run = |spec| {
+            let mut st = FaultState::default();
+            st.arm(spec);
+            let mut trips = Vec::new();
+            for i in 0..2_000u64 {
+                if st.check_packet(0).is_some() {
+                    trips.push(i);
+                    // Skip past the trip as the guarded replay would:
+                    // model the frame as consumed by re-arming a fresh
+                    // state is overkill; just note determinism of the
+                    // first trip and stop.
+                    break;
+                }
+            }
+            (trips, st.packets_admitted())
+        };
+        let (a, admitted_a) = run(spec);
+        let (b, admitted_b) = run(spec);
+        assert_eq!(a, b, "same seed, same trip frame");
+        assert_eq!(admitted_a, admitted_b);
+        assert!(!a.is_empty(), "5% over 2000 frames trips at least once");
+    }
+
+    #[test]
+    fn fail_publication_trips_every_publication() {
+        let mut st = FaultState::default();
+        st.arm(FaultSpec::FailPublication);
+        assert!(st.check_publication().is_some());
+        assert!(st.check_publication().is_some());
+        // Packet admission is unaffected.
+        assert!(st.check_packet(0).is_none());
+    }
+
+    #[test]
+    fn clean_state_admits_everything() {
+        let mut st = FaultState::default();
+        assert!(st.is_empty());
+        for i in 0..100 {
+            assert!(st.check_packet(i as u16).is_none());
+        }
+        assert!(st.check_publication().is_none());
+        assert_eq!(st.packets_admitted(), 100);
+    }
+}

@@ -29,9 +29,11 @@
 pub mod backend;
 pub mod bugs;
 pub mod device;
+pub mod faults;
 pub mod resources;
 
 pub use backend::{ArchLimits, Backend, Compiled, LatencyModel, SdnetProfile};
 pub use bugs::{BugRuntime, BugSpec};
 pub use device::{DeployError, Device, DeviceConfig, Outcome, PortStats, Processed, MAC_FIXED_NS};
+pub use faults::{FaultError, FaultPanic, FaultSpec, FaultState, FaultTrip};
 pub use resources::{ResourceBudget, ResourceReport, SUME_BUDGET};

@@ -215,6 +215,7 @@ fn catches_meter_always_green() {
         name: "green".into(),
         bugs: vec![BugSpec::MeterAlwaysGreen],
         limits: netdebug_hw::ArchLimits::UNLIMITED,
+        faults: vec![],
     });
     let mut reference = deploy(&Backend::reference());
     let mut bugged = deploy(&bugged_backend);
@@ -257,6 +258,7 @@ fn catches_priority_inverted() {
         name: "prio".into(),
         bugs: vec![BugSpec::PriorityInverted],
         limits: netdebug_hw::ArchLimits::UNLIMITED,
+        faults: vec![],
     });
     let mut dev = Device::deploy_source(&backend, corpus::ACL_FIREWALL).unwrap();
     use netdebug_p4::ir::IrPattern;

@@ -26,9 +26,10 @@ use crate::differential::{outcome_divergence, stages_reached};
 use crate::generator::{Generator, StreamSpec};
 use crate::probes::Probe;
 use crate::runtime::{
-    describe_panic, CulpritFrame, DeviceFault, DeviceSink, DeviceTask, FleetRuntime, FlowRun,
-    RuntimeStats,
+    describe_panic, CulpritFrame, DeviceFault, DeviceRecovery, DeviceSink, DeviceTask,
+    FleetRuntime, FlowRun, RecoveryPolicy, RuntimeStats,
 };
+use netdebug_dataplane::DropReason;
 use netdebug_hw::{Device, Outcome, Processed};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -93,6 +94,14 @@ pub struct FleetReport {
     /// quarantined from diffing, and every healthy member's observations
     /// are unaffected.
     pub faults: Vec<DeviceFault>,
+    /// Members that crashed or stalled but were **recovered**: restored
+    /// from their last checkpoint, replayed, the culprit frame skipped
+    /// (booked as a [`netdebug_dataplane::DropReason::Faulted`] drop) and
+    /// re-admitted to the diff. A recovered member appears in the final
+    /// report like any healthy member — the skipped culprit is excluded
+    /// from outcome comparison — and recoveries do **not** break
+    /// [`FleetReport::equivalent`].
+    pub recoveries: Vec<DeviceRecovery>,
 }
 
 impl FleetReport {
@@ -116,6 +125,18 @@ impl FleetReport {
     /// Labels of members that crashed (were quarantined) during the run.
     pub fn faulted_members(&self) -> Vec<&str> {
         self.faults.iter().map(|f| f.member.as_str()).collect()
+    }
+
+    /// Labels of members that were recovered (checkpoint-restored,
+    /// culprit skipped, re-admitted to the diff) during the run.
+    pub fn recovered_members(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for r in &self.recoveries {
+            if !out.contains(&r.member.as_str()) {
+                out.push(&r.member);
+            }
+        }
+        out
     }
 }
 
@@ -173,6 +194,7 @@ pub struct DifferentialFleet {
     members: Vec<FleetMember>,
     runtime: FleetRuntime,
     last_stats: RuntimeStats,
+    recovery: Option<RecoveryPolicy>,
 }
 
 impl DifferentialFleet {
@@ -244,7 +266,25 @@ impl DifferentialFleet {
     pub fn set_runtime_workers(&mut self, workers: usize) {
         if workers.max(1) != self.runtime.target_workers() {
             self.runtime = FleetRuntime::new(workers);
+            self.runtime.set_recovery(self.recovery);
         }
+    }
+
+    /// Enable (or disable with `None`) checkpoint/restore recovery on the
+    /// fleet's window path. With a policy set, a member that crashes or
+    /// stalls mid-run is restored from its last checkpoint, replayed, its
+    /// culprit frame skipped and the member re-admitted to the diff; the
+    /// recovery records land in [`FleetReport::recoveries`]. The setting
+    /// survives [`DifferentialFleet::set_runtime_workers`]. Off by
+    /// default: faults quarantine exactly as before.
+    pub fn set_recovery(&mut self, policy: Option<RecoveryPolicy>) {
+        self.recovery = policy;
+        self.runtime.set_recovery(policy);
+    }
+
+    /// The fleet's current recovery policy (`None` when recovery is off).
+    pub fn recovery(&self) -> Option<RecoveryPolicy> {
+        self.recovery
     }
 
     /// Pool threads the runtime has actually spawned so far (they are
@@ -351,10 +391,15 @@ impl DifferentialFleet {
         // are excluded from diffing; healthy members are diffed as usual.
         let mut per_member: Vec<Option<MemberObservations>> = Vec::with_capacity(done.len());
         let mut faults: Vec<DeviceFault> = Vec::new();
+        let mut recoveries: Vec<DeviceRecovery> = Vec::new();
         let mut stats = RuntimeStats::default();
         let mut first_err: Option<netdebug_dataplane::ControlError> = None;
         for (label, d) in labels.into_iter().zip(done) {
             stats.absorb(&d.stats);
+            for mut r in d.recoveries {
+                r.member = label.clone();
+                recoveries.push(r);
+            }
             if let Some(mut f) = d.fault {
                 f.member = label.clone();
                 faults.push(f);
@@ -383,7 +428,7 @@ impl DifferentialFleet {
             .iter()
             .find_map(|r| r.as_ref().map(|r| r.len()))
             .unwrap_or(0);
-        Ok(self.diff(per_member, packets, faults))
+        Ok(self.diff(per_member, packets, faults, recoveries))
     }
 
     /// Run a probe set through every device concurrently and diff, with
@@ -457,19 +502,24 @@ impl DifferentialFleet {
             }
             self.members.push(FleetMember { label, device });
         }
-        self.diff(per_member, probes.len(), faults)
+        self.diff(per_member, probes.len(), faults, Vec::new())
     }
 
     /// Diff joined per-member observations against the reference, in
     /// member order (deterministic by construction). `None` observations
     /// belong to quarantined (crashed) members and are skipped; when the
     /// reference itself crashed no diffing is possible and only the fault
-    /// records speak.
+    /// records speak. A recovered member's skipped culprit frame (booked
+    /// as a [`DropReason::Faulted`] drop by the recovery path) is excluded
+    /// from outcome comparison — the recovery record already accounts for
+    /// it — so a recovered member whose post-skip verdicts match the
+    /// reference diffs clean.
     fn diff(
         &self,
         per_member: Vec<Option<MemberObservations>>,
         packets: usize,
         faults: Vec<DeviceFault>,
+        recoveries: Vec<DeviceRecovery>,
     ) -> FleetReport {
         let members: Vec<String> = self.members.iter().map(|m| m.label.clone()).collect();
         let reference = members.first().cloned().unwrap_or_default();
@@ -482,6 +532,14 @@ impl DifferentialFleet {
                 for (m, results) in rest.iter().enumerate() {
                     let Some(results) = results else { continue };
                     let (out, stages) = &results[i];
+                    if matches!(
+                        out,
+                        Outcome::Dropped {
+                            reason: DropReason::Faulted
+                        }
+                    ) {
+                        continue;
+                    }
                     if let Some(detail) = outcome_divergence(ref_out, out, ref_stages, stages) {
                         clean = false;
                         divergences.push(FleetDivergence {
@@ -505,6 +563,7 @@ impl DifferentialFleet {
             agreements,
             divergences,
             faults,
+            recoveries,
         }
     }
 
@@ -865,6 +924,125 @@ mod tests {
             "window 1 starts at seq 8: {trigger}"
         );
         assert!(trigger.contains("Lpm"), "{trigger}");
+    }
+
+    #[test]
+    fn recovery_storm_readmits_every_member() {
+        use netdebug_hw::FaultSpec;
+        // The acceptance storm: 16 members, one armed to panic, one to
+        // stall and one with a transient publication fault. With recovery
+        // enabled every member must appear in the final diff — three
+        // recoveries, zero permanent quarantines — and the healthy
+        // members' verdicts must be untouched.
+        let spec = StreamSpec::simple(1, frame(4), 48, Expectation::Forward { port: Some(1) });
+        let schedule = crate::churn::ChurnSchedule::new().before_window(
+            1,
+            crate::churn::ChurnOp::Lpm {
+                table: "ipv4_lpm".into(),
+                prefix: 0x1400_0000,
+                prefix_len: 8,
+                action: "ipv4_forward".into(),
+                args: vec![0xCC, 3],
+            },
+        );
+        let mut fleet = DifferentialFleet::new();
+        fleet.add("reference", router(&Backend::reference()));
+        for i in 0..15 {
+            let mut dev = router(&Backend::sdnet_fixed());
+            match i {
+                3 => dev.arm_fault(FaultSpec::PanicAfterN { n: 17 }),
+                7 => dev.arm_fault(FaultSpec::Stall { after: 29 }),
+                11 => dev.arm_fault(FaultSpec::TransientPublication { fail_first: 2 }),
+                _ => {}
+            }
+            fleet.add(format!("member-{i}"), dev);
+        }
+        fleet.set_recovery(Some(RecoveryPolicy::default()));
+        assert_eq!(fleet.recovery(), Some(RecoveryPolicy::default()));
+        let report = fleet.run_churn(&spec, &schedule, 16).unwrap();
+        assert!(report.faults.is_empty(), "{:#?}", report.faults);
+        assert!(report.divergences.is_empty(), "{:#?}", report.divergences);
+        assert!(report.equivalent(), "recoveries do not break equivalence");
+        assert_eq!(report.packets, 48);
+        assert_eq!(report.agreements, 48, "healthy verdicts are untouched");
+        assert_eq!(
+            report.recovered_members(),
+            vec!["member-3", "member-7", "member-11"]
+        );
+        assert_eq!(report.recoveries.len(), 3);
+        let by_member = |label: &str| {
+            report
+                .recoveries
+                .iter()
+                .find(|r| r.member == label)
+                .unwrap()
+        };
+        let panic_rec = by_member("member-3");
+        assert_eq!(panic_rec.fault, "panic-after-n");
+        assert_eq!(panic_rec.stage, "ingress");
+        assert_eq!(panic_rec.culprit.as_ref().unwrap().seq, 17);
+        let stall_rec = by_member("member-7");
+        assert_eq!(stall_rec.fault, "stall");
+        assert_eq!(stall_rec.stage, "watchdog");
+        assert_eq!(stall_rec.culprit.as_ref().unwrap().seq, 29);
+        let pub_rec = by_member("member-11");
+        assert_eq!(pub_rec.fault, "transient-publication");
+        assert_eq!(pub_rec.stage, "driver");
+        assert!(pub_rec.culprit.is_none(), "absorbed before any frame died");
+        assert_eq!(fleet.len(), 16, "every member returns to the fleet");
+    }
+
+    #[test]
+    fn recovered_member_matches_fault_free_run_except_culprit() {
+        use netdebug_hw::FaultSpec;
+        // Digest-level check of the rejoin contract: a recovered member's
+        // packet-by-packet outcomes are bit-identical to its own
+        // fault-free run except the skipped culprit, which is booked as a
+        // Faulted drop.
+        let spec = StreamSpec::simple(2, frame(4), 24, Expectation::Any);
+        let mut clean = DifferentialFleet::new()
+            .with("reference", router(&Backend::reference()))
+            .with("subject", router(&Backend::sdnet_fixed()));
+        let clean_report = clean.run_window(&spec);
+        assert!(clean_report.equivalent());
+        let mut faulty_dev = router(&Backend::sdnet_fixed());
+        faulty_dev.arm_fault(FaultSpec::PanicAfterN { n: 9 });
+        let mut faulty = DifferentialFleet::new()
+            .with("reference", router(&Backend::reference()))
+            .with("subject", faulty_dev);
+        faulty.set_recovery(Some(RecoveryPolicy {
+            checkpoint_interval: 4,
+            ..RecoveryPolicy::default()
+        }));
+        let report = faulty.run_window(&spec);
+        assert!(report.faults.is_empty(), "{:#?}", report.faults);
+        assert!(report.divergences.is_empty(), "{:#?}", report.divergences);
+        assert_eq!(report.recoveries.len(), 1);
+        let rec = &report.recoveries[0];
+        assert_eq!(rec.member, "subject");
+        assert_eq!(rec.culprit.as_ref().unwrap().seq, 9);
+        assert!(
+            rec.frames_replayed <= 4,
+            "bounded replay: at most one checkpoint interval, got {}",
+            rec.frames_replayed
+        );
+        // Workers must not change the story.
+        let mut wide_dev = router(&Backend::sdnet_fixed());
+        wide_dev.arm_fault(FaultSpec::PanicAfterN { n: 9 });
+        let mut wide = DifferentialFleet::new()
+            .with("reference", router(&Backend::reference()))
+            .with("subject", wide_dev);
+        wide.set_recovery(Some(RecoveryPolicy {
+            checkpoint_interval: 4,
+            ..RecoveryPolicy::default()
+        }));
+        wide.set_runtime_workers(4);
+        assert_eq!(
+            wide.recovery().map(|p| p.checkpoint_interval),
+            Some(4),
+            "recovery survives a worker retarget"
+        );
+        assert_eq!(wide.run_window(&spec), report);
     }
 
     #[test]

@@ -130,8 +130,12 @@ pub struct RuntimeStats {
     /// non-empty cache) over the run — churn triggers show up here.
     pub cache_invalidations: u64,
     /// Devices quarantined by the guarded driver (a crash-class fault or
-    /// genuine panic caught mid-run; see [`DeviceFault`]).
+    /// genuine panic caught mid-run; see [`DeviceFault`]). With recovery
+    /// enabled this counts trips, recovered or not.
     pub faults: u64,
+    /// Successful checkpoint/restore rejoins (see [`DeviceRecovery`]):
+    /// each one is a trip that did **not** cost the run a device.
+    pub recoveries: u64,
 }
 
 impl RuntimeStats {
@@ -148,6 +152,7 @@ impl RuntimeStats {
         self.cache_misses += other.cache_misses;
         self.cache_invalidations += other.cache_invalidations;
         self.faults += other.faults;
+        self.recoveries += other.recoveries;
     }
 
     /// Mean frames per coalesced dispatch.
@@ -327,9 +332,135 @@ impl TimerWheel {
 // Per-device event loop
 // ---------------------------------------------------------------------
 
+#[derive(Debug, Clone)]
 struct FlowCursor {
     next_seq: u64,
     trigger: usize,
+}
+
+/// Fresh per-flow cursors at the start of a drive (or a replay from the
+/// beginning).
+fn fresh_cursors(flows: &[FlowRun]) -> Vec<FlowCursor> {
+    flows
+        .iter()
+        .map(|_| FlowCursor {
+            next_seq: 0,
+            trigger: 0,
+        })
+        .collect()
+}
+
+/// Virtual-cycle deadline the guarded drivers charge to a device that
+/// went silent before declaring it dead: models the liveness watchdog's
+/// time-to-detection, exactly as `WedgeParser` charges its burned budget.
+pub const DEFAULT_WATCHDOG_CYCLES: u64 = 4096;
+
+/// How checkpoint/restore recovery behaves under
+/// [`drive_device_recovering`] (and a [`FleetRuntime`] with
+/// [`FleetRuntime::set_recovery`] enabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Recoveries allowed per device per run before the device is
+    /// permanently quarantined (a device that keeps dying is reported,
+    /// not retried forever).
+    pub max_recoveries: u32,
+    /// Checkpoint cadence in **delivered frames**: a bounded-replay knob
+    /// — after a trip, at most this many frames (plus the failed batch)
+    /// replay silently from the last checkpoint.
+    pub checkpoint_interval: u64,
+    /// Virtual-cycle liveness deadline: the watchdog burn charged to a
+    /// wedged device's clock before it is declared dead. Recovery
+    /// restores the pre-wedge clock, so the burn is observable only on
+    /// permanently quarantined members.
+    pub watchdog_cycles: u64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_recoveries: 4,
+            checkpoint_interval: 64,
+            watchdog_cycles: DEFAULT_WATCHDOG_CYCLES,
+        }
+    }
+}
+
+/// One successful quarantine-rejoin: the device tripped (or went
+/// silent), was restored from its last checkpoint, silently replayed the
+/// frames it had already delivered, skipped the isolated culprit (booked
+/// as [`netdebug_dataplane::DropReason::Faulted`]) and rejoined the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceRecovery {
+    /// Which device: the fleet member label, or `device-<task index>`
+    /// for bare [`FleetRuntime::run`] tasks.
+    pub member: String,
+    /// Stable fault id (as in [`DeviceFault::fault`]; `"stall"` for a
+    /// watchdog-detected silent wedge).
+    pub fault: String,
+    /// Pipeline position (`"ingress"`, `"parser"`, `"driver"`, or
+    /// `"watchdog"` for stalls).
+    pub stage: String,
+    /// Human-readable payload detail.
+    pub detail: String,
+    /// Virtual cycle the restored checkpoint was taken at.
+    pub checkpoint_cycle: u64,
+    /// Frames silently replayed between the checkpoint and the culprit.
+    pub frames_replayed: u64,
+    /// The skipped culprit frame.
+    pub culprit: Option<CulpritFrame>,
+    /// Virtual cycle the device rejoined the run at.
+    pub recovered_at_cycle: u64,
+}
+
+/// A resumable drive position: the device's full state plus the per-flow
+/// emission cursors, both captured at a flush boundary (so the cursors
+/// exactly match the frames the device has consumed).
+struct DriveCheckpoint {
+    device: netdebug_hw::DeviceCheckpoint,
+    cursors: Vec<FlowCursor>,
+    delivered: u64,
+}
+
+/// Checkpoint cadence state threaded through [`drive_device_inner`] when
+/// recovery is enabled.
+struct RecoverCtl {
+    interval: u64,
+    delivered: u64,
+    next_at: u64,
+    ckpt: Option<DriveCheckpoint>,
+}
+
+impl RecoverCtl {
+    fn new(interval: u64) -> Self {
+        RecoverCtl {
+            interval: interval.max(1),
+            delivered: 0,
+            next_at: 0,
+            ckpt: None,
+        }
+    }
+
+    /// Capture a checkpoint at the current drive position.
+    fn take(&mut self, device: &Device, cursors: &[FlowCursor]) {
+        self.ckpt = Some(DriveCheckpoint {
+            device: device.checkpoint(),
+            cursors: cursors.to_vec(),
+            delivered: self.delivered,
+        });
+        self.next_at = self.delivered + self.interval;
+    }
+}
+
+/// How one [`drive_device_inner`] call ended (short of a control error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DriveEnd {
+    /// Every frame of every flow was dispatched.
+    Completed,
+    /// The isolation guard caught a panic; the guard holds the evidence.
+    Interrupted,
+    /// The device went silent mid-run (a [`netdebug_hw::FaultSpec::Stall`]
+    /// wedge): frames were dispatched but swallowed without outcomes.
+    Stalled,
 }
 
 /// The single culprit frame a fault was bisected down to: replayed solo
@@ -385,13 +516,28 @@ struct GuardState {
     payload: Option<Box<dyn std::any::Any + Send>>,
 }
 
+/// How one coalesced dispatch ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlushOutcome {
+    /// Every frame delivered an outcome.
+    Clean,
+    /// The guard caught a panic; the guard holds the evidence.
+    Caught,
+    /// The device swallowed at least one frame without an outcome (a
+    /// silent stall wedge). With a guard armed, the first swallowed frame
+    /// is recorded as the culprit.
+    Stalled,
+}
+
 /// Dispatch the pending frames. Without a guard this is the plain hot
-/// path: one batch-engine call chain. With a guard (isolation replay
-/// only) the batch is **bisected under `catch_unwind`**: every frame
-/// dispatches solo, and the first one to die is recorded as the culprit
-/// — bytes attached — instead of unwinding. Returns `true` when the
-/// guard caught a panic (the caller stops the drive; the guard holds the
-/// evidence).
+/// path: one batch-engine call chain, with a delivered-count acting as
+/// the **liveness watchdog** — a device that returns fewer outcomes than
+/// frames has silently wedged, and the dispatch reports
+/// [`FlushOutcome::Stalled`] instead of pretending the frames were
+/// processed. With a guard (isolation replay only) the batch is
+/// **bisected under `catch_unwind`**: every frame dispatches solo, and
+/// the first one to die — by panic or by silent swallow — is recorded as
+/// the culprit, bytes attached, instead of unwinding.
 fn flush<S: DeviceSink + ?Sized>(
     device: &mut Device,
     pkts: &mut Vec<(u16, &[u8])>,
@@ -400,54 +546,70 @@ fn flush<S: DeviceSink + ?Sized>(
     sink: &mut S,
     stats: &mut RuntimeStats,
     guard: Option<&mut GuardState>,
-) -> bool {
+) -> FlushOutcome {
     if pkts.is_empty() {
-        return false;
+        return FlushOutcome::Clean;
     }
     stats.dispatches += 1;
     stats.packets += pkts.len() as u64;
     stats.max_batch = stats.max_batch.max(pkts.len() as u64);
+    let mut outcome = FlushOutcome::Clean;
     match guard {
         None => {
             let labels: &[(u32, u64)] = meta;
+            let mut seen = 0usize;
             device
                 .inject_batch_at(pkts, dues, |i, p| {
+                    seen += 1;
                     let (flow, seq) = labels[i];
                     sink.on_packet(flow, seq, p);
                 })
                 .expect("frame and due lists are built in lockstep");
+            if seen < pkts.len() {
+                outcome = FlushOutcome::Stalled;
+            }
         }
         Some(g) => {
             for i in 0..pkts.len() {
                 let one_pkt = [pkts[i]];
                 let one_due = [dues[i]];
                 let (flow, seq) = meta[i];
+                let mut seen = 0usize;
                 let solo = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     device
-                        .inject_batch_at(&one_pkt, &one_due, |_, p| sink.on_packet(flow, seq, p))
+                        .inject_batch_at(&one_pkt, &one_due, |_, p| {
+                            seen += 1;
+                            sink.on_packet(flow, seq, p);
+                        })
                         .expect("one frame, one due time");
                 }));
-                if let Err(payload) = solo {
-                    g.culprit = Some(CulpritFrame {
-                        flow,
-                        seq,
-                        port: one_pkt[0].0,
-                        bytes: one_pkt[0].1.to_vec(),
-                        prior_stage: None,
-                    });
-                    g.payload = Some(payload);
-                    pkts.clear();
-                    dues.clear();
-                    meta.clear();
-                    return true;
-                }
+                let caught = match solo {
+                    Err(payload) => {
+                        g.payload = Some(payload);
+                        FlushOutcome::Caught
+                    }
+                    // A solo frame that came back without an outcome was
+                    // swallowed by a stall wedge: same culprit treatment,
+                    // no payload.
+                    Ok(()) if seen == 0 => FlushOutcome::Stalled,
+                    Ok(()) => continue,
+                };
+                g.culprit = Some(CulpritFrame {
+                    flow,
+                    seq,
+                    port: one_pkt[0].0,
+                    bytes: one_pkt[0].1.to_vec(),
+                    prior_stage: None,
+                });
+                outcome = caught;
+                break;
             }
         }
     }
     pkts.clear();
     dues.clear();
     meta.clear();
-    false
+    outcome
 }
 
 /// Drive one device's flows to completion on the **caller's thread**: the
@@ -469,7 +631,20 @@ pub fn drive_device<S: DeviceSink + ?Sized>(
     // deltas into the returned stats whichever way the loop exits.
     let cache_before = device.cache_stats();
     let mut stats = RuntimeStats::default();
-    let result = drive_device_inner(device, flows, max_batch, sink, &mut stats, None);
+    let mut cursors = fresh_cursors(flows);
+    // A silent stall wedge ends the drive early — every later frame
+    // would be swallowed anyway; the unguarded driver just stops.
+    let result = drive_device_inner(
+        device,
+        flows,
+        max_batch,
+        sink,
+        &mut stats,
+        None,
+        None,
+        &mut cursors,
+    )
+    .map(|_| ());
     fold_cache_delta(&mut stats, device, cache_before);
     (stats, result)
 }
@@ -521,23 +696,306 @@ pub fn drive_device_guarded<S: DeviceSink + ?Sized>(
     };
     let cache_before = device.cache_stats();
     let mut stats = RuntimeStats::default();
+    let mut cursors = fresh_cursors(flows);
     let outcome = {
         let device = &mut *device;
         let sink = &mut *sink;
         let stats = &mut stats;
+        let cursors = &mut cursors;
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-            drive_device_inner(device, flows, max_batch, sink, stats, None)
+            drive_device_inner(device, flows, max_batch, sink, stats, None, None, cursors)
         }))
     };
     fold_cache_delta(&mut stats, device, cache_before);
     match outcome {
-        Ok(result) => (stats, result, None),
+        Ok(Ok(DriveEnd::Stalled)) => {
+            // The liveness watchdog: the device missed its instant (a
+            // frame went in, no outcome came out). Charge the virtual
+            // deadline the watchdog waited before declaring it dead,
+            // then quarantine exactly like a panic — the snapshot replay
+            // bisects the wedging frame.
+            stats.faults += 1;
+            device.advance(DEFAULT_WATCHDOG_CYCLES);
+            let fault = isolate_fault(snapshot, flows, None, stats.packets);
+            (stats, Ok(()), Some(fault))
+        }
+        Ok(result) => (stats, result.map(|_| ()), None),
         Err(payload) => {
             stats.faults += 1;
-            let fault = isolate_fault(snapshot, flows, payload, stats.packets);
+            let fault = isolate_fault(snapshot, flows, Some(payload), stats.packets);
             (stats, Ok(()), Some(fault))
         }
     }
+}
+
+/// [`drive_device_guarded`] upgraded from quarantine to **recovery**:
+/// instead of losing a faulted device for the rest of the run, the
+/// driver checkpoints the device at `policy.checkpoint_interval`
+/// delivered frames (cheap: table state pins the published `Arc`
+/// snapshot chain) and, when a crash-class fault trips — or the
+/// virtual-time liveness watchdog catches a silent
+/// [`netdebug_hw::FaultSpec::Stall`] wedge — it:
+///
+/// 1. restores the device from the last checkpoint (tables, externs,
+///    taps, clock, fault counters all rewind);
+/// 2. silently replays the frames the sink already received, which
+///    re-trips deterministically on the same culprit and leaves the
+///    emission cursors exactly past it;
+/// 3. skips the culprit — booked as a
+///    [`netdebug_dataplane::DropReason::Faulted`] drop that occupies the
+///    pipeline slot a normal frame would have, so every later frame's
+///    timing matches the fault-free run — and hands the sink its record;
+/// 4. re-checkpoints and resumes the drive where it left off.
+///
+/// Each rejoin is recorded as a [`DeviceRecovery`]. Devices that exceed
+/// `policy.max_recoveries`, trip *inside a churn publication* (the
+/// device-level retry in [`netdebug_hw::Device::install`] is the
+/// recovery path for those; a panic surviving it is permanent), or whose
+/// fault does not reproduce on replay are permanently quarantined with a
+/// [`DeviceFault`], exactly like [`drive_device_guarded`].
+pub fn drive_device_recovering<S: DeviceSink + ?Sized>(
+    device: &mut Device,
+    flows: &[FlowRun],
+    max_batch: usize,
+    sink: &mut S,
+    policy: RecoveryPolicy,
+) -> (
+    RuntimeStats,
+    Result<(), ControlError>,
+    Vec<DeviceRecovery>,
+    Option<DeviceFault>,
+) {
+    let cache_before = device.cache_stats();
+    let retried_before = device.retried_publications();
+    let mut stats = RuntimeStats::default();
+    let mut cursors = fresh_cursors(flows);
+    let mut ctl = RecoverCtl::new(policy.checkpoint_interval);
+    ctl.take(device, &cursors);
+    let mut recoveries: Vec<DeviceRecovery> = Vec::new();
+    let mut fault = None;
+    let result = loop {
+        let outcome = {
+            let device = &mut *device;
+            let sink = &mut *sink;
+            let stats = &mut stats;
+            let cursors = &mut cursors;
+            let ctl = &mut ctl;
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                drive_device_inner(
+                    device,
+                    flows,
+                    max_batch,
+                    sink,
+                    stats,
+                    None,
+                    Some(ctl),
+                    cursors,
+                )
+            }))
+        };
+        let payload = match outcome {
+            Ok(Err(e)) => break Err(e),
+            // `Interrupted` cannot happen without a guard; treat it as
+            // completion rather than looping.
+            Ok(Ok(DriveEnd::Completed)) | Ok(Ok(DriveEnd::Interrupted)) => break Ok(()),
+            Ok(Ok(DriveEnd::Stalled)) => None,
+            Err(payload) => Some(payload),
+        };
+        stats.faults += 1;
+        if recoveries.len() >= policy.max_recoveries as usize {
+            let mut f = permanent_fault(&ctl, payload);
+            f.detail.push_str(" (recovery budget exhausted)");
+            fault = Some(f);
+            break Ok(());
+        }
+        match try_recover(
+            device,
+            flows,
+            &mut cursors,
+            &mut ctl,
+            policy,
+            sink,
+            &mut stats,
+            payload,
+        ) {
+            Ok(rec) => {
+                stats.recoveries += 1;
+                recoveries.push(rec);
+            }
+            Err(f) => {
+                fault = Some(f);
+                break Ok(());
+            }
+        }
+    };
+    // Publication retries are the device-level arm of the same recovery
+    // machinery: a transient driver crash absorbed by
+    // [`netdebug_hw::Device::install`]'s bounded backoff converged to a
+    // consistent snapshot instead of quarantining the device. Surface the
+    // convergence as a recovery record so fleet reports account for it.
+    let retried = device.retried_publications() - retried_before;
+    if retried > 0 && fault.is_none() {
+        let detail = match device.last_retried_epoch() {
+            Some(e) => format!(
+                "{retried} publication(s) converged after transient driver crashes (last reconciled at table epoch {e})"
+            ),
+            None => format!("{retried} publication(s) converged after transient driver crashes"),
+        };
+        stats.recoveries += 1;
+        recoveries.push(DeviceRecovery {
+            member: String::new(),
+            fault: "transient-publication".into(),
+            stage: "driver".into(),
+            detail,
+            checkpoint_cycle: 0,
+            frames_replayed: 0,
+            culprit: None,
+            recovered_at_cycle: device.now(),
+        });
+    }
+    fold_cache_delta(&mut stats, device, cache_before);
+    (stats, result, recoveries, fault)
+}
+
+/// A fault record for a device that cannot (or may no longer) be
+/// recovered, built without a fresh isolation replay.
+fn permanent_fault(
+    ctl: &RecoverCtl,
+    payload: Option<Box<dyn std::any::Any + Send>>,
+) -> DeviceFault {
+    let (fault, stage, detail) = match payload {
+        Some(p) => describe_panic(p.as_ref()),
+        None => describe_stall(None),
+    };
+    DeviceFault {
+        member: String::new(),
+        fault,
+        stage,
+        detail,
+        packets_delivered: ctl.delivered,
+        culprit: None,
+        trigger: None,
+    }
+}
+
+/// One quarantine-rejoin attempt: restore from the last checkpoint,
+/// silently replay up to the deterministic re-trip, skip the culprit,
+/// re-checkpoint. Returns the recovery record, or the permanent
+/// [`DeviceFault`] when the trip is unrecoverable (a publication fault,
+/// a fault that does not reproduce, or no checkpoint to rewind to).
+// The Err arm carries the full quarantine evidence (fault id, stage,
+// detail, culprit frame) by design; it is built once per permanent
+// quarantine, never on the hot path, so the size lint does not apply.
+#[allow(clippy::too_many_arguments, clippy::result_large_err)]
+fn try_recover<S: DeviceSink + ?Sized>(
+    device: &mut Device,
+    flows: &[FlowRun],
+    cursors: &mut Vec<FlowCursor>,
+    ctl: &mut RecoverCtl,
+    policy: RecoveryPolicy,
+    sink: &mut S,
+    stats: &mut RuntimeStats,
+    payload: Option<Box<dyn std::any::Any + Send>>,
+) -> Result<DeviceRecovery, DeviceFault> {
+    let Some(ckpt) = ctl.ckpt.take() else {
+        return Err(permanent_fault(ctl, payload));
+    };
+    device.restore(&ckpt.device);
+    *cursors = ckpt.cursors.clone();
+    // Silent replay at max_batch = 1 with the bisection guard engaged:
+    // the sink already holds every pre-culprit outcome from the original
+    // attempt (batching does not change device results), so the replay
+    // counts frames instead of re-delivering them. Determinism of the
+    // restored fault counters re-trips on the same culprit, and the solo
+    // dispatch leaves `cursors` exactly one past it.
+    let mut guard = GuardState::default();
+    let mut counter = LastStageSink::default();
+    let mut replay_stats = RuntimeStats::default();
+    let replayed = {
+        let device = &mut *device;
+        let counter = &mut counter;
+        let replay_stats = &mut replay_stats;
+        let guard = &mut guard;
+        let cursors = &mut *cursors;
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            drive_device_inner(
+                device,
+                flows,
+                1,
+                counter,
+                replay_stats,
+                Some(guard),
+                None,
+                cursors,
+            )
+        }))
+    };
+    if let Some(t) = guard.trigger {
+        // The fault fired inside a churn publication. The device-level
+        // retry policy already had its chance inside `Device::install`;
+        // a panic that survived it is permanent, and skipping a
+        // *publication* (unlike a frame) would silently fork the table
+        // state away from the schedule.
+        let (fault, stage, detail) = match &guard.payload {
+            Some(p) => describe_panic(p.as_ref()),
+            None => describe_stall(None),
+        };
+        return Err(DeviceFault {
+            member: String::new(),
+            fault,
+            stage,
+            detail,
+            packets_delivered: ckpt.delivered + counter.delivered,
+            culprit: None,
+            trigger: Some(t),
+        });
+    }
+    let Some(mut culprit) = guard.culprit else {
+        // The replay ran clean (or ended some other way): the original
+        // panic did not come from the device — e.g. the caller's sink —
+        // so there is nothing to skip. Quarantine with the original
+        // evidence.
+        let mut f = permanent_fault(ctl, payload);
+        if matches!(replayed, Ok(Ok(DriveEnd::Completed))) {
+            f.detail.push_str(" (did not reproduce on device replay)");
+        }
+        return Err(f);
+    };
+    culprit.prior_stage = counter.last_stage.clone();
+    let (fault, stage, detail) = match &guard.payload {
+        Some(p) => describe_panic(p.as_ref()),
+        None => {
+            let (f, s, _) = describe_stall(Some(&culprit));
+            let d = format!(
+                "device went silent at flow {} seq {}; virtual watchdog fired after {} cycles",
+                culprit.flow, culprit.seq, policy.watchdog_cycles
+            );
+            (f, s, d)
+        }
+    };
+    let fi = flows
+        .iter()
+        .position(|f| f.id == culprit.flow)
+        .expect("culprit flow comes from this drive's flow list");
+    // Skip the culprit: account it as a Faulted drop at its due instant
+    // (occupying the pipeline slot a clean frame would have) and move
+    // the emission cursor past it.
+    let p = device.skip_faulted(culprit.port, flows[fi].due(culprit.seq));
+    stats.packets += 1;
+    sink.on_packet(culprit.flow, culprit.seq, p);
+    cursors[fi].next_seq = culprit.seq + 1;
+    ctl.delivered = ckpt.delivered + counter.delivered + 1;
+    ctl.take(device, cursors);
+    Ok(DeviceRecovery {
+        member: String::new(),
+        fault,
+        stage,
+        detail,
+        checkpoint_cycle: ckpt.device.at_cycle(),
+        frames_replayed: counter.delivered,
+        culprit: Some(culprit),
+        recovered_at_cycle: device.now(),
+    })
 }
 
 /// Decode a caught panic payload into `(fault id, stage, detail)`.
@@ -577,18 +1035,38 @@ impl DeviceSink for LastStageSink {
     }
 }
 
-/// Bisect a caught device panic down to its culprit by re-driving a
+/// Render the watchdog's verdict on a silent wedge as `(fault id,
+/// stage, detail)`, naming the wedging frame when the replay found it.
+fn describe_stall(culprit: Option<&CulpritFrame>) -> (String, String, String) {
+    let detail = match culprit {
+        Some(c) => format!(
+            "device went silent at flow {} seq {}; virtual watchdog fired after {} cycles",
+            c.flow, c.seq, DEFAULT_WATCHDOG_CYCLES
+        ),
+        None => format!(
+            "device went silent; virtual watchdog fired after {DEFAULT_WATCHDOG_CYCLES} cycles"
+        ),
+    };
+    ("stall".into(), "watchdog".into(), detail)
+}
+
+/// Bisect a caught device fault down to its culprit by re-driving a
 /// pre-run snapshot with the guard engaged (frame-at-a-time dispatch,
-/// every frame solo under `catch_unwind`). Without a snapshot (no armed
-/// faults — a genuine engine panic) the record carries the payload but
-/// no culprit.
+/// every frame solo under `catch_unwind`). `payload` is the caught panic
+/// payload, or `None` when the liveness watchdog caught a silent stall
+/// (no panic to decode — the culprit alone names the wedge). Without a
+/// snapshot (no armed faults — a genuine engine panic) the record
+/// carries the payload but no culprit.
 fn isolate_fault(
     snapshot: Option<Device>,
     flows: &[FlowRun],
-    payload: Box<dyn std::any::Any + Send>,
+    payload: Option<Box<dyn std::any::Any + Send>>,
     packets_dispatched: u64,
 ) -> DeviceFault {
-    let (mut fault, mut stage, mut detail) = describe_panic(payload.as_ref());
+    let (mut fault, mut stage, mut detail) = match payload {
+        Some(p) => describe_panic(p.as_ref()),
+        None => describe_stall(None),
+    };
     let mut culprit = None;
     let mut trigger = None;
     let mut delivered = packets_dispatched;
@@ -596,6 +1074,7 @@ fn isolate_fault(
         let mut guard = GuardState::default();
         let mut counter = LastStageSink::default();
         let mut replay_stats = RuntimeStats::default();
+        let mut replay_cursors = fresh_cursors(flows);
         // The guard catches every frame and trigger trip solo, so this
         // outer catch is defensive only (a panic escaping it would be a
         // harness bug, not a device fault).
@@ -607,6 +1086,8 @@ fn isolate_fault(
                 &mut counter,
                 &mut replay_stats,
                 Some(&mut guard),
+                None,
+                &mut replay_cursors,
             )
         }));
         if let Some(p) = guard.payload {
@@ -617,6 +1098,12 @@ fn isolate_fault(
         }
         if let Some(mut c) = guard.culprit {
             c.prior_stage = counter.last_stage.clone();
+            if fault == "stall" {
+                let (f, s, d) = describe_stall(Some(&c));
+                fault = f;
+                stage = s;
+                detail = d;
+            }
             culprit = Some(c);
         }
         trigger = guard.trigger;
@@ -633,6 +1120,35 @@ fn isolate_fault(
     }
 }
 
+/// Fold a clean flush of `n` frames into the checkpoint cadence, taking
+/// a fresh checkpoint when it comes due. Only called at flush sites
+/// where the cursors exactly describe the device's consumed frames (NOT
+/// at trigger-drain flushes: there the trigger index has advanced past
+/// an op that has not been applied yet, so a checkpoint would replay
+/// without it).
+fn checkpoint_if_due(
+    device: &Device,
+    cursors: &[FlowCursor],
+    recover: &mut Option<&mut RecoverCtl>,
+    n: usize,
+) {
+    if let Some(ctl) = recover.as_deref_mut() {
+        ctl.delivered += n as u64;
+        if ctl.delivered >= ctl.next_at {
+            ctl.take(device, cursors);
+        }
+    }
+}
+
+/// Count a clean trigger-site flush without checkpointing (see
+/// [`checkpoint_if_due`]).
+fn note_delivered(recover: &mut Option<&mut RecoverCtl>, n: usize) {
+    if let Some(ctl) = recover.as_deref_mut() {
+        ctl.delivered += n as u64;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn drive_device_inner<S: DeviceSink + ?Sized>(
     device: &mut Device,
     flows: &[FlowRun],
@@ -640,15 +1156,20 @@ fn drive_device_inner<S: DeviceSink + ?Sized>(
     sink: &mut S,
     stats: &mut RuntimeStats,
     mut guard: Option<&mut GuardState>,
-) -> Result<(), ControlError> {
-    let max_batch = max_batch.max(1);
-    let mut cursors: Vec<FlowCursor> = flows
-        .iter()
-        .map(|_| FlowCursor {
-            next_seq: 0,
-            trigger: 0,
-        })
-        .collect();
+    mut recover: Option<&mut RecoverCtl>,
+    cursors: &mut [FlowCursor],
+) -> Result<DriveEnd, ControlError> {
+    // Checkpoints are only taken at flush boundaries, so with recovery
+    // enabled the batch is clamped to the checkpoint interval — otherwise
+    // a short run inside one big batch would never re-checkpoint and
+    // every recovery would replay from the start. Batch size never
+    // changes device outcomes (the isolation replay depends on that), so
+    // the clamp only affects dispatch accounting.
+    let max_batch = match recover.as_ref() {
+        Some(ctl) => max_batch.clamp(1, ctl.interval.max(1) as usize),
+        None => max_batch.max(1),
+    };
+    debug_assert_eq!(cursors.len(), flows.len());
     let mut pkts: Vec<(u16, &[u8])> = Vec::new();
     let mut dues: Vec<u64> = Vec::new();
     let mut meta: Vec<(u32, u64)> = Vec::new();
@@ -659,15 +1180,17 @@ fn drive_device_inner<S: DeviceSink + ?Sized>(
     // order is identical by construction.
     if flows.len() == 1 {
         let flow = &flows[0];
-        let cur = &mut cursors[0];
         let count = flow.frames.len() as u64;
         let mut last_due: Option<u64> = None;
-        while cur.next_seq < count {
-            let s = cur.next_seq;
-            while cur.trigger < flow.triggers.len() && flow.triggers[cur.trigger].0 <= s {
-                let t = cur.trigger;
-                cur.trigger += 1;
-                if flush(
+        while cursors[0].next_seq < count {
+            let s = cursors[0].next_seq;
+            while cursors[0].trigger < flow.triggers.len()
+                && flow.triggers[cursors[0].trigger].0 <= s
+            {
+                let t = cursors[0].trigger;
+                cursors[0].trigger += 1;
+                let n = pkts.len();
+                match flush(
                     device,
                     &mut pkts,
                     &mut dues,
@@ -676,12 +1199,14 @@ fn drive_device_inner<S: DeviceSink + ?Sized>(
                     stats,
                     guard.as_deref_mut(),
                 ) {
-                    return Ok(());
+                    FlushOutcome::Clean => note_delivered(&mut recover, n),
+                    FlushOutcome::Caught => return Ok(DriveEnd::Interrupted),
+                    FlushOutcome::Stalled => return Ok(DriveEnd::Stalled),
                 }
                 match apply_trigger(device, flow, t, s, guard.as_deref_mut()) {
                     TriggerOutcome::Applied => {}
                     TriggerOutcome::Rejected(e) => return Err(e),
-                    TriggerOutcome::Caught => return Ok(()),
+                    TriggerOutcome::Caught => return Ok(DriveEnd::Interrupted),
                 }
             }
             let due = flow.due(s);
@@ -692,9 +1217,10 @@ fn drive_device_inner<S: DeviceSink + ?Sized>(
             pkts.push((flow.as_port, flow.frames[s as usize].data.as_slice()));
             dues.push(due);
             meta.push((flow.id, s));
-            cur.next_seq += 1;
-            if pkts.len() >= max_batch
-                && flush(
+            cursors[0].next_seq += 1;
+            if pkts.len() >= max_batch {
+                let n = pkts.len();
+                match flush(
                     device,
                     &mut pkts,
                     &mut dues,
@@ -702,12 +1228,15 @@ fn drive_device_inner<S: DeviceSink + ?Sized>(
                     sink,
                     stats,
                     guard.as_deref_mut(),
-                )
-            {
-                return Ok(());
+                ) {
+                    FlushOutcome::Clean => checkpoint_if_due(device, cursors, &mut recover, n),
+                    FlushOutcome::Caught => return Ok(DriveEnd::Interrupted),
+                    FlushOutcome::Stalled => return Ok(DriveEnd::Stalled),
+                }
             }
         }
-        if flush(
+        let n = pkts.len();
+        match flush(
             device,
             &mut pkts,
             &mut dues,
@@ -716,16 +1245,18 @@ fn drive_device_inner<S: DeviceSink + ?Sized>(
             stats,
             guard.as_deref_mut(),
         ) {
-            return Ok(());
+            FlushOutcome::Clean => note_delivered(&mut recover, n),
+            FlushOutcome::Caught => return Ok(DriveEnd::Interrupted),
+            FlushOutcome::Stalled => return Ok(DriveEnd::Stalled),
         }
         stats.max_ready_depth = stats.max_ready_depth.max(u64::from(!flows.is_empty()));
-        return Ok(());
+        return Ok(DriveEnd::Completed);
     }
 
     let mut wheel = TimerWheel::new(device.now());
     for (i, flow) in flows.iter().enumerate() {
-        if !flow.frames.is_empty() {
-            wheel.schedule(flow.due(0), i as u32);
+        if cursors[i].next_seq < flow.frames.len() as u64 {
+            wheel.schedule(flow.due(cursors[i].next_seq), i as u32);
         }
     }
     let mut ready: Vec<TimerEntry> = Vec::new();
@@ -743,7 +1274,8 @@ fn drive_device_inner<S: DeviceSink + ?Sized>(
                 {
                     let t = cursors[fi].trigger;
                     cursors[fi].trigger += 1;
-                    if flush(
+                    let n = pkts.len();
+                    match flush(
                         device,
                         &mut pkts,
                         &mut dues,
@@ -752,8 +1284,15 @@ fn drive_device_inner<S: DeviceSink + ?Sized>(
                         stats,
                         guard.as_deref_mut(),
                     ) {
-                        stats.wheel_cascades += wheel.cascades;
-                        return Ok(());
+                        FlushOutcome::Clean => note_delivered(&mut recover, n),
+                        FlushOutcome::Caught => {
+                            stats.wheel_cascades += wheel.cascades;
+                            return Ok(DriveEnd::Interrupted);
+                        }
+                        FlushOutcome::Stalled => {
+                            stats.wheel_cascades += wheel.cascades;
+                            return Ok(DriveEnd::Stalled);
+                        }
                     }
                     match apply_trigger(device, flow, t, s, guard.as_deref_mut()) {
                         TriggerOutcome::Applied => {}
@@ -763,7 +1302,7 @@ fn drive_device_inner<S: DeviceSink + ?Sized>(
                         }
                         TriggerOutcome::Caught => {
                             stats.wheel_cascades += wheel.cascades;
-                            return Ok(());
+                            return Ok(DriveEnd::Interrupted);
                         }
                     }
                 }
@@ -774,8 +1313,9 @@ fn drive_device_inner<S: DeviceSink + ?Sized>(
                 dues.push(instant);
                 meta.push((flow.id, s));
                 cursors[fi].next_seq += 1;
-                if pkts.len() >= max_batch
-                    && flush(
+                if pkts.len() >= max_batch {
+                    let n = pkts.len();
+                    match flush(
                         device,
                         &mut pkts,
                         &mut dues,
@@ -783,10 +1323,17 @@ fn drive_device_inner<S: DeviceSink + ?Sized>(
                         sink,
                         stats,
                         guard.as_deref_mut(),
-                    )
-                {
-                    stats.wheel_cascades += wheel.cascades;
-                    return Ok(());
+                    ) {
+                        FlushOutcome::Clean => checkpoint_if_due(device, cursors, &mut recover, n),
+                        FlushOutcome::Caught => {
+                            stats.wheel_cascades += wheel.cascades;
+                            return Ok(DriveEnd::Interrupted);
+                        }
+                        FlushOutcome::Stalled => {
+                            stats.wheel_cascades += wheel.cascades;
+                            return Ok(DriveEnd::Stalled);
+                        }
+                    }
                 }
             }
             if cursors[fi].next_seq < count {
@@ -795,7 +1342,8 @@ fn drive_device_inner<S: DeviceSink + ?Sized>(
         }
         // Flush at the instant boundary: dispatches never span a clock
         // step, so `inject_batch_at` groups stay whole-instant batches.
-        if flush(
+        let n = pkts.len();
+        match flush(
             device,
             &mut pkts,
             &mut dues,
@@ -804,12 +1352,19 @@ fn drive_device_inner<S: DeviceSink + ?Sized>(
             stats,
             guard.as_deref_mut(),
         ) {
-            stats.wheel_cascades += wheel.cascades;
-            return Ok(());
+            FlushOutcome::Clean => checkpoint_if_due(device, cursors, &mut recover, n),
+            FlushOutcome::Caught => {
+                stats.wheel_cascades += wheel.cascades;
+                return Ok(DriveEnd::Interrupted);
+            }
+            FlushOutcome::Stalled => {
+                stats.wheel_cascades += wheel.cascades;
+                return Ok(DriveEnd::Stalled);
+            }
         }
     }
-    stats.wheel_cascades = wheel.cascades;
-    Ok(())
+    stats.wheel_cascades += wheel.cascades;
+    Ok(DriveEnd::Completed)
 }
 
 /// How one control-plane trigger application ended.
@@ -891,6 +1446,11 @@ pub struct DeviceDone<S> {
     /// device was quarantined and the panic isolated to a culprit frame
     /// or publication. Healthy devices of the same run are unaffected.
     pub fault: Option<DeviceFault>,
+    /// Checkpoint/restore rejoins this device went through (non-empty
+    /// only when the runtime has a [`RecoveryPolicy`] set and the device
+    /// tripped but recovered; such a device finished its run and is
+    /// **not** quarantined).
+    pub recoveries: Vec<DeviceRecovery>,
 }
 
 type PoolJob = Box<dyn FnOnce() + Send>;
@@ -910,6 +1470,7 @@ struct PoolWorker {
 pub struct FleetRuntime {
     target: usize,
     max_batch: usize,
+    recovery: Option<RecoveryPolicy>,
     job_tx: Sender<PoolJob>,
     job_rx: Arc<Mutex<Receiver<PoolJob>>>,
     workers: Vec<PoolWorker>,
@@ -941,6 +1502,7 @@ impl FleetRuntime {
         FleetRuntime {
             target: workers.max(1),
             max_batch: DEFAULT_MAX_BATCH,
+            recovery: None,
             job_tx,
             job_rx: Arc::new(Mutex::new(job_rx)),
             workers: Vec::new(),
@@ -972,6 +1534,21 @@ impl FleetRuntime {
     /// Coalesced-dispatch cap handed to every device loop.
     pub fn set_max_batch(&mut self, max_batch: usize) {
         self.max_batch = max_batch.max(1);
+    }
+
+    /// Enable (or disable, with `None`) checkpoint/restore recovery:
+    /// every [`FleetRuntime::run`] device is driven through
+    /// [`drive_device_recovering`], so a crash-class fault costs one
+    /// skipped frame and a [`DeviceRecovery`] record instead of the
+    /// device. Off by default — quarantine-only runs keep the exact
+    /// pre-recovery semantics (and pay zero checkpoint overhead).
+    pub fn set_recovery(&mut self, policy: Option<RecoveryPolicy>) {
+        self.recovery = policy;
+    }
+
+    /// The active recovery policy, if any.
+    pub fn recovery(&self) -> Option<RecoveryPolicy> {
+        self.recovery
     }
 
     /// Runs completed.
@@ -1069,19 +1646,35 @@ impl FleetRuntime {
     {
         self.runs += 1;
         let max_batch = self.max_batch;
+        let recovery = self.recovery;
         let jobs: Vec<_> = tasks
             .into_iter()
             .enumerate()
             .map(|(i, mut task)| {
                 move || {
-                    let (stats, result, mut fault) = drive_device_guarded(
-                        &mut task.device,
-                        &task.flows,
-                        max_batch,
-                        &mut task.sink,
-                    );
+                    let (stats, result, mut recoveries, mut fault) = match recovery {
+                        Some(policy) => drive_device_recovering(
+                            &mut task.device,
+                            &task.flows,
+                            max_batch,
+                            &mut task.sink,
+                            policy,
+                        ),
+                        None => {
+                            let (stats, result, fault) = drive_device_guarded(
+                                &mut task.device,
+                                &task.flows,
+                                max_batch,
+                                &mut task.sink,
+                            );
+                            (stats, result, Vec::new(), fault)
+                        }
+                    };
                     if let Some(f) = fault.as_mut() {
                         f.member = format!("device-{i}");
+                    }
+                    for r in recoveries.iter_mut() {
+                        r.member = format!("device-{i}");
                     }
                     DeviceDone {
                         device: task.device,
@@ -1089,6 +1682,7 @@ impl FleetRuntime {
                         stats,
                         result,
                         fault,
+                        recoveries,
                     }
                 }
             })
@@ -1236,6 +1830,36 @@ mod tests {
         assert_eq!(wheel.pop_next(&mut ready), Some(290));
         assert_eq!(wheel.pop_next(&mut ready), Some(300));
         assert_eq!(ready.iter().map(|e| e.flow).collect::<Vec<_>>(), vec![1]);
+    }
+
+    /// A worker that dies while holding the pool's job-queue lock leaves
+    /// it poisoned; `ensure()`'s receive loop must shrug the poison off
+    /// (the queue itself is still coherent) so the **next** run executes
+    /// normally instead of panicking every worker on lock acquisition.
+    #[test]
+    fn pool_survives_a_poisoned_job_lock() {
+        let mut rt = FleetRuntime::new(3);
+        let rx = Arc::clone(&rt.job_rx);
+        let _ = std::thread::Builder::new()
+            .name("poisoner".into())
+            .spawn(move || {
+                let _guard = rx.lock().unwrap();
+                panic!("die holding the fleet pool lock");
+            })
+            .expect("spawn poisoner")
+            .join();
+        assert!(
+            rt.job_rx.is_poisoned(),
+            "the lock must actually be poisoned"
+        );
+        let jobs: Vec<_> = (0..8).map(|i: u64| move || i * 2).collect();
+        let out: Vec<u64> = rt
+            .execute(jobs)
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|_| panic!("job panicked")))
+            .collect();
+        assert_eq!(out, (0..8).map(|i| i * 2).collect::<Vec<_>>());
+        assert!(rt.pool_workers() > 0, "jobs ran on the pooled workers");
     }
 
     #[test]

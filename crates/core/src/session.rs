@@ -8,7 +8,8 @@
 use crate::checker::{Checker, StreamStats, Violation};
 use crate::generator::{Expectation, Generator, StreamSpec};
 use crate::runtime::{
-    drive_device_guarded, DeviceFault, DeviceSink, FlowRun, RuntimeStats, DEFAULT_MAX_BATCH,
+    drive_device_guarded, drive_device_recovering, DeviceFault, DeviceRecovery, DeviceSink,
+    FlowRun, RecoveryPolicy, RuntimeStats, DEFAULT_MAX_BATCH,
 };
 use netdebug_hw::{Backend, DeployError, Device, Processed};
 use serde::{Deserialize, Serialize};
@@ -27,6 +28,11 @@ pub struct NetDebug {
     /// The most recent crash-class fault the device tripped mid-stream
     /// (`None` while the device behaves). See [`NetDebug::last_fault`].
     last_fault: Option<DeviceFault>,
+    /// Checkpoint/restore recovery policy for stream runs (`None` keeps
+    /// the quarantine-only guarded driver).
+    recovery: Option<RecoveryPolicy>,
+    /// Recoveries the most recent stream run performed.
+    last_recoveries: Vec<DeviceRecovery>,
 }
 
 impl NetDebug {
@@ -39,6 +45,8 @@ impl NetDebug {
             windows: std::collections::HashMap::new(),
             runtime: RuntimeStats::default(),
             last_fault: None,
+            recovery: None,
+            last_recoveries: Vec::new(),
         }
     }
 
@@ -147,16 +155,33 @@ impl NetDebug {
             stream: spec.stream,
             last_done: 0,
         };
-        let (stats, result, fault) = drive_device_guarded(
-            &mut self.device,
-            std::slice::from_ref(&flow),
-            DEFAULT_MAX_BATCH,
-            &mut sink,
-        );
+        let (stats, result, recoveries, fault) = match self.recovery {
+            Some(policy) => drive_device_recovering(
+                &mut self.device,
+                std::slice::from_ref(&flow),
+                DEFAULT_MAX_BATCH,
+                &mut sink,
+                policy,
+            ),
+            None => {
+                let (stats, result, fault) = drive_device_guarded(
+                    &mut self.device,
+                    std::slice::from_ref(&flow),
+                    DEFAULT_MAX_BATCH,
+                    &mut sink,
+                );
+                (stats, result, Vec::new(), fault)
+            }
+        };
         let last_done = sink.last_done;
         self.runtime.absorb(&stats);
+        let label = format!("stream-{}", spec.stream);
+        self.last_recoveries = recoveries;
+        for r in &mut self.last_recoveries {
+            r.member = label.clone();
+        }
         if let Some(mut f) = fault {
-            f.member = format!("stream-{}", spec.stream);
+            f.member = label;
             self.last_fault = Some(f);
         }
         result.map_err(crate::churn::ChurnError::Control)?;
@@ -174,6 +199,23 @@ impl NetDebug {
     /// `member` field carries `stream-<id>` of the stream that tripped it.
     pub fn last_fault(&self) -> Option<&DeviceFault> {
         self.last_fault.as_ref()
+    }
+
+    /// Enable (or disable with `None`) checkpoint/restore recovery for
+    /// stream runs: a device that crashes or stalls mid-stream is
+    /// restored from its last checkpoint, replayed, the culprit frame
+    /// skipped (checked as a [`netdebug_dataplane::DropReason::Faulted`]
+    /// drop) and the stream finishes. Off by default — faults quarantine
+    /// via [`NetDebug::last_fault`] exactly as before.
+    pub fn set_recovery(&mut self, policy: Option<RecoveryPolicy>) {
+        self.recovery = policy;
+    }
+
+    /// Quarantine-rejoin records from the most recent stream run (empty
+    /// when the run was clean or recovery is disabled). The `member`
+    /// field carries `stream-<id>`.
+    pub fn last_recoveries(&self) -> &[DeviceRecovery] {
+        &self.last_recoveries
     }
 
     /// Configure the device's batched injection to shard across `shards`
@@ -445,6 +487,39 @@ mod tests {
             expect: Expectation::Forward { port: Some(1) },
         }]);
         assert!(report.passed, "{report}");
+    }
+
+    #[test]
+    fn stream_recovers_from_a_mid_stream_crash() {
+        use netdebug_hw::FaultSpec;
+        let mut dev = router_device(&Backend::reference());
+        dev.arm_fault(FaultSpec::PanicAfterN { n: 12 });
+        let mut nd = NetDebug::new(dev);
+        nd.set_recovery(Some(RecoveryPolicy {
+            checkpoint_interval: 8,
+            ..RecoveryPolicy::default()
+        }));
+        let spec = StreamSpec {
+            stream: 4,
+            template: frame(4),
+            count: 30,
+            rate_pps: None,
+            as_port: 0,
+            sweeps: vec![],
+            expect: Expectation::Any,
+        };
+        nd.run_stream(&spec);
+        assert!(nd.last_fault().is_none(), "{:?}", nd.last_fault());
+        let recs = nd.last_recoveries();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].member, "stream-4");
+        assert_eq!(recs[0].fault, "panic-after-n");
+        assert_eq!(recs[0].culprit.as_ref().unwrap().seq, 12);
+        let stats = nd.checker().streams().get(&4).unwrap();
+        assert_eq!(stats.sent, 30, "every frame of the stream was checked");
+        assert_eq!(stats.received, 29, "all but the skipped culprit forward");
+        assert_eq!(stats.dropped, 1, "the culprit is checked as a drop");
+        assert_eq!(stats.lost(), 0, "recovery loses nothing");
     }
 
     #[test]

@@ -526,6 +526,112 @@ proptest! {
         }
     }
 
+    /// Quarantine-rejoin invariant: a member that crashes (or silently
+    /// stalls) mid-run and is recovered through checkpoint/restore ends
+    /// with a per-frame observation stream **bit-identical** to its own
+    /// fault-free run — same outcomes, stages and completion cycles —
+    /// except the skipped culprit frame, which surfaces as a `Faulted`
+    /// drop. Holds for every worker count 1..=4 and every checkpoint
+    /// interval 1..=64, and healthy members are never perturbed.
+    #[test]
+    fn recovered_member_matches_fault_free_except_culprit(
+        culprit_raw in 0u64..48,
+        stall in any::<bool>(),
+        count in 8u64..48,
+        workers in 1usize..=4,
+        interval in 1u64..=64,
+    ) {
+        use netdebug::generator::Generator;
+        use netdebug::{DeviceSink, DeviceTask, FleetRuntime, FlowRun, RecoveryPolicy};
+        use netdebug_hw::{FaultSpec, Processed};
+        use std::sync::Arc;
+
+        struct Rec(Vec<(u32, u64, String, String, u64)>);
+        impl DeviceSink for Rec {
+            fn on_packet(&mut self, flow: u32, seq: u64, p: Processed) {
+                self.0.push((
+                    flow,
+                    seq,
+                    format!("{:?}", p.outcome),
+                    p.last_stage,
+                    p.done_at_cycle,
+                ));
+            }
+        }
+
+        let culprit_at = culprit_raw % count;
+        let spec = StreamSpec {
+            stream: 7,
+            template: router_frame(4),
+            count,
+            rate_pps: None,
+            as_port: 1,
+            sweeps: vec![],
+            expect: Expectation::Any,
+        };
+        let frames = Arc::new(Generator::new().build_batch(&spec, 0, count, 0, 0));
+        let fault = if stall {
+            FaultSpec::Stall { after: culprit_at }
+        } else {
+            FaultSpec::PanicAfterN { n: culprit_at }
+        };
+        let build_tasks = |armed: bool| -> Vec<DeviceTask<Rec>> {
+            (0..4usize)
+                .map(|i| {
+                    let mut dev = router(&Backend::reference());
+                    if armed && i == 2 {
+                        dev.arm_fault(fault);
+                    }
+                    DeviceTask {
+                        device: dev,
+                        flows: vec![FlowRun::new(7, 1, Arc::clone(&frames))],
+                        sink: Rec(Vec::new()),
+                    }
+                })
+                .collect()
+        };
+        let policy = RecoveryPolicy {
+            checkpoint_interval: interval,
+            ..RecoveryPolicy::default()
+        };
+        let mut rt = FleetRuntime::new(workers);
+        rt.set_recovery(Some(policy));
+        let seeded = rt.run(build_tasks(true));
+        let mut rt_clean = FleetRuntime::new(workers);
+        rt_clean.set_recovery(Some(policy));
+        let clean = rt_clean.run(build_tasks(false));
+        for (i, (s, c)) in seeded.iter().zip(&clean).enumerate() {
+            prop_assert!(s.fault.is_none(), "device {} quarantined: {:?}", i, s.fault);
+            prop_assert_eq!(s.sink.0.len(), count as usize, "device {} short", i);
+            if i == 2 {
+                prop_assert_eq!(s.recoveries.len(), 1);
+                let r = &s.recoveries[0];
+                prop_assert_eq!(r.culprit.as_ref().unwrap().seq, culprit_at);
+                prop_assert!(
+                    r.frames_replayed <= interval,
+                    "bounded replay: {} frames for interval {}",
+                    r.frames_replayed,
+                    interval
+                );
+                for (k, (a, b)) in s.sink.0.iter().zip(&c.sink.0).enumerate() {
+                    if k as u64 == culprit_at {
+                        prop_assert_eq!(a.1, b.1, "culprit keeps its seq");
+                        prop_assert!(
+                            a.2.contains("Faulted"),
+                            "culprit must surface as a Faulted drop, got {}",
+                            a.2
+                        );
+                    } else {
+                        prop_assert_eq!(a, b, "recovered member diverged at frame {}", k);
+                    }
+                }
+            } else {
+                prop_assert!(s.recoveries.is_empty(), "healthy device {} recovered", i);
+                prop_assert_eq!(&s.sink.0, &c.sink.0, "healthy device {} perturbed", i);
+            }
+        }
+    }
+
     /// Fault isolation invariant: seed `k` devices of an 8-member fleet
     /// with crash-class faults and every **healthy** device's observation
     /// digest (FNV over flow, seq, outcome, last stage, completion cycle)

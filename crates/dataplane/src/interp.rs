@@ -341,6 +341,33 @@ impl Clone for Dataplane {
     }
 }
 
+/// A consistent capture of a [`Dataplane`]'s runtime state, produced by
+/// [`Dataplane::checkpoint`] and reinstated by [`Dataplane::restore`].
+///
+/// Table entry state is held as pinned `Arc<EntrySnapshot>`s — the same
+/// immutable epochs the packet path pins — so a checkpoint costs one
+/// `Arc` clone per table plus the extern/statistics copies, not a deep
+/// copy of the entry lists. Checkpoints are the substrate of the
+/// fault-recovery path: quarantined devices rewind to their last
+/// checkpoint and replay forward past the culprit frame.
+#[derive(Debug, Clone)]
+pub struct DataplaneCheckpoint {
+    snapshots: Vec<Arc<EntrySnapshot>>,
+    externs: ExternState,
+    table_stats: Vec<TableStats>,
+    packets_processed: u64,
+    sharded_batches: u64,
+    engine_faults: u64,
+}
+
+impl DataplaneCheckpoint {
+    /// The table epochs this checkpoint pinned, in table-declaration
+    /// order.
+    pub fn epochs(&self) -> Vec<u64> {
+        self.snapshots.iter().map(|s| s.epoch()).collect()
+    }
+}
+
 /// Split borrows for the execution hot path: the immutable program (IR
 /// and compiled bytecode) and flattened table views on one side, the
 /// mutable runtime state on the other. Holding the program through plain
@@ -523,6 +550,48 @@ impl Dataplane {
             Arc::clone(&self.generation),
             Arc::clone(&self.publish_lock),
         )
+    }
+
+    /// Capture a checkpoint of the runtime state: the published table
+    /// snapshots (pinned `Arc`s — O(tables), no entry copies), extern
+    /// counters/registers/meters, table statistics and the processing
+    /// counters. The snapshot set is captured under the publication lock,
+    /// so even a checkpoint taken during concurrent multi-table churn
+    /// observes a publication-order prefix, never a torn cross-table cut.
+    pub fn checkpoint(&self) -> DataplaneCheckpoint {
+        let snapshots = {
+            let _guard = self.publish_lock.lock().expect("publish lock poisoned");
+            self.tables.iter().map(TableState::snapshot).collect()
+        };
+        DataplaneCheckpoint {
+            snapshots,
+            externs: self.externs.clone(),
+            table_stats: self.table_stats.clone(),
+            packets_processed: self.packets_processed,
+            sharded_batches: self.sharded_batches,
+            engine_faults: self.engine_faults,
+        }
+    }
+
+    /// Reinstate a [`DataplaneCheckpoint`] taken from this data plane (or
+    /// a clone sharing its program): table snapshots swap back to the
+    /// checkpointed epochs, externs and statistics are overwritten, and
+    /// the publication generation is *bumped* (not rewound) so pinned
+    /// snapshot caches and the epoch-keyed flow cache re-pin on the next
+    /// batch instead of serving post-checkpoint state.
+    pub fn restore(&mut self, checkpoint: &DataplaneCheckpoint) {
+        {
+            let _guard = self.publish_lock.lock().expect("publish lock poisoned");
+            for (table, snapshot) in self.tables.iter().zip(&checkpoint.snapshots) {
+                table.restore(Arc::clone(snapshot));
+            }
+            self.generation.fetch_add(1, Ordering::AcqRel);
+        }
+        self.externs = checkpoint.externs.clone();
+        self.table_stats = checkpoint.table_stats.clone();
+        self.packets_processed = checkpoint.packets_processed;
+        self.sharded_batches = checkpoint.sharded_batches;
+        self.engine_faults = checkpoint.engine_faults;
     }
 
     /// The compiled program.

@@ -50,7 +50,7 @@ pub use compile::CompiledProgram;
 pub use control::{ControlError, ControlPlane};
 pub use disasm::Disassembly;
 pub use externs::MeterConfig;
-pub use interp::{Dataplane, Engine, FLOOD_PORT};
+pub use interp::{Dataplane, DataplaneCheckpoint, Engine, FLOOD_PORT};
 pub use opt::PassConfig;
 pub use table::{
     lpm_pattern, EntryRef, EntrySnapshot, LookupIndex, RuntimeEntry, TableError, TableState,

@@ -664,6 +664,18 @@ impl TableState {
         epoch
     }
 
+    /// Reinstate a previously pinned snapshot as the published state.
+    ///
+    /// Checkpoint/restore recovery rewinds a table to the exact epoch a
+    /// checkpoint pinned: the `Arc` swap is O(1) and later publications
+    /// resume counting from the restored epoch, so a replayed churn
+    /// schedule republishes the same epoch sequence it produced the
+    /// first time.
+    pub fn restore(&self, snapshot: Arc<EntrySnapshot>) {
+        let mut current = self.snapshot.lock().expect("table snapshot poisoned");
+        *current = snapshot;
+    }
+
     /// Look up against the *current* snapshot; the matched entry is
     /// returned **by reference through the pinned snapshot** (an
     /// [`EntryRef`] guard), not cloned.

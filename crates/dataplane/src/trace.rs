@@ -49,6 +49,9 @@ pub enum DropReason {
     /// The engine worker processing the packet panicked; the recovery
     /// path quarantined the packet instead of unwinding the caller.
     EngineFault,
+    /// The frame was the isolated culprit of a device fault and was
+    /// skipped by checkpoint/restore recovery instead of being replayed.
+    Faulted,
 }
 
 impl DropReason {
@@ -61,6 +64,7 @@ impl DropReason {
             DropReason::NoEgress => 3,
             DropReason::BadEgress => 4,
             DropReason::EngineFault => 5,
+            DropReason::Faulted => 6,
         }
     }
 
@@ -71,6 +75,7 @@ impl DropReason {
             2 => DropReason::ActionDrop,
             3 => DropReason::NoEgress,
             5 => DropReason::EngineFault,
+            6 => DropReason::Faulted,
             _ => DropReason::BadEgress,
         }
     }
@@ -85,6 +90,7 @@ impl core::fmt::Display for DropReason {
             DropReason::NoEgress => "no egress chosen",
             DropReason::BadEgress => "egress port out of range",
             DropReason::EngineFault => "engine fault (worker panicked)",
+            DropReason::Faulted => "culprit frame skipped by recovery",
         };
         write!(f, "{s}")
     }

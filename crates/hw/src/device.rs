@@ -167,6 +167,67 @@ pub struct Device {
     /// counters. Cloning the device clones the counters, which is what
     /// lets a pre-run snapshot replay to the same trip point.
     faults: FaultState,
+    /// Driver-path publication retry policy (see [`RetryPolicy`]).
+    retry: RetryPolicy,
+    /// Publications that landed only after the retry loop outlasted a
+    /// transient driver failure.
+    retried_publications: u64,
+    /// Reconciled epoch of the most recent retried publication.
+    last_retried_epoch: Option<u64>,
+}
+
+/// How [`Device::install`] survives transient publication failures: up to
+/// `max_attempts` tries, backing off exponentially in **virtual** device
+/// cycles (`backoff_cycles << attempt` charged to the clock before each
+/// retry — deterministic, no wall clocks). When every attempt trips, the
+/// final typed panic is raised exactly as before, so a permanent
+/// [`FaultSpec::FailPublication`] still quarantines the device while a
+/// [`FaultSpec::TransientPublication`] degrades to a publication that
+/// lands late but epoch-atomically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total publication attempts before the panic propagates (min 1).
+    pub max_attempts: u32,
+    /// Virtual-cycle backoff before the first retry; doubles per attempt.
+    pub backoff_cycles: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff_cycles: 64,
+        }
+    }
+}
+
+/// A consistent capture of a device's full runtime state, produced by
+/// [`Device::checkpoint`] and reinstated by [`Device::restore`]: the
+/// embedded data plane's pinned table snapshots + extern state (mostly
+/// `Arc` clones — see [`netdebug_dataplane::DataplaneCheckpoint`]), the
+/// tap accounting (clock, pipeline occupancy, port/stage/drop counters)
+/// and the armed-fault admission counters. Checkpoints are what let the
+/// fleet runtime rewind a quarantined member and replay it past a culprit
+/// frame instead of losing it for the rest of the run.
+#[derive(Debug, Clone)]
+pub struct DeviceCheckpoint {
+    dataplane: netdebug_dataplane::DataplaneCheckpoint,
+    taps: TapState,
+    faults: FaultState,
+    retried_publications: u64,
+    last_retried_epoch: Option<u64>,
+}
+
+impl DeviceCheckpoint {
+    /// The virtual device clock (cycles) at capture time.
+    pub fn at_cycle(&self) -> u64 {
+        self.taps.now_cycles
+    }
+
+    /// The table epochs the checkpoint pinned, in declaration order.
+    pub fn epochs(&self) -> Vec<u64> {
+        self.dataplane.epochs()
+    }
 }
 
 /// The device's mutable bookkeeping: clock, pipeline occupancy, per-port
@@ -282,6 +343,9 @@ impl Device {
             compiled,
             dataplane,
             faults: FaultState::default(),
+            retry: RetryPolicy::default(),
+            retried_publications: 0,
+            last_retried_epoch: None,
         };
         for spec in device.compiled.faults.clone() {
             device.arm_fault(spec);
@@ -323,6 +387,87 @@ impl Device {
     /// Let the device idle for `cycles`.
     pub fn advance(&mut self, cycles: u64) {
         self.taps.now_cycles += cycles;
+    }
+
+    /// Capture the device's full runtime state. Cheap: table state pins
+    /// the published `Arc<EntrySnapshot>` chain (no entry copies), and the
+    /// rest is counters. The capture is consistent — tables are pinned
+    /// under the data plane's publish lock, so a checkpoint never splits
+    /// an epoch-atomic churn window.
+    pub fn checkpoint(&self) -> DeviceCheckpoint {
+        DeviceCheckpoint {
+            dataplane: self.dataplane.checkpoint(),
+            taps: self.taps.clone(),
+            faults: self.faults.clone(),
+            retried_publications: self.retried_publications,
+            last_retried_epoch: self.last_retried_epoch,
+        }
+    }
+
+    /// Reinstate a [`DeviceCheckpoint`]: table epochs rewind to the pinned
+    /// snapshots, extern state, tap accounting (clock, pipeline occupancy,
+    /// port/stage/drop counters) and fault admission counters all return
+    /// to capture time. The data plane's pin generation is bumped (never
+    /// rewound), so flow caches and pinned lookup snapshots re-pin instead
+    /// of serving post-checkpoint state.
+    pub fn restore(&mut self, checkpoint: &DeviceCheckpoint) {
+        self.dataplane.restore(&checkpoint.dataplane);
+        self.taps = checkpoint.taps.clone();
+        self.faults = checkpoint.faults.clone();
+        self.retried_publications = checkpoint.retried_publications;
+        self.last_retried_epoch = checkpoint.last_retried_epoch;
+    }
+
+    /// Whether a [`FaultSpec::Stall`] has wedged this device: it swallows
+    /// injected frames silently instead of processing (or panicking).
+    pub fn is_wedged(&self) -> bool {
+        self.faults.is_wedged()
+    }
+
+    /// Recovery hook: account the isolated culprit frame as **skipped**
+    /// instead of replaying it. Clears a stall wedge, moves the fault
+    /// admission counters past the culprit, advances the clock to the
+    /// frame's due instant and books a [`DropReason::Faulted`] drop that
+    /// occupies the pipeline slot a normal frame would have — so every
+    /// subsequent frame's timing is bit-identical to the fault-free run.
+    pub fn skip_faulted(&mut self, port: u16, due_cycles: u64) -> Processed {
+        self.faults.skip_faulted();
+        if due_cycles > self.taps.now_cycles {
+            self.taps.now_cycles = due_cycles;
+        }
+        let latency = &self.compiled.latency;
+        let summary = self.taps.untraced_summary(latency);
+        self.taps.finish(
+            &self.config,
+            latency,
+            port,
+            Verdict::Drop(DropReason::Faulted),
+            summary,
+            0.0,
+            false,
+        )
+    }
+
+    /// The publication retry policy [`Device::install`] applies.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Replace the publication retry policy.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Publications that landed only after retrying past a transient
+    /// driver failure.
+    pub fn retried_publications(&self) -> u64 {
+        self.retried_publications
+    }
+
+    /// Reconciled table epoch of the most recent retried publication —
+    /// `None` until a retry has succeeded.
+    pub fn last_retried_epoch(&self) -> Option<u64> {
+        self.last_retried_epoch
     }
 
     /// Per-port statistics.
@@ -538,6 +683,16 @@ impl Device {
     ) {
         if !self.faults.is_empty() {
             for (i, &(port, _)) in pkts.iter().enumerate() {
+                // A stalled device wedges *silently*: the clean prefix is
+                // processed, then every later frame is swallowed without a
+                // panic — only a liveness watchdog can tell a wedged member
+                // from a slow one.
+                if self.faults.check_stall() {
+                    if i > 0 {
+                        self.inject_group_clean(&pkts[..i], base, visit);
+                    }
+                    return;
+                }
                 if let Some(trip) = self.faults.check_packet(port) {
                     if i > 0 {
                         self.inject_group_clean(&pkts[..i], base, visit);
@@ -713,12 +868,21 @@ impl Device {
 
     /// Install a table entry (applies the priority-inversion bug if active).
     ///
-    /// This is the modeled vendor-driver path, so an armed
-    /// [`FaultSpec::FailPublication`] trips here (and in everything that
-    /// funnels through: [`Device::install_exact`],
-    /// [`Device::install_lpm`], churn triggers). The detached
-    /// [`Device::control_plane`] handle bypasses the driver and is
-    /// unaffected, like the bug transforms.
+    /// This is the modeled vendor-driver path, so armed publication
+    /// faults trip here (and in everything that funnels through:
+    /// [`Device::install_exact`], [`Device::install_lpm`], churn
+    /// triggers). The driver retries through its [`RetryPolicy`]: each
+    /// failed attempt charges an exponentially growing **virtual-cycle**
+    /// backoff to the device clock and tries again, so a
+    /// [`FaultSpec::TransientPublication`] degrades to a publication that
+    /// lands late (stale-but-consistent reads in between) instead of a
+    /// crash, while a permanent [`FaultSpec::FailPublication`] exhausts
+    /// the attempts and raises the final typed panic exactly as before.
+    /// A retried success reconciles the table's epoch — readable via
+    /// [`Device::last_retried_epoch`] — confirming the snapshot chain
+    /// advanced exactly once despite the repeated driver calls. The
+    /// detached [`Device::control_plane`] handle bypasses the driver and
+    /// is unaffected, like the bug transforms.
     pub fn install(
         &mut self,
         table: &str,
@@ -727,11 +891,21 @@ impl Device {
         args: Vec<u128>,
         priority: i32,
     ) -> Result<(), netdebug_dataplane::ControlError> {
-        if let Some(panic) = self.faults.check_publication() {
-            std::panic::panic_any(panic);
+        let mut attempt: u32 = 0;
+        while let Some(panic) = self.faults.check_publication() {
+            attempt += 1;
+            if attempt >= self.retry.max_attempts.max(1) {
+                std::panic::panic_any(panic);
+            }
+            self.taps.now_cycles += self.retry.backoff_cycles << (attempt - 1);
         }
         let p = self.effective_priority(priority);
-        self.dataplane.install(table, patterns, action, args, p)
+        self.dataplane.install(table, patterns, action, args, p)?;
+        if attempt > 0 {
+            self.retried_publications += 1;
+            self.last_retried_epoch = self.dataplane.control_plane().epoch(table).ok();
+        }
+        Ok(())
     }
 
     /// Install an exact entry.

@@ -63,6 +63,24 @@ pub enum FaultSpec {
         /// Trip probability in parts-per-million.
         rate_ppm: u32,
     },
+    /// Transient publication failure: the first `fail_first` driver-path
+    /// publication *attempts* (over the device's lifetime, retries
+    /// included) crash the driver; every attempt after that succeeds.
+    /// Models a control channel that flaps and comes back — with a
+    /// retrying driver the publication lands late but epoch-atomically.
+    TransientPublication {
+        /// How many publication attempts fail before the channel heals.
+        fail_first: u32,
+    },
+    /// Silent liveness failure: frame `after` (0-based over the device's
+    /// lifetime) wedges the device — that frame and every one after it
+    /// are swallowed without an outcome and **without a panic**, so only
+    /// a deadline watchdog can detect it. Deterministic: a replay wedges
+    /// on exactly the same frame.
+    Stall {
+        /// Frame index at which the device stops responding.
+        after: u64,
+    },
 }
 
 impl FaultSpec {
@@ -74,6 +92,8 @@ impl FaultSpec {
             FaultSpec::WedgeParser { .. } => "wedge-parser",
             FaultSpec::FailPublication => "fail-publication",
             FaultSpec::SeededFlaky { .. } => "seeded-flaky",
+            FaultSpec::TransientPublication { .. } => "transient-publication",
+            FaultSpec::Stall { .. } => "stall",
         }
     }
 
@@ -93,6 +113,12 @@ impl FaultSpec {
             FaultSpec::FailPublication => "every table publication crashes the driver".into(),
             FaultSpec::SeededFlaky { seed, rate_ppm } => {
                 format!("flaky crash at {rate_ppm} ppm (seed {seed:#x})")
+            }
+            FaultSpec::TransientPublication { fail_first } => {
+                format!("first {fail_first} publication attempts crash the driver, then heal")
+            }
+            FaultSpec::Stall { after } => {
+                format!("device wedges silently starting at frame #{after}")
             }
         }
     }
@@ -174,6 +200,14 @@ pub struct FaultState {
     specs: Vec<FaultSpec>,
     packets: u64,
     publications: u64,
+    /// Publication *attempts* (retries included), the counter
+    /// [`FaultSpec::TransientPublication`] keys on. Advances on every
+    /// attempt, failed or not, so a retrying driver makes progress
+    /// toward the healed channel.
+    attempts: u64,
+    /// Set once [`FaultSpec::Stall`] wedges the device; cleared only by
+    /// [`FaultState::skip_faulted`] (recovery) or a state restore.
+    wedged: bool,
 }
 
 impl FaultState {
@@ -258,18 +292,74 @@ impl FaultState {
         None
     }
 
+    /// Stall check for one frame about to be admitted. Returns `true`
+    /// when the device is (or just became) wedged: the caller must
+    /// swallow the frame — no outcome, no panic, and the clean-admission
+    /// counter stays put, so the wedging frame replays as the culprit.
+    pub fn check_stall(&mut self) -> bool {
+        if self.wedged {
+            return true;
+        }
+        let idx = self.packets;
+        for spec in &self.specs {
+            if let FaultSpec::Stall { after } = *spec {
+                if idx == after {
+                    self.wedged = true;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// True once a [`FaultSpec::Stall`] has wedged the device.
+    pub fn is_wedged(&self) -> bool {
+        self.wedged
+    }
+
+    /// Recovery bookkeeping after a culprit frame is skipped: model the
+    /// tripping frame as consumed (the clean-admission counter moves
+    /// past it, so frame-indexed faults do not re-trip on the next
+    /// frame) and un-wedge a stalled device.
+    pub fn skip_faulted(&mut self) {
+        self.packets += 1;
+        self.wedged = false;
+    }
+
     /// Admission check for one driver-path table publication. Returns
     /// the panic to raise, or `None` after advancing the publication
-    /// counter.
+    /// counter. The attempt counter advances only on a **failed**
+    /// attempt, so [`FaultSpec::TransientPublication`] dies on exactly
+    /// its first `fail_first` trips — no matter how many publications
+    /// succeeded before the fault was armed — and then heals under
+    /// retries.
     pub fn check_publication(&mut self) -> Option<FaultPanic> {
         let idx = self.publications;
+        let attempt = self.attempts;
         for spec in &self.specs {
-            if matches!(spec, FaultSpec::FailPublication) {
-                return Some(FaultPanic {
-                    fault: spec.id(),
-                    stage: "driver",
-                    detail: format!("driver crashed publishing table update #{idx}"),
-                });
+            match *spec {
+                FaultSpec::FailPublication => {
+                    self.attempts += 1;
+                    return Some(FaultPanic {
+                        fault: spec.id(),
+                        stage: "driver",
+                        detail: format!("driver crashed publishing table update #{idx}"),
+                    });
+                }
+                FaultSpec::TransientPublication { fail_first }
+                    if attempt < u64::from(fail_first) =>
+                {
+                    self.attempts += 1;
+                    return Some(FaultPanic {
+                        fault: spec.id(),
+                        stage: "driver",
+                        detail: format!(
+                            "transient driver crash on publication attempt #{attempt} \
+                             (update #{idx})"
+                        ),
+                    });
+                }
+                _ => {}
             }
         }
         self.publications += 1;
@@ -322,6 +412,8 @@ mod tests {
                 seed: 7,
                 rate_ppm: 100,
             },
+            FaultSpec::TransientPublication { fail_first: 2 },
+            FaultSpec::Stall { after: 4 },
         ];
         let mut ids: Vec<_> = faults.iter().map(|f| f.id()).collect();
         ids.sort_unstable();
@@ -406,6 +498,61 @@ mod tests {
         assert!(st.check_publication().is_some());
         assert!(st.check_publication().is_some());
         // Packet admission is unaffected.
+        assert!(st.check_packet(0).is_none());
+    }
+
+    #[test]
+    fn stall_wedges_deterministically_and_without_panicking() {
+        let run = || {
+            let mut st = FaultState::default();
+            st.arm(FaultSpec::Stall { after: 3 });
+            let mut wedged_at = None;
+            for i in 0..10u64 {
+                if st.check_stall() {
+                    wedged_at.get_or_insert(i);
+                    continue;
+                }
+                assert!(st.check_packet(0).is_none(), "stall never raises a trip");
+            }
+            (wedged_at, st.packets_admitted())
+        };
+        let (a, admitted_a) = run();
+        let (b, admitted_b) = run();
+        assert_eq!(a, Some(3), "wedges on exactly frame #3");
+        assert_eq!(a, b, "replay wedges on the same frame");
+        assert_eq!(admitted_a, 3, "the wedging frame is not admitted");
+        assert_eq!(admitted_a, admitted_b);
+    }
+
+    #[test]
+    fn skip_faulted_unwedges_and_moves_past_the_culprit() {
+        let mut st = FaultState::default();
+        st.arm(FaultSpec::Stall { after: 1 });
+        assert!(!st.check_stall());
+        assert!(st.check_packet(0).is_none());
+        assert!(st.check_stall(), "frame #1 wedges");
+        assert!(st.is_wedged());
+        st.skip_faulted();
+        assert!(!st.is_wedged());
+        for _ in 0..8 {
+            assert!(!st.check_stall(), "a skipped stall does not re-wedge");
+            assert!(st.check_packet(0).is_none());
+        }
+    }
+
+    #[test]
+    fn transient_publication_heals_after_fail_first_attempts() {
+        let mut st = FaultState::default();
+        st.arm(FaultSpec::TransientPublication { fail_first: 3 });
+        for attempt in 0..3 {
+            let panic = st.check_publication().expect("early attempt fails");
+            assert_eq!(panic.fault, "transient-publication");
+            assert_eq!(panic.stage, "driver");
+            assert!(panic.detail.contains(&format!("attempt #{attempt}")));
+        }
+        assert!(st.check_publication().is_none(), "channel healed");
+        assert!(st.check_publication().is_none(), "and stays healed");
+        // Packet admission was never affected.
         assert!(st.check_packet(0).is_none());
     }
 

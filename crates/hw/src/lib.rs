@@ -34,6 +34,9 @@ pub mod resources;
 
 pub use backend::{ArchLimits, Backend, Compiled, LatencyModel, SdnetProfile};
 pub use bugs::{BugRuntime, BugSpec};
-pub use device::{DeployError, Device, DeviceConfig, Outcome, PortStats, Processed, MAC_FIXED_NS};
+pub use device::{
+    DeployError, Device, DeviceCheckpoint, DeviceConfig, Outcome, PortStats, Processed,
+    RetryPolicy, MAC_FIXED_NS,
+};
 pub use faults::{FaultError, FaultPanic, FaultSpec, FaultState, FaultTrip};
 pub use resources::{ResourceBudget, ResourceReport, SUME_BUDGET};
